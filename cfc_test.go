@@ -1,0 +1,225 @@
+package cfc_test
+
+// Integration tests through the public facade: every deliverable of the
+// reproduction exercised the way a downstream user would, in one file.
+
+import (
+	"strings"
+	"testing"
+
+	"cfc"
+)
+
+func TestFacadeSimulatorRoundTrip(t *testing.T) {
+	mem := cfc.NewMemory(cfc.AtomicRegisters)
+	x := mem.Register("x", 8)
+	res, err := cfc.Run(cfc.Config{
+		Mem: mem,
+		Procs: []cfc.ProcFunc{func(p *cfc.Proc) {
+			p.Write(x, 42)
+			if got := p.Read(x); got != 42 {
+				t.Errorf("read %d", got)
+			}
+			p.Output(1)
+		}},
+	})
+	if err != nil || res.Err != nil {
+		t.Fatalf("%v / %v", err, res.Err)
+	}
+	if out, ok := res.Trace.Output(0); !ok || out != 1 {
+		t.Errorf("output = %d,%v", out, ok)
+	}
+	if !strings.Contains(res.Trace.String(), "write-word x <- 42") {
+		t.Errorf("trace rendering:\n%s", res.Trace)
+	}
+}
+
+func TestFacadeHeadlineResult(t *testing.T) {
+	// The paper's headline numbers through the public API: Lamport fast
+	// is 7 steps / 3 registers contention-free; the packed variant saves
+	// a register; the tournament scales as ~1/l.
+	rep, err := cfc.MeasureMutex(cfc.LamportFast(), 32, cfc.MutexOptions{Seeds: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.CF.Steps != 7 || rep.CF.Registers != 3 {
+		t.Errorf("lamport CF = %+v", rep.CF)
+	}
+	if err := cfc.VerifyMutexBounds(rep); err != nil {
+		t.Error(err)
+	}
+
+	packed, err := cfc.MeasureMutex(cfc.PackedLamport(), 32, cfc.MutexOptions{Seeds: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if packed.CF.Registers != 2 {
+		t.Errorf("packed CF registers = %d, want 2", packed.CF.Registers)
+	}
+
+	// l = 5 gives 31 slots per node (2^5 - 1, identifier 0 reserved), so
+	// 31 processes fit in a single Lamport-fast node.
+	t4, err := cfc.MeasureMutex(cfc.TournamentMutex(5), 31, cfc.MutexOptions{Seeds: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t4.CF.Steps != 7 || t4.CF.Registers != 3 {
+		t.Errorf("tournament l=5 n=31 CF = %+v, want single node 7/3", t4.CF)
+	}
+}
+
+func TestFacadeNamingTableDistinctions(t *testing.T) {
+	n := 8
+	scan, err := cfc.MeasureNaming(cfc.TASScanNaming(), n, cfc.TaskOptions{Seeds: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	taf, err := cfc.MeasureNaming(cfc.TAFTreeNaming(), n, cfc.TaskOptions{Seeds: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scan.CF.Steps != n-1 || taf.CF.Steps != 3 {
+		t.Errorf("scan %d vs taf %d, want %d vs 3", scan.CF.Steps, taf.CF.Steps, n-1)
+	}
+	if scan.WC.Steps <= taf.WC.Steps {
+		t.Error("test-and-flip should beat test-and-set in the worst case")
+	}
+}
+
+func TestFacadeDetection(t *testing.T) {
+	rep, err := cfc.MeasureDetector(cfc.SplitterTreeDetector(2), 64, cfc.TaskOptions{Seeds: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 chunks of 2 bits for ids 0..63 -> 12 worst-case steps, wait-free.
+	if rep.WC.Steps != 12 || !rep.WCComplete {
+		t.Errorf("splitter tree = %+v", rep.WC)
+	}
+}
+
+func TestFacadeAdversaries(t *testing.T) {
+	// Lemma 2 on a correct detector.
+	det := cfc.SplitterDetector()
+	mem := cfc.NewMemory(det.Model())
+	inst, err := det.New(mem, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cfc.CheckLemma2(mem, inst, 4); err != nil {
+		t.Error(err)
+	}
+
+	// Theorem 6 clone schedule on the scan algorithm.
+	alg := cfc.TASScanNaming()
+	nm := cfc.NewMemory(alg.Model())
+	ninst, err := alg.New(nm, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	worst, err := cfc.CloneWorstSteps(nm, ninst, 6, 1<<16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if worst < 5 {
+		t.Errorf("clone worst = %d, want >= n-1 = 5", worst)
+	}
+}
+
+func TestFacadeModelChecker(t *testing.T) {
+	alg := cfc.Peterson2P()
+	build := func() (*cfc.Memory, []cfc.ProcFunc, error) {
+		mem := cfc.NewMemory(alg.Model())
+		inst, err := alg.New(mem, 2)
+		if err != nil {
+			return nil, nil, err
+		}
+		return mem, []cfc.ProcFunc{
+			cfc.MutexBody(inst, 1, 0),
+			cfc.MutexBody(inst, 1, 0),
+		}, nil
+	}
+	res, err := cfc.Explore(build, cfc.CheckMutualExclusion, cfc.CheckOptions{
+		MaxDepth:      80,
+		CollapseSpins: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Violation != nil {
+		t.Fatal(res.Violation)
+	}
+	if res.Truncated {
+		t.Error("Peterson 2-proc exploration should complete")
+	}
+}
+
+func TestFacadeModelAlgebra(t *testing.T) {
+	if len(cfc.AllBitModels()) != 256 {
+		t.Error("expected 256 bit models")
+	}
+	m := cfc.ModelOf(cfc.OpRead, cfc.OpTestAndSet)
+	if m != cfc.ReadTAS {
+		t.Errorf("ModelOf = %v", m)
+	}
+	if !cfc.RMW.HasTAF() || cfc.ReadTASTAR.HasTAF() {
+		t.Error("HasTAF misclassifies")
+	}
+	if cfc.ReadWrite.CanBreakSymmetry() {
+		t.Error("read/write model cannot break symmetry (naming unsolvable)")
+	}
+}
+
+func TestFacadeExperimentsTables(t *testing.T) {
+	tab, err := cfc.TableN(8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(tab.String(), "test-and-flip") {
+		t.Errorf("table rendering:\n%s", tab)
+	}
+	mtab, err := cfc.TableM([]int{16}, []int{2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mtab.Rows) != 1 {
+		t.Errorf("rows = %d", len(mtab.Rows))
+	}
+}
+
+func TestFacadeBoundsFunctions(t *testing.T) {
+	if ub := cfc.MutexCFStepUpper(1024, 10); ub != 7 {
+		t.Errorf("step upper = %d", ub)
+	}
+	if lb, ok := cfc.MutexCFStepLower(1<<20, 4); !ok || lb <= 0 {
+		t.Errorf("step lower = %v, %v", lb, ok)
+	}
+	if !cfc.Lemma3Holds(1024, 10, 3, 2) {
+		t.Error("Lemma 3 should hold for Lamport-like parameters")
+	}
+	cols := cfc.NamingTable()
+	if len(cols) != 5 {
+		t.Errorf("naming table columns = %d", len(cols))
+	}
+}
+
+func TestFacadeCrashInjection(t *testing.T) {
+	alg := cfc.TASBinSearchNaming()
+	mem := cfc.NewMemory(alg.Model())
+	inst, err := alg.New(mem, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := cfc.TaskRun(mem, inst, 4, &cfc.Crasher{
+		Inner:   cfc.NewRandom(3),
+		CrashAt: map[int]int{2: 1},
+	}, 1<<16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cfc.CheckUniqueOutputs(tr); err != nil {
+		t.Fatal(err)
+	}
+	if !tr.Crashed(2) {
+		t.Error("p2 should have crashed")
+	}
+}

@@ -1,0 +1,103 @@
+// Command cfcbench regenerates the evaluation artifacts of Alur &
+// Taubenfeld: the mutual-exclusion bounds table (Table M), the naming
+// tight-bounds table (Table N), and the supporting sweeps indexed in
+// DESIGN.md.
+//
+// Usage:
+//
+//	cfcbench                 # run every experiment
+//	cfcbench -table M        # only Table M
+//	cfcbench -table N -n 64  # Table N at n = 64
+//	cfcbench -list           # list experiment names
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"cfc/internal/experiments"
+	"cfc/internal/mutex"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		table = flag.String("table", "", "experiment to run: M, N, sweep, multigrain, backoff, detection, starvation, ablation (empty = all)")
+		n     = flag.Int("n", 16, "process count for Table N")
+		seeds = flag.Int("seeds", 10, "random schedules per measurement")
+		list  = flag.Bool("list", false, "list experiment names and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("M           Table M: bounds for mutual exclusion (Section 2.6)")
+		fmt.Println("N           Table N: tight bounds for naming (Section 3.3)")
+		fmt.Println("sweep       atomicity sweep (EXP-M1/M2)")
+		fmt.Println("multigrain  packed-word Lamport (EXP-S1)")
+		fmt.Println("backoff     winner latency under contention (EXP-S2)")
+		fmt.Println("detection   splitter-tree detection sweep (EXP-S3)")
+		fmt.Println("starvation  unbounded worst-case steps (EXP-M4)")
+		fmt.Println("ablation    l=1 node ablation (Peterson vs Kessels)")
+		return 0
+	}
+
+	var (
+		tabs []*experiments.Table
+		err  error
+	)
+	switch strings.ToLower(*table) {
+	case "":
+		tabs, err = experiments.All()
+	case "m":
+		var t *experiments.Table
+		t, err = experiments.TableM([]int{16, 64, 256, 1024, 4096}, []int{1, 2, 4, 8})
+		tabs = append(tabs, t)
+	case "n":
+		var t *experiments.Table
+		t, err = experiments.TableN(*n, *seeds)
+		tabs = append(tabs, t)
+	case "sweep":
+		var t *experiments.Table
+		t, err = experiments.AtomicitySweep([]int{4, 16, 64, 256, 1024}, []int{1, 2, 4})
+		tabs = append(tabs, t)
+	case "multigrain":
+		var t *experiments.Table
+		t, err = experiments.MultiGrain([]int{8, 64, 512})
+		tabs = append(tabs, t)
+	case "backoff":
+		var t *experiments.Table
+		t, err = experiments.Backoff([]int{2, 4, 8}, 3)
+		tabs = append(tabs, t)
+	case "detection":
+		var t *experiments.Table
+		t, err = experiments.DetectionSweep([]int{16, 256, 4096}, []int{1, 2, 4}, *seeds)
+		tabs = append(tabs, t)
+	case "starvation":
+		var t *experiments.Table
+		t, err = experiments.Starvation(mutex.Lamport{}, []int{100, 1000, 10000})
+		tabs = append(tabs, t)
+	case "ablation":
+		var t *experiments.Table
+		t, err = experiments.NodeAblation([]int{4, 16, 64})
+		tabs = append(tabs, t)
+	default:
+		fmt.Fprintf(os.Stderr, "cfcbench: unknown table %q (use -list)\n", *table)
+		return 2
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cfcbench: %v\n", err)
+		return 1
+	}
+	for i, t := range tabs {
+		if i > 0 {
+			fmt.Println()
+		}
+		fmt.Print(t.String())
+	}
+	return 0
+}

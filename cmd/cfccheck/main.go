@@ -1,0 +1,172 @@
+// Command cfccheck model-checks the repository's algorithms exhaustively
+// for small process counts: every interleaving (optionally with crash
+// injection) is explored and the relevant safety property verified on
+// every reachable state.
+//
+// Usage:
+//
+//	cfccheck                      # check everything at n = 2
+//	cfccheck -n 3                 # n = 3 (slower)
+//	cfccheck -kind mutex          # only mutual exclusion
+//	cfccheck -kind naming -crash  # naming with crash injection
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"cfc/internal/check"
+	"cfc/internal/contention"
+	"cfc/internal/driver"
+	"cfc/internal/metrics"
+	"cfc/internal/mutex"
+	"cfc/internal/naming"
+	"cfc/internal/sim"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+type job struct {
+	name  string
+	build check.Builder
+	prop  check.Property
+	opts  check.Options
+}
+
+func run() int {
+	var (
+		n      = flag.Int("n", 2, "process count")
+		kind   = flag.String("kind", "", "what to check: mutex, detection, naming (empty = all)")
+		crash  = flag.Bool("crash", false, "inject crashes (naming and detection)")
+		depth  = flag.Int("depth", 120, "schedule depth bound")
+		states = flag.Int("states", 1<<19, "state budget")
+	)
+	flag.Parse()
+
+	var jobs []job
+	if *kind == "" || *kind == "mutex" {
+		algs := []mutex.Algorithm{
+			mutex.Lamport{},
+			mutex.PackedLamport{},
+			mutex.TASLock{},
+			mutex.TTASLock{},
+			mutex.Tournament{L: 1},
+			mutex.Tournament{L: 1, Node: mutex.NodeKessels},
+			mutex.Tournament{L: 2},
+		}
+		if *n == 2 {
+			algs = append(algs, mutex.Peterson{}, mutex.Kessels{})
+		}
+		for _, alg := range algs {
+			alg := alg
+			jobs = append(jobs, job{
+				name: "mutex/" + alg.Name(),
+				build: func() (*sim.Memory, []sim.ProcFunc, error) {
+					mem := sim.NewMemory(alg.Model())
+					inst, err := alg.New(mem, *n)
+					if err != nil {
+						return nil, nil, err
+					}
+					procs := make([]sim.ProcFunc, *n)
+					for pid := range procs {
+						procs[pid] = driver.MutexBody(inst, 1, 0)
+					}
+					return mem, procs, nil
+				},
+				prop: metrics.CheckMutualExclusion,
+				opts: check.Options{MaxDepth: *depth, MaxStates: *states, CollapseSpins: true},
+			})
+		}
+	}
+	if *kind == "" || *kind == "detection" {
+		dets := []contention.Detector{
+			contention.Splitter{},
+			contention.ChunkedSplitter{L: 1},
+			contention.ChunkedSplitter{L: 2},
+		}
+		for _, det := range dets {
+			det := det
+			jobs = append(jobs, job{
+				name: "detection/" + det.Name(),
+				build: func() (*sim.Memory, []sim.ProcFunc, error) {
+					mem := sim.NewMemory(det.Model())
+					inst, err := det.New(mem, *n)
+					if err != nil {
+						return nil, nil, err
+					}
+					procs := make([]sim.ProcFunc, *n)
+					for pid := range procs {
+						procs[pid] = driver.TaskBody(inst)
+					}
+					return mem, procs, nil
+				},
+				prop: func(t *sim.Trace) error { return metrics.CheckDetection(t, false) },
+				opts: check.Options{
+					MaxDepth: *depth, MaxStates: *states,
+					CollapseSpins: true, ExploreCrashes: *crash,
+				},
+			})
+		}
+	}
+	if *kind == "" || *kind == "naming" {
+		algs := []naming.Algorithm{
+			naming.TAFTree{},
+			naming.TASTARTree{},
+			naming.TASScan{},
+			naming.TASBinSearch{},
+		}
+		for _, alg := range algs {
+			alg := alg
+			jobs = append(jobs, job{
+				name: "naming/" + alg.Name(),
+				build: func() (*sim.Memory, []sim.ProcFunc, error) {
+					mem := sim.NewMemory(alg.Model())
+					inst, err := alg.New(mem, *n)
+					if err != nil {
+						return nil, nil, err
+					}
+					procs := make([]sim.ProcFunc, *n)
+					for pid := range procs {
+						procs[pid] = driver.TaskBody(inst)
+					}
+					return mem, procs, nil
+				},
+				prop: metrics.CheckUniqueOutputs,
+				opts: check.Options{
+					MaxDepth: *depth, MaxStates: *states,
+					CollapseSpins: true, ExploreCrashes: *crash,
+					ExpectTermination: true,
+				},
+			})
+		}
+	}
+
+	failed := 0
+	for _, j := range jobs {
+		res, err := check.Explore(j.build, j.prop, j.opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%-40s ERROR: %v\n", j.name, err)
+			failed++
+			continue
+		}
+		if res.Violation != nil {
+			fmt.Printf("%-40s VIOLATION: %v\n", j.name, res.Violation.Err)
+			fmt.Printf("%-40s   witness: %v\n", "", res.Violation.Schedule)
+			failed++
+			continue
+		}
+		status := "proved (exhaustive)"
+		if res.Truncated {
+			status = "no violation found (truncated)"
+		}
+		fmt.Printf("%-40s %-32s %7d states %6d runs\n", j.name, status, res.States, res.Runs)
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "cfccheck: %d job(s) failed\n", failed)
+		return 1
+	}
+	return 0
+}

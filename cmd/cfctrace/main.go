@@ -1,0 +1,163 @@
+// Command cfctrace runs one algorithm under one schedule and dumps the
+// annotated event trace, the per-process complexity measures, and the
+// safety verdict — a microscope for studying a single run.
+//
+// Usage:
+//
+//	cfctrace -alg lamport -n 2 -sched roundrobin
+//	cfctrace -alg taf-tree -n 4 -sched random -seed 7
+//	cfctrace -alg splitter -n 3 -sched sequential
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"cfc/internal/contention"
+	"cfc/internal/driver"
+	"cfc/internal/metrics"
+	"cfc/internal/mutex"
+	"cfc/internal/naming"
+	"cfc/internal/sim"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		algName   = flag.String("alg", "lamport", "algorithm: lamport, packed, tournament2, tournament1, tas, ttas, splitter, splitter-tree2, taf-tree, tas-scan, tas-binsearch, tas-tar-tree")
+		n         = flag.Int("n", 2, "process count")
+		schedName = flag.String("sched", "roundrobin", "schedule: sequential, roundrobin, random, solo")
+		seed      = flag.Int64("seed", 0, "seed for -sched random")
+		pid       = flag.Int("pid", 0, "process for -sched solo")
+		rounds    = flag.Int("rounds", 1, "lock/unlock rounds (mutex algorithms)")
+		maxSteps  = flag.Int("maxsteps", 1<<16, "step budget")
+	)
+	flag.Parse()
+
+	var sched sim.Scheduler
+	switch *schedName {
+	case "sequential":
+		sched = sim.Sequential{}
+	case "roundrobin":
+		sched = &sim.RoundRobin{}
+	case "random":
+		sched = sim.NewRandom(*seed)
+	case "solo":
+		sched = sim.Solo{PID: *pid}
+	default:
+		fmt.Fprintf(os.Stderr, "cfctrace: unknown schedule %q\n", *schedName)
+		return 2
+	}
+
+	tr, kind, err := buildAndRun(*algName, *n, *rounds, sched, *maxSteps)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cfctrace: %v\n", err)
+		return 1
+	}
+
+	fmt.Print(tr.String())
+	fmt.Printf("\nstop: %v, scheduled steps: %d, atomicity: %d\n", tr.Stop, tr.ScheduledSteps, tr.Atomicity())
+
+	switch kind {
+	case "mutex":
+		if err := metrics.CheckMutualExclusion(tr); err != nil {
+			fmt.Printf("SAFETY: %v\n", err)
+			return 1
+		}
+		fmt.Println("safety: mutual exclusion holds on this run")
+		for _, a := range metrics.MutexAttempts(tr) {
+			fmt.Printf("p%d attempt: entry %d steps/%d regs, exit %d steps/%d regs, contention-free=%v complete=%v\n",
+				a.PID, a.Entry.Steps, a.Entry.Registers, a.Exit.Steps, a.Exit.Registers, a.ContentionFree, a.Complete)
+		}
+	case "detection":
+		if err := metrics.CheckDetection(tr, false); err != nil {
+			fmt.Printf("SAFETY: %v\n", err)
+			return 1
+		}
+		fmt.Println("safety: at most one winner on this run")
+		printTasks(tr)
+	case "naming":
+		if err := metrics.CheckUniqueOutputs(tr); err != nil {
+			fmt.Printf("SAFETY: %v\n", err)
+			return 1
+		}
+		fmt.Println("safety: names unique on this run")
+		printTasks(tr)
+	}
+	return 0
+}
+
+func printTasks(tr *sim.Trace) {
+	for _, task := range metrics.Tasks(tr) {
+		out := "-"
+		if task.HasOutput {
+			out = fmt.Sprint(task.Output)
+		}
+		fmt.Printf("p%d: output %s, %d steps, %d regs, contention-free=%v done=%v\n",
+			task.PID, out, task.M.Steps, task.M.Registers, task.ContentionFree, task.Done)
+	}
+}
+
+// buildAndRun constructs the requested algorithm and runs it, returning
+// the trace and the problem kind.
+func buildAndRun(alg string, n, rounds int, sched sim.Scheduler, maxSteps int) (*sim.Trace, string, error) {
+	if m, ok := mutexAlgs()[alg]; ok {
+		mem := sim.NewMemory(m.Model())
+		inst, err := m.New(mem, n)
+		if err != nil {
+			return nil, "", err
+		}
+		tr, err := driver.ContendedMutexRun(mem, inst, n, rounds, 0, sched, maxSteps)
+		return tr, "mutex", err
+	}
+	if d, ok := detectorAlgs()[alg]; ok {
+		mem := sim.NewMemory(d.Model())
+		inst, err := d.New(mem, n)
+		if err != nil {
+			return nil, "", err
+		}
+		tr, err := driver.TaskRun(mem, inst, n, sched, maxSteps)
+		return tr, "detection", err
+	}
+	if a, ok := namingAlgs()[alg]; ok {
+		mem := sim.NewMemory(a.Model())
+		inst, err := a.New(mem, n)
+		if err != nil {
+			return nil, "", err
+		}
+		tr, err := driver.TaskRun(mem, inst, n, sched, maxSteps)
+		return tr, "naming", err
+	}
+	return nil, "", fmt.Errorf("unknown algorithm %q", alg)
+}
+
+func mutexAlgs() map[string]mutex.Algorithm {
+	return map[string]mutex.Algorithm{
+		"lamport":     mutex.Lamport{},
+		"packed":      mutex.PackedLamport{},
+		"tournament1": mutex.Tournament{L: 1},
+		"tournament2": mutex.Tournament{L: 2},
+		"tas":         mutex.TASLock{},
+		"ttas":        mutex.TTASLock{},
+	}
+}
+
+func detectorAlgs() map[string]contention.Detector {
+	return map[string]contention.Detector{
+		"splitter":       contention.Splitter{},
+		"splitter-tree2": contention.ChunkedSplitter{L: 2},
+	}
+}
+
+func namingAlgs() map[string]naming.Algorithm {
+	return map[string]naming.Algorithm{
+		"taf-tree":      naming.TAFTree{},
+		"tas-scan":      naming.TASScan{},
+		"tas-binsearch": naming.TASBinSearch{},
+		"tas-tar-tree":  naming.TASTARTree{},
+	}
+}

@@ -1,0 +1,93 @@
+// Naming: run the four Theorem 4 naming algorithms across their models
+// and reproduce the distinctions of the paper's "Tight bounds for naming"
+// table, including the Theorem 6 clone adversary and wait-freedom under
+// crashes.
+//
+// Run with:
+//
+//	go run ./examples/naming
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cfc"
+)
+
+func main() {
+	const n = 16
+
+	algs := []struct {
+		alg   cfc.NamingAlgorithm
+		model string
+	}{
+		{cfc.TASScanNaming(), "{test-and-set}"},
+		{cfc.TASBinSearchNaming(), "{read, test-and-set}"},
+		{cfc.TASTARTreeNaming(), "{test-and-set, test-and-reset}"},
+		{cfc.TAFTreeNaming(), "{test-and-flip}"},
+	}
+
+	fmt.Printf("naming, n = %d identical processes\n\n", n)
+	fmt.Printf("%-15s %-32s %8s %8s %8s %8s\n", "algorithm", "model", "cf reg", "cf step", "wc reg", "wc step")
+	for _, a := range algs {
+		rep, err := cfc.MeasureNaming(a.alg, n, cfc.TaskOptions{Seeds: 10})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-15s %-32s %8d %8d %8d %8d\n",
+			a.alg.Name(), a.model, rep.CF.Registers, rep.CF.Steps, rep.WC.Registers, rep.WC.Steps)
+	}
+	fmt.Println("\npaper's tight bounds at n=16: n-1 = 15, log n = 4")
+	fmt.Println("(read lowers the contention-free measures to log n; test-and-reset")
+	fmt.Println(" additionally lowers worst-case registers; test-and-flip lowers everything)")
+
+	// The Theorem 6 clone adversary: in models without test-and-flip,
+	// identical processes scheduled in lock step force n-1 worst-case
+	// steps on someone.
+	fmt.Println("\nTheorem 6 clone adversary (round-robin over identical processes):")
+	for _, a := range algs {
+		mem := cfc.NewMemory(a.alg.Model())
+		inst, err := a.alg.New(mem, n)
+		if err != nil {
+			log.Fatal(err)
+		}
+		worst, err := cfc.CloneWorstSteps(mem, inst, n, 1<<18)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-15s worst steps %3d (n-1 = %d applies: %v)\n",
+			a.alg.Name(), worst, n-1, !a.alg.Model().HasTAF())
+	}
+
+	// Wait-freedom: crash two processes mid-protocol; the survivors still
+	// terminate with unique names.
+	fmt.Println("\nwait-freedom under crashes (tas-binsearch, p0 and p3 crash):")
+	alg := cfc.TASBinSearchNaming()
+	mem := cfc.NewMemory(alg.Model())
+	inst, err := alg.New(mem, n)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tr, err := cfc.TaskRun(mem, inst, n, &cfc.Crasher{
+		Inner:   cfc.NewRandom(1),
+		CrashAt: map[int]int{0: 5, 3: 11},
+	}, 1<<18)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := cfc.CheckUniqueOutputs(tr); err != nil {
+		log.Fatal(err)
+	}
+	for _, task := range cfc.Tasks(tr) {
+		status := "done"
+		if task.Crashed {
+			status = "CRASHED"
+		}
+		out := "-"
+		if task.HasOutput {
+			out = fmt.Sprint(task.Output)
+		}
+		fmt.Printf("  p%-2d %-8s name %-3s (%d steps)\n", task.PID, status, out, task.M.Steps)
+	}
+}

@@ -1,0 +1,57 @@
+// Quickstart: measure the contention-free complexity of Lamport's fast
+// mutual exclusion algorithm and check it against the paper's bounds.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cfc"
+)
+
+func main() {
+	const n = 64 // processes
+
+	// Measure Lamport's fast algorithm: contention-free complexity is
+	// exact (solo runs over all process identities); the worst case is an
+	// empirical maximum over a schedule portfolio.
+	rep, err := cfc.MeasureMutex(cfc.LamportFast(), n, cfc.MutexOptions{Seeds: 10})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("Lamport fast mutual exclusion, n = %d (atomicity %d bits)\n", n, rep.L)
+	fmt.Printf("  contention-free: %d steps on %d distinct registers\n", rep.CF.Steps, rep.CF.Registers)
+	fmt.Printf("    (the paper: 5 entry + 2 exit accesses to 3 registers)\n")
+	fmt.Printf("  empirical worst case over %d schedules: %d steps on %d registers\n",
+		rep.Schedules, rep.WC.Steps, rep.WC.Registers)
+	if !rep.WCComplete {
+		fmt.Printf("    (some schedules were cut by the step budget: the true worst case is unbounded [AT92])\n")
+	}
+
+	// Cross-check against the closed-form lower bounds of Theorems 1 and 2.
+	if err := cfc.VerifyMutexBounds(rep); err != nil {
+		log.Fatal(err)
+	}
+	if lb, ok := cfc.MutexCFStepLower(n, rep.L); ok {
+		fmt.Printf("  Theorem 1 lower bound at this atomicity: > %.2f steps (measured %d)\n", lb, rep.CF.Steps)
+	}
+	if lb, ok := cfc.MutexCFRegLower(n, rep.L); ok {
+		fmt.Printf("  Theorem 2 lower bound: >= %.2f registers (measured %d)\n", lb, rep.CF.Registers)
+	}
+
+	// The same measurement for the Theorem 3 tournament at atomicity 2:
+	// smaller registers cost proportionally more contention-free steps.
+	rep2, err := cfc.MeasureMutex(cfc.TournamentMutex(2), n, cfc.MutexOptions{Seeds: 10})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nTheorem 3 tournament at atomicity l = 2, n = %d\n", n)
+	fmt.Printf("  contention-free: %d steps on %d registers (paper: 7*ceil(log n/l) = %d, 3*ceil(log n/l) = %d)\n",
+		rep2.CF.Steps, rep2.CF.Registers,
+		cfc.MutexCFStepUpper(n, 2), cfc.MutexCFRegUpper(n, 2))
+}

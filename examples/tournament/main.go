@@ -1,0 +1,60 @@
+// Tournament: sweep the atomicity parameter l of the Theorem 3
+// construction and watch the contention-free complexity trade register
+// width against access count — the central trade-off of the paper.
+//
+// Run with:
+//
+//	go run ./examples/tournament
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cfc"
+)
+
+func main() {
+	const n = 1024
+
+	fmt.Printf("Theorem 3 tournament, n = %d processes\n", n)
+	fmt.Printf("%4s %9s %14s %9s %14s\n",
+		"l", "cf steps", "7*ceil(logn/l)", "cf regs", "3*ceil(logn/l)")
+
+	for _, l := range []int{1, 2, 3, 4, 5, 10} {
+		alg := cfc.TournamentMutex(l)
+		rep, err := cfc.MeasureMutex(alg, n, cfc.MutexOptions{Seeds: 2, Rounds: 1})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%4d %9d %14d %9d %14d\n",
+			l, rep.CF.Steps, cfc.MutexCFStepUpper(n, l),
+			rep.CF.Registers, cfc.MutexCFRegUpper(n, l))
+	}
+
+	// The l = 1 tree comes in two node flavours (DESIGN.md ablation 2):
+	// Peterson nodes share a turn bit, Kessels nodes use single-writer
+	// bits only, trading one extra register per level for the
+	// single-writer property.
+	fmt.Printf("\nl = 1 node ablation at n = %d:\n", n)
+	for _, node := range []cfc.NodeKind{cfc.NodePeterson, cfc.NodeKessels} {
+		alg := cfc.TournamentMutexWithNode(1, node)
+		rep, err := cfc.MeasureMutex(alg, n, cfc.MutexOptions{Seeds: 2, Rounds: 1})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-9v nodes: %3d steps, %3d registers\n", node, rep.CF.Steps, rep.CF.Registers)
+	}
+
+	// Multi-grain packing (Section 1.3 / [MS93]): same steps, one fewer
+	// register, doubled atomicity.
+	fmt.Println("\nmulti-grain packing of Lamport's x and y into one word:")
+	for _, alg := range []cfc.MutexAlgorithm{cfc.LamportFast(), cfc.PackedLamport()} {
+		rep, err := cfc.MeasureMutex(alg, n, cfc.MutexOptions{Seeds: 2, Rounds: 1})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-15s atomicity %2d: %d steps, %d registers\n",
+			alg.Name(), rep.L, rep.CF.Steps, rep.CF.Registers)
+	}
+}

@@ -1,0 +1,240 @@
+// Package adversary turns the lower-bound proofs of Alur & Taubenfeld into
+// executable constructions:
+//
+//   - the Lemma 2 condition on pairs of contention-free runs of a
+//     contention detector (the hinge of the Theorem 1 step lower bound);
+//   - the Theorem 6 clone schedule (identical processes in lock step) that
+//     forces n-1 worst-case steps in models without test-and-flip;
+//   - the Theorem 7 sequential run that forces n-1 distinct registers in
+//     the bare test-and-set model;
+//   - the [AT92] starvation schedule demonstrating that the worst-case
+//     step complexity of mutual exclusion is unbounded.
+//
+// Running these against the repository's algorithms certifies the bounds
+// empirically; running them against deliberately broken algorithms (see
+// the tests) shows the constructions actually find violations.
+package adversary
+
+import (
+	"fmt"
+
+	"cfc/internal/driver"
+	"cfc/internal/metrics"
+	"cfc/internal/opset"
+	"cfc/internal/sim"
+)
+
+// WriteOp is one write along a contention-free run: the register (cell)
+// written and the value it held afterwards. It is the paper's
+// W(p, m) = (x, v) pair.
+type WriteOp struct {
+	Cell  int32
+	Value uint64
+}
+
+// SoloProfile summarises a process's contention-free run the way the
+// Lemma 2/3 proofs consume it: the ordered sequence of writes and the set
+// of registers read.
+type SoloProfile struct {
+	// PID is the process.
+	PID int
+	// Writes holds W(p, 1), W(p, 2), ... in order.
+	Writes []WriteOp
+	// Reads is R(p), the set of cells the process reads.
+	Reads map[int32]bool
+	// WriteRegs is the set of distinct cells written (the write-register
+	// complexity of the run), and FirstWrites the order in which they are
+	// first written (the paper's wr(p) sequence from the Lemma 5 stretch
+	// decomposition).
+	WriteRegs   map[int32]bool
+	FirstWrites []int32
+}
+
+// ProfileOf extracts the solo profile of process pid from a trace of a
+// run in which pid ran without interference. Writes of read-modify-write
+// operations record the value the register held after the operation.
+func ProfileOf(t *sim.Trace, pid int) SoloProfile {
+	p := SoloProfile{
+		PID:       pid,
+		Reads:     make(map[int32]bool),
+		WriteRegs: make(map[int32]bool),
+	}
+	for _, e := range t.Events {
+		if e.Kind != sim.KindAccess || e.PID != pid {
+			continue
+		}
+		if e.IsRead() {
+			p.Reads[e.Cell] = true
+			continue
+		}
+		if e.IsWrite() {
+			var v uint64
+			switch e.Op {
+			case opset.WriteWord:
+				v = e.Arg
+			case opset.Write1, opset.TestAndSet:
+				v = 1
+			case opset.Write0, opset.TestAndReset:
+				v = 0
+			case opset.Flip, opset.TestAndFlip:
+				v = e.Ret ^ 1
+			}
+			p.Writes = append(p.Writes, WriteOp{Cell: e.Cell, Value: v})
+			if !p.WriteRegs[e.Cell] {
+				p.WriteRegs[e.Cell] = true
+				p.FirstWrites = append(p.FirstWrites, e.Cell)
+			}
+		}
+	}
+	return p
+}
+
+// Lemma2Condition checks the conclusion of Lemma 2 for two solo profiles:
+// there exists an index m such that the m-th writes differ (as
+// register/value pairs) and at least one process reads the register the
+// other writes at position m. Every correct contention detector satisfies
+// this for every pair of processes; a pair violating it admits the
+// Lemma 2 merge, a run in which both processes output 1.
+func Lemma2Condition(a, b SoloProfile) bool {
+	// The proof pads the shorter run with dummy writes; a dummy write
+	// never equals a real one, so positions beyond the shorter length
+	// satisfy the "differ" half and only need the read-visibility half.
+	limit := len(a.Writes)
+	if len(b.Writes) > limit {
+		limit = len(b.Writes)
+	}
+	for m := 0; m < limit; m++ {
+		wa, okA := writeAt(a, m)
+		wb, okB := writeAt(b, m)
+		switch {
+		case okA && okB:
+			if wa != wb && (b.Reads[wa.Cell] || a.Reads[wb.Cell]) {
+				return true
+			}
+		case okA:
+			if b.Reads[wa.Cell] {
+				return true
+			}
+		case okB:
+			if a.Reads[wb.Cell] {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func writeAt(p SoloProfile, m int) (WriteOp, bool) {
+	if m < len(p.Writes) {
+		return p.Writes[m], true
+	}
+	return WriteOp{}, false
+}
+
+// SoloProfiles runs the task solo for every process identity and returns
+// the n profiles. task must behave like a one-shot protocol (detector or
+// naming instance).
+func SoloProfiles(mem *sim.Memory, task driver.TaskRunner, n int) ([]SoloProfile, error) {
+	out := make([]SoloProfile, n)
+	for pid := 0; pid < n; pid++ {
+		tr, err := driver.SoloTaskRun(mem, task, n, pid)
+		if err != nil {
+			return nil, fmt.Errorf("adversary: solo run of p%d: %w", pid, err)
+		}
+		out[pid] = ProfileOf(tr, pid)
+	}
+	return out, nil
+}
+
+// CheckLemma2 verifies the Lemma 2 condition on every pair of processes of
+// a contention detector. It returns nil if all pairs satisfy the
+// condition, or an error naming the first violating pair - evidence that
+// the detector admits a run with two winners.
+func CheckLemma2(mem *sim.Memory, task driver.TaskRunner, n int) error {
+	profiles, err := SoloProfiles(mem, task, n)
+	if err != nil {
+		return err
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if !Lemma2Condition(profiles[i], profiles[j]) {
+				return fmt.Errorf("adversary: processes %d and %d violate the Lemma 2 condition: their solo runs can be merged into a double-win", i, j)
+			}
+		}
+	}
+	return nil
+}
+
+// CloneWorstSteps runs the one-shot task with all n processes scheduled
+// round-robin - the Theorem 6 clone adversary: identical deterministic
+// processes take identical steps until the shared memory separates them -
+// and returns the maximum step complexity over all processes.
+func CloneWorstSteps(mem *sim.Memory, task driver.TaskRunner, n, maxSteps int) (int, error) {
+	tr, err := driver.TaskRun(mem, task, n, &sim.RoundRobin{}, maxSteps)
+	if err != nil {
+		return 0, err
+	}
+	if err := metrics.CheckUniqueOutputs(tr); err != nil {
+		return 0, err
+	}
+	worst, ok := metrics.WorstTask(tr)
+	if !ok {
+		return 0, fmt.Errorf("adversary: no process terminated under the clone schedule")
+	}
+	return worst.Steps, nil
+}
+
+// SequentialWorstRegisters runs the one-shot task sequentially - the
+// Theorem 5/7 run construction - and returns the maximum register
+// complexity over all processes.
+func SequentialWorstRegisters(mem *sim.Memory, task driver.TaskRunner, n int) (int, error) {
+	tr, err := driver.TaskRun(mem, task, n, sim.Sequential{}, 0)
+	if err != nil {
+		return 0, err
+	}
+	worst, ok := metrics.WorstTask(tr)
+	if !ok {
+		return 0, fmt.Errorf("adversary: no process terminated in the sequential run")
+	}
+	return worst.Registers, nil
+}
+
+// StarveVictim demonstrates the unbounded worst-case step complexity of
+// mutual exclusion ([AT92], cited in Section 2.2): process 0 holds the
+// critical section for dwell internal steps while process 1 busy-waits in
+// its entry code. It returns the number of entry-code steps the victim
+// took without entering its critical section; the count grows without
+// bound in dwell.
+func StarveVictim(mem *sim.Memory, lock driver.Locker, dwell int) (int, error) {
+	// The victim idles long enough for the holder to be inside its
+	// critical section before starting its own attempt; under round-robin
+	// it then busy-waits once per scheduling round for the whole dwell.
+	const victimDelay = 64
+	holder := driver.MutexBody(lock, 1, dwell)
+	victim := func(p *sim.Proc) {
+		for i := 0; i < victimDelay; i++ {
+			p.Local()
+		}
+		driver.MutexBody(lock, 1, 0)(p)
+	}
+	procs := []sim.ProcFunc{holder, victim}
+	res, err := sim.Run(sim.Config{Mem: mem, Procs: procs, Sched: &sim.RoundRobin{}})
+	if err != nil {
+		return 0, err
+	}
+	if res.Err != nil {
+		return 0, res.Err
+	}
+	if err := metrics.CheckMutualExclusion(res.Trace); err != nil {
+		return 0, err
+	}
+	// The victim is the process whose entry code overlapped the holder's
+	// dwell: report the largest entry-step count observed.
+	worst := 0
+	for _, a := range metrics.MutexAttempts(res.Trace) {
+		if a.Entry.Steps > worst {
+			worst = a.Entry.Steps
+		}
+	}
+	return worst, nil
+}

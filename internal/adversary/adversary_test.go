@@ -1,0 +1,280 @@
+package adversary_test
+
+import (
+	"testing"
+
+	"cfc/internal/adversary"
+	"cfc/internal/bounds"
+	"cfc/internal/contention"
+	"cfc/internal/driver"
+	"cfc/internal/metrics"
+	"cfc/internal/mutex"
+	"cfc/internal/naming"
+	"cfc/internal/opset"
+	"cfc/internal/sim"
+)
+
+func TestLemma2ConditionHoldsForCorrectDetectors(t *testing.T) {
+	dets := []contention.Detector{
+		contention.Splitter{},
+		contention.ChunkedSplitter{L: 1},
+		contention.ChunkedSplitter{L: 3},
+		contention.FromMutex{Alg: mutex.Lamport{}},
+	}
+	for _, det := range dets {
+		det := det
+		t.Run(det.Name(), func(t *testing.T) {
+			for _, n := range []int{2, 4, 8} {
+				mem := sim.NewMemory(det.Model())
+				inst, err := det.New(mem, n)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := adversary.CheckLemma2(mem, inst, n); err != nil {
+					t.Errorf("n=%d: %v", n, err)
+				}
+			}
+		})
+	}
+}
+
+// brokenDetector gives every process its own private register: solo runs
+// never touch a register another process reads, so Lemma 2 is violated -
+// and indeed every process always outputs 1.
+type brokenDetector struct {
+	own []sim.Reg
+}
+
+func newBrokenDetector(mem *sim.Memory, n int) *brokenDetector {
+	return &brokenDetector{own: mem.Registers("own", 4, n)}
+}
+
+func (b *brokenDetector) Run(p *sim.Proc) uint64 {
+	r := b.own[p.ID()]
+	p.Write(r, 1)
+	if p.Read(r) == 1 { // always true: nobody else writes here
+		p.Output(1)
+		return 1
+	}
+	p.Output(0)
+	return 0
+}
+
+func TestLemma2DetectsBrokenDetector(t *testing.T) {
+	n := 3
+	mem := sim.NewMemory(opset.AtomicRegisters)
+	det := newBrokenDetector(mem, n)
+
+	// The checker flags the violation...
+	if err := adversary.CheckLemma2(mem, det, n); err == nil {
+		t.Fatal("Lemma 2 checker should reject a detector with disjoint solo runs")
+	}
+
+	// ...and the violation is real: running the processes concurrently
+	// produces two winners, breaking the safety requirement.
+	tr, err := driver.TaskRun(mem, det, n, &sim.RoundRobin{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := metrics.CheckDetection(tr, false); err == nil {
+		t.Fatal("expected a double-win run for the broken detector")
+	}
+}
+
+func TestProfileOfExtractsWritesAndReads(t *testing.T) {
+	mem := sim.NewMemory(opset.RMW)
+	a := mem.Bit("a")
+	b := mem.Bit("b")
+	c := mem.Bit("c")
+	res, err := sim.Run(sim.Config{
+		Mem: mem,
+		Procs: []sim.ProcFunc{func(p *sim.Proc) {
+			p.Read(a)
+			p.TestAndSet(b)
+			p.Write(c, 1)
+			p.TestAndFlip(c) // 1 -> 0
+			p.Read(b)
+		}},
+	})
+	if err != nil || res.Err != nil {
+		t.Fatalf("%v / %v", err, res.Err)
+	}
+	prof := adversary.ProfileOf(res.Trace, 0)
+	if len(prof.Writes) != 3 {
+		t.Fatalf("writes = %d, want 3", len(prof.Writes))
+	}
+	if prof.Writes[0] != (adversary.WriteOp{Cell: 1, Value: 1}) {
+		t.Errorf("first write = %+v", prof.Writes[0])
+	}
+	if prof.Writes[2].Value != 0 {
+		t.Errorf("flip write value = %d, want 0 (1 flipped)", prof.Writes[2].Value)
+	}
+	if !prof.Reads[0] || !prof.Reads[1] || prof.Reads[2] {
+		t.Errorf("reads = %v", prof.Reads)
+	}
+	if len(prof.FirstWrites) != 2 || prof.FirstWrites[0] != 1 || prof.FirstWrites[1] != 2 {
+		t.Errorf("first-writes order = %v, want [1 2]", prof.FirstWrites)
+	}
+}
+
+func TestTheorem6CloneAdversary(t *testing.T) {
+	// Theorem 6: every naming algorithm in a model without test-and-flip
+	// has worst-case step complexity >= n-1; the clone (round-robin)
+	// schedule realises it on our non-TAF algorithms.
+	algs := []naming.Algorithm{
+		naming.TASScan{},
+		naming.TASBinSearch{},
+		naming.TASTARTree{},
+	}
+	for _, alg := range algs {
+		alg := alg
+		t.Run(alg.Name(), func(t *testing.T) {
+			if alg.Model().HasTAF() {
+				t.Fatal("test misconfigured: algorithm uses test-and-flip")
+			}
+			for _, n := range []int{2, 4, 8} {
+				mem := sim.NewMemory(alg.Model())
+				inst, err := alg.New(mem, n)
+				if err != nil {
+					t.Fatal(err)
+				}
+				worst, err := adversary.CloneWorstSteps(mem, inst, n, 1<<18)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if lb := bounds.NamingWCStepLowerNoTAF(n); worst < lb {
+					t.Errorf("n=%d: clone worst steps = %d < Theorem 6 bound %d", n, worst, lb)
+				}
+			}
+		})
+	}
+}
+
+func TestTheorem6DoesNotApplyToTAF(t *testing.T) {
+	// With test-and-flip the clone schedule separates processes every
+	// step: the worst case stays at log n, far below n-1 for large n.
+	n := 32
+	alg := naming.TAFTree{}
+	mem := sim.NewMemory(alg.Model())
+	inst, err := alg.New(mem, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	worst, err := adversary.CloneWorstSteps(mem, inst, n, 1<<18)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := bounds.CeilLog2(alg.NameSpace(n)); worst != want {
+		t.Errorf("taf-tree clone worst steps = %d, want %d", worst, want)
+	}
+	if worst >= n-1 {
+		t.Errorf("taf-tree should beat the n-1 bound, got %d", worst)
+	}
+}
+
+func TestTheorem7SequentialRun(t *testing.T) {
+	// Theorem 7: in the bare {test-and-set} model the contention-free
+	// register complexity is at least n-1. The sequential run realises it
+	// on tas-scan.
+	for _, n := range []int{2, 4, 8, 16} {
+		alg := naming.TASScan{}
+		mem := sim.NewMemory(alg.Model())
+		inst, err := alg.New(mem, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		worst, err := adversary.SequentialWorstRegisters(mem, inst, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lb := bounds.NamingCFRegLowerTASOnly(n); worst < lb {
+			t.Errorf("n=%d: sequential worst registers = %d < Theorem 7 bound %d", n, worst, lb)
+		}
+	}
+}
+
+func TestTheorem5SequentialRun(t *testing.T) {
+	// Theorem 5: in every model the contention-free register complexity is
+	// at least log n.
+	algs := []naming.Algorithm{
+		naming.TAFTree{}, naming.TASTARTree{}, naming.TASScan{}, naming.TASBinSearch{},
+	}
+	for _, alg := range algs {
+		for _, n := range []int{4, 16} {
+			mem := sim.NewMemory(alg.Model())
+			inst, err := alg.New(mem, n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			worst, err := adversary.SequentialWorstRegisters(mem, inst, n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if lb := bounds.NamingCFRegLower(n); worst < lb {
+				t.Errorf("%s n=%d: sequential worst registers = %d < Theorem 5 bound %d",
+					alg.Name(), n, worst, lb)
+			}
+		}
+	}
+}
+
+func TestStarvationUnbounded(t *testing.T) {
+	// EXP-M4: the worst-case step complexity of mutual exclusion is
+	// unbounded [AT92] - the victim's entry steps grow with the holder's
+	// critical-section dwell, for every deadlock-free algorithm.
+	algs := []mutex.Algorithm{
+		mutex.Lamport{},
+		mutex.TASLock{},
+		mutex.Tournament{L: 2},
+	}
+	for _, alg := range algs {
+		alg := alg
+		t.Run(alg.Name(), func(t *testing.T) {
+			// Dwells exceed the victim's fixed start-up delay, so the
+			// victim is guaranteed to spin for most of the dwell.
+			prev := 0
+			for _, dwell := range []int{200, 1000, 5000} {
+				mem := sim.NewMemory(alg.Model())
+				inst, err := alg.New(mem, 2)
+				if err != nil {
+					t.Fatal(err)
+				}
+				steps, err := adversary.StarveVictim(mem, inst, dwell)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if steps <= prev {
+					t.Errorf("dwell=%d: victim steps %d did not grow (prev %d)", dwell, steps, prev)
+				}
+				if steps < dwell/4 {
+					t.Errorf("dwell=%d: victim steps %d too small to demonstrate unboundedness", dwell, steps)
+				}
+				prev = steps
+			}
+		})
+	}
+}
+
+func TestLemma2ConditionSymmetric(t *testing.T) {
+	// The condition is symmetric in its two arguments.
+	mem := sim.NewMemory(opset.AtomicRegisters)
+	det, err := contention.Splitter{}.New(mem, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	profiles, err := adversary.SoloProfiles(mem, det, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range profiles {
+		for j := range profiles {
+			if i == j {
+				continue
+			}
+			if adversary.Lemma2Condition(profiles[i], profiles[j]) !=
+				adversary.Lemma2Condition(profiles[j], profiles[i]) {
+				t.Errorf("Lemma2Condition not symmetric for %d,%d", i, j)
+			}
+		}
+	}
+}

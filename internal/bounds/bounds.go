@@ -1,0 +1,248 @@
+// Package bounds encodes the closed-form complexity bounds of Alur &
+// Taubenfeld (Theorems 1-7 and the combinatorial Lemmas 3 and 6) as
+// checkable functions of the number of processes n and the atomicity l
+// (the size in bits of the biggest register accessible in one atomic
+// step).
+//
+// Lower bounds are returned as real-valued thresholds: a correct algorithm
+// must have measured complexity strictly above (Theorem 1) or at least
+// (Theorem 2) the threshold. Upper bounds are the exact values achieved by
+// the paper's constructions (Theorem 3 and Theorem 4).
+package bounds
+
+import (
+	"math"
+)
+
+// Log2 returns the base-2 logarithm of n as a float64. It is the "log"
+// of the paper.
+func Log2(n int) float64 {
+	return math.Log2(float64(n))
+}
+
+// CeilLog2 returns ceil(log2 n) for n >= 1.
+func CeilLog2(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	k := 0
+	for v := n - 1; v > 0; v >>= 1 {
+		k++
+	}
+	return k
+}
+
+// CeilDiv returns ceil(a/b) for positive b.
+func CeilDiv(a, b int) int {
+	return (a + b - 1) / b
+}
+
+// MutexCFStepLower returns the Theorem 1 lower-bound threshold on the
+// contention-free step complexity of any (weak) deadlock-free n-process
+// mutual exclusion algorithm with atomicity l:
+//
+//	c > log n / (l - 2 + 3 log log n)
+//
+// The second return value is false when the bound is vacuous (the
+// denominator is non-positive, which happens for small n and l <= 2; the
+// inequality then carries no information).
+func MutexCFStepLower(n, l int) (float64, bool) {
+	if n < 2 {
+		return 0, false
+	}
+	den := float64(l) - 2 + 3*math.Log2(Log2(n))
+	if den <= 0 {
+		return 0, false
+	}
+	return Log2(n) / den, true
+}
+
+// MutexCFRegLower returns the Theorem 2 lower-bound threshold on the
+// contention-free register complexity:
+//
+//	c >= sqrt(log n / (l + log log n))
+//
+// The second return value is false when the bound is vacuous.
+func MutexCFRegLower(n, l int) (float64, bool) {
+	if n < 2 {
+		return 0, false
+	}
+	den := float64(l) + math.Log2(Log2(n))
+	if den <= 0 {
+		return 0, false
+	}
+	return math.Sqrt(Log2(n) / den), true
+}
+
+// MutexCFStepUpper returns the contention-free step complexity
+// 7*ceil(log n / l) of the Theorem 3 tournament construction.
+func MutexCFStepUpper(n, l int) int {
+	return 7 * CeilDiv(CeilLog2(n), l)
+}
+
+// MutexCFRegUpper returns the contention-free register complexity
+// 3*ceil(log n / l) of the Theorem 3 tournament construction.
+func MutexCFRegUpper(n, l int) int {
+	return 3 * CeilDiv(CeilLog2(n), l)
+}
+
+// MutexBitAccessesLower returns the corollary to Theorem 1: in every
+// mutual exclusion algorithm with atomicity l and contention-free step
+// complexity c, some process must access at least l+c-1 shared bits in the
+// absence of contention (counting multiplicity of bits per access).
+func MutexBitAccessesLower(l, c int) int {
+	return l + c - 1
+}
+
+// DetectionWCStepUpper returns the paper's Section 2.6 observation that
+// contention detection is solvable with worst-case step complexity
+// ceil(log n / l) register accesses per atomicity-l register, up to the
+// constant of the splitter used at each level.
+func DetectionWCStepUpper(n, l int) int {
+	return CeilDiv(CeilLog2(n), l)
+}
+
+// Lemma3Holds checks the combinatorial inequality of Lemma 3, which every
+// contention-detection algorithm for n processes must satisfy:
+//
+//	w*l + w*log(w^2*r + w*r^2) >= log n
+//
+// where w is the contention-free write-step complexity and r the
+// contention-free read-register complexity. A violation would contradict
+// the paper (or reveal a broken algorithm/measurement).
+func Lemma3Holds(n, l, w, r int) bool {
+	if w <= 0 || r <= 0 {
+		// Before a process terminates it must read and write at least
+		// once (Section 2.4), so a measured w or r of zero means the
+		// algorithm is not a contention detector at all.
+		return false
+	}
+	lhs := float64(w)*float64(l) +
+		float64(w)*math.Log2(float64(w)*float64(w)*float64(r)+float64(w)*float64(r)*float64(r))
+	return lhs >= Log2(n)
+}
+
+// Lemma6Holds checks the combinatorial inequality of Lemma 6, which every
+// contention-detection algorithm for n processes must satisfy:
+//
+//	n < 2*w! * (4c*w!)^c * (w*2^(l*w))^w
+//
+// where c is the contention-free register complexity and w the
+// contention-free write-register complexity. The check is performed in
+// log-space to avoid overflow.
+func Lemma6Holds(n, l, w, c int) bool {
+	if w <= 0 || c <= 0 {
+		return false
+	}
+	logFactW := logFactorial(w)
+	rhs := 1 + logFactW +
+		float64(c)*(2+math.Log2(float64(c))+logFactW) +
+		float64(w)*(math.Log2(float64(w))+float64(l)*float64(w))
+	return Log2(n) < rhs
+}
+
+// logFactorial returns log2(w!).
+func logFactorial(w int) float64 {
+	lg, _ := math.Lgamma(float64(w) + 1)
+	return lg / math.Ln2
+}
+
+// NamingBound identifies the growth of a naming-complexity bound in the
+// Section 3.3 table: log n or n-1.
+type NamingBound uint8
+
+const (
+	// BoundLogN is the log n entry of the table.
+	BoundLogN NamingBound = iota + 1
+	// BoundNMinus1 is the n-1 entry of the table.
+	BoundNMinus1
+)
+
+// String returns the table notation for the bound.
+func (b NamingBound) String() string {
+	switch b {
+	case BoundLogN:
+		return "log n"
+	case BoundNMinus1:
+		return "n-1"
+	default:
+		return "?"
+	}
+}
+
+// Eval returns the value of the bound at n.
+func (b NamingBound) Eval(n int) int {
+	switch b {
+	case BoundLogN:
+		return CeilLog2(n)
+	case BoundNMinus1:
+		return n - 1
+	default:
+		return 0
+	}
+}
+
+// NamingTableColumn is one column of the "Tight bounds for naming" table:
+// the four tight bounds for one model.
+type NamingTableColumn struct {
+	// Model is the table's column label.
+	Model string
+	// CFReg, CFStep, WCReg, WCStep are the four tight bounds, in the
+	// table's row order: contention-free register, contention-free step,
+	// worst-case register, worst-case step.
+	CFReg, CFStep, WCReg, WCStep NamingBound
+}
+
+// NamingTable returns the five columns of the Section 3.3 table, in the
+// paper's order: test-and-set; read+test-and-set;
+// read+test-and-set+test-and-reset; test-and-flip; rmw (all).
+func NamingTable() []NamingTableColumn {
+	return []NamingTableColumn{
+		{
+			Model: "test-and-set",
+			CFReg: BoundNMinus1, CFStep: BoundNMinus1,
+			WCReg: BoundNMinus1, WCStep: BoundNMinus1,
+		},
+		{
+			Model: "read+test-and-set",
+			CFReg: BoundLogN, CFStep: BoundLogN,
+			WCReg: BoundNMinus1, WCStep: BoundNMinus1,
+		},
+		{
+			Model: "read+test-and-set+test-and-reset",
+			CFReg: BoundLogN, CFStep: BoundLogN,
+			WCReg: BoundLogN, WCStep: BoundNMinus1,
+		},
+		{
+			Model: "test-and-flip",
+			CFReg: BoundLogN, CFStep: BoundLogN,
+			WCReg: BoundLogN, WCStep: BoundLogN,
+		},
+		{
+			Model: "rmw (all)",
+			CFReg: BoundLogN, CFStep: BoundLogN,
+			WCReg: BoundLogN, WCStep: BoundLogN,
+		},
+	}
+}
+
+// NamingCFRegLower returns the Theorem 5 lower bound: in every model, the
+// contention-free register complexity of every naming algorithm is at
+// least log n.
+func NamingCFRegLower(n int) int {
+	return CeilLog2(n)
+}
+
+// NamingWCStepLowerNoTAF returns the Theorem 6 lower bound: in every model
+// without test-and-flip, the worst-case step complexity of every naming
+// algorithm is at least n-1.
+func NamingWCStepLowerNoTAF(n int) int {
+	return n - 1
+}
+
+// NamingCFRegLowerTASOnly returns the Theorem 7 lower bound: in the model
+// {test-and-set}, the contention-free register complexity of every naming
+// algorithm is at least n-1.
+func NamingCFRegLowerTASOnly(n int) int {
+	return n - 1
+}

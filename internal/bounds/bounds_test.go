@@ -1,0 +1,260 @@
+package bounds
+
+import (
+	"math"
+	"testing"
+)
+
+func TestCeilLog2(t *testing.T) {
+	tests := []struct{ n, want int }{
+		{1, 0}, {2, 1}, {3, 2}, {4, 2}, {5, 3}, {8, 3}, {9, 4},
+		{16, 4}, {17, 5}, {1024, 10}, {1025, 11}, {0, 0}, {-5, 0},
+	}
+	for _, tt := range tests {
+		if got := CeilLog2(tt.n); got != tt.want {
+			t.Errorf("CeilLog2(%d) = %d, want %d", tt.n, got, tt.want)
+		}
+	}
+}
+
+func TestCeilLog2MatchesFloat(t *testing.T) {
+	for n := 1; n <= 5000; n++ {
+		want := int(math.Ceil(math.Log2(float64(n))))
+		if got := CeilLog2(n); got != want {
+			t.Fatalf("CeilLog2(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestCeilDiv(t *testing.T) {
+	tests := []struct{ a, b, want int }{
+		{10, 3, 4}, {9, 3, 3}, {1, 5, 1}, {0, 5, 0}, {20, 4, 5},
+	}
+	for _, tt := range tests {
+		if got := CeilDiv(tt.a, tt.b); got != tt.want {
+			t.Errorf("CeilDiv(%d,%d) = %d, want %d", tt.a, tt.b, got, tt.want)
+		}
+	}
+}
+
+func TestMutexCFStepLower(t *testing.T) {
+	// For n = 2^20 and l = 20 the bound is log n / (l-2+3 log log n)
+	// = 20 / (18 + 3*log2(20)).
+	lb, ok := MutexCFStepLower(1<<20, 20)
+	if !ok {
+		t.Fatal("bound should be meaningful")
+	}
+	want := 20.0 / (18.0 + 3*math.Log2(20))
+	if math.Abs(lb-want) > 1e-9 {
+		t.Errorf("lb = %v, want %v", lb, want)
+	}
+
+	// Vacuous cases: tiny n with small l makes the denominator
+	// non-positive.
+	if _, ok := MutexCFStepLower(2, 1); ok {
+		t.Error("n=2, l=1 should be vacuous (denominator -1)")
+	}
+	if _, ok := MutexCFStepLower(1, 8); ok {
+		t.Error("n=1 should be vacuous")
+	}
+}
+
+func TestMutexCFStepLowerPositiveWhenMeaningful(t *testing.T) {
+	for _, n := range []int{4, 16, 256, 1 << 10, 1 << 20} {
+		for _, l := range []int{1, 2, 4, 8, 16} {
+			lb, ok := MutexCFStepLower(n, l)
+			if ok && lb <= 0 {
+				t.Errorf("n=%d l=%d: non-positive meaningful bound %v", n, l, lb)
+			}
+		}
+	}
+}
+
+func TestMutexCFRegLower(t *testing.T) {
+	lb, ok := MutexCFRegLower(1<<16, 16)
+	if !ok {
+		t.Fatal("bound should be meaningful")
+	}
+	want := math.Sqrt(16.0 / (16.0 + 4.0))
+	if math.Abs(lb-want) > 1e-9 {
+		t.Errorf("lb = %v, want %v", lb, want)
+	}
+	if _, ok := MutexCFRegLower(1, 1); ok {
+		t.Error("n=1 should be vacuous")
+	}
+	// l >= 1 and n >= 2 always give positive denominator.
+	if _, ok := MutexCFRegLower(2, 1); !ok {
+		t.Error("n=2, l=1 should be meaningful (denominator 1)")
+	}
+}
+
+func TestMutexUpperBounds(t *testing.T) {
+	// With l = log n, the tournament is one Lamport-fast node: 7 steps,
+	// 3 registers.
+	if got := MutexCFStepUpper(1024, 10); got != 7 {
+		t.Errorf("step upper(1024,10) = %d, want 7", got)
+	}
+	if got := MutexCFRegUpper(1024, 10); got != 3 {
+		t.Errorf("reg upper(1024,10) = %d, want 3", got)
+	}
+	// With l = 1: 7*log n and 3*log n.
+	if got := MutexCFStepUpper(1024, 1); got != 70 {
+		t.Errorf("step upper(1024,1) = %d, want 70", got)
+	}
+	if got := MutexCFRegUpper(256, 2); got != 12 {
+		t.Errorf("reg upper(256,2) = %d, want 12", got)
+	}
+}
+
+func TestUpperDominatesLower(t *testing.T) {
+	// Sanity of the paper's table: the Theorem 3 upper bound must lie
+	// above both Theorem 1 and Theorem 2 lower bounds wherever they are
+	// meaningful.
+	for _, n := range []int{4, 8, 64, 1 << 10, 1 << 16, 1 << 20} {
+		for _, l := range []int{1, 2, 4, 8, 16} {
+			if lb, ok := MutexCFStepLower(n, l); ok {
+				if ub := float64(MutexCFStepUpper(n, l)); ub <= lb {
+					t.Errorf("n=%d l=%d: step upper %v <= lower %v", n, l, ub, lb)
+				}
+			}
+			if lb, ok := MutexCFRegLower(n, l); ok {
+				if ub := float64(MutexCFRegUpper(n, l)); ub < lb {
+					t.Errorf("n=%d l=%d: reg upper %v < lower %v", n, l, ub, lb)
+				}
+			}
+		}
+	}
+}
+
+func TestMutexBitAccessesLower(t *testing.T) {
+	if got := MutexBitAccessesLower(10, 7); got != 16 {
+		t.Errorf("bit accesses lower = %d, want 16", got)
+	}
+}
+
+func TestDetectionWCStepUpper(t *testing.T) {
+	if got := DetectionWCStepUpper(1024, 10); got != 1 {
+		t.Errorf("detection upper = %d, want 1", got)
+	}
+	if got := DetectionWCStepUpper(1024, 2); got != 5 {
+		t.Errorf("detection upper = %d, want 5", got)
+	}
+}
+
+func TestLemma3Holds(t *testing.T) {
+	// Lamport fast: l = log n, w = 3 writes, r = 2 read registers in the
+	// contention-free run; the inequality must hold.
+	n := 1024
+	if !Lemma3Holds(n, 10, 3, 2) {
+		t.Error("Lemma 3 should hold for Lamport-fast-like parameters")
+	}
+	// Degenerate measurements are rejected.
+	if Lemma3Holds(n, 10, 0, 2) || Lemma3Holds(n, 10, 3, 0) {
+		t.Error("Lemma 3 with w=0 or r=0 should be rejected")
+	}
+	// A single-bit single-write algorithm cannot detect contention among
+	// many processes: inequality must fail.
+	if Lemma3Holds(1<<30, 1, 1, 1) {
+		t.Error("w=1, r=1, l=1 cannot satisfy Lemma 3 for n=2^30")
+	}
+}
+
+func TestLemma6Holds(t *testing.T) {
+	if !Lemma6Holds(1024, 10, 3, 3) {
+		t.Error("Lemma 6 should hold for Lamport-fast-like parameters")
+	}
+	if Lemma6Holds(1024, 10, 0, 3) || Lemma6Holds(1024, 10, 3, 0) {
+		t.Error("Lemma 6 with degenerate w or c should be rejected")
+	}
+	// One register, one bit: n must be tiny.
+	if Lemma6Holds(1<<40, 1, 1, 1) {
+		t.Error("c=w=1, l=1 cannot satisfy Lemma 6 for n=2^40")
+	}
+}
+
+func TestNamingBoundEval(t *testing.T) {
+	if got := BoundLogN.Eval(1024); got != 10 {
+		t.Errorf("log n at 1024 = %d", got)
+	}
+	if got := BoundNMinus1.Eval(1024); got != 1023 {
+		t.Errorf("n-1 at 1024 = %d", got)
+	}
+	if BoundLogN.String() != "log n" || BoundNMinus1.String() != "n-1" {
+		t.Error("bound names wrong")
+	}
+	if NamingBound(0).String() != "?" || NamingBound(0).Eval(10) != 0 {
+		t.Error("invalid bound should degrade gracefully")
+	}
+}
+
+func TestNamingTableShape(t *testing.T) {
+	table := NamingTable()
+	if len(table) != 5 {
+		t.Fatalf("columns = %d, want 5", len(table))
+	}
+	// Column 1: all n-1. Columns 4, 5: all log n.
+	c := table[0]
+	if c.CFReg != BoundNMinus1 || c.CFStep != BoundNMinus1 || c.WCReg != BoundNMinus1 || c.WCStep != BoundNMinus1 {
+		t.Errorf("test-and-set column = %+v", c)
+	}
+	for _, i := range []int{3, 4} {
+		c := table[i]
+		if c.CFReg != BoundLogN || c.CFStep != BoundLogN || c.WCReg != BoundLogN || c.WCStep != BoundLogN {
+			t.Errorf("column %d = %+v, want all log n", i, c)
+		}
+	}
+	// Column 2: read lowers contention-free to log n, worst case stays n-1.
+	c = table[1]
+	if c.CFReg != BoundLogN || c.CFStep != BoundLogN || c.WCReg != BoundNMinus1 || c.WCStep != BoundNMinus1 {
+		t.Errorf("read+TAS column = %+v", c)
+	}
+	// Column 3: test-and-reset additionally lowers worst-case register to
+	// log n; worst-case step remains n-1 (Theorem 6).
+	c = table[2]
+	if c.CFReg != BoundLogN || c.CFStep != BoundLogN || c.WCReg != BoundLogN || c.WCStep != BoundNMinus1 {
+		t.Errorf("read+TAS+TAR column = %+v", c)
+	}
+}
+
+func TestNamingLowerBoundFunctions(t *testing.T) {
+	if NamingCFRegLower(64) != 6 {
+		t.Error("Theorem 5 lower at 64 should be 6")
+	}
+	if NamingWCStepLowerNoTAF(64) != 63 {
+		t.Error("Theorem 6 lower at 64 should be 63")
+	}
+	if NamingCFRegLowerTASOnly(64) != 63 {
+		t.Error("Theorem 7 lower at 64 should be 63")
+	}
+}
+
+// Monotonicity property: the bounds are non-decreasing in n once n is
+// large enough for the log log n terms to stop dominating. (For very small
+// n the Theorem 1 threshold genuinely dips — e.g. at l=1 it is 1.0 at n=4
+// but 0.8 at n=8 — so the asymptotic regime starts around n=16.)
+func TestBoundsMonotoneInN(t *testing.T) {
+	ns := []int{16, 64, 256, 1024, 1 << 14, 1 << 20, 1 << 30}
+	for _, l := range []int{1, 2, 4, 8} {
+		prevStep, prevReg := 0.0, 0.0
+		prevUB := 0
+		for _, n := range ns {
+			if lb, ok := MutexCFStepLower(n, l); ok {
+				if lb < prevStep {
+					t.Errorf("step lower decreased at n=%d l=%d", n, l)
+				}
+				prevStep = lb
+			}
+			if lb, ok := MutexCFRegLower(n, l); ok {
+				if lb < prevReg {
+					t.Errorf("reg lower decreased at n=%d l=%d", n, l)
+				}
+				prevReg = lb
+			}
+			if ub := MutexCFStepUpper(n, l); ub < prevUB {
+				t.Errorf("step upper decreased at n=%d l=%d", n, l)
+			} else {
+				prevUB = ub
+			}
+		}
+	}
+}

@@ -1,0 +1,364 @@
+// Package check is an exhaustive explorer for small configurations: it
+// enumerates every interleaving of a deterministic program (optionally
+// with crash injection) up to a depth bound, prunes equivalent states, and
+// verifies safety properties on every reachable state.
+//
+// Processes in the simulator are deterministic functions of the values
+// their shared-memory operations return, so a global state is fully
+// described by the shared cell values plus each process's observation
+// history; the explorer replays schedules from scratch (the simulator is
+// cheap) and hashes that description to prune.
+package check
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+
+	"cfc/internal/sim"
+)
+
+// Property is a safety predicate over a (partial) run: it must return an
+// error if any state of the trace violates the property. The metrics
+// package's CheckMutualExclusion, CheckUniqueOutputs and CheckDetection
+// are Properties.
+type Property func(t *sim.Trace) error
+
+// Builder constructs a fresh memory and process bodies for one replay.
+// It must be deterministic: every call must produce an identical program.
+type Builder func() (*sim.Memory, []sim.ProcFunc, error)
+
+// Options configures an exploration.
+type Options struct {
+	// MaxDepth bounds the schedule length (scheduled events per run).
+	// Zero means 200.
+	MaxDepth int
+	// MaxStates bounds the number of distinct states explored; the
+	// exploration reports Truncated when exceeded. Zero means 1 << 20.
+	MaxStates int
+	// ExploreCrashes additionally branches on crashing each process (at
+	// most one crash per process per run).
+	ExploreCrashes bool
+	// ExpectTermination requires every maximal run (empty ready set) to
+	// end with all started processes terminated or crashed; a process
+	// that can neither step nor finish would be a simulator-level
+	// deadlock.
+	ExpectTermination bool
+	// CollapseSpins canonicalises busy-wait loops when hashing states: a
+	// process history whose tail repeats a short period (up to 4 events)
+	// with identical operations, registers and return values is reduced
+	// to a single occurrence of the period, so "spun 3 times" and "spun
+	// 30 times" merge. This turns the unbounded spin chains of
+	// deadlock-free mutex algorithms into finitely many states.
+	//
+	// The reduction is sound only for algorithms whose busy-wait loops
+	// carry no loop-local state (no iteration counters, no accumulated
+	// values): every algorithm in this repository except the backoff
+	// variants qualifies. It is off by default.
+	CollapseSpins bool
+}
+
+// Violation describes a property failure found during exploration.
+type Violation struct {
+	// Schedule reproduces the failure: non-negative entries schedule that
+	// process's next event; entry -pid-1 crashes process pid.
+	Schedule []int
+	// Err is the property's error.
+	Err error
+}
+
+// Error implements the error interface.
+func (v *Violation) Error() string {
+	return fmt.Sprintf("check: violation under schedule %v: %v", v.Schedule, v.Err)
+}
+
+// Result summarises an exploration.
+type Result struct {
+	// States is the number of distinct states visited.
+	States int
+	// Runs is the number of maximal schedules explored to completion.
+	Runs int
+	// Truncated reports that a bound (depth or states) was hit, so the
+	// exploration is not a full proof.
+	Truncated bool
+	// Violation is the first property failure found, or nil.
+	Violation *Violation
+}
+
+// Explore exhaustively explores the interleavings of the program under
+// the property. It returns an error only for configuration problems; a
+// property failure is reported in Result.Violation.
+func Explore(build Builder, prop Property, opts Options) (Result, error) {
+	maxDepth := opts.MaxDepth
+	if maxDepth <= 0 {
+		maxDepth = 200
+	}
+	maxStates := opts.MaxStates
+	if maxStates <= 0 {
+		maxStates = 1 << 20
+	}
+	e := &explorer{
+		build:     build,
+		prop:      prop,
+		opts:      opts,
+		maxDepth:  maxDepth,
+		maxStates: maxStates,
+		visited:   make(map[uint64]bool),
+	}
+	err := e.dfs(nil)
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{
+		States:    len(e.visited),
+		Runs:      e.runs,
+		Truncated: e.truncated,
+		Violation: e.violation,
+	}, nil
+}
+
+type explorer struct {
+	build     Builder
+	prop      Property
+	opts      Options
+	maxDepth  int
+	maxStates int
+
+	visited   map[uint64]bool
+	runs      int
+	truncated bool
+	violation *Violation
+}
+
+// replay runs the schedule and returns the trace plus the set of
+// processes that are still live (can be scheduled) afterwards.
+func (e *explorer) replay(schedule []int) (*sim.Trace, []int, error) {
+	mem, procs, err := e.build()
+	if err != nil {
+		return nil, nil, fmt.Errorf("check: builder: %w", err)
+	}
+	pos := 0
+	invalid := false
+	sched := sim.Func(func(ready []int, _ int) sim.Decision {
+		if pos >= len(schedule) {
+			return sim.Stop()
+		}
+		s := schedule[pos]
+		pos++
+		pid := s
+		crash := false
+		if s < 0 {
+			pid = -s - 1
+			crash = true
+		}
+		if idx := sort.SearchInts(ready, pid); idx == len(ready) || ready[idx] != pid {
+			invalid = true
+			return sim.Stop()
+		}
+		if crash {
+			return sim.Crash(pid)
+		}
+		return sim.Step(pid)
+	})
+	res, err := sim.Run(sim.Config{
+		Mem:      mem,
+		Procs:    procs,
+		Sched:    sched,
+		MaxSteps: e.maxDepth + 1,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	if res.Err != nil {
+		return nil, nil, fmt.Errorf("check: replay error: %w", res.Err)
+	}
+	if invalid {
+		return nil, nil, fmt.Errorf("check: internal error: schedule %v became invalid", schedule)
+	}
+
+	// Live processes: have a body, not done, not crashed.
+	var live []int
+	for pid := 0; pid < len(procs); pid++ {
+		if procs[pid] == nil {
+			continue
+		}
+		if res.Trace.Done(pid) || res.Trace.Crashed(pid) {
+			continue
+		}
+		live = append(live, pid)
+	}
+	return res.Trace, live, nil
+}
+
+// histEntry is one event of a process's observation history, in the form
+// that determines its future behaviour (processes are deterministic
+// functions of the values their operations return).
+type histEntry struct {
+	kind uint8
+	op   uint8
+	cell int32
+	ret  uint64
+	aux  uint64 // written arg / phase / output value
+}
+
+// stateHash digests the global state after a trace: final cell values plus
+// each process's observation history and status. Two prefixes with equal
+// hashes lead to identical futures. With collapse set, trailing busy-wait
+// periods in each history are reduced to one occurrence (see
+// Options.CollapseSpins).
+func stateHash(t *sim.Trace, collapse bool) uint64 {
+	hist := make([][]histEntry, t.NumProcs)
+	for _, e := range t.Events {
+		v := histEntry{kind: uint8(e.Kind)}
+		switch e.Kind {
+		case sim.KindAccess:
+			v.op = uint8(e.Op)
+			v.cell = e.Cell
+			v.ret = e.Ret
+			v.aux = e.Arg
+		case sim.KindMark:
+			v.aux = uint64(e.Phase)
+		case sim.KindOutput:
+			v.aux = e.Out
+		}
+		hist[e.PID] = append(hist[e.PID], v)
+	}
+	if collapse {
+		for pid := range hist {
+			hist[pid] = collapseTail(hist[pid])
+		}
+	}
+
+	h := fnv.New64a()
+	buf := make([]byte, 8)
+	put := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(v >> (8 * i))
+		}
+		h.Write(buf)
+	}
+	for _, v := range t.ReplayValues(len(t.Events)) {
+		put(v)
+	}
+	for _, hh := range hist {
+		put(uint64(len(hh))<<32 | 0xabcd) // separator, collapse-aware length
+		for _, e := range hh {
+			put(uint64(e.kind) | uint64(e.op)<<8 | uint64(uint32(e.cell))<<16)
+			put(e.ret)
+			put(e.aux)
+		}
+	}
+	return h.Sum64()
+}
+
+// maxSpinPeriod bounds the busy-wait loop body size recognised by
+// collapseTail (in events per iteration).
+const maxSpinPeriod = 4
+
+// collapseTail repeatedly removes the last period of the history while the
+// tail repeats a period of up to maxSpinPeriod identical entries.
+func collapseTail(h []histEntry) []histEntry {
+	for {
+		reduced := false
+		for p := 1; p <= maxSpinPeriod && 2*p <= len(h); p++ {
+			if tailRepeats(h, p) {
+				h = h[:len(h)-p]
+				reduced = true
+				break
+			}
+		}
+		if !reduced {
+			return h
+		}
+	}
+}
+
+// tailRepeats reports whether the last p entries equal the p entries
+// before them.
+func tailRepeats(h []histEntry, p int) bool {
+	n := len(h)
+	for i := 0; i < p; i++ {
+		if h[n-1-i] != h[n-1-p-i] {
+			return false
+		}
+	}
+	return true
+}
+
+func (e *explorer) dfs(schedule []int) error {
+	if e.violation != nil {
+		return nil
+	}
+	tr, live, err := e.replay(schedule)
+	if err != nil {
+		return err
+	}
+
+	if err := e.prop(tr); err != nil {
+		e.violation = &Violation{Schedule: append([]int(nil), schedule...), Err: err}
+		return nil
+	}
+
+	if len(live) == 0 {
+		e.runs++
+		if e.opts.ExpectTermination {
+			for pid := 0; pid < tr.NumProcs; pid++ {
+				if tr.FirstEvent(pid) >= 0 && !tr.Done(pid) && !tr.Crashed(pid) {
+					e.violation = &Violation{
+						Schedule: append([]int(nil), schedule...),
+						Err:      fmt.Errorf("process %d started but neither terminated nor crashed", pid),
+					}
+					return nil
+				}
+			}
+		}
+		return nil
+	}
+
+	if len(schedule) >= e.maxDepth {
+		e.truncated = true
+		return nil
+	}
+
+	h := stateHash(tr, e.opts.CollapseSpins)
+	if e.visited[h] {
+		return nil
+	}
+	if len(e.visited) >= e.maxStates {
+		e.truncated = true
+		return nil
+	}
+	e.visited[h] = true
+
+	for _, pid := range live {
+		if err := e.dfs(append(schedule, pid)); err != nil {
+			return err
+		}
+		if e.violation != nil {
+			return nil
+		}
+	}
+	if e.opts.ExploreCrashes {
+		for _, pid := range live {
+			if crashedIn(schedule, pid) {
+				continue
+			}
+			if err := e.dfs(append(schedule, -pid-1)); err != nil {
+				return err
+			}
+			if e.violation != nil {
+				return nil
+			}
+		}
+	}
+	return nil
+}
+
+func crashedIn(schedule []int, pid int) bool {
+	for _, s := range schedule {
+		if s == -pid-1 {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,163 @@
+package check_test
+
+// Regression material: two earlier designs of the atomicity-l contention
+// detector that LOOK like straightforward generalisations of the splitter
+// and are both unsafe. The model checker found the double-win runs during
+// development; these tests keep the broken designs around and assert the
+// checker still rejects them, which both documents the failure modes and
+// exercises the checker's bug-finding path.
+
+import (
+	"testing"
+
+	"cfc/internal/check"
+	"cfc/internal/metrics"
+	"cfc/internal/opset"
+	"cfc/internal/sim"
+)
+
+// fieldSplitSplitter is broken design 1: one splitter whose identifier
+// register is split into d fields written separately. A third process's
+// partial doorway writes can reassemble a "Frankenstein" identifier (one
+// process's low chunk next to another's high chunk) that passes the
+// validation of a process that should have lost.
+type fieldSplitSplitter struct {
+	l int
+	x []sim.Reg // d chunk registers
+	y sim.Reg
+}
+
+func newFieldSplitSplitter(mem *sim.Memory, n, l int) *fieldSplitSplitter {
+	bits := 1
+	for 1<<bits < n {
+		bits++
+	}
+	d := (bits + l - 1) / l
+	return &fieldSplitSplitter{
+		l: l,
+		x: mem.Registers("x", l, d),
+		y: mem.Bit("y"),
+	}
+}
+
+func (s *fieldSplitSplitter) chunk(id uint64, j int) uint64 {
+	return (id >> (j * s.l)) & ((1 << s.l) - 1)
+}
+
+func (s *fieldSplitSplitter) Run(p *sim.Proc) uint64 {
+	id := uint64(p.ID())
+	for j := range s.x {
+		p.Write(s.x[j], s.chunk(id, j))
+	}
+	if p.Read(s.y) != 0 {
+		p.Output(0)
+		return 0
+	}
+	p.Write(s.y, 1)
+	for j := range s.x {
+		if p.Read(s.x[j]) != s.chunk(id, j) {
+			p.Output(0)
+			return 0
+		}
+	}
+	p.Output(1)
+	return 1
+}
+
+// chainedGlobalSplitter is broken design 2: a chain of d splitters where
+// round j is one *global* splitter keyed by chunk j of the identifier.
+// Distinct processes can carry equal chunk values at a round, and a late
+// process's doorway write can resurrect an already-overwritten token, so
+// two processes with different identifiers can win every round.
+type chainedGlobalSplitter struct {
+	l int
+	x []sim.Reg
+	y []sim.Reg
+}
+
+func newChainedGlobalSplitter(mem *sim.Memory, n, l int) *chainedGlobalSplitter {
+	bits := 1
+	for 1<<bits < n {
+		bits++
+	}
+	d := (bits + l - 1) / l
+	return &chainedGlobalSplitter{
+		l: l,
+		x: mem.Registers("x", l, d),
+		y: mem.Bits("y", d),
+	}
+}
+
+func (s *chainedGlobalSplitter) Run(p *sim.Proc) uint64 {
+	id := uint64(p.ID())
+	for j := range s.x {
+		tok := (id >> (j * s.l)) & ((1 << s.l) - 1)
+		p.Write(s.x[j], tok)
+		if p.Read(s.y[j]) != 0 {
+			p.Output(0)
+			return 0
+		}
+		p.Write(s.y[j], 1)
+		if p.Read(s.x[j]) != tok {
+			p.Output(0)
+			return 0
+		}
+	}
+	p.Output(1)
+	return 1
+}
+
+func detectionProp(tr *sim.Trace) error {
+	return metrics.CheckDetection(tr, false)
+}
+
+func TestCheckerRejectsFieldSplitSplitter(t *testing.T) {
+	n := 3
+	build := func() (*sim.Memory, []sim.ProcFunc, error) {
+		mem := sim.NewMemory(opset.AtomicRegisters)
+		det := newFieldSplitSplitter(mem, n, 1)
+		procs := make([]sim.ProcFunc, n)
+		for pid := range procs {
+			procs[pid] = func(p *sim.Proc) { det.Run(p) }
+		}
+		return mem, procs, nil
+	}
+	res, err := check.Explore(build, detectionProp, check.Options{MaxDepth: 60, CollapseSpins: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Violation == nil {
+		t.Fatal("checker should find the Frankenstein-identifier double win")
+	}
+	t.Logf("witness schedule: %v", res.Violation.Schedule)
+}
+
+func TestCheckerRejectsChainedGlobalSplitter(t *testing.T) {
+	n := 3
+	build := func() (*sim.Memory, []sim.ProcFunc, error) {
+		mem := sim.NewMemory(opset.AtomicRegisters)
+		det := newChainedGlobalSplitter(mem, n, 1)
+		procs := make([]sim.ProcFunc, n)
+		for pid := range procs {
+			procs[pid] = func(p *sim.Proc) { det.Run(p) }
+		}
+		return mem, procs, nil
+	}
+	res, err := check.Explore(build, detectionProp, check.Options{MaxDepth: 60, CollapseSpins: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Violation == nil {
+		t.Fatal("checker should find the colliding-chunk double win")
+	}
+	t.Logf("witness schedule: %v", res.Violation.Schedule)
+}
+
+// TestTreeSplitterSurvivesWhereBrokenDesignsFail pins the contrast: at the
+// same configuration the production ChunkedSplitter (a tree of splitters)
+// has no reachable double win.
+func TestTreeSplitterSurvivesWhereBrokenDesignsFail(t *testing.T) {
+	// Covered by TestExhaustiveDetectionSafety; this test exists to keep
+	// the three designs side by side when reading the regression file.
+	t.Log("see TestExhaustiveDetectionSafety for the exhaustive pass of the tree design")
+}

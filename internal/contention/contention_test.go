@@ -1,0 +1,312 @@
+package contention_test
+
+import (
+	"testing"
+
+	"cfc/internal/bounds"
+	"cfc/internal/contention"
+	"cfc/internal/driver"
+	"cfc/internal/metrics"
+	"cfc/internal/mutex"
+	"cfc/internal/sim"
+)
+
+func detectors() []contention.Detector {
+	return []contention.Detector{
+		contention.Splitter{},
+		contention.ChunkedSplitter{L: 1},
+		contention.ChunkedSplitter{L: 2},
+		contention.ChunkedSplitter{L: 4},
+		contention.FromMutex{Alg: mutex.Lamport{}},
+		contention.FromMutex{Alg: mutex.Tournament{L: 2}},
+	}
+}
+
+func TestSoloRunOutputsOne(t *testing.T) {
+	// Liveness requirement: in a run where only one process is activated,
+	// it terminates with output 1 - for every process identity.
+	for _, det := range detectors() {
+		det := det
+		t.Run(det.Name(), func(t *testing.T) {
+			n := 6
+			mem := sim.NewMemory(det.Model())
+			inst, err := det.New(mem, n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for pid := 0; pid < n; pid++ {
+				tr, err := driver.SoloTaskRun(mem, inst, n, pid)
+				if err != nil {
+					t.Fatalf("pid %d: %v", pid, err)
+				}
+				out, ok := tr.Output(pid)
+				if !ok || out != 1 {
+					t.Errorf("pid %d: output = %d,%v, want 1", pid, out, ok)
+				}
+				if err := metrics.CheckDetection(tr, true); err != nil {
+					t.Errorf("pid %d: %v", pid, err)
+				}
+			}
+		})
+	}
+}
+
+func TestAtMostOneWinnerUnderAllSchedules(t *testing.T) {
+	for _, det := range detectors() {
+		det := det
+		t.Run(det.Name(), func(t *testing.T) {
+			for _, n := range []int{2, 3, 5} {
+				mem := sim.NewMemory(det.Model())
+				inst, err := det.New(mem, n)
+				if err != nil {
+					t.Fatal(err)
+				}
+				scheds := []sim.Scheduler{sim.Sequential{}, &sim.RoundRobin{}}
+				for seed := int64(0); seed < 40; seed++ {
+					scheds = append(scheds, sim.NewRandom(seed))
+				}
+				for i, sched := range scheds {
+					tr, err := driver.TaskRun(mem, inst, n, sched, 1<<16)
+					if err != nil {
+						t.Fatalf("n=%d sched %d: %v", n, i, err)
+					}
+					if err := metrics.CheckDetection(tr, false); err != nil {
+						t.Fatalf("n=%d sched %d: %v", n, i, err)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestSplitterComplexity(t *testing.T) {
+	// 4 steps on 2 registers, both contention-free and worst-case (the
+	// splitter is wait-free and loop-free).
+	n := 16
+	mem := sim.NewMemory(contention.Splitter{}.Model())
+	inst, err := contention.Splitter{}.New(mem, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := driver.SoloTaskRun(mem, inst, n, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, ok := metrics.ContentionFreeTask(tr)
+	if !ok {
+		t.Fatal("no contention-free task")
+	}
+	if m.Steps != 4 || m.Registers != 2 {
+		t.Errorf("splitter = %+v, want 4 steps / 2 registers", m)
+	}
+	if got := tr.Atomicity(); got != 4 {
+		t.Errorf("atomicity = %d, want 4 (ids 0..15)", got)
+	}
+}
+
+func TestChunkedSplitterComplexity(t *testing.T) {
+	// 4d steps on 2d registers with d = ceil(log n / l) splitter rounds;
+	// wait-free, so the worst case equals the contention-free case for the
+	// winner and is at most 4d for everyone.
+	for _, tc := range []struct{ n, l int }{
+		{16, 1}, {16, 2}, {16, 4}, {64, 3}, {1024, 2}, {1024, 10},
+	} {
+		det := contention.ChunkedSplitter{L: tc.l}
+		d := det.Chunks(tc.n)
+		wantD := bounds.CeilDiv(bounds.CeilLog2(tc.n), tc.l)
+		if tc.n == 1<<uint(bounds.CeilLog2(tc.n)) && d != wantD {
+			// For power-of-two n, idBits(n) = log2 n exactly.
+			t.Errorf("n=%d l=%d: Chunks = %d, want %d", tc.n, tc.l, d, wantD)
+		}
+
+		mem := sim.NewMemory(det.Model())
+		inst, err := det.New(mem, tc.n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr, err := driver.SoloTaskRun(mem, inst, tc.n, tc.n-1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, ok := metrics.ContentionFreeTask(tr)
+		if !ok {
+			t.Fatal("no contention-free task")
+		}
+		if want := 4 * d; m.Steps != want {
+			t.Errorf("n=%d l=%d: steps = %d, want %d", tc.n, tc.l, m.Steps, want)
+		}
+		if want := 2 * d; m.Registers != want {
+			t.Errorf("n=%d l=%d: registers = %d, want %d", tc.n, tc.l, m.Registers, want)
+		}
+		if got := tr.Atomicity(); got != tc.l {
+			t.Errorf("n=%d l=%d: atomicity = %d", tc.n, tc.l, got)
+		}
+	}
+}
+
+func TestChunkedSplitterWaitFree(t *testing.T) {
+	// Every process terminates within 4d of its own steps regardless of
+	// the schedule.
+	det := contention.ChunkedSplitter{L: 2}
+	n := 8
+	mem := sim.NewMemory(det.Model())
+	inst, err := det.New(mem, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := det.Chunks(n)
+	for seed := int64(0); seed < 25; seed++ {
+		tr, err := driver.TaskRun(mem, inst, n, sim.NewRandom(seed), 1<<16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tr.Stop != sim.StopAllDone {
+			t.Fatalf("seed %d: run did not complete (%v)", seed, tr.Stop)
+		}
+		for _, task := range metrics.Tasks(tr) {
+			if !task.Done {
+				t.Fatalf("seed %d: p%d did not terminate", seed, task.PID)
+			}
+			if task.M.Steps > 4*d {
+				t.Errorf("seed %d: p%d took %d steps > %d", seed, task.PID, task.M.Steps, 4*d)
+			}
+		}
+	}
+}
+
+func TestChunkedSplitterCrashTolerant(t *testing.T) {
+	// Wait-freedom under crashes: processes that survive still terminate.
+	det := contention.ChunkedSplitter{L: 2}
+	n := 5
+	mem := sim.NewMemory(det.Model())
+	inst, err := det.New(mem, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seed := int64(0); seed < 10; seed++ {
+		tr, err := driver.TaskRun(mem, inst, n, &sim.Crasher{
+			Inner:   sim.NewRandom(seed),
+			CrashAt: map[int]int{1: 3, 3: 6},
+		}, 1<<16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := metrics.CheckDetection(tr, false); err != nil {
+			t.Fatal(err)
+		}
+		for _, task := range metrics.Tasks(tr) {
+			if task.PID != 1 && task.PID != 3 && !task.Done {
+				t.Errorf("seed %d: surviving p%d did not terminate", seed, task.PID)
+			}
+		}
+	}
+}
+
+func TestFromMutexSoloCost(t *testing.T) {
+	// Lemma 1 reduction over Lamport fast: solo cost = 1 (done check) +
+	// 5 (entry) + 1 (done re-check) + 1 (done set) + 2 (exit) = 10 steps
+	// over 4 registers (done, b[i], x, y).
+	det := contention.FromMutex{Alg: mutex.Lamport{}}
+	n := 4
+	mem := sim.NewMemory(det.Model())
+	inst, err := det.New(mem, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := driver.SoloTaskRun(mem, inst, n, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, ok := metrics.ContentionFreeTask(tr)
+	if !ok {
+		t.Fatal("no task")
+	}
+	if m.Steps != 10 || m.Registers != 4 {
+		t.Errorf("from-mutex solo = %+v, want 10 steps / 4 registers", m)
+	}
+}
+
+func TestFromMutexTerminatesUnderFairSchedule(t *testing.T) {
+	det := contention.FromMutex{Alg: mutex.Lamport{}}
+	n := 3
+	mem := sim.NewMemory(det.Model())
+	inst, err := det.New(mem, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := driver.TaskRun(mem, inst, n, &sim.RoundRobin{}, 1<<18)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Stop != sim.StopAllDone {
+		t.Fatalf("run did not complete: %v", tr.Stop)
+	}
+	winners := 0
+	for _, task := range metrics.Tasks(tr) {
+		if !task.Done {
+			t.Errorf("p%d did not terminate", task.PID)
+		}
+		if task.Output == 1 {
+			winners++
+		}
+	}
+	if winners != 1 {
+		t.Errorf("winners = %d, want exactly 1 under a fair schedule", winners)
+	}
+}
+
+func TestDetectionSatisfiesLemma3AndLemma6(t *testing.T) {
+	// Lemmas 3 and 6 are necessary conditions on any contention detector;
+	// the measured contention-free complexities of ours must satisfy them.
+	for _, det := range detectors() {
+		det := det
+		t.Run(det.Name(), func(t *testing.T) {
+			for _, n := range []int{4, 16, 64} {
+				mem := sim.NewMemory(det.Model())
+				inst, err := det.New(mem, n)
+				if err != nil {
+					t.Fatal(err)
+				}
+				var worst metrics.Measure
+				for pid := 0; pid < n; pid++ {
+					tr, err := driver.SoloTaskRun(mem, inst, n, pid)
+					if err != nil {
+						t.Fatal(err)
+					}
+					m, ok := metrics.ContentionFreeTask(tr)
+					if !ok {
+						t.Fatalf("pid %d: no contention-free task", pid)
+					}
+					worst = metrics.Max(worst, m)
+				}
+				l := det.Atomicity(n)
+				if !bounds.Lemma3Holds(n, l, worst.WriteSteps, worst.ReadRegisters) {
+					t.Errorf("n=%d: Lemma 3 violated: l=%d w=%d r=%d",
+						n, l, worst.WriteSteps, worst.ReadRegisters)
+				}
+				if !bounds.Lemma6Holds(n, l, worst.WriteRegisters, worst.Registers) {
+					t.Errorf("n=%d: Lemma 6 violated: l=%d w=%d c=%d",
+						n, l, worst.WriteRegisters, worst.Registers)
+				}
+			}
+		})
+	}
+}
+
+func TestDetectorNames(t *testing.T) {
+	want := map[string]bool{
+		"splitter":                 true,
+		"chunked-splitter(l=2)":    true,
+		"from-mutex(lamport-fast)": true,
+	}
+	for _, det := range detectors() {
+		delete(want, det.Name())
+	}
+	if len(want) != 0 {
+		var missing []string
+		for name := range want {
+			missing = append(missing, name)
+		}
+		t.Errorf("missing detector names: %v", missing)
+	}
+}

@@ -1,0 +1,266 @@
+// Package core is the paper's framework as a library: it ties the
+// simulator, the algorithms and the metrics together into a measurement
+// engine that produces, for any algorithm and any (n, l) configuration,
+// the four time-complexity measures of Alur & Taubenfeld — contention-free
+// and worst-case, step and register — from real runs, alongside the
+// closed-form bounds they are compared against.
+package core
+
+import (
+	"fmt"
+
+	"cfc/internal/bounds"
+	"cfc/internal/contention"
+	"cfc/internal/driver"
+	"cfc/internal/metrics"
+	"cfc/internal/mutex"
+	"cfc/internal/naming"
+	"cfc/internal/sim"
+)
+
+// Report is the measured complexity profile of one algorithm at one
+// configuration. Worst-case entries are empirical maxima over the
+// schedule set used (random seeds, round-robin, sequential), not proofs:
+// the paper's worst-case lower bounds certify they can only be
+// underestimates.
+type Report struct {
+	// Algorithm and N identify the configuration; L is the measured
+	// atomicity (widest register accessed in one step).
+	Algorithm string
+	N         int
+	L         int
+
+	// CF is the contention-free measure (exact: the solo run is the
+	// contention-free run, maximised over process identities).
+	CF metrics.Measure
+	// WC is the empirical worst-case measure over the explored schedules.
+	WC metrics.Measure
+	// WCComplete reports whether every explored schedule completed; a
+	// false value means some schedule was cut by the step budget (e.g.
+	// busy-waiting under an unfair schedule), in which case the true
+	// worst case is unbounded, as [AT92] proves for mutual exclusion.
+	WCComplete bool
+	// Schedules is the number of schedules measured for WC.
+	Schedules int
+}
+
+// MutexOptions configures MeasureMutex.
+type MutexOptions struct {
+	// Seeds is the number of random schedules; 0 means 20.
+	Seeds int
+	// Rounds is lock/unlock rounds per process per schedule; 0 means 2.
+	Rounds int
+	// MaxSteps bounds each contended run; 0 means 1 << 18.
+	MaxSteps int
+}
+
+func (o MutexOptions) withDefaults() MutexOptions {
+	if o.Seeds == 0 {
+		o.Seeds = 20
+	}
+	if o.Rounds == 0 {
+		o.Rounds = 2
+	}
+	if o.MaxSteps == 0 {
+		o.MaxSteps = 1 << 18
+	}
+	return o
+}
+
+// MeasureMutex measures a mutual-exclusion algorithm at n processes: the
+// exact contention-free complexity (max over process identities of a solo
+// attempt) and the empirical worst case over sequential, round-robin and
+// seeded random schedules.
+func MeasureMutex(alg mutex.Algorithm, n int, opts MutexOptions) (Report, error) {
+	opts = opts.withDefaults()
+	mem := sim.NewMemory(alg.Model())
+	inst, err := alg.New(mem, n)
+	if err != nil {
+		return Report{}, fmt.Errorf("core: %s.New(%d): %w", alg.Name(), n, err)
+	}
+
+	rep := Report{Algorithm: alg.Name(), N: n, WCComplete: true}
+
+	cf, err := driver.ContentionFreeMutex(mem, inst, n)
+	if err != nil {
+		return Report{}, err
+	}
+	rep.CF = cf
+
+	scheds := []sim.Scheduler{sim.Sequential{}, &sim.RoundRobin{}}
+	for seed := int64(0); seed < int64(opts.Seeds); seed++ {
+		scheds = append(scheds, sim.NewRandom(seed))
+	}
+	for _, sched := range scheds {
+		tr, err := driver.ContendedMutexRun(mem, inst, n, opts.Rounds, 1, sched, opts.MaxSteps)
+		if err != nil {
+			return Report{}, err
+		}
+		if err := metrics.CheckMutualExclusion(tr); err != nil {
+			return Report{}, err
+		}
+		if tr.Stop != sim.StopAllDone {
+			rep.WCComplete = false
+		}
+		if we, ok := metrics.WorstEntry(tr); ok {
+			if wx, ok2 := metrics.WorstExit(tr); ok2 {
+				rep.WC = metrics.Max(rep.WC, we.Add(wx))
+			}
+		}
+		if l := tr.Atomicity(); l > rep.L {
+			rep.L = l
+		}
+		rep.Schedules++
+	}
+	// The solo runs also witness atomicity (and are the only runs for
+	// n = 1 configurations).
+	if rep.L == 0 {
+		rep.L = alg.Atomicity(n)
+	}
+	return rep, nil
+}
+
+// Task bundles a one-shot task (contention detector or naming algorithm)
+// with its safety property for measurement; DetectorTask and NamingTask
+// build them from the concrete algorithm families.
+type Task struct {
+	// Label names the task in reports.
+	Label string
+	// Build declares registers on a fresh memory and returns the
+	// instance.
+	Build func() (*sim.Memory, driver.TaskRunner, error)
+	// Safety is checked on every measured trace.
+	Safety func(t *sim.Trace) error
+	// N is the number of processes.
+	N int
+}
+
+// DetectorTask wraps a contention detector for measurement.
+func DetectorTask(det contention.Detector, n int) Task {
+	return Task{
+		Label: det.Name(),
+		N:     n,
+		Build: func() (*sim.Memory, driver.TaskRunner, error) {
+			mem := sim.NewMemory(det.Model())
+			inst, err := det.New(mem, n)
+			return mem, inst, err
+		},
+		Safety: func(t *sim.Trace) error { return metrics.CheckDetection(t, false) },
+	}
+}
+
+// NamingTask wraps a naming algorithm for measurement.
+func NamingTask(alg naming.Algorithm, n int) Task {
+	return Task{
+		Label: alg.Name(),
+		N:     n,
+		Build: func() (*sim.Memory, driver.TaskRunner, error) {
+			mem := sim.NewMemory(alg.Model())
+			inst, err := alg.New(mem, n)
+			return mem, inst, err
+		},
+		Safety: metrics.CheckUniqueOutputs,
+	}
+}
+
+// TaskOptions configures MeasureTask.
+type TaskOptions struct {
+	// Seeds is the number of random schedules; 0 means 20.
+	Seeds int
+	// MaxSteps bounds each run; 0 means 1 << 18.
+	MaxSteps int
+}
+
+func (o TaskOptions) withDefaults() TaskOptions {
+	if o.Seeds == 0 {
+		o.Seeds = 20
+	}
+	if o.MaxSteps == 0 {
+		o.MaxSteps = 1 << 18
+	}
+	return o
+}
+
+// MeasureTask measures a one-shot task: contention-free complexity from
+// solo runs over all process identities plus the sequential run (the
+// Section 3.2 contention-free schedule), and the empirical worst case over
+// sequential, round-robin (the Theorem 6 clone schedule) and seeded random
+// schedules.
+func MeasureTask(task Task, opts TaskOptions) (Report, error) {
+	opts = opts.withDefaults()
+	mem, inst, err := task.Build()
+	if err != nil {
+		return Report{}, fmt.Errorf("core: building %s: %w", task.Label, err)
+	}
+	rep := Report{Algorithm: task.Label, N: task.N, WCComplete: true}
+
+	// Contention-free: every solo identity, then the sequential run in
+	// which later processes see earlier ones' traces.
+	for pid := 0; pid < task.N; pid++ {
+		tr, err := driver.SoloTaskRun(mem, inst, task.N, pid)
+		if err != nil {
+			return Report{}, err
+		}
+		if err := task.Safety(tr); err != nil {
+			return Report{}, err
+		}
+		if m, ok := metrics.ContentionFreeTask(tr); ok {
+			rep.CF = metrics.Max(rep.CF, m)
+		}
+		if l := tr.Atomicity(); l > rep.L {
+			rep.L = l
+		}
+	}
+	seqTr, err := driver.TaskRun(mem, inst, task.N, sim.Sequential{}, opts.MaxSteps)
+	if err != nil {
+		return Report{}, err
+	}
+	if err := task.Safety(seqTr); err != nil {
+		return Report{}, err
+	}
+	if m, ok := metrics.ContentionFreeTask(seqTr); ok {
+		rep.CF = metrics.Max(rep.CF, m)
+	}
+
+	// Worst case over schedules.
+	scheds := []sim.Scheduler{sim.Sequential{}, &sim.RoundRobin{}}
+	for seed := int64(0); seed < int64(opts.Seeds); seed++ {
+		scheds = append(scheds, sim.NewRandom(seed))
+	}
+	for _, sched := range scheds {
+		tr, err := driver.TaskRun(mem, inst, task.N, sched, opts.MaxSteps)
+		if err != nil {
+			return Report{}, err
+		}
+		if err := task.Safety(tr); err != nil {
+			return Report{}, err
+		}
+		if tr.Stop != sim.StopAllDone {
+			rep.WCComplete = false
+		}
+		if m, ok := metrics.WorstTask(tr); ok {
+			rep.WC = metrics.Max(rep.WC, m)
+		}
+		if l := tr.Atomicity(); l > rep.L {
+			rep.L = l
+		}
+		rep.Schedules++
+	}
+	return rep, nil
+}
+
+// VerifyMutexBounds cross-checks a mutex report against the paper's
+// closed-form bounds (Theorems 1 and 2) for its measured atomicity,
+// returning an error if a lower bound is violated — which would falsify
+// either the measurement or the paper.
+func VerifyMutexBounds(rep Report) error {
+	if lb, ok := bounds.MutexCFStepLower(rep.N, rep.L); ok && float64(rep.CF.Steps) <= lb {
+		return fmt.Errorf("core: %s at n=%d l=%d: contention-free steps %d violate the Theorem 1 bound %.3f",
+			rep.Algorithm, rep.N, rep.L, rep.CF.Steps, lb)
+	}
+	if lb, ok := bounds.MutexCFRegLower(rep.N, rep.L); ok && float64(rep.CF.Registers) < lb {
+		return fmt.Errorf("core: %s at n=%d l=%d: contention-free registers %d violate the Theorem 2 bound %.3f",
+			rep.Algorithm, rep.N, rep.L, rep.CF.Registers, lb)
+	}
+	return nil
+}

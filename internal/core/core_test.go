@@ -1,0 +1,138 @@
+package core_test
+
+import (
+	"testing"
+
+	"cfc/internal/bounds"
+	"cfc/internal/contention"
+	"cfc/internal/core"
+	"cfc/internal/mutex"
+	"cfc/internal/naming"
+)
+
+func TestMeasureMutexLamport(t *testing.T) {
+	rep, err := core.MeasureMutex(mutex.Lamport{}, 4, core.MutexOptions{Seeds: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.CF.Steps != 7 || rep.CF.Registers != 3 {
+		t.Errorf("CF = %+v, want 7/3", rep.CF)
+	}
+	if rep.L != 3 {
+		t.Errorf("L = %d, want 3 (ids 1..4 need 3 bits)", rep.L)
+	}
+	// Worst case is at least the contention-free case.
+	if rep.WC.Steps < rep.CF.Steps {
+		t.Errorf("WC steps %d < CF steps %d", rep.WC.Steps, rep.CF.Steps)
+	}
+	if rep.Schedules < 7 {
+		t.Errorf("schedules = %d", rep.Schedules)
+	}
+	if err := core.VerifyMutexBounds(rep); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMeasureMutexTournamentMatchesTheorem3(t *testing.T) {
+	for _, tc := range []struct{ n, l int }{{9, 2}, {49, 3}, {8, 4}} {
+		alg := mutex.Tournament{L: tc.l}
+		rep, err := core.MeasureMutex(alg, tc.n, core.MutexOptions{Seeds: 3, Rounds: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		d := alg.Depth(tc.n)
+		if rep.CF.Steps != 7*d || rep.CF.Registers != 3*d {
+			t.Errorf("n=%d l=%d: CF = %+v, want %d/%d", tc.n, tc.l, rep.CF, 7*d, 3*d)
+		}
+		if rep.L != tc.l {
+			t.Errorf("n=%d l=%d: measured atomicity = %d", tc.n, tc.l, rep.L)
+		}
+		if err := core.VerifyMutexBounds(rep); err != nil {
+			t.Error(err)
+		}
+	}
+}
+
+func TestMeasureMutexWorstCaseExceedsCF(t *testing.T) {
+	// Under contention the TAS lock's winning entry may retry: the
+	// empirical worst case is allowed to exceed the contention-free cost,
+	// never to fall below it.
+	rep, err := core.MeasureMutex(mutex.TASLock{}, 3, core.MutexOptions{Seeds: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.WC.Steps < rep.CF.Steps {
+		t.Errorf("WC %+v below CF %+v", rep.WC, rep.CF)
+	}
+}
+
+func TestMeasureDetectorTask(t *testing.T) {
+	rep, err := core.MeasureTask(core.DetectorTask(contention.Splitter{}, 8), core.TaskOptions{Seeds: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.CF.Steps != 4 || rep.CF.Registers != 2 {
+		t.Errorf("splitter CF = %+v, want 4/2", rep.CF)
+	}
+	// The splitter is wait-free and loop-free: worst case steps also 4.
+	if rep.WC.Steps != 4 {
+		t.Errorf("splitter WC steps = %d, want 4", rep.WC.Steps)
+	}
+	if !rep.WCComplete {
+		t.Error("wait-free detector runs must complete")
+	}
+}
+
+func TestMeasureNamingTask(t *testing.T) {
+	n := 8
+	rep, err := core.MeasureTask(core.NamingTask(naming.TAFTree{}, n), core.TaskOptions{Seeds: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := bounds.CeilLog2(n)
+	if rep.CF.Steps != want || rep.WC.Steps != want {
+		t.Errorf("taf-tree = CF %d / WC %d steps, want %d both", rep.CF.Steps, rep.WC.Steps, want)
+	}
+	if rep.L != 1 {
+		t.Errorf("atomicity = %d, want 1", rep.L)
+	}
+}
+
+func TestMeasureNamingScanShapes(t *testing.T) {
+	n := 8
+	scan, err := core.MeasureTask(core.NamingTask(naming.TASScan{}, n), core.TaskOptions{Seeds: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scan.CF.Steps != n-1 || scan.WC.Steps != n-1 {
+		t.Errorf("tas-scan = %+v / %+v, want n-1 = %d", scan.CF, scan.WC, n-1)
+	}
+	bin, err := core.MeasureTask(core.NamingTask(naming.TASBinSearch{}, n), core.TaskOptions{Seeds: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bin.CF.Steps >= scan.CF.Steps {
+		t.Errorf("binary search CF %d should beat scan CF %d", bin.CF.Steps, scan.CF.Steps)
+	}
+	// Theorem 6: worst-case step stays at least n-1 in this model.
+	if bin.WC.Steps < n-1 {
+		t.Errorf("binsearch WC steps = %d, below Theorem 6 bound %d", bin.WC.Steps, n-1)
+	}
+}
+
+func TestVerifyMutexBoundsRejectsImpossibleReport(t *testing.T) {
+	// A fabricated report claiming 1-step contention-free mutex on bits
+	// for a million processes must violate Theorem 1.
+	rep := core.Report{Algorithm: "fake", N: 1 << 20, L: 1}
+	rep.CF.Steps = 1
+	rep.CF.Registers = 1
+	if err := core.VerifyMutexBounds(rep); err == nil {
+		t.Error("impossible report passed verification")
+	}
+}
+
+func TestMeasureMutexConfigError(t *testing.T) {
+	if _, err := core.MeasureMutex(mutex.Peterson{}, 5, core.MutexOptions{}); err == nil {
+		t.Error("peterson n=5 should fail")
+	}
+}

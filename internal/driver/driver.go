@@ -1,0 +1,143 @@
+// Package driver wraps algorithm instances into simulator process bodies
+// that follow the phase-marking protocol package metrics expects, and
+// provides the standard run shapes used throughout the experiments:
+// contention-free (solo) runs, sequential runs, and contended runs under
+// arbitrary schedulers.
+package driver
+
+import (
+	"fmt"
+
+	"cfc/internal/metrics"
+	"cfc/internal/sim"
+)
+
+// Locker is the mutual-exclusion instance contract (structurally satisfied
+// by mutex.Instance).
+type Locker interface {
+	Lock(p *sim.Proc)
+	Unlock(p *sim.Proc)
+}
+
+// MutexBody returns a process body that performs the given number of
+// marked lock/unlock rounds, dwelling csDwell local steps inside the
+// critical section.
+func MutexBody(l Locker, rounds, csDwell int) sim.ProcFunc {
+	return func(p *sim.Proc) {
+		for r := 0; r < rounds; r++ {
+			p.Mark(sim.PhaseTry)
+			l.Lock(p)
+			p.Mark(sim.PhaseCS)
+			for i := 0; i < csDwell; i++ {
+				p.Local()
+			}
+			p.Mark(sim.PhaseExit)
+			l.Unlock(p)
+			p.Mark(sim.PhaseRemainder)
+		}
+	}
+}
+
+// SoloMutexRun runs one contention-free attempt: process pid (of n)
+// performs a single lock/unlock round while every other process stays in
+// its remainder region. It returns the trace.
+func SoloMutexRun(mem *sim.Memory, l Locker, n, pid int) (*sim.Trace, error) {
+	procs := make([]sim.ProcFunc, n)
+	procs[pid] = MutexBody(l, 1, 0)
+	res, err := sim.Run(sim.Config{Mem: mem, Procs: procs, Sched: sim.Solo{PID: pid}})
+	if err != nil {
+		return nil, err
+	}
+	if res.Err != nil {
+		return nil, res.Err
+	}
+	return res.Trace, nil
+}
+
+// ContentionFreeMutex measures the contention-free complexity of an
+// instance for n processes: the maximum over all processes of the measure
+// of a solo attempt (different processes can have different leaf positions
+// in tree constructions, so all must be tried).
+//
+// newInstance is called once per process because each run resets the
+// memory; it must return an instance over the same register layout (the
+// instance returned for the previous run may be reused if the algorithm is
+// stateless, which all algorithms in this repository are, so the function
+// is called with the shared memory once and the instance reused).
+func ContentionFreeMutex(mem *sim.Memory, l Locker, n int) (metrics.Measure, error) {
+	var worst metrics.Measure
+	for pid := 0; pid < n; pid++ {
+		tr, err := SoloMutexRun(mem, l, n, pid)
+		if err != nil {
+			return metrics.Measure{}, fmt.Errorf("driver: solo run of p%d: %w", pid, err)
+		}
+		m, ok := metrics.ContentionFreeMutex(tr)
+		if !ok {
+			return metrics.Measure{}, fmt.Errorf("driver: p%d did not complete a contention-free attempt (stop: %v)", pid, tr.Stop)
+		}
+		worst = metrics.Max(worst, m)
+	}
+	return worst, nil
+}
+
+// ContendedMutexRun runs all n processes for the given number of rounds
+// under the scheduler and returns the trace. maxSteps of 0 means the
+// simulator default.
+func ContendedMutexRun(mem *sim.Memory, l Locker, n, rounds, csDwell int, sched sim.Scheduler, maxSteps int) (*sim.Trace, error) {
+	procs := make([]sim.ProcFunc, n)
+	for pid := range procs {
+		procs[pid] = MutexBody(l, rounds, csDwell)
+	}
+	res, err := sim.Run(sim.Config{Mem: mem, Procs: procs, Sched: sched, MaxSteps: maxSteps})
+	if err != nil {
+		return nil, err
+	}
+	if res.Err != nil {
+		return nil, res.Err
+	}
+	return res.Trace, nil
+}
+
+// TaskRunner is a one-shot task instance (contention detector or naming
+// algorithm): Run executes the process's whole protocol, outputting its
+// decision through p.Output, and returns the decision as well.
+type TaskRunner interface {
+	Run(p *sim.Proc) uint64
+}
+
+// TaskBody returns a process body that executes the one-shot task once.
+func TaskBody(tr TaskRunner) sim.ProcFunc {
+	return func(p *sim.Proc) {
+		tr.Run(p)
+	}
+}
+
+// TaskRun runs the task on all n processes under the scheduler.
+func TaskRun(mem *sim.Memory, task TaskRunner, n int, sched sim.Scheduler, maxSteps int) (*sim.Trace, error) {
+	procs := make([]sim.ProcFunc, n)
+	for pid := range procs {
+		procs[pid] = TaskBody(task)
+	}
+	res, err := sim.Run(sim.Config{Mem: mem, Procs: procs, Sched: sched, MaxSteps: maxSteps})
+	if err != nil {
+		return nil, err
+	}
+	if res.Err != nil {
+		return nil, res.Err
+	}
+	return res.Trace, nil
+}
+
+// SoloTaskRun runs the task with only process pid active (of n).
+func SoloTaskRun(mem *sim.Memory, task TaskRunner, n, pid int) (*sim.Trace, error) {
+	procs := make([]sim.ProcFunc, n)
+	procs[pid] = TaskBody(task)
+	res, err := sim.Run(sim.Config{Mem: mem, Procs: procs, Sched: sim.Solo{PID: pid}})
+	if err != nil {
+		return nil, err
+	}
+	if res.Err != nil {
+		return nil, res.Err
+	}
+	return res.Trace, nil
+}

@@ -1,0 +1,186 @@
+package driver_test
+
+import (
+	"strings"
+	"testing"
+
+	"cfc/internal/driver"
+	"cfc/internal/metrics"
+	"cfc/internal/opset"
+	"cfc/internal/sim"
+)
+
+// toyLock is a trivially-correct lock for driver plumbing tests: it is
+// safe only when processes run one at a time, which is all the solo and
+// sequential drivers need.
+type toyLock struct {
+	flag sim.Reg
+}
+
+func (l *toyLock) Lock(p *sim.Proc)   { p.Write(l.flag, 1) }
+func (l *toyLock) Unlock(p *sim.Proc) { p.Write(l.flag, 0) }
+
+// toyTask claims a bit per process and outputs its index + 1.
+type toyTask struct {
+	bits []sim.Reg
+}
+
+func (t *toyTask) Run(p *sim.Proc) uint64 {
+	for i, b := range t.bits {
+		if p.TestAndSet(b) == 0 {
+			p.Output(uint64(i + 1))
+			return uint64(i + 1)
+		}
+	}
+	p.Output(0)
+	return 0
+}
+
+func TestMutexBodyMarksPhases(t *testing.T) {
+	mem := sim.NewMemory(opset.AtomicRegisters)
+	lock := &toyLock{flag: mem.Bit("flag")}
+	res, err := sim.Run(sim.Config{
+		Mem:   mem,
+		Procs: []sim.ProcFunc{driver.MutexBody(lock, 2, 3)},
+	})
+	if err != nil || res.Err != nil {
+		t.Fatalf("%v / %v", err, res.Err)
+	}
+	atts := metrics.MutexAttempts(res.Trace)
+	if len(atts) != 2 {
+		t.Fatalf("attempts = %d, want 2 (rounds)", len(atts))
+	}
+	for i, a := range atts {
+		if !a.Complete || !a.EnteredCS {
+			t.Errorf("attempt %d incomplete: %+v", i, a)
+		}
+		if a.Entry.Steps != 1 || a.Exit.Steps != 1 {
+			t.Errorf("attempt %d steps = %d/%d, want 1/1", i, a.Entry.Steps, a.Exit.Steps)
+		}
+	}
+	// CS dwell shows up as local events between CS and Exit marks.
+	locals := 0
+	for _, e := range res.Trace.Events {
+		if e.Kind == sim.KindLocal {
+			locals++
+		}
+	}
+	if locals != 6 {
+		t.Errorf("locals = %d, want 6 (2 rounds x 3 dwell)", locals)
+	}
+}
+
+func TestSoloMutexRunOnlyRunsTarget(t *testing.T) {
+	mem := sim.NewMemory(opset.AtomicRegisters)
+	lock := &toyLock{flag: mem.Bit("flag")}
+	tr, err := driver.SoloMutexRun(mem, lock, 5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range tr.Events {
+		if e.PID != 3 {
+			t.Fatalf("process %d took an event in a solo run of p3", e.PID)
+		}
+	}
+	if tr.NumProcs != 5 {
+		t.Errorf("NumProcs = %d, want 5", tr.NumProcs)
+	}
+}
+
+func TestContentionFreeMutexMaxesOverIdentities(t *testing.T) {
+	// A lock whose cost depends on the process id: pid 2 pays extra
+	// accesses; the driver must report the maximum.
+	mem := sim.NewMemory(opset.AtomicRegisters)
+	flag := mem.Bit("flag")
+	extra := mem.Bit("extra")
+	lock := &pidLock{flag: flag, extra: extra}
+	m, err := driver.ContentionFreeMutex(mem, lock, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Steps != 4 { // pid 2: 3 extra reads + 1 write... see pidLock
+		t.Errorf("steps = %d, want 4 (the expensive identity)", m.Steps)
+	}
+}
+
+type pidLock struct {
+	flag, extra sim.Reg
+}
+
+func (l *pidLock) Lock(p *sim.Proc) {
+	if p.ID() == 2 {
+		p.Read(l.extra)
+		p.Read(l.extra)
+	}
+	p.Write(l.flag, 1)
+}
+
+func (l *pidLock) Unlock(p *sim.Proc) { p.Write(l.flag, 0) }
+
+func TestContentionFreeMutexErrorsOnStarvation(t *testing.T) {
+	// A "lock" that never returns must produce a descriptive error, not a
+	// hang: the simulator's step budget converts the spin into a stop.
+	mem := sim.NewMemory(opset.AtomicRegisters)
+	spin := mem.Bit("spin")
+	lock := &spinForever{bit: spin}
+	_, err := driver.ContentionFreeMutex(mem, lock, 1)
+	if err == nil || !strings.Contains(err.Error(), "did not complete") {
+		t.Errorf("want completion error, got %v", err)
+	}
+}
+
+type spinForever struct {
+	bit sim.Reg
+}
+
+func (l *spinForever) Lock(p *sim.Proc) {
+	for p.Read(l.bit) == 0 {
+	}
+}
+
+func (l *spinForever) Unlock(*sim.Proc) {}
+
+func TestTaskRunAndSoloTaskRun(t *testing.T) {
+	mem := sim.NewMemory(opset.RMW)
+	task := &toyTask{bits: mem.Bits("b", 3)}
+
+	tr, err := driver.TaskRun(mem, task, 3, sim.Sequential{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := metrics.CheckUniqueOutputs(tr); err != nil {
+		t.Fatal(err)
+	}
+	for pid := 0; pid < 3; pid++ {
+		if out, ok := tr.Output(pid); !ok || out != uint64(pid+1) {
+			t.Errorf("p%d output = %d,%v", pid, out, ok)
+		}
+	}
+
+	solo, err := driver.SoloTaskRun(mem, task, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out, ok := solo.Output(1); !ok || out != 1 {
+		t.Errorf("solo output = %d,%v, want 1 (fresh memory)", out, ok)
+	}
+	if len(solo.Accesses(-1)) != len(solo.Accesses(1)) {
+		t.Error("only p1 should access memory in its solo run")
+	}
+}
+
+func TestContendedMutexRunRespectsMaxSteps(t *testing.T) {
+	mem := sim.NewMemory(opset.AtomicRegisters)
+	spin := mem.Bit("spin")
+	lock := &spinForever{bit: spin}
+	tr, err := driver.ContendedMutexRun(mem, lock, 2, 1, 0, &sim.RoundRobin{}, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Stop != sim.StopMaxSteps {
+		t.Errorf("Stop = %v, want max-steps", tr.Stop)
+	}
+	if tr.ScheduledSteps != 64 {
+		t.Errorf("ScheduledSteps = %d, want 64", tr.ScheduledSteps)
+	}
+}

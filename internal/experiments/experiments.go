@@ -1,0 +1,436 @@
+// Package experiments regenerates the evaluation artifacts of Alur &
+// Taubenfeld: Table M ("Bounds for mutual exclusion", Section 2.6) and
+// Table N ("Tight bounds for naming", Section 3.3), plus the supporting
+// sweeps indexed in DESIGN.md (atomicity sweep, multi-grain comparison,
+// backoff experiment, detection-tree sweep, starvation demonstration).
+//
+// Each experiment returns a formatted table; cmd/cfcbench prints them and
+// EXPERIMENTS.md records a captured copy next to the paper's rows.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"cfc/internal/adversary"
+	"cfc/internal/bounds"
+	"cfc/internal/contention"
+	"cfc/internal/core"
+	"cfc/internal/driver"
+	"cfc/internal/metrics"
+	"cfc/internal/mutex"
+	"cfc/internal/naming"
+	"cfc/internal/sim"
+)
+
+// Table is a formatted result table.
+type Table struct {
+	// Title identifies the experiment.
+	Title string
+	// Header holds the column names; Rows the cells.
+	Header []string
+	Rows   [][]string
+	// Notes explains deviations and conventions.
+	Notes []string
+}
+
+// String renders the table as aligned text.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s ==\n", t.Title)
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// TableM regenerates the paper's "Bounds for mutual exclusion" table: for
+// each (n, l) it prints the Theorem 1/2 lower bounds, the measured
+// contention-free step and register complexity of the Theorem 3
+// tournament, and the closed-form upper bounds 7*ceil(log n/l) and
+// 3*ceil(log n/l).
+func TableM(ns []int, ls []int) (*Table, error) {
+	t := &Table{
+		Title: "Table M - bounds for mutual exclusion (contention-free rows)",
+		Header: []string{
+			"n", "l",
+			"step LB (Thm1)", "step measured", "step UB (Thm3)",
+			"reg LB (Thm2)", "reg measured", "reg UB (Thm3)",
+		},
+		Notes: []string{
+			"measured = Theorem 3 tournament (Lamport-fast nodes of arity 2^l-1; Peterson nodes at l=1)",
+			"lower bounds marked '-' are vacuous at that (n,l) (non-positive denominator)",
+			"worst-case rows of the paper's table: register O(log n) [Kes82] (see the atomicity sweep), step unbounded [AT92] (see the starvation experiment)",
+		},
+	}
+	for _, n := range ns {
+		for _, l := range ls {
+			if l > bounds.CeilLog2(n) && l != 1 {
+				continue // the paper considers 1 <= l <= log n
+			}
+			alg := mutex.Tournament{L: l}
+			mem := sim.NewMemory(alg.Model())
+			inst, err := alg.New(mem, n)
+			if err != nil {
+				return nil, err
+			}
+			m, err := driver.ContentionFreeMutex(mem, inst, n)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: table M at n=%d l=%d: %w", n, l, err)
+			}
+			stepLB := "-"
+			if lb, ok := bounds.MutexCFStepLower(n, l); ok {
+				stepLB = fmt.Sprintf("%.2f", lb)
+			}
+			regLB := "-"
+			if lb, ok := bounds.MutexCFRegLower(n, l); ok {
+				regLB = fmt.Sprintf("%.2f", lb)
+			}
+			t.Rows = append(t.Rows, []string{
+				fmt.Sprint(n), fmt.Sprint(l),
+				stepLB, fmt.Sprint(m.Steps), fmt.Sprint(bounds.MutexCFStepUpper(n, l)),
+				regLB, fmt.Sprint(m.Registers), fmt.Sprint(bounds.MutexCFRegUpper(n, l)),
+			})
+		}
+	}
+	return t, nil
+}
+
+// namingEntry measures one naming algorithm at n and returns the four
+// measures in the paper's row order (c-f register, c-f step, w-c register,
+// w-c step).
+func namingEntry(alg naming.Algorithm, n, seeds int) ([4]int, error) {
+	rep, err := core.MeasureTask(core.NamingTask(alg, n), core.TaskOptions{Seeds: seeds})
+	if err != nil {
+		return [4]int{}, err
+	}
+	return [4]int{rep.CF.Registers, rep.CF.Steps, rep.WC.Registers, rep.WC.Steps}, nil
+}
+
+// TableN regenerates the paper's "Tight bounds for naming" table at a
+// given n: measured values of the best algorithm per model next to the
+// paper's tight bound evaluated at n.
+func TableN(n, seeds int) (*Table, error) {
+	cols := bounds.NamingTable()
+	algs := map[string]naming.Algorithm{
+		"test-and-set":                     naming.TASScan{},
+		"read+test-and-set":                naming.TASBinSearch{},
+		"read+test-and-set+test-and-reset": naming.TASTARTree{},
+		"test-and-flip":                    naming.TAFTree{},
+		"rmw (all)":                        naming.TAFTree{},
+	}
+	t := &Table{
+		Title: fmt.Sprintf("Table N - tight bounds for naming (n = %d)", n),
+		Header: []string{
+			"measure",
+			"test-and-set", "read+TAS", "read+TAS+TAR", "test-and-flip", "rmw(all)",
+		},
+		Notes: []string{
+			"each cell: measured (paper bound at this n); measured worst case is the maximum over sequential, round-robin and random schedules",
+			"read+TAS c-f uses the binary-search algorithm; its w-c step is n-1+O(log n), realised by the clone adversary (the model's n-1 tight bound is met by the scan algorithm)",
+			"read+TAS+TAR column measured with the TAS/TAR alternation tree; its contention-free step is <= 2 log n (constant-factor above the log n bound)",
+			"tree algorithms use a name space padded to the next power of two, so 'log n' bounds are evaluated on the padded size",
+		},
+	}
+
+	measured := make(map[string][4]int, len(cols))
+	for _, col := range cols {
+		alg := algs[col.Model]
+		vals, err := namingEntry(alg, n, seeds)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: table N column %q: %w", col.Model, err)
+		}
+		measured[col.Model] = vals
+	}
+
+	rows := []struct {
+		label string
+		pick  func(c bounds.NamingTableColumn) bounds.NamingBound
+		idx   int
+	}{
+		{"c-f register", func(c bounds.NamingTableColumn) bounds.NamingBound { return c.CFReg }, 0},
+		{"c-f step", func(c bounds.NamingTableColumn) bounds.NamingBound { return c.CFStep }, 1},
+		{"w-c register", func(c bounds.NamingTableColumn) bounds.NamingBound { return c.WCReg }, 2},
+		{"w-c step", func(c bounds.NamingTableColumn) bounds.NamingBound { return c.WCStep }, 3},
+	}
+	for _, r := range rows {
+		row := []string{r.label}
+		for _, col := range cols {
+			alg := algs[col.Model]
+			evalN := n
+			if _, tree := alg.(interface{ NameSpace(int) int }); tree {
+				evalN = alg.NameSpace(n)
+			}
+			bound := r.pick(col)
+			// n-1 style bounds are stated on the number of processes, not
+			// the padded name space.
+			if bound == bounds.BoundNMinus1 {
+				evalN = n
+			}
+			row = append(row, fmt.Sprintf("%d (%s=%d)", measured[col.Model][r.idx], bound, bound.Eval(evalN)))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+// AtomicitySweep is EXP-M1/M2 as a series: contention-free step and
+// register complexity of the tournament versus n for each l, against the
+// closed forms. It also reports Kessels's bit tournament worst-case
+// register complexity (the paper's w-c register row).
+func AtomicitySweep(ns []int, ls []int) (*Table, error) {
+	t := &Table{
+		Title:  "Atomicity sweep - contention-free complexity vs n and l (EXP-M1/M2)",
+		Header: []string{"n", "l", "depth", "cf steps", "7*ceil(log n/l)", "cf regs", "3*ceil(log n/l)"},
+	}
+	for _, l := range ls {
+		for _, n := range ns {
+			alg := mutex.Tournament{L: l}
+			mem := sim.NewMemory(alg.Model())
+			inst, err := alg.New(mem, n)
+			if err != nil {
+				return nil, err
+			}
+			m, err := driver.ContentionFreeMutex(mem, inst, n)
+			if err != nil {
+				return nil, err
+			}
+			t.Rows = append(t.Rows, []string{
+				fmt.Sprint(n), fmt.Sprint(l), fmt.Sprint(alg.Depth(n)),
+				fmt.Sprint(m.Steps), fmt.Sprint(bounds.MutexCFStepUpper(n, l)),
+				fmt.Sprint(m.Registers), fmt.Sprint(bounds.MutexCFRegUpper(n, l)),
+			})
+		}
+	}
+	return t, nil
+}
+
+// MultiGrain is EXP-S1: plain Lamport fast versus the packed-word variant,
+// reproducing the Michael & Scott multi-grain observation as register
+// complexity (the remote-access proxy).
+func MultiGrain(ns []int) (*Table, error) {
+	t := &Table{
+		Title:  "Multi-grain packing (EXP-S1) - Lamport fast vs packed words",
+		Header: []string{"n", "alg", "atomicity", "cf steps", "cf regs"},
+		Notes: []string{
+			"packing x and y into one word trades atomicity (doubled) for one fewer distinct register in the contention-free path - the [MS93] effect the paper cites in Section 1.3",
+		},
+	}
+	for _, n := range ns {
+		for _, alg := range []mutex.Algorithm{mutex.Lamport{}, mutex.PackedLamport{}} {
+			mem := sim.NewMemory(alg.Model())
+			inst, err := alg.New(mem, n)
+			if err != nil {
+				return nil, err
+			}
+			m, err := driver.ContentionFreeMutex(mem, inst, n)
+			if err != nil {
+				return nil, err
+			}
+			t.Rows = append(t.Rows, []string{
+				fmt.Sprint(n), alg.Name(), fmt.Sprint(alg.Atomicity(n)),
+				fmt.Sprint(m.Steps), fmt.Sprint(m.Registers),
+			})
+		}
+	}
+	return t, nil
+}
+
+// Backoff is EXP-S2: winner latency (steps from starting its attempt to
+// entering the critical section, averaged over attempts) under increasing
+// contention, with and without backoff, reproducing the Section 4
+// discussion that backoff keeps winner latency near the contention-free
+// level.
+func Backoff(ns []int, rounds int) (*Table, error) {
+	t := &Table{
+		Title:  "Backoff under contention (EXP-S2) - mean winner entry steps",
+		Header: []string{"procs", "ttas", "ttas+linear", "ttas+exponential", "cf baseline"},
+		Notes: []string{
+			"mean entry-code steps over completed attempts, round-robin schedule",
+			"contention-free baseline is the 2-step read+TAS fast path",
+		},
+	}
+	policies := []mutex.Algorithm{
+		mutex.BackoffTTAS{Policy: mutex.BackoffNone},
+		mutex.BackoffTTAS{Policy: mutex.BackoffLinear},
+		mutex.BackoffTTAS{Policy: mutex.BackoffExponential},
+	}
+	for _, n := range ns {
+		row := []string{fmt.Sprint(n)}
+		for _, alg := range policies {
+			mem := sim.NewMemory(alg.Model())
+			inst, err := alg.New(mem, n)
+			if err != nil {
+				return nil, err
+			}
+			tr, err := driver.ContendedMutexRun(mem, inst, n, rounds, 2, &sim.RoundRobin{}, 1<<20)
+			if err != nil {
+				return nil, err
+			}
+			if err := metrics.CheckMutualExclusion(tr); err != nil {
+				return nil, err
+			}
+			total, count := 0, 0
+			for _, a := range metrics.MutexAttempts(tr) {
+				if a.EnteredCS {
+					total += a.Entry.Steps
+					count++
+				}
+			}
+			if count == 0 {
+				row = append(row, "-")
+				continue
+			}
+			row = append(row, fmt.Sprintf("%.1f", float64(total)/float64(count)))
+		}
+		row = append(row, "2.0")
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+// DetectionSweep is EXP-S3: worst-case steps of the splitter-tree detector
+// versus n and l, against the paper's ceil(log n / l) shape.
+func DetectionSweep(ns []int, ls []int, seeds int) (*Table, error) {
+	t := &Table{
+		Title:  "Contention detection (EXP-S3) - splitter tree worst-case steps",
+		Header: []string{"n", "l", "wc steps", "4*ceil(log n/l)", "ceil(log n/l) (paper shape)"},
+	}
+	for _, l := range ls {
+		for _, n := range ns {
+			det := contention.ChunkedSplitter{L: l}
+			rep, err := core.MeasureTask(core.DetectorTask(det, n), core.TaskOptions{Seeds: seeds})
+			if err != nil {
+				return nil, err
+			}
+			d := bounds.DetectionWCStepUpper(n, l)
+			t.Rows = append(t.Rows, []string{
+				fmt.Sprint(n), fmt.Sprint(l),
+				fmt.Sprint(rep.WC.Steps), fmt.Sprint(4 * det.Chunks(n)), fmt.Sprint(d),
+			})
+		}
+	}
+	return t, nil
+}
+
+// Starvation is EXP-M4: the victim's entry steps as a function of the
+// holder's critical-section dwell, demonstrating the unbounded worst-case
+// step complexity of mutual exclusion.
+func Starvation(alg mutex.Algorithm, dwells []int) (*Table, error) {
+	t := &Table{
+		Title:  fmt.Sprintf("Worst-case step unboundedness (EXP-M4) - %s", alg.Name()),
+		Header: []string{"holder dwell", "victim entry steps"},
+		Notes:  []string{"the victim's steps grow linearly with the dwell: no finite worst-case bound exists [AT92]"},
+	}
+	for _, dwell := range dwells {
+		mem := sim.NewMemory(alg.Model())
+		inst, err := alg.New(mem, 2)
+		if err != nil {
+			return nil, err
+		}
+		steps, err := adversary.StarveVictim(mem, inst, dwell)
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, []string{fmt.Sprint(dwell), fmt.Sprint(steps)})
+	}
+	return t, nil
+}
+
+// NodeAblation is the DESIGN.md ablation 2: Peterson versus Kessels nodes
+// at l = 1.
+func NodeAblation(ns []int) (*Table, error) {
+	t := &Table{
+		Title:  "l=1 node ablation - Peterson vs Kessels tournament nodes",
+		Header: []string{"n", "node", "cf steps", "cf regs", "single-writer bits"},
+	}
+	for _, n := range ns {
+		for _, kind := range []mutex.NodeKind{mutex.NodePeterson, mutex.NodeKessels} {
+			alg := mutex.Tournament{L: 1, Node: kind}
+			mem := sim.NewMemory(alg.Model())
+			inst, err := alg.New(mem, n)
+			if err != nil {
+				return nil, err
+			}
+			m, err := driver.ContentionFreeMutex(mem, inst, n)
+			if err != nil {
+				return nil, err
+			}
+			sw := "no"
+			if kind == mutex.NodeKessels {
+				sw = "yes"
+			}
+			t.Rows = append(t.Rows, []string{
+				fmt.Sprint(n), kind.String(), fmt.Sprint(m.Steps), fmt.Sprint(m.Registers), sw,
+			})
+		}
+	}
+	return t, nil
+}
+
+// All runs every experiment with default parameters and returns the
+// tables in presentation order.
+func All() ([]*Table, error) {
+	var out []*Table
+	add := func(t *Table, err error) error {
+		if err != nil {
+			return err
+		}
+		out = append(out, t)
+		return nil
+	}
+	if err := add(TableM([]int{16, 64, 256, 1024, 4096}, []int{1, 2, 4, 8})); err != nil {
+		return nil, err
+	}
+	if err := add(TableN(16, 10)); err != nil {
+		return nil, err
+	}
+	if err := add(AtomicitySweep([]int{4, 16, 64, 256, 1024}, []int{1, 2, 4})); err != nil {
+		return nil, err
+	}
+	if err := add(MultiGrain([]int{8, 64, 512})); err != nil {
+		return nil, err
+	}
+	if err := add(Backoff([]int{2, 4, 8}, 3)); err != nil {
+		return nil, err
+	}
+	if err := add(DetectionSweep([]int{16, 256, 4096}, []int{1, 2, 4}, 10)); err != nil {
+		return nil, err
+	}
+	if err := add(Starvation(mutex.Lamport{}, []int{100, 1000, 10000})); err != nil {
+		return nil, err
+	}
+	if err := add(NodeAblation([]int{4, 16, 64})); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,237 @@
+package experiments_test
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"cfc/internal/experiments"
+	"cfc/internal/mutex"
+)
+
+func cell(t *testing.T, tab *experiments.Table, row, col int) string {
+	t.Helper()
+	if row >= len(tab.Rows) || col >= len(tab.Rows[row]) {
+		t.Fatalf("cell (%d,%d) out of range in %q", row, col, tab.Title)
+	}
+	return tab.Rows[row][col]
+}
+
+func atoi(t *testing.T, s string) int {
+	t.Helper()
+	v, err := strconv.Atoi(s)
+	if err != nil {
+		t.Fatalf("cell %q is not an int", s)
+	}
+	return v
+}
+
+func TestTableMShape(t *testing.T) {
+	tab, err := experiments.TableM([]int{16, 256}, []int{1, 2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) == 0 {
+		t.Fatal("empty table")
+	}
+	for i := range tab.Rows {
+		n := atoi(t, cell(t, tab, i, 0))
+		l := atoi(t, cell(t, tab, i, 1))
+		measuredSteps := atoi(t, cell(t, tab, i, 3))
+		measuredRegs := atoi(t, cell(t, tab, i, 6))
+		// Measured complexity matches the construction exactly: the tree
+		// has arity 2^l-1 (identifier 0 reserved), so its depth can
+		// exceed the paper's idealised ceil(log n / l) - the documented
+		// gloss - but per level the constants are exact: 7 steps and 3
+		// registers for Lamport nodes, 4 and 3 for the l = 1 Peterson
+		// nodes.
+		d := (mutex.Tournament{L: l}).Depth(n)
+		wantSteps, wantRegs := 7*d, 3*d
+		if l == 1 {
+			wantSteps = 4 * d
+		}
+		if measuredSteps != wantSteps {
+			t.Errorf("row %d (n=%d l=%d): steps %d, want %d", i, n, l, measuredSteps, wantSteps)
+		}
+		if measuredRegs != wantRegs {
+			t.Errorf("row %d (n=%d l=%d): regs %d, want %d", i, n, l, measuredRegs, wantRegs)
+		}
+		// Lower bounds, where meaningful, sit below the measurement.
+		if lb := cell(t, tab, i, 2); lb != "-" {
+			var lbf float64
+			if _, err := fmtSscan(lb, &lbf); err != nil {
+				t.Fatalf("bad lower bound cell %q", lb)
+			}
+			if float64(measuredSteps) <= lbf {
+				t.Errorf("row %d: measured steps %d below Theorem 1 bound %s", i, measuredSteps, lb)
+			}
+		}
+	}
+	// The l=1 vs l=4 contrast: more atomicity, fewer steps (at n=256).
+	var steps1, steps4 int
+	for i := range tab.Rows {
+		if cell(t, tab, i, 0) == "256" && cell(t, tab, i, 1) == "1" {
+			steps1 = atoi(t, cell(t, tab, i, 3))
+		}
+		if cell(t, tab, i, 0) == "256" && cell(t, tab, i, 1) == "4" {
+			steps4 = atoi(t, cell(t, tab, i, 3))
+		}
+	}
+	if steps4 >= steps1 {
+		t.Errorf("atomicity should reduce contention-free steps: l=1 %d vs l=4 %d", steps1, steps4)
+	}
+}
+
+func fmtSscan(s string, v *float64) (int, error) {
+	f, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, err
+	}
+	*v = f
+	return 1, nil
+}
+
+func TestTableNShape(t *testing.T) {
+	tab, err := experiments.TableN(16, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 4 {
+		t.Fatalf("rows = %d, want 4 measures", len(tab.Rows))
+	}
+	// Column order: measure, TAS, read+TAS, read+TAS+TAR, TAF, RMW.
+	parse := func(cell string) int {
+		v, err := strconv.Atoi(strings.Fields(cell)[0])
+		if err != nil {
+			t.Fatalf("cell %q", cell)
+		}
+		return v
+	}
+	n := 16
+	logN := 4
+	// Row 0: c-f register: TAS column n-1, all others log n.
+	if got := parse(tab.Rows[0][1]); got != n-1 {
+		t.Errorf("TAS c-f register = %d, want %d", got, n-1)
+	}
+	for col := 2; col <= 5; col++ {
+		if got := parse(tab.Rows[0][col]); got != logN {
+			t.Errorf("col %d c-f register = %d, want %d", col, got, logN)
+		}
+	}
+	// Row 3: w-c step: TAS n-1; read+TAS >= n-1 (clone adversary); TAF
+	// and RMW exactly log n.
+	if got := parse(tab.Rows[3][1]); got != n-1 {
+		t.Errorf("TAS w-c step = %d, want %d", got, n-1)
+	}
+	if got := parse(tab.Rows[3][2]); got < n-1 {
+		t.Errorf("read+TAS w-c step = %d, want >= %d", got, n-1)
+	}
+	if got := parse(tab.Rows[3][4]); got != logN {
+		t.Errorf("TAF w-c step = %d, want %d", got, logN)
+	}
+	if got := parse(tab.Rows[3][5]); got != logN {
+		t.Errorf("RMW w-c step = %d, want %d", got, logN)
+	}
+	// Row 2: w-c register: read+TAS+TAR drops to log n while read+TAS
+	// stays at n-1 - the table's key distinction.
+	if got := parse(tab.Rows[2][3]); got != logN {
+		t.Errorf("read+TAS+TAR w-c register = %d, want %d", got, logN)
+	}
+	if got := parse(tab.Rows[2][2]); got < n-1 {
+		t.Errorf("read+TAS w-c register = %d, want >= %d", got, n-1)
+	}
+}
+
+func TestMultiGrainShape(t *testing.T) {
+	tab, err := experiments.MultiGrain([]int{8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	// Packed variant: same steps, one fewer register, doubled atomicity.
+	plainRegs := atoi(t, cell(t, tab, 0, 4))
+	packedRegs := atoi(t, cell(t, tab, 1, 4))
+	if packedRegs != plainRegs-1 {
+		t.Errorf("packed regs = %d, want %d", packedRegs, plainRegs-1)
+	}
+	if cell(t, tab, 0, 3) != cell(t, tab, 1, 3) {
+		t.Error("packing should not change step count")
+	}
+}
+
+func TestBackoffShape(t *testing.T) {
+	tab, err := experiments.Backoff([]int{2, 6}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At the higher contention level, exponential backoff should not be
+	// worse than no backoff (the Section 4 claim, in step terms).
+	last := tab.Rows[len(tab.Rows)-1]
+	none, e1 := strconv.ParseFloat(last[1], 64)
+	expo, e2 := strconv.ParseFloat(last[3], 64)
+	if e1 != nil || e2 != nil {
+		t.Fatalf("bad cells %q %q", last[1], last[3])
+	}
+	if expo > none {
+		t.Errorf("exponential backoff (%v) worse than none (%v) at high contention", expo, none)
+	}
+}
+
+func TestStarvationGrowth(t *testing.T) {
+	tab, err := experiments.Starvation(mutex.Lamport{}, []int{200, 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := atoi(t, cell(t, tab, 0, 1))
+	b := atoi(t, cell(t, tab, 1, 1))
+	if b <= a {
+		t.Errorf("victim steps should grow with dwell: %d then %d", a, b)
+	}
+}
+
+func TestDetectionSweepShape(t *testing.T) {
+	tab, err := experiments.DetectionSweep([]int{16, 256}, []int{2}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range tab.Rows {
+		wc := atoi(t, cell(t, tab, i, 2))
+		ub := atoi(t, cell(t, tab, i, 3))
+		if wc > ub {
+			t.Errorf("row %d: wc steps %d above 4d bound %d", i, wc, ub)
+		}
+	}
+}
+
+func TestNodeAblationShape(t *testing.T) {
+	tab, err := experiments.NodeAblation([]int{16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	// Peterson: fewer registers; Kessels: single-writer.
+	pRegs := atoi(t, cell(t, tab, 0, 3))
+	kRegs := atoi(t, cell(t, tab, 1, 3))
+	if pRegs >= kRegs {
+		t.Errorf("peterson regs %d should be below kessels %d", pRegs, kRegs)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tab := &experiments.Table{
+		Title:  "demo",
+		Header: []string{"a", "long-header"},
+		Rows:   [][]string{{"1", "2"}},
+		Notes:  []string{"a note"},
+	}
+	s := tab.String()
+	for _, want := range []string{"== demo ==", "long-header", "note: a note"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("rendering missing %q:\n%s", want, s)
+		}
+	}
+}

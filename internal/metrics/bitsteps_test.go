@@ -1,0 +1,92 @@
+package metrics_test
+
+// Tests for the bit-access refinement (the corollary to Theorem 1: in
+// every mutual-exclusion algorithm with atomicity l and contention-free
+// step complexity c, some process touches at least l + c - 1 shared bits
+// in the absence of contention).
+
+import (
+	"testing"
+
+	"cfc/internal/bounds"
+	"cfc/internal/driver"
+	"cfc/internal/metrics"
+	"cfc/internal/mutex"
+	"cfc/internal/sim"
+)
+
+func TestBitStepsCountsWidths(t *testing.T) {
+	mem := sim.NewMemory(mutex.Lamport{}.Model())
+	w := mem.Register("w", 8)
+	b := mem.Bit("b")
+	res, err := sim.Run(sim.Config{
+		Mem: mem,
+		Procs: []sim.ProcFunc{func(p *sim.Proc) {
+			p.Mark(sim.PhaseTry)
+			p.Write(w, 1) // 8 bits
+			p.Write(b, 1) // 1 bit
+			p.Read(w)     // 8 bits
+			p.Mark(sim.PhaseCS)
+			p.Mark(sim.PhaseExit)
+			p.Write(b, 0) // 1 bit
+			p.Mark(sim.PhaseRemainder)
+		}},
+	})
+	if err != nil || res.Err != nil {
+		t.Fatalf("%v / %v", err, res.Err)
+	}
+	atts := metrics.MutexAttempts(res.Trace)
+	if len(atts) != 1 {
+		t.Fatal("no attempt")
+	}
+	if got := atts[0].Whole.BitSteps; got != 18 {
+		t.Errorf("BitSteps = %d, want 18 (8+1+8+1)", got)
+	}
+	if got := atts[0].Entry.BitSteps; got != 17 {
+		t.Errorf("entry BitSteps = %d, want 17", got)
+	}
+}
+
+func TestTheorem1CorollaryBitAccesses(t *testing.T) {
+	// For every algorithm and size: contention-free BitSteps >= l + c - 1
+	// where l is the measured atomicity and c the contention-free step
+	// complexity.
+	algs := []mutex.Algorithm{
+		mutex.Lamport{},
+		mutex.PackedLamport{},
+		mutex.Tournament{L: 1},
+		mutex.Tournament{L: 2},
+		mutex.Tournament{L: 4},
+		mutex.TASLock{},
+	}
+	for _, alg := range algs {
+		for _, n := range []int{2, 8, 32} {
+			mem := sim.NewMemory(alg.Model())
+			inst, err := alg.New(mem, n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			m, err := driver.ContentionFreeMutex(mem, inst, n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			l := alg.Atomicity(n)
+			lb := bounds.MutexBitAccessesLower(l, m.Steps)
+			if m.BitSteps < lb {
+				t.Errorf("%s n=%d: bit accesses %d < corollary bound l+c-1 = %d",
+					alg.Name(), n, m.BitSteps, lb)
+			}
+		}
+	}
+}
+
+func TestBitStepsAddAndMax(t *testing.T) {
+	a := metrics.Measure{BitSteps: 5}
+	b := metrics.Measure{BitSteps: 9}
+	if got := a.Add(b).BitSteps; got != 14 {
+		t.Errorf("Add = %d", got)
+	}
+	if got := metrics.Max(a, b).BitSteps; got != 9 {
+		t.Errorf("Max = %d", got)
+	}
+}

@@ -1,0 +1,467 @@
+// Package metrics computes the four time-complexity measures of Alur &
+// Taubenfeld (Sections 2.2 and 3.2) from simulator traces:
+//
+//   - step complexity: number of accesses to shared registers,
+//   - register complexity: number of distinct shared registers accessed,
+//
+// each for the worst case and for the contention-free case, with the
+// paper's read/write refinements (read-step, write-step, read-register,
+// write-register complexity).
+//
+// The package identifies the run fragments the paper's definitions
+// quantify over — mutual-exclusion attempts delimited by phase marks, and
+// one-shot task executions delimited by start and termination — and
+// measures each fragment.
+package metrics
+
+import (
+	"cfc/internal/sim"
+)
+
+// Measure is the complexity of one process over one run fragment.
+//
+// Registers counts distinct underlying cells, so two field views of the
+// same packed word count once: the paper motivates register complexity as
+// a lower bound on remote transfers, and the cell is the transfer unit.
+type Measure struct {
+	// Steps is the number of shared-memory accesses (step complexity).
+	Steps int
+	// Registers is the number of distinct registers accessed.
+	Registers int
+	// ReadSteps and WriteSteps split Steps into non-mutating
+	// value-returning accesses and (possibly) mutating accesses.
+	ReadSteps  int
+	WriteSteps int
+	// ReadRegisters and WriteRegisters count distinct registers read and
+	// distinct registers written. A register both read and written counts
+	// in both.
+	ReadRegisters  int
+	WriteRegisters int
+	// BitSteps is the total number of shared bits touched, counting each
+	// access with the width of the view it accessed. The corollary to
+	// Theorem 1 bounds it from below by l + c - 1 for mutual exclusion
+	// (atomicity l, contention-free step complexity c).
+	BitSteps int
+}
+
+// Add returns the componentwise sum of two measures. The paper defines the
+// (worst-case) complexity of a mutual-exclusion algorithm as the sum of
+// the complexities of its entry code and exit code, which is what Add is
+// for; note that summing register counts may double-count registers used
+// in both fragments, exactly as the paper's definition does.
+func (m Measure) Add(o Measure) Measure {
+	return Measure{
+		Steps:          m.Steps + o.Steps,
+		Registers:      m.Registers + o.Registers,
+		ReadSteps:      m.ReadSteps + o.ReadSteps,
+		WriteSteps:     m.WriteSteps + o.WriteSteps,
+		ReadRegisters:  m.ReadRegisters + o.ReadRegisters,
+		WriteRegisters: m.WriteRegisters + o.WriteRegisters,
+		BitSteps:       m.BitSteps + o.BitSteps,
+	}
+}
+
+// Max returns the componentwise maximum of two measures. Complexity "of an
+// algorithm" is the maximum over all qualifying fragments, computed by
+// folding Max over them.
+func Max(a, b Measure) Measure {
+	return Measure{
+		Steps:          maxInt(a.Steps, b.Steps),
+		Registers:      maxInt(a.Registers, b.Registers),
+		ReadSteps:      maxInt(a.ReadSteps, b.ReadSteps),
+		WriteSteps:     maxInt(a.WriteSteps, b.WriteSteps),
+		ReadRegisters:  maxInt(a.ReadRegisters, b.ReadRegisters),
+		WriteRegisters: maxInt(a.WriteRegisters, b.WriteRegisters),
+		BitSteps:       maxInt(a.BitSteps, b.BitSteps),
+	}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// measureAccesses computes the Measure of a slice of access events, which
+// must all belong to one process.
+func measureAccesses(evs []sim.Event) Measure {
+	var m Measure
+	read := make(map[int32]bool)
+	written := make(map[int32]bool)
+	all := make(map[int32]bool)
+	for _, e := range evs {
+		if !e.IsAccess() {
+			continue
+		}
+		m.Steps++
+		m.BitSteps += int(e.Width)
+		all[e.Cell] = true
+		if e.IsWrite() {
+			m.WriteSteps++
+			written[e.Cell] = true
+		} else if e.IsRead() {
+			m.ReadSteps++
+			read[e.Cell] = true
+		}
+	}
+	m.Registers = len(all)
+	m.ReadRegisters = len(read)
+	m.WriteRegisters = len(written)
+	return m
+}
+
+// Attempt is one mutual-exclusion attempt of one process: the fragment
+// from its PhaseTry mark through entry code, critical section and exit
+// code back to its PhaseRemainder mark.
+type Attempt struct {
+	// PID is the process making the attempt.
+	PID int
+	// Entry measures the entry code (accesses between the Try and CS
+	// marks); Exit measures the exit code (between Exit and Remainder
+	// marks); Whole measures the entire fragment, with Registers counting
+	// distinct registers across the whole attempt (the contention-free
+	// definition measures one fragment spanning entry and exit).
+	Entry, Exit, Whole Measure
+	// ContentionFree reports the paper's contention-free condition: in
+	// every state of the fragment all other processes are in their
+	// remainder regions.
+	ContentionFree bool
+	// CleanEntry reports condition 2 of the worst-case entry definition:
+	// no process is in its critical section or exit code in any state of
+	// the entry fragment, so the attempt qualifies for worst-case entry
+	// accounting.
+	CleanEntry bool
+	// Complete reports that the attempt reached the Remainder mark (the
+	// process won, exited and returned to its remainder region).
+	Complete bool
+	// EnteredCS reports that the attempt reached the critical section.
+	EnteredCS bool
+}
+
+// attemptBuilder tracks one in-progress attempt during the trace scan.
+type attemptBuilder struct {
+	att      Attempt
+	entryEvs []sim.Event
+	exitEvs  []sim.Event
+	phase    sim.Phase // the attempting process's current phase
+	trySeq   int       // sequence number of the Try mark
+	csSeq    int       // sequence number of the CS mark (-1 until reached)
+}
+
+// MutexAttempts extracts all mutual-exclusion attempts from a trace. The
+// process bodies must follow the marking protocol used by the drivers in
+// package driver: Mark(Try), entry code, Mark(CS), Mark(Exit), exit code,
+// Mark(Remainder).
+//
+// The scan is O(events + processes): the side conditions of the paper's
+// definitions ("all other processes in their remainder regions", "no
+// process in its critical section or exit code") are evaluated with
+// prefix sums over per-state contention indicators rather than per-event
+// nested loops.
+func MutexAttempts(t *sim.Trace) []Attempt {
+	n := len(t.Events)
+	// First pass: per-state indicators. nonRem[s] is the number of
+	// processes outside their remainder region (and not terminated) in
+	// the state after event s; csExit[s] counts processes in their
+	// critical section or exit code.
+	nonRemPrefix := make([]int, n+1) // prefix counts of states with >= 2 non-remainder procs
+	csExitPrefix := make([]int, n+1) // prefix counts of states with >= 1 proc in CS/exit
+	phase := make([]sim.Phase, t.NumProcs)
+	for i := range phase {
+		phase[i] = sim.PhaseRemainder
+	}
+	nonRem, csExit := 0, 0
+	for s, e := range t.Events {
+		if e.Kind == sim.KindMark || e.Kind == sim.KindCrash {
+			// A crash behaves like termination for the side conditions: a
+			// failed process is treated as permanently in its remainder
+			// region (the paper's contention-free definition says "all
+			// other processes have either decided, or failed, or not
+			// started").
+			ph := e.Phase
+			if e.Kind == sim.KindCrash {
+				ph = sim.PhaseDone
+			}
+			old := phase[e.PID]
+			oldNR := old != sim.PhaseRemainder && old != sim.PhaseDone
+			oldCE := old == sim.PhaseCS || old == sim.PhaseExit
+			newNR := ph != sim.PhaseRemainder && ph != sim.PhaseDone
+			newCE := ph == sim.PhaseCS || ph == sim.PhaseExit
+			if oldNR != newNR {
+				if newNR {
+					nonRem++
+				} else {
+					nonRem--
+				}
+			}
+			if oldCE != newCE {
+				if newCE {
+					csExit++
+				} else {
+					csExit--
+				}
+			}
+			phase[e.PID] = ph
+		}
+		contended, held := 0, 0
+		if nonRem >= 2 {
+			contended = 1
+		}
+		if csExit >= 1 {
+			held = 1
+		}
+		nonRemPrefix[s+1] = nonRemPrefix[s] + contended
+		csExitPrefix[s+1] = csExitPrefix[s] + held
+	}
+	// anyIn reports whether any state in [from, to] (event indices,
+	// inclusive) has the indicator set.
+	anyIn := func(prefix []int, from, to int) bool {
+		if from > to {
+			return false
+		}
+		if to >= n {
+			to = n - 1
+		}
+		return prefix[to+1]-prefix[from] > 0
+	}
+
+	// Second pass: build attempts.
+	open := make(map[int]*attemptBuilder)
+	var out []Attempt
+	finish := func(b *attemptBuilder, endSeq int, complete bool) {
+		b.att.Complete = complete
+		b.att.Entry = measureAccesses(b.entryEvs)
+		b.att.Exit = measureAccesses(b.exitEvs)
+		whole := append(append([]sim.Event{}, b.entryEvs...), b.exitEvs...)
+		b.att.Whole = measureAccesses(whole)
+		// Contention-free: no state of the whole fragment has two or more
+		// processes outside their remainder regions (the attempting
+		// process accounts for one throughout).
+		b.att.ContentionFree = !anyIn(nonRemPrefix, b.trySeq, endSeq)
+		// Clean entry: no process in its CS or exit code during the entry
+		// fragment (the attempting process is in its entry code then, so
+		// any hit is another process).
+		entryEnd := endSeq
+		if b.csSeq >= 0 {
+			entryEnd = b.csSeq - 1
+		}
+		b.att.CleanEntry = !anyIn(csExitPrefix, b.trySeq, entryEnd)
+		out = append(out, b.att)
+	}
+
+	for _, e := range t.Events {
+		switch e.Kind {
+		case sim.KindMark:
+			switch e.Phase {
+			case sim.PhaseTry:
+				open[e.PID] = &attemptBuilder{
+					att:    Attempt{PID: e.PID},
+					phase:  sim.PhaseTry,
+					trySeq: e.Seq,
+					csSeq:  -1,
+				}
+			case sim.PhaseCS:
+				if b, ok := open[e.PID]; ok {
+					b.phase = sim.PhaseCS
+					b.att.EnteredCS = true
+					b.csSeq = e.Seq
+				}
+			case sim.PhaseExit:
+				if b, ok := open[e.PID]; ok {
+					b.phase = sim.PhaseExit
+				}
+			case sim.PhaseRemainder:
+				if b, ok := open[e.PID]; ok {
+					// The fragment's last relevant state precedes the
+					// Remainder mark (at the mark the process re-enters
+					// its remainder region).
+					finish(b, e.Seq-1, true)
+					delete(open, e.PID)
+				}
+			}
+		case sim.KindAccess:
+			if b, ok := open[e.PID]; ok {
+				switch b.phase {
+				case sim.PhaseTry:
+					b.entryEvs = append(b.entryEvs, e)
+				case sim.PhaseExit:
+					b.exitEvs = append(b.exitEvs, e)
+				case sim.PhaseCS:
+					// The paper assumes no shared accesses inside the
+					// critical section; any that occur are charged to the
+					// whole fragment via the entry side to stay
+					// conservative.
+					b.entryEvs = append(b.entryEvs, e)
+				}
+			}
+		}
+	}
+
+	// Unfinished attempts (still in entry when the run stopped) are
+	// reported as incomplete so callers can reason about starvation.
+	for _, b := range open {
+		finish(b, n-1, false)
+	}
+	return out
+}
+
+// ContentionFreeMutex returns the maximum Whole measure over all complete
+// contention-free attempts in the trace, and whether any such attempt
+// exists. This is the paper's contention-free complexity of the run.
+func ContentionFreeMutex(t *sim.Trace) (Measure, bool) {
+	var m Measure
+	found := false
+	for _, a := range MutexAttempts(t) {
+		if a.Complete && a.ContentionFree {
+			m = Max(m, a.Whole)
+			found = true
+		}
+	}
+	return m, found
+}
+
+// WorstEntry returns the maximum entry measure over complete attempts with
+// a clean entry (the qualifying fragments of the worst-case entry
+// definition) observed in the trace.
+func WorstEntry(t *sim.Trace) (Measure, bool) {
+	var m Measure
+	found := false
+	for _, a := range MutexAttempts(t) {
+		if a.EnteredCS && a.CleanEntry {
+			m = Max(m, a.Entry)
+			found = true
+		}
+	}
+	return m, found
+}
+
+// WorstExit returns the maximum exit measure over complete attempts in the
+// trace.
+func WorstExit(t *sim.Trace) (Measure, bool) {
+	var m Measure
+	found := false
+	for _, a := range MutexAttempts(t) {
+		if a.Complete {
+			m = Max(m, a.Exit)
+			found = true
+		}
+	}
+	return m, found
+}
+
+// Task is one execution of a one-shot task (contention detection, naming)
+// by one process: all its accesses from start to termination.
+type Task struct {
+	// PID is the process.
+	PID int
+	// M is the measure over the process's whole execution.
+	M Measure
+	// Done reports normal termination; Crashed reports an injected crash.
+	Done    bool
+	Crashed bool
+	// Output is the decision value, valid if HasOutput.
+	Output    uint64
+	HasOutput bool
+	// ContentionFree reports the Section 3.2 condition: every other
+	// process either terminated (or crashed) before this process's first
+	// event, or took its first step after this process's last event.
+	ContentionFree bool
+}
+
+// Tasks extracts the per-process task executions from a trace of a
+// one-shot algorithm. The scan is one pass over the events plus a
+// pairwise span comparison.
+func Tasks(t *sim.Trace) []Task {
+	type info struct {
+		first, last int
+		done        bool
+		crashed     bool
+		out         uint64
+		hasOut      bool
+		accesses    []sim.Event
+	}
+	infos := make([]info, t.NumProcs)
+	for pid := range infos {
+		infos[pid].first = -1
+		infos[pid].last = -1
+	}
+	for _, e := range t.Events {
+		in := &infos[e.PID]
+		if in.first < 0 {
+			in.first = e.Seq
+		}
+		in.last = e.Seq
+		switch e.Kind {
+		case sim.KindAccess:
+			in.accesses = append(in.accesses, e)
+		case sim.KindMark:
+			if e.Phase == sim.PhaseDone {
+				in.done = true
+			}
+		case sim.KindCrash:
+			in.crashed = true
+		case sim.KindOutput:
+			in.out = e.Out
+			in.hasOut = true
+		}
+	}
+
+	out := make([]Task, 0, t.NumProcs)
+	for pid := 0; pid < t.NumProcs; pid++ {
+		in := &infos[pid]
+		if in.first < 0 {
+			continue // never started (nil body or unscheduled)
+		}
+		task := Task{
+			PID:            pid,
+			ContentionFree: true,
+			M:              measureAccesses(in.accesses),
+			Done:           in.done,
+			Crashed:        in.crashed,
+			Output:         in.out,
+			HasOutput:      in.hasOut,
+		}
+		for other := 0; other < t.NumProcs; other++ {
+			if other == pid || infos[other].first < 0 {
+				continue
+			}
+			terminatedBefore := (infos[other].done || infos[other].crashed) &&
+				infos[other].last < in.first
+			startsAfter := infos[other].first > in.last
+			if !terminatedBefore && !startsAfter {
+				task.ContentionFree = false
+			}
+		}
+		out = append(out, task)
+	}
+	return out
+}
+
+// ContentionFreeTask returns the maximum measure over contention-free
+// completed task executions in the trace.
+func ContentionFreeTask(t *sim.Trace) (Measure, bool) {
+	var m Measure
+	found := false
+	for _, task := range Tasks(t) {
+		if task.Done && task.ContentionFree {
+			m = Max(m, task.M)
+			found = true
+		}
+	}
+	return m, found
+}
+
+// WorstTask returns the maximum measure over all completed task
+// executions in the trace (the empirical worst case for this schedule).
+func WorstTask(t *sim.Trace) (Measure, bool) {
+	var m Measure
+	found := false
+	for _, task := range Tasks(t) {
+		if task.Done {
+			m = Max(m, task.M)
+			found = true
+		}
+	}
+	return m, found
+}

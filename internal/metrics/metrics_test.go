@@ -1,0 +1,372 @@
+package metrics
+
+import (
+	"testing"
+
+	"cfc/internal/opset"
+	"cfc/internal/sim"
+)
+
+// soloLockBody returns a body performing one marked attempt using a tiny
+// two-register protocol: write x, read y, write y (entry); write y (exit).
+func soloLockBody(x, y sim.Reg) sim.ProcFunc {
+	return func(p *sim.Proc) {
+		p.Mark(sim.PhaseTry)
+		p.Write(x, uint64(p.ID())+1)
+		p.Read(y)
+		p.Write(y, uint64(p.ID())+1)
+		p.Mark(sim.PhaseCS)
+		p.Mark(sim.PhaseExit)
+		p.Write(y, 0)
+		p.Mark(sim.PhaseRemainder)
+	}
+}
+
+func runTrace(t *testing.T, mem *sim.Memory, procs []sim.ProcFunc, sched sim.Scheduler) *sim.Trace {
+	t.Helper()
+	res, err := sim.Run(sim.Config{Mem: mem, Procs: procs, Sched: sched})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Err != nil {
+		t.Fatalf("run error: %v", res.Err)
+	}
+	return res.Trace
+}
+
+func TestMeasureAddAndMax(t *testing.T) {
+	a := Measure{Steps: 5, Registers: 3, ReadSteps: 2, WriteSteps: 3, ReadRegisters: 2, WriteRegisters: 2}
+	b := Measure{Steps: 2, Registers: 2, ReadSteps: 0, WriteSteps: 2, ReadRegisters: 0, WriteRegisters: 2}
+	sum := a.Add(b)
+	if sum.Steps != 7 || sum.Registers != 5 || sum.WriteSteps != 5 {
+		t.Errorf("Add = %+v", sum)
+	}
+	m := Max(a, b)
+	if m.Steps != 5 || m.Registers != 3 || m.WriteRegisters != 2 {
+		t.Errorf("Max = %+v", m)
+	}
+}
+
+func TestSoloAttemptMeasured(t *testing.T) {
+	mem := sim.NewMemory(opset.AtomicRegisters)
+	x := mem.Register("x", 8)
+	y := mem.Register("y", 8)
+	tr := runTrace(t, mem, []sim.ProcFunc{soloLockBody(x, y), nil, nil}, sim.Solo{PID: 0})
+
+	atts := MutexAttempts(tr)
+	if len(atts) != 1 {
+		t.Fatalf("attempts = %d, want 1", len(atts))
+	}
+	a := atts[0]
+	if !a.Complete || !a.ContentionFree || !a.CleanEntry || !a.EnteredCS {
+		t.Errorf("attempt flags = %+v", a)
+	}
+	if a.Entry.Steps != 3 || a.Entry.Registers != 2 {
+		t.Errorf("entry = %+v, want 3 steps / 2 regs", a.Entry)
+	}
+	if a.Exit.Steps != 1 || a.Exit.Registers != 1 {
+		t.Errorf("exit = %+v, want 1 step / 1 reg", a.Exit)
+	}
+	// Whole attempt: 4 steps over 2 distinct registers (x, y).
+	if a.Whole.Steps != 4 || a.Whole.Registers != 2 {
+		t.Errorf("whole = %+v, want 4 steps / 2 regs", a.Whole)
+	}
+	// Read/write refinement: 1 read step (read y), 3 write steps.
+	if a.Whole.ReadSteps != 1 || a.Whole.WriteSteps != 3 {
+		t.Errorf("whole refinement = %+v", a.Whole)
+	}
+	if a.Whole.ReadRegisters != 1 || a.Whole.WriteRegisters != 2 {
+		t.Errorf("whole reg refinement = %+v", a.Whole)
+	}
+
+	cf, ok := ContentionFreeMutex(tr)
+	if !ok || cf.Steps != 4 || cf.Registers != 2 {
+		t.Errorf("ContentionFreeMutex = %+v, %v", cf, ok)
+	}
+}
+
+func TestConcurrentAttemptsNotContentionFree(t *testing.T) {
+	mem := sim.NewMemory(opset.AtomicRegisters)
+	x := mem.Register("x", 8)
+	y := mem.Register("y", 8)
+	body := soloLockBody(x, y)
+	tr := runTrace(t, mem, []sim.ProcFunc{body, body}, &sim.RoundRobin{})
+
+	atts := MutexAttempts(tr)
+	if len(atts) != 2 {
+		t.Fatalf("attempts = %d, want 2", len(atts))
+	}
+	for _, a := range atts {
+		if a.ContentionFree {
+			t.Errorf("p%d attempt should not be contention-free under round-robin", a.PID)
+		}
+	}
+}
+
+func TestSequentialAttemptsAreContentionFree(t *testing.T) {
+	mem := sim.NewMemory(opset.AtomicRegisters)
+	x := mem.Register("x", 8)
+	y := mem.Register("y", 8)
+	body := soloLockBody(x, y)
+	tr := runTrace(t, mem, []sim.ProcFunc{body, body, body}, sim.Sequential{})
+
+	atts := MutexAttempts(tr)
+	if len(atts) != 3 {
+		t.Fatalf("attempts = %d, want 3", len(atts))
+	}
+	for _, a := range atts {
+		if !a.ContentionFree || !a.Complete {
+			t.Errorf("sequential attempt p%d flags = %+v", a.PID, a)
+		}
+	}
+}
+
+func TestCleanEntryViolatedByCSHolder(t *testing.T) {
+	mem := sim.NewMemory(opset.AtomicRegisters)
+	x := mem.Register("x", 8)
+	y := mem.Register("y", 8)
+
+	// p0 sits in its critical section while p1 performs its entry code.
+	p0 := func(p *sim.Proc) {
+		p.Mark(sim.PhaseTry)
+		p.Write(x, 1)
+		p.Mark(sim.PhaseCS)
+		p.Local() // dwell in CS for one turn
+		p.Local()
+		p.Local()
+		p.Local()
+		p.Mark(sim.PhaseExit)
+		p.Write(x, 0)
+		p.Mark(sim.PhaseRemainder)
+	}
+	p1 := func(p *sim.Proc) {
+		p.Local() // let p0 get into its CS first
+		p.Mark(sim.PhaseTry)
+		p.Write(y, 1)
+		p.Read(y)
+		p.Mark(sim.PhaseCS)
+		p.Mark(sim.PhaseExit)
+		p.Write(y, 0)
+		p.Mark(sim.PhaseRemainder)
+	}
+	tr := runTrace(t, mem, []sim.ProcFunc{p0, p1}, &sim.RoundRobin{})
+
+	var att1 *Attempt
+	for i, a := range MutexAttempts(tr) {
+		if a.PID == 1 {
+			att1 = &MutexAttempts(tr)[i]
+			break
+		}
+	}
+	if att1 == nil {
+		t.Fatal("no attempt for p1")
+	}
+	if att1.CleanEntry {
+		t.Error("p1's entry overlapped p0's critical section; CleanEntry should be false")
+	}
+	if att1.ContentionFree {
+		t.Error("p1's attempt should not be contention-free")
+	}
+}
+
+func TestIncompleteAttemptReported(t *testing.T) {
+	mem := sim.NewMemory(opset.AtomicRegisters)
+	x := mem.Register("x", 8)
+	body := func(p *sim.Proc) {
+		p.Mark(sim.PhaseTry)
+		for p.Read(x) == 0 { // waits forever
+		}
+	}
+	res, err := sim.Run(sim.Config{
+		Mem: mem, Procs: []sim.ProcFunc{body}, MaxSteps: 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	atts := MutexAttempts(res.Trace)
+	if len(atts) != 1 {
+		t.Fatalf("attempts = %d, want 1", len(atts))
+	}
+	if atts[0].Complete || atts[0].EnteredCS {
+		t.Errorf("starved attempt should be incomplete: %+v", atts[0])
+	}
+	// 10 scheduling turns: 1 for the Try mark, 9 shared accesses.
+	if atts[0].Entry.Steps != 9 {
+		t.Errorf("starved entry steps = %d, want 9", atts[0].Entry.Steps)
+	}
+}
+
+func TestWorstEntryAndExit(t *testing.T) {
+	mem := sim.NewMemory(opset.AtomicRegisters)
+	x := mem.Register("x", 8)
+	y := mem.Register("y", 8)
+	body := soloLockBody(x, y)
+	tr := runTrace(t, mem, []sim.ProcFunc{body, body}, sim.Sequential{})
+
+	we, ok := WorstEntry(tr)
+	if !ok || we.Steps != 3 {
+		t.Errorf("WorstEntry = %+v, %v", we, ok)
+	}
+	wx, ok := WorstExit(tr)
+	if !ok || wx.Steps != 1 {
+		t.Errorf("WorstExit = %+v, %v", wx, ok)
+	}
+}
+
+func TestPackedFieldsCountOneRegister(t *testing.T) {
+	mem := sim.NewMemory(opset.AtomicRegisters)
+	w := mem.Register("xy", 16)
+	xf := mem.Field(w, 0, 8)
+	yf := mem.Field(w, 8, 8)
+	body := func(p *sim.Proc) {
+		p.Mark(sim.PhaseTry)
+		p.Write(xf, 1)
+		p.Write(yf, 2)
+		p.Read(w)
+		p.Mark(sim.PhaseCS)
+		p.Mark(sim.PhaseExit)
+		p.Write(yf, 0)
+		p.Mark(sim.PhaseRemainder)
+	}
+	tr := runTrace(t, mem, []sim.ProcFunc{body}, sim.Solo{PID: 0})
+	cf, ok := ContentionFreeMutex(tr)
+	if !ok {
+		t.Fatal("no contention-free attempt")
+	}
+	if cf.Steps != 4 {
+		t.Errorf("steps = %d, want 4", cf.Steps)
+	}
+	if cf.Registers != 1 {
+		t.Errorf("registers = %d, want 1 (all views share one cell)", cf.Registers)
+	}
+}
+
+func TestTasksSequentialContentionFree(t *testing.T) {
+	mem := sim.NewMemory(opset.RMW)
+	bits := mem.Bits("b", 4)
+	body := func(p *sim.Proc) {
+		for i, b := range bits {
+			if p.TestAndSet(b) == 0 {
+				p.Output(uint64(i + 1))
+				return
+			}
+		}
+		p.Output(uint64(len(bits) + 1))
+	}
+	tr := runTrace(t, mem, []sim.ProcFunc{body, body, body}, sim.Sequential{})
+
+	tasks := Tasks(tr)
+	if len(tasks) != 3 {
+		t.Fatalf("tasks = %d, want 3", len(tasks))
+	}
+	for i, task := range tasks {
+		if !task.Done || !task.ContentionFree {
+			t.Errorf("task %d flags = %+v", i, task)
+		}
+		if !task.HasOutput || task.Output != uint64(i+1) {
+			t.Errorf("task %d output = %d", i, task.Output)
+		}
+		if task.M.Steps != i+1 {
+			t.Errorf("task %d steps = %d, want %d", i, task.M.Steps, i+1)
+		}
+	}
+
+	cf, ok := ContentionFreeTask(tr)
+	if !ok || cf.Steps != 3 || cf.Registers != 3 {
+		t.Errorf("ContentionFreeTask = %+v, %v", cf, ok)
+	}
+	wc, ok := WorstTask(tr)
+	if !ok || wc.Steps != 3 {
+		t.Errorf("WorstTask = %+v, %v", wc, ok)
+	}
+}
+
+func TestTasksInterleavedNotContentionFree(t *testing.T) {
+	mem := sim.NewMemory(opset.RMW)
+	bits := mem.Bits("b", 4)
+	body := func(p *sim.Proc) {
+		for i, b := range bits {
+			if p.TestAndSet(b) == 0 {
+				p.Output(uint64(i + 1))
+				return
+			}
+		}
+	}
+	tr := runTrace(t, mem, []sim.ProcFunc{body, body}, &sim.RoundRobin{})
+	for _, task := range Tasks(tr) {
+		if task.ContentionFree {
+			t.Errorf("interleaved task p%d should not be contention-free", task.PID)
+		}
+	}
+}
+
+func TestTasksCrashedBeforeCountsAsTerminated(t *testing.T) {
+	mem := sim.NewMemory(opset.RMW)
+	bits := mem.Bits("b", 4)
+	body := func(p *sim.Proc) {
+		for i, b := range bits {
+			if p.TestAndSet(b) == 0 {
+				p.Output(uint64(i + 1))
+				return
+			}
+		}
+	}
+	// p0 crashes before taking any step; p1 then runs alone. p1's run is
+	// contention-free per Section 3.2 ("either p' has terminated (or
+	// failed) in state si or p' has not started").
+	tr := runTrace(t, mem, []sim.ProcFunc{body, body}, &sim.Crasher{
+		Inner:   sim.Sequential{},
+		CrashAt: map[int]int{0: 0},
+	})
+	tasks := Tasks(tr)
+	var t0, t1 *Task
+	for i := range tasks {
+		switch tasks[i].PID {
+		case 0:
+			t0 = &tasks[i]
+		case 1:
+			t1 = &tasks[i]
+		}
+	}
+	if t0 == nil || t1 == nil {
+		t.Fatal("missing tasks")
+	}
+	if !t0.Crashed || t0.Done {
+		t.Errorf("p0 = %+v, want crashed", t0)
+	}
+	if !t1.Done || !t1.ContentionFree {
+		t.Errorf("p1 = %+v, want done and contention-free", t1)
+	}
+}
+
+func TestMultipleAttemptsPerProcess(t *testing.T) {
+	mem := sim.NewMemory(opset.AtomicRegisters)
+	x := mem.Register("x", 8)
+	y := mem.Register("y", 8)
+	body := func(p *sim.Proc) {
+		for i := 0; i < 3; i++ {
+			soloBodyOnce(p, x, y)
+		}
+	}
+	tr := runTrace(t, mem, []sim.ProcFunc{body}, sim.Solo{PID: 0})
+	atts := MutexAttempts(tr)
+	if len(atts) != 3 {
+		t.Fatalf("attempts = %d, want 3", len(atts))
+	}
+	for _, a := range atts {
+		if !a.Complete || !a.ContentionFree {
+			t.Errorf("attempt = %+v", a)
+		}
+	}
+}
+
+func soloBodyOnce(p *sim.Proc, x, y sim.Reg) {
+	p.Mark(sim.PhaseTry)
+	p.Write(x, 1)
+	p.Read(y)
+	p.Write(y, 1)
+	p.Mark(sim.PhaseCS)
+	p.Mark(sim.PhaseExit)
+	p.Write(y, 0)
+	p.Mark(sim.PhaseRemainder)
+}

@@ -1,0 +1,80 @@
+package metrics
+
+import (
+	"fmt"
+
+	"cfc/internal/sim"
+)
+
+// CheckMutualExclusion verifies the safety property of Section 2.1 on a
+// trace: no two processes are in their critical sections at the same time.
+// It returns nil if the property holds, or an error naming the first
+// violating state.
+func CheckMutualExclusion(t *sim.Trace) error {
+	inCS := make([]bool, t.NumProcs)
+	count := 0
+	for _, e := range t.Events {
+		if e.Kind != sim.KindMark {
+			continue
+		}
+		switch e.Phase {
+		case sim.PhaseCS:
+			if !inCS[e.PID] {
+				inCS[e.PID] = true
+				count++
+			}
+			if count > 1 {
+				holders := []int{}
+				for pid, in := range inCS {
+					if in {
+						holders = append(holders, pid)
+					}
+				}
+				return fmt.Errorf("metrics: mutual exclusion violated at event %d: processes %v in critical section", e.Seq, holders)
+			}
+		case sim.PhaseExit, sim.PhaseRemainder, sim.PhaseTry:
+			if inCS[e.PID] {
+				inCS[e.PID] = false
+				count--
+			}
+		}
+	}
+	return nil
+}
+
+// CheckUniqueOutputs verifies the naming safety property (Section 3): all
+// processes that produced an output produced distinct values. It returns
+// nil if outputs are unique.
+func CheckUniqueOutputs(t *sim.Trace) error {
+	seen := make(map[uint64]int)
+	for _, e := range t.Events {
+		if e.Kind != sim.KindOutput {
+			continue
+		}
+		if prev, dup := seen[e.Out]; dup {
+			return fmt.Errorf("metrics: output %d chosen by both process %d and process %d", e.Out, prev, e.PID)
+		}
+		seen[e.Out] = e.PID
+	}
+	return nil
+}
+
+// CheckDetection verifies the contention-detection safety property
+// (Section 2.3): at most one process terminates with output 1. If
+// requireWinner is set (the contention-free liveness case: only one
+// process was activated), exactly one process must output 1.
+func CheckDetection(t *sim.Trace, requireWinner bool) error {
+	winners := []int{}
+	for _, e := range t.Events {
+		if e.Kind == sim.KindOutput && e.Out == 1 {
+			winners = append(winners, e.PID)
+		}
+	}
+	if len(winners) > 1 {
+		return fmt.Errorf("metrics: contention detection violated: processes %v all output 1", winners)
+	}
+	if requireWinner && len(winners) == 0 {
+		return fmt.Errorf("metrics: no process output 1 in a solo run")
+	}
+	return nil
+}

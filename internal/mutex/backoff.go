@@ -1,0 +1,188 @@
+package mutex
+
+import (
+	"fmt"
+
+	"cfc/internal/opset"
+	"cfc/internal/sim"
+)
+
+// BackoffPolicy selects how long a process delays after noticing
+// contention (Section 4 of the paper: "when a process notices contention
+// it delays itself for some time, giving other processes a chance to
+// proceed"). Delays are deterministic sequences of Local steps, so runs
+// stay reproducible.
+type BackoffPolicy uint8
+
+const (
+	// BackoffNone performs no delay.
+	BackoffNone BackoffPolicy = iota
+	// BackoffLinear delays 1, 2, 3, ... local steps on successive
+	// retries.
+	BackoffLinear
+	// BackoffExponential delays 1, 2, 4, 8, ... local steps, capped.
+	BackoffExponential
+)
+
+// String returns the policy name.
+func (b BackoffPolicy) String() string {
+	switch b {
+	case BackoffNone:
+		return "none"
+	case BackoffLinear:
+		return "linear"
+	case BackoffExponential:
+		return "exponential"
+	default:
+		return fmt.Sprintf("backoff(%d)", uint8(b))
+	}
+}
+
+// backoffCap bounds the exponential delay so a single unlucky process is
+// not parked forever.
+const backoffCap = 64
+
+// delay executes the policy's k-th delay as Local steps.
+func (b BackoffPolicy) delay(p *sim.Proc, attempt int) {
+	var steps int
+	switch b {
+	case BackoffLinear:
+		steps = attempt + 1
+	case BackoffExponential:
+		steps = 1 << attempt
+		if steps > backoffCap {
+			steps = backoffCap
+		}
+	default:
+		return
+	}
+	for i := 0; i < steps; i++ {
+		p.Local()
+	}
+}
+
+// BackoffTTAS is a test-and-test-and-set lock with backoff: after each
+// failed acquisition attempt the process delays per the policy before
+// re-probing. This is the construction the paper's Section 4 credits for
+// making winner latency under contention approach the contention-free
+// latency ([MS93]-style experiments).
+type BackoffTTAS struct {
+	// Policy is the delay policy; zero value is BackoffNone (plain TTAS).
+	Policy BackoffPolicy
+}
+
+// Name implements Algorithm.
+func (a BackoffTTAS) Name() string { return fmt.Sprintf("ttas-backoff(%v)", a.Policy) }
+
+// Atomicity implements Algorithm.
+func (BackoffTTAS) Atomicity(int) int { return 1 }
+
+// Model implements Algorithm.
+func (BackoffTTAS) Model() opset.Model {
+	return opset.ModelOf(opset.Read, opset.TestAndSet, opset.Write0)
+}
+
+// New implements Algorithm.
+func (a BackoffTTAS) New(mem *sim.Memory, n int) (Instance, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("mutex: ttas-backoff needs n >= 1, got %d", n)
+	}
+	return &backoffTTAS{bit: mem.Bit("lock"), policy: a.Policy}, nil
+}
+
+type backoffTTAS struct {
+	bit    sim.Reg
+	policy BackoffPolicy
+}
+
+// Lock implements Instance.
+func (l *backoffTTAS) Lock(p *sim.Proc) {
+	attempt := 0
+	for {
+		if p.Read(l.bit) == 0 && p.TestAndSet(l.bit) == 0 {
+			return
+		}
+		l.policy.delay(p, attempt)
+		attempt++
+	}
+}
+
+// Unlock implements Instance.
+func (l *backoffTTAS) Unlock(p *sim.Proc) {
+	p.Write(l.bit, 0)
+}
+
+// BackoffLamport is Lamport's fast algorithm with backoff on its two
+// contention-detection points (the y != 0 and x != i branches), following
+// the Section 4 observation that fast contention-free algorithms plus
+// backoff perform well at all contention levels.
+type BackoffLamport struct {
+	// Policy is the delay policy; zero value is BackoffNone.
+	Policy BackoffPolicy
+}
+
+// Name implements Algorithm.
+func (a BackoffLamport) Name() string { return fmt.Sprintf("lamport-backoff(%v)", a.Policy) }
+
+// Atomicity implements Algorithm.
+func (BackoffLamport) Atomicity(n int) int { return idWidth(n) }
+
+// Model implements Algorithm.
+func (BackoffLamport) Model() opset.Model { return opset.AtomicRegisters }
+
+// New implements Algorithm.
+func (a BackoffLamport) New(mem *sim.Memory, n int) (Instance, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("mutex: lamport-backoff needs n >= 1, got %d", n)
+	}
+	return &backoffLamport{node: newLamportNode(mem, "", n), policy: a.Policy}, nil
+}
+
+type backoffLamport struct {
+	node   *lamportNode
+	policy BackoffPolicy
+}
+
+// Lock implements Instance. The structure mirrors lamportNode.lock with a
+// policy delay inserted wherever contention was just observed.
+func (l *backoffLamport) Lock(p *sim.Proc) {
+	nd := l.node
+	id := p.ID() + 1
+	v := uint64(id)
+	attempt := 0
+	for {
+		p.Write(nd.b[id-1], 1)
+		p.Write(nd.x, v)
+		if p.Read(nd.y) != 0 {
+			p.Write(nd.b[id-1], 0)
+			l.policy.delay(p, attempt)
+			attempt++
+			await(p, nd.y, 0)
+			continue
+		}
+		p.Write(nd.y, v)
+		if p.Read(nd.x) != v {
+			p.Write(nd.b[id-1], 0)
+			l.policy.delay(p, attempt)
+			attempt++
+			for j := 0; j < nd.k; j++ {
+				await(p, nd.b[j], 0)
+			}
+			if p.Read(nd.y) != v {
+				await(p, nd.y, 0)
+				continue
+			}
+		}
+		return
+	}
+}
+
+// Unlock implements Instance.
+func (l *backoffLamport) Unlock(p *sim.Proc) {
+	l.node.unlock(p, p.ID()+1)
+}
+
+var (
+	_ Algorithm = BackoffTTAS{}
+	_ Algorithm = BackoffLamport{}
+)

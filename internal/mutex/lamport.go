@@ -1,0 +1,204 @@
+package mutex
+
+import (
+	"fmt"
+
+	"cfc/internal/opset"
+	"cfc/internal/sim"
+)
+
+// Lamport is Lamport's fast mutual exclusion algorithm [Lam87]: in the
+// absence of contention a process performs 5 accesses in the entry code
+// and 2 in the exit code (7 total) to 3 distinct registers, independent of
+// n. The registers x and y hold process identifiers, so the atomicity is
+// ceil(log2(n+1)) bits (identifiers are 1..n with 0 meaning "empty").
+//
+// The algorithm is deadlock-free but not starvation-free, and its
+// worst-case step complexity is unbounded [AT92].
+type Lamport struct{}
+
+// Name implements Algorithm.
+func (Lamport) Name() string { return "lamport-fast" }
+
+// Atomicity implements Algorithm.
+func (Lamport) Atomicity(n int) int { return idWidth(n) }
+
+// Model implements Algorithm.
+func (Lamport) Model() opset.Model { return opset.AtomicRegisters }
+
+// New implements Algorithm.
+func (Lamport) New(mem *sim.Memory, n int) (Instance, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("mutex: lamport-fast needs n >= 1, got %d", n)
+	}
+	node := newLamportNode(mem, "", n)
+	return &lamportInstance{node: node}, nil
+}
+
+// lamportInstance adapts a single Lamport node to the Instance interface,
+// with each process using slot id p.ID()+1.
+type lamportInstance struct {
+	node *lamportNode
+}
+
+// Lock implements Instance.
+func (li *lamportInstance) Lock(p *sim.Proc) { li.node.lock(p, p.ID()+1) }
+
+// Unlock implements Instance.
+func (li *lamportInstance) Unlock(p *sim.Proc) { li.node.unlock(p, p.ID()+1) }
+
+// lamportNode is one copy of Lamport's fast algorithm arbitrating among k
+// slots with identifiers 1..k. It is used directly by the Lamport
+// algorithm (k = n) and as the node of the Theorem 3 tournament
+// (k = 2^l - 1).
+type lamportNode struct {
+	k int
+	x sim.Reg   // last slot to pass the doorway
+	y sim.Reg   // gate: 0 when free
+	b []sim.Reg // b[s-1]: slot s is competing
+}
+
+// newLamportNode declares the node's registers in mem. The register names
+// are prefixed so several nodes can coexist ("n3.x", "n3.y", "n3.b[0]").
+func newLamportNode(mem *sim.Memory, prefix string, k int) *lamportNode {
+	w := idWidth(k)
+	return &lamportNode{
+		k: k,
+		x: mem.Register(prefix+"x", w),
+		y: mem.Register(prefix+"y", w),
+		b: mem.Bits(prefix+"b", k),
+	}
+}
+
+// lock runs the entry code for slot id (1-based).
+//
+// In the absence of contention the path is: write b[id], write x, read y
+// (sees 0), write y, read x (sees id) - 5 accesses to 3 distinct
+// registers.
+func (nd *lamportNode) lock(p *sim.Proc, id int) {
+	v := uint64(id)
+	for {
+		p.Write(nd.b[id-1], 1)
+		p.Write(nd.x, v)
+		if p.Read(nd.y) != 0 {
+			p.Write(nd.b[id-1], 0)
+			await(p, nd.y, 0)
+			continue
+		}
+		p.Write(nd.y, v)
+		if p.Read(nd.x) != v {
+			p.Write(nd.b[id-1], 0)
+			for j := 0; j < nd.k; j++ {
+				await(p, nd.b[j], 0)
+			}
+			if p.Read(nd.y) != v {
+				await(p, nd.y, 0)
+				continue
+			}
+		}
+		return
+	}
+}
+
+// unlock runs the exit code for slot id: 2 accesses (write y, write
+// b[id]).
+func (nd *lamportNode) unlock(p *sim.Proc, id int) {
+	p.Write(nd.y, 0)
+	p.Write(nd.b[id-1], 0)
+}
+
+// PackedLamport is Lamport's fast algorithm with the registers x and y
+// packed into one word that can also be read at full-word granularity, in
+// the spirit of the multi-grain optimisation of Michael & Scott [MS93]
+// discussed in Section 1.3 of the paper. The contention-free step
+// complexity is unchanged (7), but the contention-free register complexity
+// drops from 3 to 2, because the x and y probes of the fast path hit one
+// packed word: one fewer distinct register, i.e. one fewer remote transfer
+// on a cache-coherent machine. The price is doubled atomicity
+// (2*ceil(log2(n+1)) bits), exactly the trade-off the paper's l parameter
+// captures.
+type PackedLamport struct{}
+
+// Name implements Algorithm.
+func (PackedLamport) Name() string { return "lamport-packed" }
+
+// Atomicity implements Algorithm.
+func (PackedLamport) Atomicity(n int) int { return 2 * idWidth(n) }
+
+// Model implements Algorithm.
+func (PackedLamport) Model() opset.Model { return opset.AtomicRegisters }
+
+// New implements Algorithm.
+func (PackedLamport) New(mem *sim.Memory, n int) (Instance, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("mutex: lamport-packed needs n >= 1, got %d", n)
+	}
+	w := idWidth(n)
+	word := mem.Register("xy", 2*w)
+	return &packedLamport{
+		n:    n,
+		w:    w,
+		word: word,
+		x:    mem.Field(word, 0, w),
+		y:    mem.Field(word, w, w),
+		b:    mem.Bits("b", n),
+	}, nil
+}
+
+type packedLamport struct {
+	n    int
+	w    int
+	word sim.Reg // packed x (low half) and y (high half)
+	x    sim.Reg
+	y    sim.Reg
+	b    []sim.Reg
+}
+
+// xyOf splits a packed word value into its x and y halves.
+func (pl *packedLamport) xyOf(word uint64) (x, y uint64) {
+	mask := (uint64(1) << pl.w) - 1
+	return word & mask, word >> pl.w
+}
+
+// Lock implements Instance. The fast path performs 5 accesses to 2
+// distinct registers: b[i], x-field, word (read), y-field, word (read).
+func (pl *packedLamport) Lock(p *sim.Proc) {
+	id := uint64(p.ID() + 1)
+	me := p.ID()
+	for {
+		p.Write(pl.b[me], 1)
+		p.Write(pl.x, id)
+		if _, y := pl.xyOf(p.Read(pl.word)); y != 0 {
+			p.Write(pl.b[me], 0)
+			for {
+				if _, y := pl.xyOf(p.Read(pl.word)); y == 0 {
+					break
+				}
+			}
+			continue
+		}
+		p.Write(pl.y, id)
+		if x, _ := pl.xyOf(p.Read(pl.word)); x != id {
+			p.Write(pl.b[me], 0)
+			for j := 0; j < pl.n; j++ {
+				await(p, pl.b[j], 0)
+			}
+			if p.Read(pl.y) != id {
+				await(p, pl.y, 0)
+				continue
+			}
+		}
+		return
+	}
+}
+
+// Unlock implements Instance: write y-field, write b[i].
+func (pl *packedLamport) Unlock(p *sim.Proc) {
+	p.Write(pl.y, 0)
+	p.Write(pl.b[p.ID()], 0)
+}
+
+var (
+	_ Algorithm = Lamport{}
+	_ Algorithm = PackedLamport{}
+)

@@ -1,0 +1,59 @@
+// Package mutex implements the mutual-exclusion algorithms studied in
+// Section 2 of Alur & Taubenfeld: Lamport's fast algorithm, the Theorem 3
+// tournament construction for arbitrary atomicity l, the Peterson/Fischer
+// and Kessels bit-only tournaments, a packed-word (multi-grain) variant of
+// Lamport's algorithm after Michael & Scott, a test-and-set lock baseline,
+// and backoff wrappers (Section 4).
+//
+// Every algorithm is written against the simulator's Proc API, so each
+// shared-memory access is one atomic scheduled event and complexity is
+// measured, not estimated.
+package mutex
+
+import (
+	"cfc/internal/opset"
+	"cfc/internal/sim"
+)
+
+// Algorithm is a mutual-exclusion algorithm family, instantiable for any
+// number of processes.
+type Algorithm interface {
+	// Name returns a short identifier, e.g. "lamport-fast".
+	Name() string
+	// Atomicity returns the algorithm's atomicity l (the width in bits of
+	// the biggest register it accesses in one atomic step) when set up for
+	// n processes.
+	Atomicity(n int) int
+	// Model returns the operation model the algorithm requires.
+	Model() opset.Model
+	// New declares the algorithm's shared registers in mem and returns an
+	// instance for n processes. It returns an error if the algorithm
+	// cannot be configured for n (for example, n exceeding the capacity
+	// of a fixed-width construction).
+	New(mem *sim.Memory, n int) (Instance, error)
+}
+
+// Instance is one set-up of an algorithm: processes call Lock and Unlock
+// around their critical sections. Implementations identify the calling
+// process via p.ID().
+type Instance interface {
+	Lock(p *sim.Proc)
+	Unlock(p *sim.Proc)
+}
+
+// idWidth returns the number of bits needed to store process identifiers
+// 1..n with 0 reserved as "empty".
+func idWidth(n int) int {
+	w := 1
+	for (uint64(1)<<w)-1 < uint64(n) {
+		w++
+	}
+	return w
+}
+
+// await spins until the register view holds the given value. Each probe is
+// one shared-memory access.
+func await(p *sim.Proc, r sim.Reg, v uint64) {
+	for p.Read(r) != v {
+	}
+}

@@ -1,0 +1,377 @@
+package mutex_test
+
+import (
+	"fmt"
+	"testing"
+
+	"cfc/internal/bounds"
+	"cfc/internal/driver"
+	"cfc/internal/metrics"
+	"cfc/internal/mutex"
+	"cfc/internal/sim"
+)
+
+// build instantiates alg for n processes on a fresh memory.
+func build(t *testing.T, alg mutex.Algorithm, n int) (*sim.Memory, mutex.Instance) {
+	t.Helper()
+	mem := sim.NewMemory(alg.Model())
+	inst, err := alg.New(mem, n)
+	if err != nil {
+		t.Fatalf("%s.New(%d): %v", alg.Name(), n, err)
+	}
+	return mem, inst
+}
+
+// measureCF measures the contention-free complexity of alg for n.
+func measureCF(t *testing.T, alg mutex.Algorithm, n int) metrics.Measure {
+	t.Helper()
+	mem, inst := build(t, alg, n)
+	m, err := driver.ContentionFreeMutex(mem, inst, n)
+	if err != nil {
+		t.Fatalf("%s n=%d: %v", alg.Name(), n, err)
+	}
+	return m
+}
+
+func TestLamportContentionFreeComplexity(t *testing.T) {
+	// The paper (Section 2.6): "in this algorithm, in the absence of
+	// contention a process needs to access the shared memory five times in
+	// order to enter its critical section and twice in order to exit it -
+	// a total of seven accesses. Only 3 different registers are accessed."
+	for _, n := range []int{1, 2, 3, 8, 100} {
+		m := measureCF(t, mutex.Lamport{}, n)
+		if m.Steps != 7 {
+			t.Errorf("n=%d: contention-free steps = %d, want 7", n, m.Steps)
+		}
+		if m.Registers != 3 {
+			t.Errorf("n=%d: contention-free registers = %d, want 3", n, m.Registers)
+		}
+	}
+}
+
+func TestLamportEntryExitSplit(t *testing.T) {
+	mem, inst := build(t, mutex.Lamport{}, 4)
+	tr, err := driver.SoloMutexRun(mem, inst, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	atts := metrics.MutexAttempts(tr)
+	if len(atts) != 1 {
+		t.Fatalf("attempts = %d", len(atts))
+	}
+	if atts[0].Entry.Steps != 5 {
+		t.Errorf("entry steps = %d, want 5", atts[0].Entry.Steps)
+	}
+	if atts[0].Exit.Steps != 2 {
+		t.Errorf("exit steps = %d, want 2", atts[0].Exit.Steps)
+	}
+	// Entry touches b[i], x, y; exit touches y, b[i].
+	if atts[0].Entry.Registers != 3 || atts[0].Exit.Registers != 2 {
+		t.Errorf("entry/exit registers = %d/%d, want 3/2",
+			atts[0].Entry.Registers, atts[0].Exit.Registers)
+	}
+}
+
+func TestPackedLamportSavesARegister(t *testing.T) {
+	for _, n := range []int{2, 5, 16} {
+		m := measureCF(t, mutex.PackedLamport{}, n)
+		if m.Steps != 7 {
+			t.Errorf("n=%d: packed steps = %d, want 7", n, m.Steps)
+		}
+		if m.Registers != 2 {
+			t.Errorf("n=%d: packed registers = %d, want 2 (x and y share a word)", n, m.Registers)
+		}
+	}
+}
+
+func TestPackedLamportDoublesAtomicity(t *testing.T) {
+	plain := mutex.Lamport{}
+	packed := mutex.PackedLamport{}
+	for _, n := range []int{2, 10, 1000} {
+		if got, want := packed.Atomicity(n), 2*plain.Atomicity(n); got != want {
+			t.Errorf("n=%d: packed atomicity = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestPetersonContentionFreeComplexity(t *testing.T) {
+	m := measureCF(t, mutex.Peterson{}, 2)
+	if m.Steps != 4 {
+		t.Errorf("peterson steps = %d, want 4 (3 entry + 1 exit)", m.Steps)
+	}
+	if m.Registers != 3 {
+		t.Errorf("peterson registers = %d, want 3", m.Registers)
+	}
+}
+
+func TestKesselsContentionFreeComplexity(t *testing.T) {
+	m := measureCF(t, mutex.Kessels{}, 2)
+	if m.Steps != 5 {
+		t.Errorf("kessels steps = %d, want 5 (4 entry + 1 exit)", m.Steps)
+	}
+	if m.Registers != 4 {
+		t.Errorf("kessels registers = %d, want 4 (single-writer bits)", m.Registers)
+	}
+}
+
+func TestTASLocksContentionFree(t *testing.T) {
+	m := measureCF(t, mutex.TASLock{}, 4)
+	if m.Steps != 2 || m.Registers != 1 {
+		t.Errorf("tas = %+v, want 2 steps / 1 register", m)
+	}
+	m = measureCF(t, mutex.TTASLock{}, 4)
+	if m.Steps != 3 || m.Registers != 1 {
+		t.Errorf("ttas = %+v, want 3 steps / 1 register", m)
+	}
+}
+
+func TestTournamentTheorem3Complexity(t *testing.T) {
+	// Theorem 3: contention-free step complexity 7*ceil(log n / l) and
+	// register complexity 3*ceil(log n / l). Our nodes arbitrate 2^l - 1
+	// slots (identifier 0 is reserved), so the measured depth is
+	// ceil(log n / log(2^l - 1)), which equals ceil(log n / l) whenever
+	// the per-level capacity loss does not change the ceiling; the cases
+	// below are chosen to match exactly.
+	cases := []struct {
+		n, l  int
+		depth int
+	}{
+		{n: 7, l: 3, depth: 1},     // one node, 7 slots
+		{n: 49, l: 3, depth: 2},    // 7^2
+		{n: 8, l: 4, depth: 1},     // 15 slots per node
+		{n: 225, l: 4, depth: 2},   // 15^2
+		{n: 3, l: 2, depth: 1},     // 3 slots per node
+		{n: 9, l: 2, depth: 2},     // 3^2
+		{n: 27, l: 2, depth: 3},    // 3^3
+		{n: 1000, l: 10, depth: 1}, // 1023 slots
+	}
+	for _, tc := range cases {
+		alg := mutex.Tournament{L: tc.l}
+		if got := alg.Depth(tc.n); got != tc.depth {
+			t.Errorf("Depth(n=%d, l=%d) = %d, want %d", tc.n, tc.l, got, tc.depth)
+			continue
+		}
+		m := measureCF(t, alg, tc.n)
+		if want := 7 * tc.depth; m.Steps != want {
+			t.Errorf("n=%d l=%d: steps = %d, want %d", tc.n, tc.l, m.Steps, want)
+		}
+		if want := 3 * tc.depth; m.Registers != want {
+			t.Errorf("n=%d l=%d: registers = %d, want %d", tc.n, tc.l, m.Registers, want)
+		}
+	}
+}
+
+func TestTournamentBitNodes(t *testing.T) {
+	// l = 1: binary tree of Peterson nodes, 4 steps / 3 registers per
+	// level, depth ceil(log2 n).
+	for _, n := range []int{2, 4, 8, 16} {
+		alg := mutex.Tournament{L: 1}
+		d := bounds.CeilLog2(n)
+		if got := alg.Depth(n); got != d {
+			t.Fatalf("Depth(%d) = %d, want %d", n, got, d)
+		}
+		m := measureCF(t, alg, n)
+		if m.Steps != 4*d || m.Registers != 3*d {
+			t.Errorf("n=%d: l=1 tournament = %+v, want %d steps / %d regs", n, m, 4*d, 3*d)
+		}
+	}
+	// Kessels nodes: 5 steps / 4 registers per level, single-writer bits.
+	for _, n := range []int{2, 8} {
+		alg := mutex.Tournament{L: 1, Node: mutex.NodeKessels}
+		d := bounds.CeilLog2(n)
+		m := measureCF(t, alg, n)
+		if m.Steps != 5*d || m.Registers != 4*d {
+			t.Errorf("n=%d: kessels tournament = %+v, want %d steps / %d regs", n, m, 5*d, 4*d)
+		}
+	}
+}
+
+func TestTournamentRespectsTheorem3Bound(t *testing.T) {
+	// Measured complexity never exceeds the paper's closed form
+	// 7*ceil(log n/l) steps and 3*ceil(log n/l) registers for l >= 2
+	// (for l = 1 the paper's Lamport node degenerates; our Peterson node
+	// keeps the same shape with constant 4 <= 7 and 3 <= 3 per level).
+	for _, n := range []int{2, 3, 5, 10, 33, 100} {
+		for _, l := range []int{2, 3, 5, 8} {
+			m := measureCF(t, mutex.Tournament{L: l}, n)
+			// The arity-(2^l-1) depth can exceed ceil(log n / l) by at
+			// most a factor log(2^l)/log(2^l -1); for these sizes one
+			// extra level at most.
+			ub := bounds.MutexCFStepUpper(n, l) + 7
+			if m.Steps > ub {
+				t.Errorf("n=%d l=%d: steps %d exceed bound %d", n, l, m.Steps, ub)
+			}
+			rub := bounds.MutexCFRegUpper(n, l) + 3
+			if m.Registers > rub {
+				t.Errorf("n=%d l=%d: registers %d exceed bound %d", n, l, m.Registers, rub)
+			}
+		}
+	}
+}
+
+func TestTournamentAtomicityMatchesL(t *testing.T) {
+	for _, l := range []int{2, 3, 4} {
+		alg := mutex.Tournament{L: l}
+		mem, inst := build(t, alg, 20)
+		tr, err := driver.SoloMutexRun(mem, inst, 20, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := tr.Atomicity(); got != l {
+			t.Errorf("l=%d: measured atomicity = %d", l, got)
+		}
+	}
+}
+
+// allAlgorithms returns every algorithm configured for n processes, for
+// safety sweeps.
+func allAlgorithms(n int) []mutex.Algorithm {
+	algs := []mutex.Algorithm{
+		mutex.Lamport{},
+		mutex.PackedLamport{},
+		mutex.TASLock{},
+		mutex.TTASLock{},
+		mutex.BackoffTTAS{Policy: mutex.BackoffExponential},
+		mutex.BackoffLamport{Policy: mutex.BackoffLinear},
+		mutex.Tournament{L: 1},
+		mutex.Tournament{L: 1, Node: mutex.NodeKessels},
+		mutex.Tournament{L: 2},
+		mutex.Tournament{L: 3},
+	}
+	if n == 2 {
+		algs = append(algs, mutex.Peterson{}, mutex.Kessels{})
+	}
+	return algs
+}
+
+func TestMutualExclusionUnderRandomSchedules(t *testing.T) {
+	for _, n := range []int{2, 3, 4} {
+		for _, alg := range allAlgorithms(n) {
+			alg := alg
+			t.Run(fmt.Sprintf("%s/n=%d", alg.Name(), n), func(t *testing.T) {
+				mem := sim.NewMemory(alg.Model())
+				inst, err := alg.New(mem, n)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for seed := int64(0); seed < 30; seed++ {
+					tr, err := driver.ContendedMutexRun(mem, inst, n, 2, 1, sim.NewRandom(seed), 1<<16)
+					if err != nil {
+						t.Fatalf("seed %d: %v", seed, err)
+					}
+					if err := metrics.CheckMutualExclusion(tr); err != nil {
+						t.Fatalf("seed %d: %v", seed, err)
+					}
+				}
+			})
+		}
+	}
+}
+
+func TestDeadlockFreedomUnderFairSchedules(t *testing.T) {
+	// Under round-robin (a fair scheduler) every process must complete
+	// all its rounds: the run ends with all processes done.
+	for _, n := range []int{2, 3} {
+		for _, alg := range allAlgorithms(n) {
+			alg := alg
+			t.Run(fmt.Sprintf("%s/n=%d", alg.Name(), n), func(t *testing.T) {
+				mem := sim.NewMemory(alg.Model())
+				inst, err := alg.New(mem, n)
+				if err != nil {
+					t.Fatal(err)
+				}
+				tr, err := driver.ContendedMutexRun(mem, inst, n, 3, 0, &sim.RoundRobin{}, 1<<18)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if tr.Stop != sim.StopAllDone {
+					t.Fatalf("round-robin run did not complete: %v", tr.Stop)
+				}
+				for pid := 0; pid < n; pid++ {
+					if !tr.Done(pid) {
+						t.Errorf("process %d starved", pid)
+					}
+				}
+				if err := metrics.CheckMutualExclusion(tr); err != nil {
+					t.Fatal(err)
+				}
+			})
+		}
+	}
+}
+
+func TestAlgorithmConfigErrors(t *testing.T) {
+	mem := sim.NewMemory(mutex.Lamport{}.Model())
+	if _, err := (mutex.Lamport{}).New(mem, 0); err == nil {
+		t.Error("lamport n=0 should fail")
+	}
+	if _, err := (mutex.Peterson{}).New(mem, 3); err == nil {
+		t.Error("peterson n=3 should fail")
+	}
+	if _, err := (mutex.Kessels{}).New(mem, 1); err == nil {
+		t.Error("kessels n=1 should fail")
+	}
+	if _, err := (mutex.Tournament{L: 0}).New(mem, 4); err == nil {
+		t.Error("tournament l=0 should fail")
+	}
+}
+
+func TestSingleProcessNoArbitration(t *testing.T) {
+	// n = 1: the tournament has depth 0 and lock/unlock are free.
+	m := measureCF(t, mutex.Tournament{L: 2}, 1)
+	if m.Steps != 0 || m.Registers != 0 {
+		t.Errorf("n=1 tournament = %+v, want zero", m)
+	}
+}
+
+func TestBackoffDoesNotChangeContentionFreeComplexity(t *testing.T) {
+	// Backoff only triggers when contention is noticed, so contention-free
+	// complexity matches the base algorithm.
+	base := measureCF(t, mutex.Lamport{}, 8)
+	backed := measureCF(t, mutex.BackoffLamport{Policy: mutex.BackoffExponential}, 8)
+	if base != backed {
+		t.Errorf("backoff changed contention-free measure: %+v vs %+v", base, backed)
+	}
+	baseT := measureCF(t, mutex.TTASLock{}, 8)
+	backedT := measureCF(t, mutex.BackoffTTAS{Policy: mutex.BackoffExponential}, 8)
+	if baseT != backedT {
+		t.Errorf("ttas backoff changed contention-free measure: %+v vs %+v", baseT, backedT)
+	}
+}
+
+func TestTournamentDepthFormula(t *testing.T) {
+	for _, tc := range []struct{ n, l, want int }{
+		{1, 2, 0}, {2, 2, 1}, {3, 2, 1}, {4, 2, 2}, {9, 2, 2}, {10, 2, 3},
+		{7, 3, 1}, {8, 3, 2}, {49, 3, 2}, {50, 3, 3},
+		{2, 1, 1}, {3, 1, 2}, {4, 1, 2}, {5, 1, 3},
+	} {
+		if got := (mutex.Tournament{L: tc.l}).Depth(tc.n); got != tc.want {
+			t.Errorf("Depth(n=%d,l=%d) = %d, want %d", tc.n, tc.l, got, tc.want)
+		}
+	}
+}
+
+func TestLowerBoundsRespected(t *testing.T) {
+	// Theorems 1 and 2: every algorithm's measured contention-free
+	// complexity lies at or above the closed-form lower bounds for its
+	// measured atomicity.
+	algs := []mutex.Algorithm{
+		mutex.Lamport{},
+		mutex.PackedLamport{},
+		mutex.Tournament{L: 1},
+		mutex.Tournament{L: 2},
+		mutex.Tournament{L: 4},
+	}
+	for _, n := range []int{4, 16, 64} {
+		for _, alg := range algs {
+			m := measureCF(t, alg, n)
+			l := alg.Atomicity(n)
+			if lb, ok := bounds.MutexCFStepLower(n, l); ok && float64(m.Steps) <= lb {
+				t.Errorf("%s n=%d: steps %d violate Theorem 1 bound %.3f", alg.Name(), n, m.Steps, lb)
+			}
+			if lb, ok := bounds.MutexCFRegLower(n, l); ok && float64(m.Registers) < lb {
+				t.Errorf("%s n=%d: registers %d violate Theorem 2 bound %.3f", alg.Name(), n, m.Registers, lb)
+			}
+		}
+	}
+}

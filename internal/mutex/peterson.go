@@ -1,0 +1,163 @@
+package mutex
+
+import (
+	"fmt"
+
+	"cfc/internal/opset"
+	"cfc/internal/sim"
+)
+
+// twoProcNode is a two-process mutual-exclusion protocol usable as a
+// tournament-tree node: sides are 0 and 1.
+type twoProcNode interface {
+	lock(p *sim.Proc, side int)
+	unlock(p *sim.Proc, side int)
+}
+
+// petersonNode is Peterson's two-process algorithm, the classic
+// tournament-tree node of Peterson & Fischer [PF77]. All registers are
+// single bits, so the atomicity is 1. The turn bit is written by both
+// processes.
+//
+// Contention-free cost per node: entry = write flag, write turn, read
+// other flag (3 accesses); exit = write flag (1 access); 3 distinct
+// registers.
+type petersonNode struct {
+	flag [2]sim.Reg
+	turn sim.Reg
+}
+
+func newPetersonNode(mem *sim.Memory, prefix string) *petersonNode {
+	return &petersonNode{
+		flag: [2]sim.Reg{mem.Bit(prefix + "flag[0]"), mem.Bit(prefix + "flag[1]")},
+		turn: mem.Bit(prefix + "turn"),
+	}
+}
+
+func (nd *petersonNode) lock(p *sim.Proc, side int) {
+	other := 1 - side
+	p.Write(nd.flag[side], 1)
+	p.Write(nd.turn, uint64(side))
+	for {
+		if p.Read(nd.flag[other]) == 0 {
+			return
+		}
+		if p.Read(nd.turn) != uint64(side) {
+			return
+		}
+	}
+}
+
+func (nd *petersonNode) unlock(p *sim.Proc, side int) {
+	p.Write(nd.flag[side], 0)
+}
+
+// kesselsNode is Kessels's two-process algorithm [Kes82]: a Peterson-style
+// arbiter in which every shared bit is written by only one process
+// ("arbitration without common modifiable variables"). The shared turn bit
+// is replaced by two single-writer bits t[0], t[1]; the virtual turn is
+// t[0] XOR t[1].
+//
+// Side 0 concedes by making the XOR 0 (t0 := t1); side 1 concedes by
+// making it 1 (t1 := 1 - t0). A side then waits while the other's flag is
+// up and the virtual turn still equals its concession.
+//
+// Contention-free cost per node: entry = write flag, read other's t,
+// write own t, read other flag (4 accesses); exit = write flag (1);
+// 4 distinct registers.
+type kesselsNode struct {
+	flag [2]sim.Reg
+	t    [2]sim.Reg
+}
+
+func newKesselsNode(mem *sim.Memory, prefix string) *kesselsNode {
+	return &kesselsNode{
+		flag: [2]sim.Reg{mem.Bit(prefix + "flag[0]"), mem.Bit(prefix + "flag[1]")},
+		t:    [2]sim.Reg{mem.Bit(prefix + "t[0]"), mem.Bit(prefix + "t[1]")},
+	}
+}
+
+func (nd *kesselsNode) lock(p *sim.Proc, side int) {
+	other := 1 - side
+	p.Write(nd.flag[side], 1)
+	tOther := p.Read(nd.t[other])
+	// Concede: side 0 targets XOR = 0, side 1 targets XOR = 1.
+	var mine uint64
+	if side == 0 {
+		mine = tOther
+	} else {
+		mine = 1 - tOther
+	}
+	p.Write(nd.t[side], mine)
+	for {
+		if p.Read(nd.flag[other]) == 0 {
+			return
+		}
+		to := p.Read(nd.t[other])
+		xor := mine ^ to
+		conceded := (side == 0 && xor == 0) || (side == 1 && xor == 1)
+		if !conceded {
+			return
+		}
+	}
+}
+
+func (nd *kesselsNode) unlock(p *sim.Proc, side int) {
+	p.Write(nd.flag[side], 0)
+}
+
+// Peterson is Peterson's two-process algorithm as a standalone Algorithm
+// (n must be 2). It is the l = 1 baseline for two processes.
+type Peterson struct{}
+
+// Name implements Algorithm.
+func (Peterson) Name() string { return "peterson-2p" }
+
+// Atomicity implements Algorithm.
+func (Peterson) Atomicity(int) int { return 1 }
+
+// Model implements Algorithm.
+func (Peterson) Model() opset.Model { return opset.AtomicRegisters }
+
+// New implements Algorithm.
+func (Peterson) New(mem *sim.Memory, n int) (Instance, error) {
+	if n != 2 {
+		return nil, fmt.Errorf("mutex: peterson-2p supports exactly 2 processes, got %d", n)
+	}
+	return &twoProcInstance{node: newPetersonNode(mem, "")}, nil
+}
+
+// Kessels is Kessels's two-process algorithm as a standalone Algorithm
+// (n must be 2).
+type Kessels struct{}
+
+// Name implements Algorithm.
+func (Kessels) Name() string { return "kessels-2p" }
+
+// Atomicity implements Algorithm.
+func (Kessels) Atomicity(int) int { return 1 }
+
+// Model implements Algorithm.
+func (Kessels) Model() opset.Model { return opset.AtomicRegisters }
+
+// New implements Algorithm.
+func (Kessels) New(mem *sim.Memory, n int) (Instance, error) {
+	if n != 2 {
+		return nil, fmt.Errorf("mutex: kessels-2p supports exactly 2 processes, got %d", n)
+	}
+	return &twoProcInstance{node: newKesselsNode(mem, "")}, nil
+}
+
+type twoProcInstance struct {
+	node twoProcNode
+}
+
+func (ti *twoProcInstance) Lock(p *sim.Proc)   { ti.node.lock(p, p.ID()) }
+func (ti *twoProcInstance) Unlock(p *sim.Proc) { ti.node.unlock(p, p.ID()) }
+
+var (
+	_ Algorithm   = Peterson{}
+	_ Algorithm   = Kessels{}
+	_ twoProcNode = (*petersonNode)(nil)
+	_ twoProcNode = (*kesselsNode)(nil)
+)

@@ -1,0 +1,97 @@
+package mutex
+
+import (
+	"fmt"
+
+	"cfc/internal/opset"
+	"cfc/internal/sim"
+)
+
+// TASLock is a test-and-set spin lock on a single shared bit. It is the
+// classic read-modify-write baseline: contention-free complexity is 2
+// steps (one test-and-set, one write-0) on 1 register, but every retry
+// under contention is a mutating access that invalidates other processors'
+// caches, which is what the backoff experiment of Section 4 quantifies.
+type TASLock struct{}
+
+// Name implements Algorithm.
+func (TASLock) Name() string { return "tas-lock" }
+
+// Atomicity implements Algorithm.
+func (TASLock) Atomicity(int) int { return 1 }
+
+// Model implements Algorithm.
+func (TASLock) Model() opset.Model { return opset.ModelOf(opset.TestAndSet, opset.Write0) }
+
+// New implements Algorithm.
+func (TASLock) New(mem *sim.Memory, n int) (Instance, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("mutex: tas-lock needs n >= 1, got %d", n)
+	}
+	return &tasLock{bit: mem.Bit("lock")}, nil
+}
+
+type tasLock struct {
+	bit sim.Reg
+}
+
+// Lock implements Instance.
+func (l *tasLock) Lock(p *sim.Proc) {
+	for p.TestAndSet(l.bit) == 1 {
+	}
+}
+
+// Unlock implements Instance.
+func (l *tasLock) Unlock(p *sim.Proc) {
+	p.Write(l.bit, 0)
+}
+
+// TTASLock is the test-and-test-and-set variant: it spins on reads and
+// attempts the mutating test-and-set only after observing the lock free.
+// Contention-free complexity is 3 steps (read, test-and-set, write-0) on
+// 1 register.
+type TTASLock struct{}
+
+// Name implements Algorithm.
+func (TTASLock) Name() string { return "ttas-lock" }
+
+// Atomicity implements Algorithm.
+func (TTASLock) Atomicity(int) int { return 1 }
+
+// Model implements Algorithm.
+func (TTASLock) Model() opset.Model {
+	return opset.ModelOf(opset.Read, opset.TestAndSet, opset.Write0)
+}
+
+// New implements Algorithm.
+func (TTASLock) New(mem *sim.Memory, n int) (Instance, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("mutex: ttas-lock needs n >= 1, got %d", n)
+	}
+	return &ttasLock{bit: mem.Bit("lock")}, nil
+}
+
+type ttasLock struct {
+	bit sim.Reg
+}
+
+// Lock implements Instance.
+func (l *ttasLock) Lock(p *sim.Proc) {
+	for {
+		for p.Read(l.bit) == 1 {
+		}
+		if p.TestAndSet(l.bit) == 0 {
+			return
+		}
+	}
+}
+
+// Unlock implements Instance.
+func (l *ttasLock) Unlock(p *sim.Proc) {
+	p.Write(l.bit, 0)
+}
+
+var (
+	_ Algorithm = TASLock{}
+	_ Algorithm = TTASLock{}
+)

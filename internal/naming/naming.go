@@ -1,0 +1,285 @@
+// Package naming implements the wait-free naming algorithms of Section 3
+// of Alur & Taubenfeld: assigning unique names to initially identical
+// processes communicating through shared bits, under the various
+// single-bit operation models (Theorem 4), together with the measurement
+// hooks used to regenerate the paper's "Tight bounds for naming" table.
+//
+// Because the processes are identical, none of the algorithms may consult
+// p.ID(): every process runs the same code and is distinguished only by
+// the values the shared-memory operations return. The simulator cannot
+// enforce this, so it is a package invariant kept by code review and by
+// the clone adversary of Theorem 6 (identical processes stepping in lock
+// step must behave identically until the memory separates them).
+package naming
+
+import (
+	"fmt"
+
+	"cfc/internal/opset"
+	"cfc/internal/sim"
+)
+
+// Algorithm is a naming-algorithm family.
+type Algorithm interface {
+	// Name returns a short identifier.
+	Name() string
+	// Model returns the operation model the algorithm requires.
+	Model() opset.Model
+	// NameSpace returns the size of the name space used for n processes
+	// (names are 1..NameSpace(n)). The tree algorithms round n up to a
+	// power of two; the scan algorithms use exactly n.
+	NameSpace(n int) int
+	// New declares the algorithm's shared bits and returns an instance
+	// for n processes.
+	New(mem *sim.Memory, n int) (Instance, error)
+}
+
+// Instance is one set-up naming algorithm. Run executes the protocol for
+// the calling process, records the chosen name via p.Output, and returns
+// it. It implements driver.TaskRunner.
+type Instance interface {
+	Run(p *sim.Proc) uint64
+}
+
+// pow2ceil returns the smallest power of two >= n (and >= 2).
+func pow2ceil(n int) int {
+	p := 2
+	for p < n {
+		p *= 2
+	}
+	return p
+}
+
+// TAFTree is the Theorem 4(1) algorithm for models with test-and-flip:
+// n-1 bits arranged as a balanced binary tree. Each process walks from the
+// root to a leaf, applying test-and-flip at every node: returned value 0
+// sends it left, 1 right; at the leaf the returned value selects one of
+// the leaf's two names. Worst-case step complexity log n; all four
+// measures are log n (tight by Theorem 5).
+//
+// Correctness: test-and-flip is a balancer — of the k processes that pass
+// through a node, ceil(k/2) go left and floor(k/2) go right — so at most
+// two processes reach each leaf, and the leaf's flip separates them.
+type TAFTree struct{}
+
+// Name implements Algorithm.
+func (TAFTree) Name() string { return "taf-tree" }
+
+// Model implements Algorithm.
+func (TAFTree) Model() opset.Model { return opset.TAFOnly }
+
+// NameSpace implements Algorithm.
+func (TAFTree) NameSpace(n int) int { return pow2ceil(n) }
+
+// New implements Algorithm.
+func (TAFTree) New(mem *sim.Memory, n int) (Instance, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("naming: taf-tree needs n >= 1, got %d", n)
+	}
+	size := pow2ceil(n)
+	// Heap layout: node i has children 2i and 2i+1; nodes 1..size-1;
+	// leaves are nodes size/2 .. size-1.
+	return &tafTree{size: size, node: mem.Bits("node", size)}, nil
+}
+
+type tafTree struct {
+	size int
+	node []sim.Reg // node[i] for i in 1..size-1 (index 0 unused)
+}
+
+// Run implements Instance.
+func (t *tafTree) Run(p *sim.Proc) uint64 {
+	i := 1
+	for i < t.size/2 { // internal nodes
+		if p.TestAndFlip(t.node[i]) == 0 {
+			i = 2 * i
+		} else {
+			i = 2*i + 1
+		}
+	}
+	// Leaf node i covers names 2*(i - size/2) + 1 and + 2.
+	base := uint64(2*(i-t.size/2) + 1)
+	name := base + p.TestAndFlip(t.node[i])
+	p.Output(name)
+	return name
+}
+
+// TASTARTree is the Theorem 4(2) algorithm for models with both
+// test-and-set and test-and-reset: the same tree, but each node's
+// test-and-flip is emulated by alternately applying test-and-set and
+// test-and-reset until one of them actually changes the bit (test-and-set
+// returning 0, or test-and-reset returning 1); the old value then routes
+// the process exactly as in TAFTree. Worst-case register complexity is
+// log n (each process touches one bit per level); worst-case step
+// complexity remains n-1 in this model by Theorem 6.
+type TASTARTree struct{}
+
+// Name implements Algorithm.
+func (TASTARTree) Name() string { return "tas-tar-tree" }
+
+// Model implements Algorithm.
+func (TASTARTree) Model() opset.Model {
+	return opset.ModelOf(opset.TestAndSet, opset.TestAndReset)
+}
+
+// NameSpace implements Algorithm.
+func (TASTARTree) NameSpace(n int) int { return pow2ceil(n) }
+
+// New implements Algorithm.
+func (TASTARTree) New(mem *sim.Memory, n int) (Instance, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("naming: tas-tar-tree needs n >= 1, got %d", n)
+	}
+	size := pow2ceil(n)
+	return &tasTarTree{size: size, node: mem.Bits("node", size)}, nil
+}
+
+type tasTarTree struct {
+	size int
+	node []sim.Reg
+}
+
+// flip emulates one test-and-flip on bit r: alternate test-and-set and
+// test-and-reset until an operation changes the bit, and return the old
+// value it observed. Each competitor changes the bit at most once per
+// traversal, so the loop is bounded by the number of processes at the
+// node.
+func (t *tasTarTree) flip(p *sim.Proc, r sim.Reg) uint64 {
+	for {
+		if p.TestAndSet(r) == 0 {
+			return 0 // we flipped 0 -> 1
+		}
+		if p.TestAndReset(r) == 1 {
+			return 1 // we flipped 1 -> 0
+		}
+	}
+}
+
+// Run implements Instance.
+func (t *tasTarTree) Run(p *sim.Proc) uint64 {
+	i := 1
+	for i < t.size/2 {
+		if t.flip(p, t.node[i]) == 0 {
+			i = 2 * i
+		} else {
+			i = 2*i + 1
+		}
+	}
+	base := uint64(2*(i-t.size/2) + 1)
+	name := base + t.flip(p, t.node[i])
+	p.Output(name)
+	return name
+}
+
+// TASScan is the Theorem 4(3) algorithm for models with test-and-set:
+// n-1 bits scanned in order, applying test-and-set to each; the process
+// takes the name of the first bit whose test-and-set returned 0, or the
+// name n if every operation returned 1. All four complexity measures are
+// n-1, which is tight in the bare {test-and-set} model (Theorems 6
+// and 7).
+type TASScan struct{}
+
+// Name implements Algorithm.
+func (TASScan) Name() string { return "tas-scan" }
+
+// Model implements Algorithm.
+func (TASScan) Model() opset.Model { return opset.TASOnly }
+
+// NameSpace implements Algorithm.
+func (TASScan) NameSpace(n int) int { return n }
+
+// New implements Algorithm.
+func (TASScan) New(mem *sim.Memory, n int) (Instance, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("naming: tas-scan needs n >= 1, got %d", n)
+	}
+	return &tasScan{n: n, bit: mem.Bits("b", n-1)}, nil
+}
+
+type tasScan struct {
+	n   int
+	bit []sim.Reg
+}
+
+// Run implements Instance.
+func (t *tasScan) Run(p *sim.Proc) uint64 {
+	for j := range t.bit {
+		if p.TestAndSet(t.bit[j]) == 0 {
+			name := uint64(j + 1)
+			p.Output(name)
+			return name
+		}
+	}
+	name := uint64(t.n)
+	p.Output(name)
+	return name
+}
+
+// TASBinSearch is the Theorem 4(4) algorithm for models with read and
+// test-and-set: a binary search (reads only) for the least-numbered clear
+// bit, one test-and-set on the candidate, and on failure a forward scan
+// from the candidate as in TASScan. In the absence of contention the set
+// bits form a prefix, the binary search is exact and the process finishes
+// in about log n steps; under contention the scan preserves uniqueness at
+// worst-case cost O(n).
+type TASBinSearch struct{}
+
+// Name implements Algorithm.
+func (TASBinSearch) Name() string { return "tas-binsearch" }
+
+// Model implements Algorithm.
+func (TASBinSearch) Model() opset.Model { return opset.ReadTAS }
+
+// NameSpace implements Algorithm.
+func (TASBinSearch) NameSpace(n int) int { return n }
+
+// New implements Algorithm.
+func (TASBinSearch) New(mem *sim.Memory, n int) (Instance, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("naming: tas-binsearch needs n >= 1, got %d", n)
+	}
+	return &tasBinSearch{n: n, bit: mem.Bits("b", n-1)}, nil
+}
+
+type tasBinSearch struct {
+	n   int
+	bit []sim.Reg
+}
+
+// Run implements Instance.
+func (t *tasBinSearch) Run(p *sim.Proc) uint64 {
+	if t.n == 1 {
+		p.Output(1)
+		return 1
+	}
+	// Binary search over bit indices 0..n-2 for the least clear bit,
+	// trusting (as the paper does) that set bits form a prefix; contention
+	// can break the trust, which the fallback scan repairs.
+	lo, hi := 0, t.n-2
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if p.Read(t.bit[mid]) == 1 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	// One test-and-set on the candidate, then forward scan on failure.
+	for j := lo; j < t.n-1; j++ {
+		if p.TestAndSet(t.bit[j]) == 0 {
+			name := uint64(j + 1)
+			p.Output(name)
+			return name
+		}
+	}
+	name := uint64(t.n)
+	p.Output(name)
+	return name
+}
+
+var (
+	_ Algorithm = TAFTree{}
+	_ Algorithm = TASTARTree{}
+	_ Algorithm = TASScan{}
+	_ Algorithm = TASBinSearch{}
+)

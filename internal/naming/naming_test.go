@@ -1,0 +1,316 @@
+package naming_test
+
+import (
+	"testing"
+
+	"cfc/internal/bounds"
+	"cfc/internal/driver"
+	"cfc/internal/metrics"
+	"cfc/internal/naming"
+	"cfc/internal/sim"
+)
+
+func algorithms() []naming.Algorithm {
+	return []naming.Algorithm{
+		naming.TAFTree{},
+		naming.TASTARTree{},
+		naming.TASScan{},
+		naming.TASBinSearch{},
+	}
+}
+
+func newInstance(t *testing.T, alg naming.Algorithm, n int) (*sim.Memory, naming.Instance) {
+	t.Helper()
+	mem := sim.NewMemory(alg.Model())
+	inst, err := alg.New(mem, n)
+	if err != nil {
+		t.Fatalf("%s.New(%d): %v", alg.Name(), n, err)
+	}
+	return mem, inst
+}
+
+func TestUniqueNamesUnderManySchedules(t *testing.T) {
+	for _, alg := range algorithms() {
+		alg := alg
+		t.Run(alg.Name(), func(t *testing.T) {
+			for _, n := range []int{1, 2, 3, 4, 7, 8, 16} {
+				mem, inst := newInstance(t, alg, n)
+				scheds := []sim.Scheduler{sim.Sequential{}, &sim.RoundRobin{}}
+				for seed := int64(0); seed < 30; seed++ {
+					scheds = append(scheds, sim.NewRandom(seed))
+				}
+				for i, sched := range scheds {
+					tr, err := driver.TaskRun(mem, inst, n, sched, 1<<18)
+					if err != nil {
+						t.Fatalf("n=%d sched %d: %v", n, i, err)
+					}
+					if tr.Stop != sim.StopAllDone {
+						t.Fatalf("n=%d sched %d: wait-freedom violated (%v)", n, i, tr.Stop)
+					}
+					if err := metrics.CheckUniqueOutputs(tr); err != nil {
+						t.Fatalf("n=%d sched %d: %v", n, i, err)
+					}
+					// Names must fall within the declared name space.
+					limit := uint64(alg.NameSpace(n))
+					for pid, name := range tr.Outputs() {
+						if name < 1 || name > limit {
+							t.Fatalf("n=%d sched %d: p%d chose %d outside 1..%d", n, i, pid, name, limit)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestWaitFreedomUnderCrashes(t *testing.T) {
+	// Wait-freedom (Section 3): every participating process terminates in
+	// a finite number of its own steps regardless of other processes'
+	// behaviour, including crashes.
+	for _, alg := range algorithms() {
+		alg := alg
+		t.Run(alg.Name(), func(t *testing.T) {
+			n := 6
+			mem, inst := newInstance(t, alg, n)
+			for seed := int64(0); seed < 15; seed++ {
+				tr, err := driver.TaskRun(mem, inst, n, &sim.Crasher{
+					Inner:   sim.NewRandom(seed),
+					CrashAt: map[int]int{0: 2, 4: 9},
+				}, 1<<18)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := metrics.CheckUniqueOutputs(tr); err != nil {
+					t.Fatal(err)
+				}
+				for _, task := range metrics.Tasks(tr) {
+					if task.PID != 0 && task.PID != 4 && !task.Done {
+						t.Fatalf("seed %d: surviving p%d did not terminate (wait-freedom)", seed, task.PID)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestSequentialRunAssignsAllNames(t *testing.T) {
+	// In a sequential (contention-free) run of the scan algorithms, names
+	// 1..n are assigned in order.
+	for _, alg := range []naming.Algorithm{naming.TASScan{}, naming.TASBinSearch{}} {
+		n := 9
+		mem, inst := newInstance(t, alg, n)
+		tr, err := driver.TaskRun(mem, inst, n, sim.Sequential{}, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for pid := 0; pid < n; pid++ {
+			name, ok := tr.Output(pid)
+			if !ok || name != uint64(pid+1) {
+				t.Errorf("%s: p%d name = %d,%v, want %d", alg.Name(), pid, name, ok, pid+1)
+			}
+		}
+	}
+}
+
+func TestTAFTreeStepComplexityExactlyLogN(t *testing.T) {
+	// Theorem 4(1): worst-case step complexity log n - every process in
+	// every run takes exactly log2(namespace) test-and-flip steps.
+	for _, n := range []int{2, 4, 8, 16, 32} {
+		alg := naming.TAFTree{}
+		mem, inst := newInstance(t, alg, n)
+		want := bounds.CeilLog2(alg.NameSpace(n))
+		for seed := int64(0); seed < 10; seed++ {
+			tr, err := driver.TaskRun(mem, inst, n, sim.NewRandom(seed), 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, task := range metrics.Tasks(tr) {
+				if task.M.Steps != want {
+					t.Errorf("n=%d seed=%d: p%d steps = %d, want %d", n, seed, task.PID, task.M.Steps, want)
+				}
+				if task.M.Registers != want {
+					t.Errorf("n=%d seed=%d: p%d registers = %d, want %d", n, seed, task.PID, task.M.Registers, want)
+				}
+			}
+		}
+	}
+}
+
+func TestTASTARTreeRegisterComplexityLogN(t *testing.T) {
+	// Theorem 4(2): worst-case register complexity log n - each process
+	// touches exactly one bit per tree level, though it may touch it many
+	// times.
+	for _, n := range []int{2, 4, 8, 16} {
+		alg := naming.TASTARTree{}
+		mem, inst := newInstance(t, alg, n)
+		want := bounds.CeilLog2(alg.NameSpace(n))
+		for seed := int64(0); seed < 10; seed++ {
+			tr, err := driver.TaskRun(mem, inst, n, sim.NewRandom(seed), 1<<18)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, task := range metrics.Tasks(tr) {
+				if task.M.Registers != want {
+					t.Errorf("n=%d seed=%d: p%d registers = %d, want %d", n, seed, task.PID, task.M.Registers, want)
+				}
+			}
+		}
+	}
+}
+
+func TestTASTARTreeContentionFreeStepLogN(t *testing.T) {
+	// Without contention every emulated flip needs at most 2 operations
+	// (test-and-set answering 0, or test-and-set 1 then test-and-reset 1),
+	// so the contention-free step complexity is at most 2 log n.
+	n := 16
+	alg := naming.TASTARTree{}
+	mem, inst := newInstance(t, alg, n)
+	d := bounds.CeilLog2(alg.NameSpace(n))
+	tr, err := driver.TaskRun(mem, inst, n, sim.Sequential{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, task := range metrics.Tasks(tr) {
+		if !task.ContentionFree {
+			t.Fatalf("sequential run should be contention-free")
+		}
+		if task.M.Steps > 2*d {
+			t.Errorf("p%d contention-free steps = %d > 2 log n = %d", task.PID, task.M.Steps, 2*d)
+		}
+		if task.M.Registers != d {
+			t.Errorf("p%d contention-free registers = %d, want %d", task.PID, task.M.Registers, d)
+		}
+	}
+}
+
+func TestTASScanComplexityNMinus1(t *testing.T) {
+	// Theorem 4(3): the last process of a sequential run performs n-1
+	// test-and-set operations on n-1 distinct bits.
+	n := 12
+	alg := naming.TASScan{}
+	mem, inst := newInstance(t, alg, n)
+	tr, err := driver.TaskRun(mem, inst, n, sim.Sequential{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cf, ok := metrics.ContentionFreeTask(tr)
+	if !ok {
+		t.Fatal("no contention-free task")
+	}
+	if cf.Steps != n-1 || cf.Registers != n-1 {
+		t.Errorf("tas-scan contention-free = %+v, want %d steps / %d registers", cf, n-1, n-1)
+	}
+}
+
+func TestTASBinSearchContentionFreeLogN(t *testing.T) {
+	// Theorem 4(4): contention-free step complexity about log n. The
+	// search performs ceil(log2(n-1)) reads plus one test-and-set.
+	for _, n := range []int{8, 16, 64, 256} {
+		alg := naming.TASBinSearch{}
+		mem, inst := newInstance(t, alg, n)
+		tr, err := driver.TaskRun(mem, inst, n, sim.Sequential{}, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		maxSteps := bounds.CeilLog2(n-1) + 1
+		cf, ok := metrics.ContentionFreeTask(tr)
+		if !ok {
+			t.Fatal("no contention-free task")
+		}
+		if cf.Steps > maxSteps {
+			t.Errorf("n=%d: contention-free steps = %d, want <= %d", n, cf.Steps, maxSteps)
+		}
+		// Theorem 5: contention-free register complexity >= log n in every
+		// model.
+		if cf.Registers < bounds.NamingCFRegLower(n)-1 {
+			t.Errorf("n=%d: contention-free registers = %d below Theorem 5 bound %d",
+				n, cf.Registers, bounds.NamingCFRegLower(n))
+		}
+	}
+}
+
+func TestTheorem5OnAllAlgorithms(t *testing.T) {
+	// Theorem 5: for every model, the contention-free register complexity
+	// of every naming algorithm is at least log n (over the name space the
+	// algorithm actually uses).
+	for _, alg := range algorithms() {
+		for _, n := range []int{4, 8, 16} {
+			mem, inst := newInstance(t, alg, n)
+			tr, err := driver.TaskRun(mem, inst, n, sim.Sequential{}, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cf, ok := metrics.ContentionFreeTask(tr)
+			if !ok {
+				t.Fatal("no contention-free task")
+			}
+			if lb := bounds.CeilLog2(n); cf.Registers < lb {
+				t.Errorf("%s n=%d: contention-free registers %d < Theorem 5 bound %d",
+					alg.Name(), n, cf.Registers, lb)
+			}
+		}
+	}
+}
+
+func TestNameSpaceSizes(t *testing.T) {
+	tests := []struct {
+		alg     naming.Algorithm
+		n, want int
+	}{
+		{naming.TAFTree{}, 8, 8},
+		{naming.TAFTree{}, 9, 16},
+		{naming.TAFTree{}, 1, 2},
+		{naming.TASTARTree{}, 5, 8},
+		{naming.TASScan{}, 9, 9},
+		{naming.TASBinSearch{}, 9, 9},
+	}
+	for _, tt := range tests {
+		if got := tt.alg.NameSpace(tt.n); got != tt.want {
+			t.Errorf("%s.NameSpace(%d) = %d, want %d", tt.alg.Name(), tt.n, got, tt.want)
+		}
+	}
+}
+
+func TestConfigErrors(t *testing.T) {
+	for _, alg := range algorithms() {
+		mem := sim.NewMemory(alg.Model())
+		if _, err := alg.New(mem, 0); err == nil {
+			t.Errorf("%s.New(0) should fail", alg.Name())
+		}
+	}
+}
+
+func TestSingleProcess(t *testing.T) {
+	for _, alg := range algorithms() {
+		mem, inst := newInstance(t, alg, 1)
+		tr, err := driver.TaskRun(mem, inst, 1, sim.Sequential{}, 0)
+		if err != nil {
+			t.Fatalf("%s: %v", alg.Name(), err)
+		}
+		name, ok := tr.Output(0)
+		if !ok || name < 1 || name > uint64(alg.NameSpace(1)) {
+			t.Errorf("%s: single process name = %d,%v", alg.Name(), name, ok)
+		}
+	}
+}
+
+func TestIdenticalProcessesLockStepSplit(t *testing.T) {
+	// The Theorem 6 intuition made concrete: under round-robin, identical
+	// processes perform the same first operation on the same bit, and the
+	// returned values separate at most one of them per operation.
+	n := 4
+	alg := naming.TASScan{}
+	mem, inst := newInstance(t, alg, n)
+	tr, err := driver.TaskRun(mem, inst, n, &sim.RoundRobin{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := metrics.CheckUniqueOutputs(tr); err != nil {
+		t.Fatal(err)
+	}
+	// The last-separated process must have taken n-1 steps.
+	worst, _ := metrics.WorstTask(tr)
+	if worst.Steps != n-1 {
+		t.Errorf("lock-step worst steps = %d, want %d", worst.Steps, n-1)
+	}
+}

@@ -1,0 +1,122 @@
+package naming
+
+import (
+	"fmt"
+	"math/rand"
+
+	"cfc/internal/opset"
+	"cfc/internal/sim"
+)
+
+// Randomized is a naming algorithm for the {read, write} model, in which
+// deterministic naming is impossible (Section 3.1: with atomic reads and
+// writes only, symmetry cannot be broken; the paper points to Lipton &
+// Park [LP90] for the probabilistic alternative).
+//
+// The protocol is a chain of randomized splitters. Name slot j has an
+// identifier register x[j] and a gate bit y[j]; a process draws a fresh
+// random 63-bit token per attempt and runs the splitter
+//
+//	x[j] := token; if y[j] != 0 -> retry elsewhere;
+//	y[j] := 1;     if x[j] == token -> claim name j, else retry
+//
+// probing uniformly random slots until it wins one; random probe order
+// keeps concurrent processes on different slots most of the time, which
+// is what makes the completion rate high.
+//
+// Safety (names unique): the gate bit y[j] is never cleared, so slot j's
+// winners all passed its gate and validated their own token from x[j];
+// for two of them the later validator would have needed its token
+// rewritten after the earlier one validated, but each process writes its
+// token once, before its own gate read, which precedes the earlier
+// winner's y[j] := 1 — contradiction. Uniqueness therefore holds up to
+// 63-bit token collisions (probability ~2^-63 per race); one cannot do
+// better, since exact-once claiming with reads and writes would decide
+// consensus. No "gate repair" is attempted: reopening a gate after a
+// failed validation races with a concurrent claim and re-admits winners
+// (a repair variant tried during development produced exactly that
+// double win under randomized testing), which is the impossibility of
+// Section 3.1 surfacing in practice.
+//
+// Liveness is probabilistic only: a race can retire a slot with no
+// winner (its gate stays shut forever), so a cycling loser may never
+// terminate — this weakness is intrinsic to the model, and is why the
+// paper's Section 3 table has no read/write column (Section 3.1:
+// deterministic naming is impossible; the paper cites [LP90] for the
+// probabilistic alternative this extension follows in spirit). Under
+// sequential and round-robin schedules every tested configuration
+// terminates (in lock step, the last doorway writer of a contended slot
+// wins it); under random schedules the tests document the completion
+// rate.
+//
+// Each process seeds its coin source with its process id. The identifier
+// is used for nothing else: the protocol logic never branches on it, so
+// the processes remain programmatically identical, with the seed standing
+// in for the independent physical coins of the model.
+type Randomized struct {
+	// Slots is the number of name slots; 0 means 2n (slack keeps the
+	// expected number of passes low). Names are 1..Slots.
+	Slots int
+	// Seed perturbs every process's coin source, so different seeds give
+	// different (still reproducible) runs.
+	Seed int64
+}
+
+// Name implements Algorithm.
+func (Randomized) Name() string { return "randomized-rw" }
+
+// Model implements Algorithm: atomic reads and writes only.
+func (Randomized) Model() opset.Model { return opset.AtomicRegisters }
+
+// NameSpace implements Algorithm.
+func (r Randomized) NameSpace(n int) int {
+	if r.Slots > 0 {
+		return r.Slots
+	}
+	return 2 * n
+}
+
+// New implements Algorithm.
+func (r Randomized) New(mem *sim.Memory, n int) (Instance, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("naming: randomized-rw needs n >= 1, got %d", n)
+	}
+	s := r.NameSpace(n)
+	if s < n {
+		return nil, fmt.Errorf("naming: randomized-rw needs at least n slots, got %d < %d", s, n)
+	}
+	return &randomized{
+		seed: r.Seed,
+		x:    mem.Registers("x", 63, s),
+		y:    mem.Bits("y", s),
+	}, nil
+}
+
+type randomized struct {
+	seed int64
+	x    []sim.Reg
+	y    []sim.Reg
+}
+
+// Run implements Instance.
+func (r *randomized) Run(p *sim.Proc) uint64 {
+	// The process id seeds the coins and is never otherwise consulted.
+	rng := rand.New(rand.NewSource(r.seed ^ int64(p.ID())*0x5851F42D4C957F2D))
+	for {
+		j := rng.Intn(len(r.x))
+		token := uint64(rng.Int63())
+		p.Write(r.x[j], token)
+		if p.Read(r.y[j]) != 0 {
+			continue // gate closed
+		}
+		p.Write(r.y[j], 1)
+		if p.Read(r.x[j]) != token {
+			continue // spoiled: someone overwrote the token
+		}
+		name := uint64(j + 1)
+		p.Output(name)
+		return name
+	}
+}
+
+var _ Algorithm = Randomized{}

@@ -1,0 +1,180 @@
+package naming_test
+
+import (
+	"testing"
+
+	"cfc/internal/driver"
+	"cfc/internal/metrics"
+	"cfc/internal/naming"
+	"cfc/internal/sim"
+)
+
+func TestRandomizedUniqueNames(t *testing.T) {
+	// Safety (uniqueness) must hold on every run; termination is
+	// guaranteed under sequential and round-robin schedules and is
+	// probabilistic under random ones, so random-schedule runs only
+	// require that whoever finished holds a distinct in-range name.
+	for _, n := range []int{1, 2, 4, 8, 16} {
+		for seed := int64(0); seed < 10; seed++ {
+			alg := naming.Randomized{Seed: seed}
+			mem := sim.NewMemory(alg.Model())
+			inst, err := alg.New(mem, n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			scheds := []struct {
+				s          sim.Scheduler
+				mustFinish bool
+			}{
+				{sim.Sequential{}, true},
+				{&sim.RoundRobin{}, true},
+				{sim.NewRandom(seed), false},
+			}
+			for i, sc := range scheds {
+				tr, err := driver.TaskRun(mem, inst, n, sc.s, 1<<18)
+				if err != nil {
+					t.Fatalf("n=%d seed=%d sched=%d: %v", n, seed, i, err)
+				}
+				if err := metrics.CheckUniqueOutputs(tr); err != nil {
+					t.Fatalf("n=%d seed=%d sched=%d: %v", n, seed, i, err)
+				}
+				if sc.mustFinish && tr.Stop != sim.StopAllDone {
+					t.Fatalf("n=%d seed=%d sched=%d: did not terminate (%v)", n, seed, i, tr.Stop)
+				}
+				limit := uint64(alg.NameSpace(n))
+				for pid, name := range tr.Outputs() {
+					if name < 1 || name > limit {
+						t.Fatalf("p%d name %d outside 1..%d", pid, name, limit)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestRandomizedTerminatesUnderRandomSchedulesUsually(t *testing.T) {
+	// Termination under random schedules is probabilistic; with the
+	// repairable-slot protocol it should be the norm. Require a high
+	// completion rate over a deterministic seed battery.
+	n := 6
+	completed, total := 0, 0
+	for seed := int64(0); seed < 30; seed++ {
+		alg := naming.Randomized{Seed: seed}
+		mem := sim.NewMemory(alg.Model())
+		inst, err := alg.New(mem, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr, err := driver.TaskRun(mem, inst, n, sim.NewRandom(seed*31+7), 1<<18)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := metrics.CheckUniqueOutputs(tr); err != nil {
+			t.Fatal(err)
+		}
+		total++
+		if tr.Stop == sim.StopAllDone {
+			completed++
+		}
+	}
+	// Dead slots make non-termination possible; with 2n slots the
+	// completion rate should still be high. The threshold is deliberately
+	// conservative; the observed rate is logged for EXPERIMENTS.md.
+	t.Logf("completion rate: %d/%d", completed, total)
+	if completed*2 < total {
+		t.Errorf("completion rate %d/%d below 50%%", completed, total)
+	}
+}
+
+func TestRandomizedSoloFastPath(t *testing.T) {
+	// A solo process wins the first slot in 4 accesses (doorway, gate
+	// read, gate write, validation), independent of n.
+	alg := naming.Randomized{}
+	n := 32
+	mem := sim.NewMemory(alg.Model())
+	inst, err := alg.New(mem, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := driver.SoloTaskRun(mem, inst, n, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, ok := metrics.ContentionFreeTask(tr)
+	if !ok {
+		t.Fatal("no task")
+	}
+	if m.Steps != 4 || m.Registers != 2 {
+		t.Errorf("solo randomized = %+v, want 4 steps / 2 registers", m)
+	}
+	if name, ok := tr.Output(5); !ok || name < 1 || name > uint64(alg.NameSpace(n)) {
+		t.Errorf("solo name = %d,%v, want in range", name, ok)
+	}
+}
+
+func TestRandomizedUsesOnlyReadsAndWrites(t *testing.T) {
+	// The model column this extension fills: no read-modify-write
+	// operation ever executes.
+	alg := naming.Randomized{Seed: 3}
+	n := 6
+	mem := sim.NewMemory(alg.Model())
+	inst, err := alg.New(mem, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := driver.TaskRun(mem, inst, n, sim.NewRandom(7), 1<<18)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range tr.Accesses(-1) {
+		if !e.IsRead() && !e.IsWrite() {
+			t.Fatalf("unexpected op kind in event %v", e)
+		}
+		if e.IsWrite() && e.Op.ReturnsValue() {
+			t.Fatalf("read-modify-write op %v used in read/write model", e.Op)
+		}
+	}
+}
+
+func TestRandomizedCrashTolerance(t *testing.T) {
+	// Crashed processes may leave gates set; survivors still terminate
+	// (there are 2n slots) with unique names.
+	alg := naming.Randomized{Seed: 1}
+	n := 6
+	mem := sim.NewMemory(alg.Model())
+	inst, err := alg.New(mem, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seed := int64(0); seed < 8; seed++ {
+		tr, err := driver.TaskRun(mem, inst, n, &sim.Crasher{
+			Inner:   sim.NewRandom(seed),
+			CrashAt: map[int]int{1: 4, 4: 9},
+		}, 1<<18)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := metrics.CheckUniqueOutputs(tr); err != nil {
+			t.Fatal(err)
+		}
+		for _, task := range metrics.Tasks(tr) {
+			if task.PID != 1 && task.PID != 4 && !task.Done {
+				t.Fatalf("seed %d: surviving p%d did not terminate", seed, task.PID)
+			}
+		}
+	}
+}
+
+func TestRandomizedConfig(t *testing.T) {
+	alg := naming.Randomized{Slots: 4}
+	if alg.NameSpace(10) != 4 {
+		t.Error("explicit Slots should win")
+	}
+	mem := sim.NewMemory(alg.Model())
+	if _, err := alg.New(mem, 10); err == nil {
+		t.Error("fewer slots than processes should be rejected")
+	}
+	if _, err := (naming.Randomized{}).New(mem, 0); err == nil {
+		t.Error("n=0 should be rejected")
+	}
+}

@@ -1,0 +1,309 @@
+// Package opset defines the taxonomy of atomic single-bit operations from
+// Section 3.1 of Alur & Taubenfeld, "Contention-Free Complexity of Shared
+// Memory Algorithms" (Information and Computation 126, 1996), together with
+// the notion of a model (a subset of the eight operations), the duality
+// transformation on operations and models, and classification predicates
+// used by the naming lower bounds.
+//
+// The paper lists eight operations a process may apply to a shared bit in
+// one atomic step. Each operation is characterised by how it transforms the
+// bit and whether it returns the old value. The package also defines two
+// multi-bit operations (ReadWord, WriteWord) used by the atomic-register
+// part of the paper (Section 2), where a register of width l bits can be
+// read or written in one atomic step.
+package opset
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Op identifies one atomic operation on a shared register.
+//
+// Ops 1..8 are exactly the eight single-bit operations of Section 3.1 of
+// the paper, in the paper's order. ReadWord and WriteWord extend the
+// taxonomy to multi-bit atomic registers (Section 2): they behave like Read
+// and a generalised Write on registers of any width.
+type Op uint8
+
+const (
+	// Skip has no effect on the bit and returns no value. It is included
+	// for completeness of the taxonomy (operation 1 in the paper).
+	Skip Op = iota + 1
+	// Read returns the current value and leaves the bit unchanged.
+	Read
+	// Write0 assigns 0 to the bit and returns no value.
+	Write0
+	// TestAndReset assigns 0 to the bit and returns the old value.
+	TestAndReset
+	// Write1 assigns 1 to the bit and returns no value.
+	Write1
+	// TestAndSet assigns 1 to the bit and returns the old value.
+	TestAndSet
+	// Flip complements the bit and returns no value.
+	Flip
+	// TestAndFlip complements the bit and returns the old value. The paper
+	// notes it is also known as fetch-and-complement, and is similar to the
+	// balancer of counting networks.
+	TestAndFlip
+	// ReadWord reads a multi-bit register atomically (Section 2 model).
+	// On single-bit registers it coincides with Read.
+	ReadWord
+	// WriteWord writes an arbitrary value to a multi-bit register
+	// atomically (Section 2 model). On single-bit registers writing v is
+	// Write0 or Write1 according to v.
+	WriteWord
+
+	numOps = int(WriteWord)
+)
+
+// opNames is indexed by Op. Names follow the paper's typography.
+var opNames = [...]string{
+	Skip:         "skip",
+	Read:         "read",
+	Write0:       "write-0",
+	TestAndReset: "test-and-reset",
+	Write1:       "write-1",
+	TestAndSet:   "test-and-set",
+	Flip:         "flip",
+	TestAndFlip:  "test-and-flip",
+	ReadWord:     "read-word",
+	WriteWord:    "write-word",
+}
+
+// String returns the paper's name for the operation.
+func (o Op) String() string {
+	if int(o) < len(opNames) && opNames[o] != "" {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// Valid reports whether o is one of the defined operations.
+func (o Op) Valid() bool {
+	return o >= Skip && int(o) <= numOps
+}
+
+// ReturnsValue reports whether the operation returns the (old) value of the
+// register to the caller. Operations that return no value cannot be used to
+// break symmetry on their own.
+func (o Op) ReturnsValue() bool {
+	switch o {
+	case Read, TestAndReset, TestAndSet, TestAndFlip, ReadWord:
+		return true
+	}
+	return false
+}
+
+// Mutates reports whether the operation can change the value of the
+// register. Read-like and skip operations never do.
+func (o Op) Mutates() bool {
+	switch o {
+	case Write0, Write1, TestAndReset, TestAndSet, Flip, TestAndFlip, WriteWord:
+		return true
+	}
+	return false
+}
+
+// IsBitOp reports whether o is one of the eight single-bit operations of
+// Section 3.1 (as opposed to the multi-bit register operations).
+func (o Op) IsBitOp() bool {
+	return o >= Skip && o <= TestAndFlip
+}
+
+// Dual returns the dual operation under the 0 <-> 1 relabelling of
+// Section 3.2 of the paper: write-0 <-> write-1, test-and-reset <->
+// test-and-set; skip, read, flip and test-and-flip are self-dual. ReadWord
+// and WriteWord are treated as self-dual.
+func (o Op) Dual() Op {
+	switch o {
+	case Write0:
+		return Write1
+	case Write1:
+		return Write0
+	case TestAndReset:
+		return TestAndSet
+	case TestAndSet:
+		return TestAndReset
+	default:
+		return o
+	}
+}
+
+// Apply executes the operation on a single-bit value old and reports the
+// new value of the bit, the value returned to the caller, and whether a
+// value is returned at all. arg is used only by WriteWord. Apply panics if
+// o is not valid; width checking for WriteWord is the caller's concern.
+func (o Op) Apply(old uint64, arg uint64) (next uint64, ret uint64, returns bool) {
+	switch o {
+	case Skip:
+		return old, 0, false
+	case Read, ReadWord:
+		return old, old, true
+	case Write0:
+		return 0, 0, false
+	case TestAndReset:
+		return 0, old, true
+	case Write1:
+		return 1, 0, false
+	case TestAndSet:
+		return 1, old, true
+	case Flip:
+		return old ^ 1, 0, false
+	case TestAndFlip:
+		return old ^ 1, old, true
+	case WriteWord:
+		return arg, 0, false
+	default:
+		panic(fmt.Sprintf("opset: invalid operation %d", uint8(o)))
+	}
+}
+
+// Model is a set of operations that a shared memory supports, encoded as a
+// bitmask over Op. The paper considers the 2^8 models formed from the eight
+// single-bit operations; this package represents those and also the
+// atomic-register model {read-word, write-word} of Section 2.
+type Model uint16
+
+// ModelOf constructs the model containing exactly the given operations.
+func ModelOf(ops ...Op) Model {
+	var m Model
+	for _, o := range ops {
+		if !o.Valid() {
+			panic(fmt.Sprintf("opset: invalid operation %d", uint8(o)))
+		}
+		m |= 1 << o
+	}
+	return m
+}
+
+// Named models from the paper.
+var (
+	// AtomicRegisters is the Section 2 model: registers of width up to the
+	// atomicity can be read or written (but not both) in one atomic step.
+	AtomicRegisters = ModelOf(ReadWord, WriteWord, Read, Write0, Write1)
+
+	// TASOnly is the model {test-and-set} (column 1 of the naming table).
+	TASOnly = ModelOf(TestAndSet)
+
+	// ReadTAS is the model {read, test-and-set} (column 2).
+	ReadTAS = ModelOf(Read, TestAndSet)
+
+	// ReadTASTAR is the model {read, test-and-set, test-and-reset}
+	// (column 3).
+	ReadTASTAR = ModelOf(Read, TestAndSet, TestAndReset)
+
+	// TAFOnly is the model {test-and-flip} (column 4).
+	TAFOnly = ModelOf(TestAndFlip)
+
+	// RMW is the read-modify-write model containing all eight single-bit
+	// operations (column 5).
+	RMW = ModelOf(Skip, Read, Write0, TestAndReset, Write1, TestAndSet, Flip, TestAndFlip)
+
+	// ReadWrite is the model {read, write-0, write-1}: in one atomic step a
+	// process can either read or write a shared bit but cannot do both. The
+	// paper notes naming is not solvable deterministically in this model.
+	ReadWrite = ModelOf(Read, Write0, Write1)
+)
+
+// Allows reports whether the model supports operation o.
+func (m Model) Allows(o Op) bool {
+	return o.Valid() && m&(1<<o) != 0
+}
+
+// With returns the model extended with the given operations.
+func (m Model) With(ops ...Op) Model {
+	return m | ModelOf(ops...)
+}
+
+// Without returns the model with the given operations removed.
+func (m Model) Without(ops ...Op) Model {
+	return m &^ ModelOf(ops...)
+}
+
+// Ops returns the operations in the model in ascending Op order.
+func (m Model) Ops() []Op {
+	var ops []Op
+	for o := Skip; int(o) <= numOps; o++ {
+		if m.Allows(o) {
+			ops = append(ops, o)
+		}
+	}
+	return ops
+}
+
+// Size returns the number of operations in the model.
+func (m Model) Size() int {
+	n := 0
+	for o := Skip; int(o) <= numOps; o++ {
+		if m.Allows(o) {
+			n++
+		}
+	}
+	return n
+}
+
+// Dual returns the dual model: every operation replaced by its dual.
+// Section 3.2: if M is the dual of M', then for every measure of time
+// complexity, any bounds applicable to M also hold for M'.
+func (m Model) Dual() Model {
+	var d Model
+	for _, o := range m.Ops() {
+		d |= 1 << o.Dual()
+	}
+	return d
+}
+
+// SelfDual reports whether the model equals its own dual.
+func (m Model) SelfDual() bool {
+	return m == m.Dual()
+}
+
+// String lists the operations in the model, e.g. "{read, test-and-set}".
+func (m Model) String() string {
+	ops := m.Ops()
+	names := make([]string, len(ops))
+	for i, o := range ops {
+		names[i] = o.String()
+	}
+	return "{" + strings.Join(names, ", ") + "}"
+}
+
+// CanBreakSymmetry reports whether the model contains an operation that
+// both mutates the bit and returns its old value. By the observation in
+// Section 3.1, deterministic naming is solvable only in such models: if in
+// one atomic step a process can either read or write but cannot do both,
+// identical processes cannot be separated.
+func (m Model) CanBreakSymmetry() bool {
+	for _, o := range m.Ops() {
+		if o.Mutates() && o.ReturnsValue() {
+			return true
+		}
+	}
+	return false
+}
+
+// HasTAF reports whether the model includes test-and-flip, the operation
+// that separates the log n worst-case-step models from the n-1 ones
+// (Theorem 6).
+func (m Model) HasTAF() bool {
+	return m.Allows(TestAndFlip)
+}
+
+// AllBitModels enumerates all 2^8 models over the eight single-bit
+// operations, in increasing bitmask order. The slice is freshly allocated
+// on every call.
+func AllBitModels() []Model {
+	bitOps := []Op{Skip, Read, Write0, TestAndReset, Write1, TestAndSet, Flip, TestAndFlip}
+	models := make([]Model, 0, 1<<len(bitOps))
+	for mask := 0; mask < 1<<len(bitOps); mask++ {
+		var m Model
+		for i, o := range bitOps {
+			if mask&(1<<i) != 0 {
+				m |= 1 << o
+			}
+		}
+		models = append(models, m)
+	}
+	return models
+}

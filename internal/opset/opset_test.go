@@ -1,0 +1,369 @@
+package opset
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestOpString(t *testing.T) {
+	tests := []struct {
+		op   Op
+		want string
+	}{
+		{Skip, "skip"},
+		{Read, "read"},
+		{Write0, "write-0"},
+		{TestAndReset, "test-and-reset"},
+		{Write1, "write-1"},
+		{TestAndSet, "test-and-set"},
+		{Flip, "flip"},
+		{TestAndFlip, "test-and-flip"},
+		{ReadWord, "read-word"},
+		{WriteWord, "write-word"},
+		{Op(0), "op(0)"},
+		{Op(99), "op(99)"},
+	}
+	for _, tt := range tests {
+		if got := tt.op.String(); got != tt.want {
+			t.Errorf("Op(%d).String() = %q, want %q", tt.op, got, tt.want)
+		}
+	}
+}
+
+func TestOpValid(t *testing.T) {
+	for o := Skip; o <= WriteWord; o++ {
+		if !o.Valid() {
+			t.Errorf("Op %v should be valid", o)
+		}
+	}
+	if Op(0).Valid() {
+		t.Error("Op(0) should be invalid")
+	}
+	if Op(numOps + 1).Valid() {
+		t.Error("Op beyond WriteWord should be invalid")
+	}
+}
+
+func TestOpReturnsValue(t *testing.T) {
+	returning := map[Op]bool{
+		Read: true, TestAndReset: true, TestAndSet: true, TestAndFlip: true, ReadWord: true,
+	}
+	for o := Skip; o <= WriteWord; o++ {
+		if got := o.ReturnsValue(); got != returning[o] {
+			t.Errorf("%v.ReturnsValue() = %v, want %v", o, got, returning[o])
+		}
+	}
+}
+
+func TestOpMutates(t *testing.T) {
+	mutating := map[Op]bool{
+		Write0: true, Write1: true, TestAndReset: true, TestAndSet: true,
+		Flip: true, TestAndFlip: true, WriteWord: true,
+	}
+	for o := Skip; o <= WriteWord; o++ {
+		if got := o.Mutates(); got != mutating[o] {
+			t.Errorf("%v.Mutates() = %v, want %v", o, got, mutating[o])
+		}
+	}
+}
+
+func TestOpIsBitOp(t *testing.T) {
+	for o := Skip; o <= TestAndFlip; o++ {
+		if !o.IsBitOp() {
+			t.Errorf("%v should be a bit op", o)
+		}
+	}
+	if ReadWord.IsBitOp() || WriteWord.IsBitOp() {
+		t.Error("word ops are not bit ops")
+	}
+}
+
+func TestOpDualPairs(t *testing.T) {
+	pairs := map[Op]Op{
+		Write0:       Write1,
+		Write1:       Write0,
+		TestAndReset: TestAndSet,
+		TestAndSet:   TestAndReset,
+	}
+	for o := Skip; o <= WriteWord; o++ {
+		want, ok := pairs[o]
+		if !ok {
+			want = o // self-dual
+		}
+		if got := o.Dual(); got != want {
+			t.Errorf("%v.Dual() = %v, want %v", o, got, want)
+		}
+	}
+}
+
+func TestOpDualInvolution(t *testing.T) {
+	for o := Skip; o <= WriteWord; o++ {
+		if o.Dual().Dual() != o {
+			t.Errorf("Dual is not an involution on %v", o)
+		}
+	}
+}
+
+// TestOpApplySemantics checks the exact transition table of Section 3.1.
+func TestOpApplySemantics(t *testing.T) {
+	tests := []struct {
+		op          Op
+		old         uint64
+		wantNext    uint64
+		wantRet     uint64
+		wantReturns bool
+	}{
+		{Skip, 0, 0, 0, false},
+		{Skip, 1, 1, 0, false},
+		{Read, 0, 0, 0, true},
+		{Read, 1, 1, 1, true},
+		{Write0, 0, 0, 0, false},
+		{Write0, 1, 0, 0, false},
+		{TestAndReset, 0, 0, 0, true},
+		{TestAndReset, 1, 0, 1, true},
+		{Write1, 0, 1, 0, false},
+		{Write1, 1, 1, 0, false},
+		{TestAndSet, 0, 1, 0, true},
+		{TestAndSet, 1, 1, 1, true},
+		{Flip, 0, 1, 0, false},
+		{Flip, 1, 0, 0, false},
+		{TestAndFlip, 0, 1, 0, true},
+		{TestAndFlip, 1, 0, 1, true},
+	}
+	for _, tt := range tests {
+		next, ret, returns := tt.op.Apply(tt.old, 0)
+		if next != tt.wantNext || ret != tt.wantRet || returns != tt.wantReturns {
+			t.Errorf("%v.Apply(%d) = (%d, %d, %v), want (%d, %d, %v)",
+				tt.op, tt.old, next, ret, returns, tt.wantNext, tt.wantRet, tt.wantReturns)
+		}
+	}
+}
+
+func TestOpApplyWord(t *testing.T) {
+	next, _, returns := WriteWord.Apply(3, 42)
+	if next != 42 || returns {
+		t.Errorf("WriteWord.Apply(3, 42) = (%d, returns=%v), want (42, false)", next, returns)
+	}
+	next, ret, returns := ReadWord.Apply(42, 0)
+	if next != 42 || ret != 42 || !returns {
+		t.Errorf("ReadWord.Apply(42) = (%d, %d, %v), want (42, 42, true)", next, ret, returns)
+	}
+}
+
+func TestOpApplyInvalidPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Apply on invalid op should panic")
+		}
+	}()
+	Op(0).Apply(0, 0)
+}
+
+// TestDualPreservesApplySemantics: the dual operation applied to the
+// complemented bit behaves like the original on the bit, with complemented
+// outputs. This is the semantic content of the duality argument in
+// Section 3.2.
+func TestDualPreservesApplySemantics(t *testing.T) {
+	for o := Skip; o <= TestAndFlip; o++ {
+		for old := uint64(0); old <= 1; old++ {
+			next, ret, returns := o.Apply(old, 0)
+			dnext, dret, dreturns := o.Dual().Apply(old^1, 0)
+			if returns != dreturns {
+				t.Errorf("%v and its dual disagree on returning a value", o)
+			}
+			if dnext != next^1 {
+				t.Errorf("%v.Dual() on complemented input: next = %d, want %d", o, dnext, next^1)
+			}
+			if returns && dret != ret^1 {
+				t.Errorf("%v.Dual() on complemented input: ret = %d, want %d", o, dret, ret^1)
+			}
+		}
+	}
+}
+
+func TestModelOfAndAllows(t *testing.T) {
+	m := ModelOf(Read, TestAndSet)
+	if !m.Allows(Read) || !m.Allows(TestAndSet) {
+		t.Error("model should allow its own ops")
+	}
+	if m.Allows(TestAndFlip) || m.Allows(Write0) {
+		t.Error("model should not allow other ops")
+	}
+	if m.Allows(Op(0)) || m.Allows(Op(42)) {
+		t.Error("model should not allow invalid ops")
+	}
+}
+
+func TestModelOfInvalidPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("ModelOf with invalid op should panic")
+		}
+	}()
+	ModelOf(Op(0))
+}
+
+func TestModelWithWithout(t *testing.T) {
+	m := TASOnly.With(Read)
+	if m != ReadTAS {
+		t.Errorf("TASOnly.With(Read) = %v, want %v", m, ReadTAS)
+	}
+	if got := ReadTASTAR.Without(TestAndReset); got != ReadTAS {
+		t.Errorf("ReadTASTAR.Without(TestAndReset) = %v, want %v", got, ReadTAS)
+	}
+}
+
+func TestModelOpsAndSize(t *testing.T) {
+	m := ReadTASTAR
+	ops := m.Ops()
+	want := []Op{Read, TestAndReset, TestAndSet}
+	if len(ops) != len(want) {
+		t.Fatalf("Ops() = %v, want %v", ops, want)
+	}
+	for i := range want {
+		if ops[i] != want[i] {
+			t.Errorf("Ops()[%d] = %v, want %v", i, ops[i], want[i])
+		}
+	}
+	if m.Size() != 3 {
+		t.Errorf("Size() = %d, want 3", m.Size())
+	}
+	if RMW.Size() != 8 {
+		t.Errorf("RMW.Size() = %d, want 8", RMW.Size())
+	}
+}
+
+func TestModelDual(t *testing.T) {
+	m := ModelOf(Read, TestAndSet, Write0)
+	d := m.Dual()
+	want := ModelOf(Read, TestAndReset, Write1)
+	if d != want {
+		t.Errorf("Dual() = %v, want %v", d, want)
+	}
+	if !RMW.SelfDual() {
+		t.Error("RMW should be self-dual")
+	}
+	if !TAFOnly.SelfDual() {
+		t.Error("TAFOnly should be self-dual")
+	}
+	if TASOnly.SelfDual() {
+		t.Error("TASOnly should not be self-dual")
+	}
+	if !ReadWrite.SelfDual() {
+		t.Error("ReadWrite should be self-dual")
+	}
+}
+
+func TestModelString(t *testing.T) {
+	if got := ReadTAS.String(); got != "{read, test-and-set}" {
+		t.Errorf("String() = %q", got)
+	}
+	if got := Model(0).String(); got != "{}" {
+		t.Errorf("empty model String() = %q", got)
+	}
+}
+
+func TestCanBreakSymmetry(t *testing.T) {
+	tests := []struct {
+		m    Model
+		want bool
+	}{
+		{TASOnly, true},
+		{ReadTAS, true},
+		{TAFOnly, true},
+		{RMW, true},
+		{ReadWrite, false},
+		{ModelOf(Read, Flip), false},
+		{ModelOf(Skip), false},
+		{Model(0), false},
+		{ModelOf(TestAndReset), true},
+	}
+	for _, tt := range tests {
+		if got := tt.m.CanBreakSymmetry(); got != tt.want {
+			t.Errorf("%v.CanBreakSymmetry() = %v, want %v", tt.m, got, tt.want)
+		}
+	}
+}
+
+func TestHasTAF(t *testing.T) {
+	if !TAFOnly.HasTAF() || !RMW.HasTAF() {
+		t.Error("TAF models should report HasTAF")
+	}
+	if ReadTASTAR.HasTAF() {
+		t.Error("ReadTASTAR should not report HasTAF")
+	}
+}
+
+func TestAllBitModels(t *testing.T) {
+	models := AllBitModels()
+	if len(models) != 256 {
+		t.Fatalf("len(AllBitModels()) = %d, want 256", len(models))
+	}
+	seen := make(map[Model]bool, len(models))
+	for _, m := range models {
+		if seen[m] {
+			t.Fatalf("duplicate model %v", m)
+		}
+		seen[m] = true
+		for _, o := range m.Ops() {
+			if !o.IsBitOp() {
+				t.Fatalf("model %v contains non-bit op %v", m, o)
+			}
+		}
+	}
+	if !seen[RMW] || !seen[TASOnly] || !seen[Model(0)] {
+		t.Error("expected named models to appear in enumeration")
+	}
+}
+
+// Property: Dual is an involution on all 256 bit models.
+func TestModelDualInvolutionProperty(t *testing.T) {
+	for _, m := range AllBitModels() {
+		if m.Dual().Dual() != m {
+			t.Fatalf("Dual not involution on %v", m)
+		}
+	}
+}
+
+// Property: dual models have equal size and equal symmetry-breaking power,
+// which is what makes complexity bounds transfer between duals.
+func TestDualPreservesClassification(t *testing.T) {
+	for _, m := range AllBitModels() {
+		d := m.Dual()
+		if m.Size() != d.Size() {
+			t.Fatalf("dual changes size of %v", m)
+		}
+		if m.CanBreakSymmetry() != d.CanBreakSymmetry() {
+			t.Fatalf("dual changes symmetry-breaking power of %v", m)
+		}
+		if m.HasTAF() != d.HasTAF() {
+			t.Fatalf("dual changes HasTAF of %v", m)
+		}
+	}
+}
+
+// Property-based: With is monotone and Without inverts With for ops not
+// already present.
+func TestWithWithoutProperty(t *testing.T) {
+	f := func(mask uint8, opIdx uint8) bool {
+		bitOps := []Op{Skip, Read, Write0, TestAndReset, Write1, TestAndSet, Flip, TestAndFlip}
+		var m Model
+		for i, o := range bitOps {
+			if mask&(1<<i) != 0 {
+				m |= 1 << o
+			}
+		}
+		o := bitOps[int(opIdx)%len(bitOps)]
+		w := m.With(o)
+		if !w.Allows(o) {
+			return false
+		}
+		if m.Allows(o) {
+			return w == m
+		}
+		return w.Without(o) == m
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,345 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+
+	"cfc/internal/opset"
+)
+
+// EventKind distinguishes the kinds of events in a run. The paper's model
+// has two kinds — an access to a shared register, or an update of the
+// internal state of a process; the simulator refines internal events into
+// phase marks, local steps, outputs and crashes so traces carry enough
+// structure for complexity accounting.
+type EventKind uint8
+
+const (
+	// KindAccess is an atomic access to a shared register. Only these
+	// events count toward step and register complexity.
+	KindAccess EventKind = iota + 1
+	// KindLocal is an internal computation step. It consumes a scheduling
+	// turn (time may pass) but touches no shared register; used e.g. by
+	// backoff delays.
+	KindLocal
+	// KindMark is an instantaneous annotation recording that the process
+	// entered a new protocol phase (entry code, critical section, ...).
+	KindMark
+	// KindOutput records the decision value of a terminating process
+	// (the output of a contention detector, the name chosen by a naming
+	// algorithm).
+	KindOutput
+	// KindCrash records a stopping failure injected by the scheduler: the
+	// process takes no further steps.
+	KindCrash
+)
+
+// String returns a short name for the event kind.
+func (k EventKind) String() string {
+	switch k {
+	case KindAccess:
+		return "access"
+	case KindLocal:
+		return "local"
+	case KindMark:
+		return "mark"
+	case KindOutput:
+		return "output"
+	case KindCrash:
+		return "crash"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Phase identifies the protocol region a process is in, following the
+// mutual-exclusion terminology of Section 2 (remainder, entry code,
+// critical section, exit code). Generic terminating tasks (detection,
+// naming) use PhaseTry for "executing the protocol" and PhaseDone after
+// termination.
+type Phase uint8
+
+const (
+	// PhaseRemainder is the remainder region (not competing).
+	PhaseRemainder Phase = iota + 1
+	// PhaseTry is the entry code (or the body of a one-shot task).
+	PhaseTry
+	// PhaseCS is the critical section.
+	PhaseCS
+	// PhaseExit is the exit code.
+	PhaseExit
+	// PhaseDone marks termination of a one-shot task.
+	PhaseDone
+)
+
+// String returns the paper's name for the phase.
+func (p Phase) String() string {
+	switch p {
+	case PhaseRemainder:
+		return "remainder"
+	case PhaseTry:
+		return "entry"
+	case PhaseCS:
+		return "critical-section"
+	case PhaseExit:
+		return "exit"
+	case PhaseDone:
+		return "done"
+	default:
+		return fmt.Sprintf("phase(%d)", uint8(p))
+	}
+}
+
+// Event is one event of a run.
+type Event struct {
+	// Seq is the global index of the event in the run, starting at 0.
+	Seq int
+	// PID is the process the event belongs to.
+	PID int
+
+	// Kind discriminates the remaining fields.
+	Kind EventKind
+
+	// Op, Cell, RegName, Shift, Width, Arg, Ret, HasRet describe a
+	// KindAccess event: the operation, the index and name of the underlying
+	// cell, the bit offset and width of the accessed view within the cell,
+	// the written argument (for write-word), and the returned value if the
+	// operation returns one.
+	Op      opset.Op
+	Cell    int32
+	RegName string
+	Shift   uint8
+	Width   uint8
+	Arg     uint64
+	Ret     uint64
+	HasRet  bool
+
+	// Phase is set for KindMark events.
+	Phase Phase
+
+	// Out is set for KindOutput events.
+	Out uint64
+}
+
+// IsAccess reports whether the event is a shared-memory access (the only
+// kind that counts toward step complexity).
+func (e Event) IsAccess() bool { return e.Kind == KindAccess }
+
+// IsWrite reports whether the event is an access that can mutate the
+// register (the paper's "write operations" in read/write refinements of
+// the measures).
+func (e Event) IsWrite() bool { return e.Kind == KindAccess && e.Op.Mutates() }
+
+// IsRead reports whether the event is an access that returns a value and
+// does not mutate the register.
+func (e Event) IsRead() bool {
+	return e.Kind == KindAccess && !e.Op.Mutates() && e.Op.ReturnsValue()
+}
+
+// String formats the event for trace dumps.
+func (e Event) String() string {
+	switch e.Kind {
+	case KindAccess:
+		var b strings.Builder
+		fmt.Fprintf(&b, "#%d p%d %v %s", e.Seq, e.PID, e.Op, e.RegName)
+		if e.Op == opset.WriteWord {
+			fmt.Fprintf(&b, " <- %d", e.Arg)
+		}
+		if e.HasRet {
+			fmt.Fprintf(&b, " = %d", e.Ret)
+		}
+		return b.String()
+	case KindLocal:
+		return fmt.Sprintf("#%d p%d local", e.Seq, e.PID)
+	case KindMark:
+		return fmt.Sprintf("#%d p%d -> %v", e.Seq, e.PID, e.Phase)
+	case KindOutput:
+		return fmt.Sprintf("#%d p%d output %d", e.Seq, e.PID, e.Out)
+	case KindCrash:
+		return fmt.Sprintf("#%d p%d crash", e.Seq, e.PID)
+	default:
+		return fmt.Sprintf("#%d p%d %v", e.Seq, e.PID, e.Kind)
+	}
+}
+
+// StopReason explains why a run ended.
+type StopReason uint8
+
+const (
+	// StopAllDone means every process terminated (or crashed).
+	StopAllDone StopReason = iota + 1
+	// StopMaxSteps means the step budget was exhausted; remaining
+	// processes were unwound.
+	StopMaxSteps
+	// StopScheduler means the scheduler requested the run to end.
+	StopScheduler
+	// StopError means a process performed an illegal access (model or
+	// width violation) and the run was aborted.
+	StopError
+)
+
+// String returns a short name for the stop reason.
+func (s StopReason) String() string {
+	switch s {
+	case StopAllDone:
+		return "all-done"
+	case StopMaxSteps:
+		return "max-steps"
+	case StopScheduler:
+		return "scheduler-stop"
+	case StopError:
+		return "error"
+	default:
+		return fmt.Sprintf("stop(%d)", uint8(s))
+	}
+}
+
+// CellInfo describes one shared cell for trace consumers.
+type CellInfo struct {
+	Name  string
+	Width int
+	Init  uint64
+}
+
+// Trace is the record of one run: the global event sequence plus enough
+// memory metadata to replay register states. Traces are self-contained:
+// package metrics and the model checker analyse them without access to the
+// Memory that produced them.
+type Trace struct {
+	// Events in global order.
+	Events []Event
+	// NumProcs is the number of processes in the run.
+	NumProcs int
+	// Cells describes the shared cells in declaration order.
+	Cells []CellInfo
+	// Stop is why the run ended.
+	Stop StopReason
+	// ScheduledSteps counts scheduling turns consumed (accesses + local
+	// steps).
+	ScheduledSteps int
+}
+
+// PerProc returns the events of process pid, in order.
+func (t *Trace) PerProc(pid int) []Event {
+	var out []Event
+	for _, e := range t.Events {
+		if e.PID == pid {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Accesses returns the shared-memory access events of process pid, in
+// order. If pid is negative, accesses of all processes are returned.
+func (t *Trace) Accesses(pid int) []Event {
+	var out []Event
+	for _, e := range t.Events {
+		if e.Kind == KindAccess && (pid < 0 || e.PID == pid) {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Output returns the output value of process pid and whether it produced
+// one.
+func (t *Trace) Output(pid int) (uint64, bool) {
+	for _, e := range t.Events {
+		if e.Kind == KindOutput && e.PID == pid {
+			return e.Out, true
+		}
+	}
+	return 0, false
+}
+
+// Outputs collects the outputs of all processes that produced one, keyed
+// by pid.
+func (t *Trace) Outputs() map[int]uint64 {
+	out := make(map[int]uint64)
+	for _, e := range t.Events {
+		if e.Kind == KindOutput {
+			out[e.PID] = e.Out
+		}
+	}
+	return out
+}
+
+// Crashed reports whether process pid crashed during the run.
+func (t *Trace) Crashed(pid int) bool {
+	for _, e := range t.Events {
+		if e.Kind == KindCrash && e.PID == pid {
+			return true
+		}
+	}
+	return false
+}
+
+// Atomicity returns the measured atomicity of the run: the largest register
+// view width, in bits, accessed in one atomic step (the paper's l). It
+// returns 0 for a run with no accesses.
+func (t *Trace) Atomicity() int {
+	l := 0
+	for _, e := range t.Events {
+		if e.Kind == KindAccess && int(e.Width) > l {
+			l = int(e.Width)
+		}
+	}
+	return l
+}
+
+// PhaseAt returns the phase process pid is in immediately after event
+// index seq (i.e. in state s_{seq+1} of the paper's run notation).
+// Processes start in PhaseRemainder.
+func (t *Trace) PhaseAt(pid, seq int) Phase {
+	ph := PhaseRemainder
+	for _, e := range t.Events {
+		if e.Seq > seq {
+			break
+		}
+		if e.PID == pid && e.Kind == KindMark {
+			ph = e.Phase
+		}
+	}
+	return ph
+}
+
+// ReplayValues returns the value of every cell after the first n events
+// (n = len(t.Events) replays the whole trace). It reconstructs the state
+// purely from the trace, which lets analyses inspect intermediate global
+// states without rerunning the schedule.
+func (t *Trace) ReplayValues(n int) []uint64 {
+	vals := make([]uint64, len(t.Cells))
+	for i, c := range t.Cells {
+		vals[i] = c.Init
+	}
+	if n > len(t.Events) {
+		n = len(t.Events)
+	}
+	for _, e := range t.Events[:n] {
+		if e.Kind != KindAccess {
+			continue
+		}
+		shift := e.Shift
+		var mask uint64
+		if int(e.Width) >= MaxWidth {
+			mask = ^uint64(0)
+		} else {
+			mask = ((uint64(1) << e.Width) - 1) << shift
+		}
+		old := (vals[e.Cell] & mask) >> shift
+		next, _, _ := e.Op.Apply(old, e.Arg)
+		vals[e.Cell] = (vals[e.Cell] &^ mask) | (next << shift)
+	}
+	return vals
+}
+
+// String formats the whole trace, one event per line.
+func (t *Trace) String() string {
+	var b strings.Builder
+	for _, e := range t.Events {
+		b.WriteString(e.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,235 @@
+// Package sim is an executable version of the formal model of Alur &
+// Taubenfeld (Information and Computation 126, 1996, Section 2.2): an
+// asynchronous shared-memory system in which processes are state machines
+// and a run is an alternating sequence of global states and events, where
+// each event is one atomic access to a shared register (or an internal
+// step) by one process.
+//
+// The simulator is a lock-step interpreter: process bodies run as ordinary
+// Go functions, but every shared-memory access blocks until a pluggable
+// Scheduler selects that process to perform its next atomic event. Exactly
+// one process performs one event at a time and all memory mutation happens
+// in the run loop, so every run is deterministic given the scheduler, and
+// the produced Trace is a faithful record of the interleaving. Complexity
+// measures (step and register complexity, worst-case and contention-free)
+// are computed from traces by package metrics.
+package sim
+
+import (
+	"errors"
+	"fmt"
+
+	"cfc/internal/opset"
+)
+
+// MaxWidth is the largest register width in bits supported by the
+// simulator. It is the width of the uint64 cells backing the registers.
+const MaxWidth = 64
+
+// Reg is a handle to a shared register, or to a view of a field within a
+// packed word register. A Reg is a small value; copying it is cheap and
+// does not copy register state, which lives in the Memory.
+//
+// Register complexity counts distinct underlying cells, so all field views
+// of the same packed word count as one register, matching the paper's
+// motivation that a register is a unit of (remote) memory transfer.
+type Reg struct {
+	cell  int32
+	shift uint8
+	width uint8
+}
+
+// Width returns the width of the register view in bits. The atomicity of an
+// algorithm (the paper's parameter l) is the largest width it accesses in
+// one atomic step.
+func (r Reg) Width() int { return int(r.width) }
+
+// IsBit reports whether the view is a single bit.
+func (r Reg) IsBit() bool { return r.width == 1 }
+
+// mask returns the bitmask of the view within its cell, already shifted.
+func (r Reg) mask() uint64 {
+	if r.width == MaxWidth {
+		return ^uint64(0)
+	}
+	return ((uint64(1) << r.width) - 1) << r.shift
+}
+
+// cellInfo describes one underlying shared cell.
+type cellInfo struct {
+	name  string
+	width uint8
+	init  uint64
+}
+
+// Memory is a collection of shared registers governed by an operation
+// model. The zero value is not usable; construct with NewMemory.
+//
+// Memory is not safe for direct concurrent use: in the simulator all
+// accesses are serialised through the run loop, which is the point of the
+// model (every access is one atomic event).
+type Memory struct {
+	model opset.Model
+	cells []cellInfo
+	vals  []uint64
+}
+
+// NewMemory returns an empty memory supporting exactly the operations in
+// model. Registers are declared with Register, Bit, Word and Field before
+// the memory is used in a run.
+func NewMemory(model opset.Model) *Memory {
+	return &Memory{model: model}
+}
+
+// Model returns the operation model the memory enforces.
+func (m *Memory) Model() opset.Model { return m.model }
+
+// NumCells returns the number of underlying cells declared so far. This is
+// the paper's space complexity (total number of shared registers).
+func (m *Memory) NumCells() int { return len(m.cells) }
+
+// CellName returns the declared name of cell i.
+func (m *Memory) CellName(i int) string { return m.cells[i].name }
+
+// CellWidth returns the width in bits of cell i.
+func (m *Memory) CellWidth(i int) int { return int(m.cells[i].width) }
+
+// Register declares a new shared register of the given width in bits with
+// initial value 0 and returns a handle covering the whole register.
+// Register panics if width is not in [1, MaxWidth]; declaring registers is
+// configuration, and a bad width is a programming error.
+func (m *Memory) Register(name string, width int) Reg {
+	return m.RegisterInit(name, width, 0)
+}
+
+// RegisterInit declares a new shared register with an explicit initial
+// value. It panics if width is out of range or the value does not fit.
+func (m *Memory) RegisterInit(name string, width int, init uint64) Reg {
+	if width < 1 || width > MaxWidth {
+		panic(fmt.Sprintf("sim: register %q width %d out of range [1,%d]", name, width, MaxWidth))
+	}
+	if width < MaxWidth && init>>uint(width) != 0 {
+		panic(fmt.Sprintf("sim: register %q initial value %d does not fit in %d bits", name, init, width))
+	}
+	m.cells = append(m.cells, cellInfo{name: name, width: uint8(width), init: init})
+	m.vals = append(m.vals, init)
+	return Reg{cell: int32(len(m.cells) - 1), shift: 0, width: uint8(width)}
+}
+
+// Bit declares a new shared bit with initial value 0.
+func (m *Memory) Bit(name string) Reg {
+	return m.Register(name, 1)
+}
+
+// BitInit declares a new shared bit with the given initial value.
+func (m *Memory) BitInit(name string, init uint64) Reg {
+	return m.RegisterInit(name, 1, init)
+}
+
+// Bits declares count shared bits named name[0] .. name[count-1], all
+// initialised to 0.
+func (m *Memory) Bits(name string, count int) []Reg {
+	regs := make([]Reg, count)
+	for i := range regs {
+		regs[i] = m.Bit(fmt.Sprintf("%s[%d]", name, i))
+	}
+	return regs
+}
+
+// Registers declares count registers of the given width named
+// name[0] .. name[count-1], all initialised to 0.
+func (m *Memory) Registers(name string, width, count int) []Reg {
+	regs := make([]Reg, count)
+	for i := range regs {
+		regs[i] = m.Register(fmt.Sprintf("%s[%d]", name, i), width)
+	}
+	return regs
+}
+
+// Field returns a view of width bits starting at bit offset shift within
+// the register r, which must be a whole-cell handle or a wider view
+// containing the requested range. Accessing the field reads or writes only
+// those bits, in one atomic step, while accessing r still operates on the
+// whole word: this models the multi-grain atomic memory of Michael & Scott
+// discussed in Section 1.3 of the paper, where several small registers are
+// packed into one word and can be accessed at both granularities.
+func (m *Memory) Field(r Reg, shift, width int) Reg {
+	if width < 1 || shift < 0 || shift+width > int(r.width) {
+		panic(fmt.Sprintf("sim: field [%d:%d) out of range of %d-bit register %s",
+			shift, shift+width, r.width, m.cells[r.cell].name))
+	}
+	return Reg{cell: r.cell, shift: r.shift + uint8(shift), width: uint8(width)}
+}
+
+// Name returns a human-readable name for the register view, e.g. "xy" for
+// a whole cell or "xy[4:8)" for a field view.
+func (m *Memory) Name(r Reg) string {
+	c := m.cells[r.cell]
+	if r.shift == 0 && r.width == c.width {
+		return c.name
+	}
+	return fmt.Sprintf("%s[%d:%d)", c.name, r.shift, int(r.shift)+int(r.width))
+}
+
+// Reset restores every cell to its initial value. Run resets the memory
+// automatically at the start of a run, so a single Memory can be reused
+// across runs.
+func (m *Memory) Reset() {
+	for i := range m.cells {
+		m.vals[i] = m.cells[i].init
+	}
+}
+
+// Value returns the current value of the register view. It is intended for
+// drivers and tests between runs; algorithm code must access memory through
+// the Proc API so the access is scheduled and traced.
+func (m *Memory) Value(r Reg) uint64 {
+	return (m.vals[r.cell] & r.mask()) >> r.shift
+}
+
+// Snapshot returns a copy of all cell values in declaration order.
+func (m *Memory) Snapshot() []uint64 {
+	out := make([]uint64, len(m.vals))
+	copy(out, m.vals)
+	return out
+}
+
+// InitialValues returns a copy of all cell initial values in declaration
+// order.
+func (m *Memory) InitialValues() []uint64 {
+	out := make([]uint64, len(m.cells))
+	for i, c := range m.cells {
+		out[i] = c.init
+	}
+	return out
+}
+
+// Errors reported by apply when an access violates the model or the
+// register geometry. They abort the run that caused them.
+var (
+	// ErrOpNotInModel indicates an operation the memory's model forbids.
+	ErrOpNotInModel = errors.New("operation not in memory model")
+	// ErrNotABit indicates a single-bit operation applied to a wider view.
+	ErrNotABit = errors.New("single-bit operation on multi-bit register")
+	// ErrValueTooWide indicates a write of a value that does not fit.
+	ErrValueTooWide = errors.New("written value exceeds register width")
+)
+
+// apply performs op on the register view r with argument arg, enforcing
+// the memory's operation model, and returns the value returned to the
+// process (if any). It is called only from the run loop.
+func (m *Memory) apply(r Reg, op opset.Op, arg uint64) (ret uint64, hasRet bool, err error) {
+	if !m.model.Allows(op) {
+		return 0, false, fmt.Errorf("sim: %v on %s: %w (model %v)", op, m.Name(r), ErrOpNotInModel, m.model)
+	}
+	if op.IsBitOp() && op != opset.Skip && r.width != 1 {
+		return 0, false, fmt.Errorf("sim: %v on %d-bit %s: %w", op, r.width, m.Name(r), ErrNotABit)
+	}
+	if op == opset.WriteWord && r.width < MaxWidth && arg>>uint(r.width) != 0 {
+		return 0, false, fmt.Errorf("sim: write of %d to %d-bit %s: %w", arg, r.width, m.Name(r), ErrValueTooWide)
+	}
+	old := (m.vals[r.cell] & r.mask()) >> r.shift
+	next, ret, hasRet := op.Apply(old, arg)
+	m.vals[r.cell] = (m.vals[r.cell] &^ r.mask()) | (next << r.shift)
+	return ret, hasRet, nil
+}

@@ -1,0 +1,269 @@
+package sim
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"cfc/internal/opset"
+)
+
+func TestRegisterDeclaration(t *testing.T) {
+	m := NewMemory(opset.AtomicRegisters)
+	x := m.Register("x", 8)
+	y := m.RegisterInit("y", 4, 9)
+	b := m.Bit("b")
+
+	if m.NumCells() != 3 {
+		t.Fatalf("NumCells = %d, want 3", m.NumCells())
+	}
+	if x.Width() != 8 || y.Width() != 4 || b.Width() != 1 {
+		t.Errorf("widths = %d,%d,%d, want 8,4,1", x.Width(), y.Width(), b.Width())
+	}
+	if !b.IsBit() || x.IsBit() {
+		t.Error("IsBit misclassifies")
+	}
+	if m.Value(y) != 9 {
+		t.Errorf("Value(y) = %d, want 9", m.Value(y))
+	}
+	if m.CellName(0) != "x" || m.CellWidth(0) != 8 {
+		t.Errorf("cell 0 = %q/%d, want x/8", m.CellName(0), m.CellWidth(0))
+	}
+}
+
+func TestRegisterBadWidthPanics(t *testing.T) {
+	m := NewMemory(opset.AtomicRegisters)
+	for _, w := range []int{0, -1, 65} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("width %d should panic", w)
+				}
+			}()
+			m.Register("bad", w)
+		}()
+	}
+}
+
+func TestRegisterInitTooWidePanics(t *testing.T) {
+	m := NewMemory(opset.AtomicRegisters)
+	defer func() {
+		if recover() == nil {
+			t.Error("init value 4 in 2 bits should panic")
+		}
+	}()
+	m.RegisterInit("bad", 2, 4)
+}
+
+func TestBitsAndRegistersArrays(t *testing.T) {
+	m := NewMemory(opset.RMW)
+	bs := m.Bits("b", 3)
+	rs := m.Registers("r", 4, 2)
+	if len(bs) != 3 || len(rs) != 2 {
+		t.Fatalf("lengths = %d,%d", len(bs), len(rs))
+	}
+	if m.Name(bs[1]) != "b[1]" {
+		t.Errorf("Name(bs[1]) = %q", m.Name(bs[1]))
+	}
+	if m.Name(rs[0]) != "r[0]" || rs[0].Width() != 4 {
+		t.Errorf("rs[0] = %q/%d", m.Name(rs[0]), rs[0].Width())
+	}
+}
+
+func TestFieldViews(t *testing.T) {
+	m := NewMemory(opset.AtomicRegisters)
+	w := m.Register("xy", 8)
+	x := m.Field(w, 0, 4)
+	y := m.Field(w, 4, 4)
+
+	if m.Name(x) != "xy[0:4)" || m.Name(y) != "xy[4:8)" {
+		t.Errorf("field names = %q, %q", m.Name(x), m.Name(y))
+	}
+
+	// Writing fields composes into the word; reading the word sees both.
+	if _, _, err := m.apply(x, opset.WriteWord, 5); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := m.apply(y, opset.WriteWord, 3); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Value(w); got != 5|3<<4 {
+		t.Errorf("word = %d, want %d", got, 5|3<<4)
+	}
+	if m.Value(x) != 5 || m.Value(y) != 3 {
+		t.Errorf("fields = %d,%d, want 5,3", m.Value(x), m.Value(y))
+	}
+
+	// Whole-word write updates both fields.
+	if _, _, err := m.apply(w, opset.WriteWord, 0xA7); err != nil {
+		t.Fatal(err)
+	}
+	if m.Value(x) != 7 || m.Value(y) != 0xA {
+		t.Errorf("after word write fields = %d,%d, want 7,10", m.Value(x), m.Value(y))
+	}
+}
+
+func TestFieldOutOfRangePanics(t *testing.T) {
+	m := NewMemory(opset.AtomicRegisters)
+	w := m.Register("w", 8)
+	for _, tc := range [][2]int{{5, 4}, {0, 9}, {-1, 2}, {0, 0}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Field(%d,%d) should panic", tc[0], tc[1])
+				}
+			}()
+			m.Field(w, tc[0], tc[1])
+		}()
+	}
+}
+
+func TestNestedField(t *testing.T) {
+	m := NewMemory(opset.AtomicRegisters)
+	w := m.Register("w", 16)
+	hi := m.Field(w, 8, 8)
+	hihi := m.Field(hi, 4, 4) // bits 12..16 of w
+	if _, _, err := m.apply(hihi, opset.WriteWord, 0xF); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Value(w); got != 0xF000 {
+		t.Errorf("w = %#x, want 0xF000", got)
+	}
+	if m.Name(hihi) != "w[12:16)" {
+		t.Errorf("Name = %q", m.Name(hihi))
+	}
+}
+
+func TestResetAndSnapshot(t *testing.T) {
+	m := NewMemory(opset.AtomicRegisters)
+	x := m.RegisterInit("x", 8, 42)
+	y := m.Register("y", 8)
+	if _, _, err := m.apply(x, opset.WriteWord, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := m.apply(y, opset.WriteWord, 2); err != nil {
+		t.Fatal(err)
+	}
+	snap := m.Snapshot()
+	if snap[0] != 1 || snap[1] != 2 {
+		t.Errorf("snapshot = %v", snap)
+	}
+	m.Reset()
+	if m.Value(x) != 42 || m.Value(y) != 0 {
+		t.Errorf("after reset x=%d y=%d, want 42, 0", m.Value(x), m.Value(y))
+	}
+	init := m.InitialValues()
+	if init[0] != 42 || init[1] != 0 {
+		t.Errorf("initial values = %v", init)
+	}
+}
+
+func TestModelEnforcement(t *testing.T) {
+	m := NewMemory(opset.ReadTAS) // {read, test-and-set}
+	b := m.Bit("b")
+
+	if _, _, err := m.apply(b, opset.TestAndSet, 0); err != nil {
+		t.Fatalf("TAS should be allowed: %v", err)
+	}
+	if _, _, err := m.apply(b, opset.Read, 0); err != nil {
+		t.Fatalf("read should be allowed: %v", err)
+	}
+	_, _, err := m.apply(b, opset.TestAndFlip, 0)
+	if !errors.Is(err, ErrOpNotInModel) {
+		t.Errorf("TAF should be rejected with ErrOpNotInModel, got %v", err)
+	}
+	if err != nil && !strings.Contains(err.Error(), "test-and-flip") {
+		t.Errorf("error should name the op: %v", err)
+	}
+}
+
+func TestBitOpOnWideRegisterRejected(t *testing.T) {
+	m := NewMemory(opset.RMW)
+	r := m.Register("r", 4)
+	_, _, err := m.apply(r, opset.TestAndSet, 0)
+	if !errors.Is(err, ErrNotABit) {
+		t.Errorf("want ErrNotABit, got %v", err)
+	}
+}
+
+func TestWriteTooWideRejected(t *testing.T) {
+	m := NewMemory(opset.AtomicRegisters)
+	r := m.Register("r", 3)
+	_, _, err := m.apply(r, opset.WriteWord, 8)
+	if !errors.Is(err, ErrValueTooWide) {
+		t.Errorf("want ErrValueTooWide, got %v", err)
+	}
+	if _, _, err := m.apply(r, opset.WriteWord, 7); err != nil {
+		t.Errorf("write of 7 to 3 bits should succeed: %v", err)
+	}
+}
+
+func TestApplyBitSemanticsThroughMemory(t *testing.T) {
+	m := NewMemory(opset.RMW)
+	b := m.Bit("b")
+
+	ret, hasRet, err := m.apply(b, opset.TestAndSet, 0)
+	if err != nil || ret != 0 || !hasRet {
+		t.Fatalf("first TAS = (%d,%v,%v)", ret, hasRet, err)
+	}
+	ret, _, err = m.apply(b, opset.TestAndSet, 0)
+	if err != nil || ret != 1 {
+		t.Fatalf("second TAS = (%d,%v)", ret, err)
+	}
+	ret, _, err = m.apply(b, opset.TestAndFlip, 0)
+	if err != nil || ret != 1 || m.Value(b) != 0 {
+		t.Fatalf("TAF = %d, value = %d", ret, m.Value(b))
+	}
+	_, hasRet, err = m.apply(b, opset.Flip, 0)
+	if err != nil || hasRet || m.Value(b) != 1 {
+		t.Fatalf("Flip: hasRet=%v value=%d", hasRet, m.Value(b))
+	}
+}
+
+func TestSkipAllowedOnAnyWidth(t *testing.T) {
+	m := NewMemory(opset.ModelOf(opset.Skip))
+	r := m.Register("r", 8)
+	if _, _, err := m.apply(r, opset.Skip, 0); err != nil {
+		t.Errorf("skip on wide register should be allowed: %v", err)
+	}
+}
+
+func TestMaxWidthRegister(t *testing.T) {
+	m := NewMemory(opset.AtomicRegisters)
+	r := m.Register("r", 64)
+	v := ^uint64(0)
+	if _, _, err := m.apply(r, opset.WriteWord, v); err != nil {
+		t.Fatalf("write max uint64: %v", err)
+	}
+	if m.Value(r) != v {
+		t.Errorf("Value = %d, want %d", m.Value(r), v)
+	}
+}
+
+// Property: field writes never disturb sibling fields, and the word is
+// always the concatenation of its fields.
+func TestFieldIsolationProperty(t *testing.T) {
+	f := func(a, b, c uint8, pick uint8) bool {
+		m := NewMemory(opset.AtomicRegisters)
+		w := m.Register("w", 24)
+		fields := []Reg{m.Field(w, 0, 8), m.Field(w, 8, 8), m.Field(w, 16, 8)}
+		vals := []uint64{uint64(a), uint64(b), uint64(c)}
+		order := []int{int(pick) % 3, (int(pick) + 1) % 3, (int(pick) + 2) % 3}
+		for _, i := range order {
+			if _, _, err := m.apply(fields[i], opset.WriteWord, vals[i]); err != nil {
+				return false
+			}
+		}
+		for i, f := range fields {
+			if m.Value(f) != vals[i] {
+				return false
+			}
+		}
+		want := vals[0] | vals[1]<<8 | vals[2]<<16
+		return m.Value(w) == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,180 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"cfc/internal/opset"
+)
+
+// genProgram builds a small deterministic program from a byte script:
+// each process interprets its slice of the script as a sequence of
+// operations over a fixed register set. It is the generator for the
+// property tests below.
+func genProgram(script []byte, procs int) (*Memory, []ProcFunc) {
+	mem := NewMemory(opset.RMW.With(opset.ReadWord, opset.WriteWord))
+	bits := mem.Bits("b", 3)
+	word := mem.Register("w", 8)
+	lo := mem.Field(word, 0, 4)
+	hi := mem.Field(word, 4, 4)
+
+	bodies := make([]ProcFunc, procs)
+	per := len(script) / procs
+	for i := 0; i < procs; i++ {
+		part := script[i*per : (i+1)*per]
+		bodies[i] = func(p *Proc) {
+			for _, op := range part {
+				switch op % 8 {
+				case 0:
+					p.Read(bits[op%3])
+				case 1:
+					p.TestAndSet(bits[(op>>3)%3])
+				case 2:
+					p.TestAndFlip(bits[(op>>3)%3])
+				case 3:
+					p.Write(lo, uint64(op)&0xF)
+				case 4:
+					p.Write(hi, uint64(op>>4)&0xF)
+				case 5:
+					p.Read(word)
+				case 6:
+					p.Flip(bits[(op>>3)%3])
+				case 7:
+					p.Write(word, uint64(op))
+				}
+			}
+			p.Output(uint64(len(part)))
+		}
+	}
+	return mem, bodies
+}
+
+// Property: for any program and any seeded schedule, replaying the trace
+// reconstructs exactly the final memory state.
+func TestReplayMatchesMemoryProperty(t *testing.T) {
+	f := func(script [24]byte, seed int64) bool {
+		mem, bodies := genProgram(script[:], 3)
+		res, err := Run(Config{Mem: mem, Procs: bodies, Sched: NewRandom(seed)})
+		if err != nil || res.Err != nil {
+			return false
+		}
+		return reflect.DeepEqual(
+			res.Trace.ReplayValues(len(res.Trace.Events)),
+			mem.Snapshot(),
+		)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: identical seeds give identical traces; different schedules
+// never change the per-process access count (processes are deterministic
+// and run to completion).
+func TestScheduleIndependentStepCountsProperty(t *testing.T) {
+	f := func(script [24]byte, seedA, seedB int64) bool {
+		memA, bodiesA := genProgram(script[:], 3)
+		resA, err := Run(Config{Mem: memA, Procs: bodiesA, Sched: NewRandom(seedA)})
+		if err != nil || resA.Err != nil {
+			return false
+		}
+		memB, bodiesB := genProgram(script[:], 3)
+		resB, err := Run(Config{Mem: memB, Procs: bodiesB, Sched: NewRandom(seedB)})
+		if err != nil || resB.Err != nil {
+			return false
+		}
+		// The programs are straight-line (no branches on read values), so
+		// every schedule yields the same number of accesses per process.
+		for pid := 0; pid < 3; pid++ {
+			if len(resA.Trace.Accesses(pid)) != len(resB.Trace.Accesses(pid)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the sequential schedule makes every event of process i
+// precede every event of process i+1.
+func TestSequentialOrderingProperty(t *testing.T) {
+	f := func(script [16]byte) bool {
+		mem, bodies := genProgram(script[:], 2)
+		res, err := Run(Config{Mem: mem, Procs: bodies, Sched: Sequential{}})
+		if err != nil || res.Err != nil {
+			return false
+		}
+		sawP1 := false
+		for _, e := range res.Trace.Events {
+			if e.PID == 1 {
+				sawP1 = true
+			} else if sawP1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRemoveSorted(t *testing.T) {
+	tests := []struct {
+		in   []int
+		pid  int
+		want []int
+	}{
+		{[]int{1, 2, 3}, 2, []int{1, 3}},
+		{[]int{1, 2, 3}, 1, []int{2, 3}},
+		{[]int{1, 2, 3}, 3, []int{1, 2}},
+		{[]int{1, 2, 3}, 4, []int{1, 2, 3}},
+		{[]int{1, 2, 3}, 0, []int{1, 2, 3}},
+		{[]int{5}, 5, []int{}},
+		{[]int{}, 5, []int{}},
+	}
+	for _, tt := range tests {
+		in := append([]int(nil), tt.in...)
+		got := removeSorted(in, tt.pid)
+		if len(got) != len(tt.want) {
+			t.Errorf("removeSorted(%v, %d) = %v, want %v", tt.in, tt.pid, got, tt.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != tt.want[i] {
+				t.Errorf("removeSorted(%v, %d) = %v, want %v", tt.in, tt.pid, got, tt.want)
+				break
+			}
+		}
+	}
+}
+
+// Property: register complexity never exceeds step complexity, and the
+// atomicity of any trace is the max width accessed (here 1 or 8).
+func TestMeasureRelationsProperty(t *testing.T) {
+	f := func(script [24]byte, seed int64) bool {
+		mem, bodies := genProgram(script[:], 3)
+		res, err := Run(Config{Mem: mem, Procs: bodies, Sched: NewRandom(seed)})
+		if err != nil || res.Err != nil {
+			return false
+		}
+		for pid := 0; pid < 3; pid++ {
+			acc := res.Trace.Accesses(pid)
+			distinct := map[int32]bool{}
+			for _, e := range acc {
+				distinct[e.Cell] = true
+			}
+			if len(distinct) > len(acc) {
+				return false
+			}
+		}
+		a := res.Trace.Atomicity()
+		return a == 0 || a == 1 || a == 4 || a == 8
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

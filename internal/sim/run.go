@@ -1,0 +1,422 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"cfc/internal/opset"
+)
+
+// DefaultMaxSteps bounds the number of scheduled events in a run when
+// Config.MaxSteps is zero. Busy-waiting algorithms can run forever under
+// an unfair scheduler; the budget turns that into a reported StopMaxSteps.
+const DefaultMaxSteps = 1 << 20
+
+// ProcFunc is the body of a process: ordinary sequential Go code that
+// accesses shared memory through the Proc it receives. The function for
+// index i runs as process id i.
+type ProcFunc func(p *Proc)
+
+// Config describes one run.
+type Config struct {
+	// Mem is the shared memory; it is Reset at the start of the run.
+	Mem *Memory
+	// Procs are the process bodies; process ids are the slice indices.
+	// A nil entry is a process that stays in its remainder region.
+	Procs []ProcFunc
+	// Sched picks the interleaving. Defaults to Sequential{}.
+	Sched Scheduler
+	// MaxSteps bounds scheduled events (accesses + local steps);
+	// 0 means DefaultMaxSteps.
+	MaxSteps int
+}
+
+// Result is the outcome of a run.
+type Result struct {
+	// Trace is the full event record; always non-nil, possibly partial if
+	// the run was aborted.
+	Trace *Trace
+	// Err is non-nil if a process performed an illegal access (operation
+	// outside the memory model, width violation). The trace then ends at
+	// the offending access, which is not recorded.
+	Err error
+}
+
+// request kinds sent from process goroutines to the run loop.
+type reqKind uint8
+
+const (
+	reqAccess reqKind = iota + 1 // scheduled: one atomic shared access
+	reqLocal                     // scheduled: internal step, no memory touch
+	reqMark                      // scheduled: phase annotation (internal event)
+	reqOutput                    // scheduled: decision value (internal event)
+	reqDone                      // instant: process body returned
+)
+
+type request struct {
+	kind  reqKind
+	op    opset.Op
+	reg   Reg
+	arg   uint64
+	phase Phase
+	out   uint64
+}
+
+// kill codes sent from the run loop to unwind a process goroutine.
+type killCode uint8
+
+const (
+	killNone  killCode = iota
+	killCrash          // injected stopping failure
+	killStop           // run over (budget, scheduler stop, error elsewhere)
+)
+
+type response struct {
+	ret    uint64
+	hasRet bool
+	kill   killCode
+}
+
+// unwind is the panic payload used to unwind a process goroutine when the
+// run loop kills it. It never escapes the package: the per-process wrapper
+// recovers it.
+type unwind struct{ code killCode }
+
+// Proc is the handle through which a process body accesses shared memory.
+// Every access blocks until the scheduler grants the process its next
+// atomic step, so the body observes exactly the interleaving the scheduler
+// chose. A Proc is only valid inside the ProcFunc it was passed to and
+// must not be shared with other goroutines.
+type Proc struct {
+	id  int
+	n   int
+	req chan request
+	res chan response
+}
+
+// ID returns the process id (the index of the body in Config.Procs).
+// Paper processes are numbered 1..n; simulator pids are 0-based, and
+// algorithms that need a 1-based identifier use ID()+1.
+func (p *Proc) ID() int { return p.id }
+
+// N returns the total number of processes in the run.
+func (p *Proc) N() int { return p.n }
+
+func (p *Proc) do(r request) response {
+	p.req <- r
+	resp := <-p.res
+	if resp.kill != killNone {
+		panic(unwind{code: resp.kill})
+	}
+	return resp
+}
+
+// Read atomically reads the register view and returns its value. On a
+// single-bit view it issues the paper's read operation; on wider views it
+// issues read-word. One atomic step.
+func (p *Proc) Read(r Reg) uint64 {
+	op := opset.ReadWord
+	if r.IsBit() {
+		op = opset.Read
+	}
+	return p.do(request{kind: reqAccess, op: op, reg: r}).ret
+}
+
+// Write atomically writes v to the register view. On a single-bit view it
+// issues write-0 or write-1; on wider views it issues write-word. One
+// atomic step.
+func (p *Proc) Write(r Reg, v uint64) {
+	op := opset.WriteWord
+	if r.IsBit() {
+		if v == 0 {
+			op = opset.Write0
+		} else {
+			op = opset.Write1
+			v = 0
+		}
+	}
+	p.do(request{kind: reqAccess, op: op, reg: r, arg: v})
+}
+
+// TestAndSet atomically sets the bit to 1 and returns the old value.
+func (p *Proc) TestAndSet(r Reg) uint64 {
+	return p.do(request{kind: reqAccess, op: opset.TestAndSet, reg: r}).ret
+}
+
+// TestAndReset atomically resets the bit to 0 and returns the old value.
+func (p *Proc) TestAndReset(r Reg) uint64 {
+	return p.do(request{kind: reqAccess, op: opset.TestAndReset, reg: r}).ret
+}
+
+// TestAndFlip atomically complements the bit and returns the old value.
+func (p *Proc) TestAndFlip(r Reg) uint64 {
+	return p.do(request{kind: reqAccess, op: opset.TestAndFlip, reg: r}).ret
+}
+
+// Flip atomically complements the bit without returning a value.
+func (p *Proc) Flip(r Reg) {
+	p.do(request{kind: reqAccess, op: opset.Flip, reg: r})
+}
+
+// Skip performs the paper's skip operation: an atomic access that neither
+// changes the bit nor returns a value. It still costs one step.
+func (p *Proc) Skip(r Reg) {
+	p.do(request{kind: reqAccess, op: opset.Skip, reg: r})
+}
+
+// Local performs one internal computation step: it consumes a scheduling
+// turn (other processes may run before and after) but touches no shared
+// register and does not count toward step complexity. Backoff delays are
+// built from Local steps.
+func (p *Proc) Local() {
+	p.do(request{kind: reqLocal})
+}
+
+// Mark records entry into a protocol phase. A mark is an internal event of
+// the run: it consumes a scheduling turn (the adversary decides when the
+// process changes phase) but is not a shared-memory access and does not
+// count toward step complexity.
+func (p *Proc) Mark(ph Phase) {
+	p.do(request{kind: reqMark, phase: ph})
+}
+
+// Output records the process's decision value (detector output, chosen
+// name). Like Mark, it is a scheduled internal event.
+func (p *Proc) Output(v uint64) {
+	p.do(request{kind: reqOutput, out: v})
+}
+
+// Run executes one run under cfg and returns its result. The memory is
+// reset first. Run never leaks goroutines: every process body is unwound
+// before Run returns. An error is returned only for configuration
+// mistakes; illegal accesses during the run are reported in Result.Err
+// with a partial trace.
+func Run(cfg Config) (*Result, error) {
+	if cfg.Mem == nil {
+		return nil, fmt.Errorf("sim: Config.Mem is nil")
+	}
+	if len(cfg.Procs) == 0 {
+		return nil, fmt.Errorf("sim: no processes")
+	}
+	sched := cfg.Sched
+	if sched == nil {
+		sched = Sequential{}
+	}
+	maxSteps := cfg.MaxSteps
+	if maxSteps <= 0 {
+		maxSteps = DefaultMaxSteps
+	}
+
+	mem := cfg.Mem
+	mem.Reset()
+
+	n := len(cfg.Procs)
+	trace := &Trace{NumProcs: n, Cells: make([]CellInfo, mem.NumCells())}
+	for i := range trace.Cells {
+		trace.Cells[i] = CellInfo{
+			Name:  mem.cells[i].name,
+			Width: int(mem.cells[i].width),
+			Init:  mem.cells[i].init,
+		}
+	}
+
+	procs := make([]*Proc, n)
+	var wg sync.WaitGroup
+	for i, body := range cfg.Procs {
+		if body == nil {
+			continue
+		}
+		pr := &Proc{
+			id:  i,
+			n:   n,
+			req: make(chan request),
+			res: make(chan response),
+		}
+		procs[i] = pr
+		wg.Add(1)
+		go func(pr *Proc, body ProcFunc) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					if _, ok := r.(unwind); ok {
+						return // killed by the run loop; already accounted
+					}
+					panic(r) // real bug in an algorithm: surface it
+				}
+			}()
+			body(pr)
+			pr.req <- request{kind: reqDone}
+		}(pr, body)
+	}
+
+	loop := &runLoop{
+		mem:      mem,
+		trace:    trace,
+		procs:    procs,
+		pending:  make(map[int]request, n),
+		sched:    sched,
+		maxSteps: maxSteps,
+	}
+	err := loop.run()
+	wg.Wait()
+	return &Result{Trace: trace, Err: err}, nil
+}
+
+// runLoop owns all memory mutation and event recording for one run.
+type runLoop struct {
+	mem      *Memory
+	trace    *Trace
+	procs    []*Proc // nil entries: remainder-region processes
+	pending  map[int]request
+	sched    Scheduler
+	maxSteps int
+}
+
+func (l *runLoop) run() error {
+	// Absorb the first scheduled request (or completion) of every process.
+	for pid, pr := range l.procs {
+		if pr != nil {
+			l.await(pid)
+		}
+	}
+	// The sorted ready list is maintained incrementally: processes leave
+	// it only when they terminate or crash, so the per-step cost is O(1)
+	// instead of an O(n log n) rebuild (which dominates large-n runs).
+	ready := make([]int, 0, len(l.pending))
+	for pid := range l.pending {
+		ready = append(ready, pid)
+	}
+	sort.Ints(ready)
+
+	steps := 0
+	for len(l.pending) > 0 {
+		if steps >= l.maxSteps {
+			l.trace.Stop = StopMaxSteps
+			l.unwindAll()
+			return nil
+		}
+
+		d := l.sched.Next(ready, steps)
+		switch d.Action {
+		case ActStop:
+			l.trace.Stop = StopScheduler
+			l.unwindAll()
+			return nil
+
+		case ActCrash:
+			if _, ok := l.pending[d.PID]; !ok {
+				l.trace.Stop = StopError
+				l.unwindAll()
+				return fmt.Errorf("sim: scheduler crashed non-ready process %d", d.PID)
+			}
+			delete(l.pending, d.PID)
+			ready = removeSorted(ready, d.PID)
+			l.record(Event{PID: d.PID, Kind: KindCrash})
+			l.procs[d.PID].res <- response{kill: killCrash}
+
+		case ActStep:
+			req, ok := l.pending[d.PID]
+			if !ok {
+				l.trace.Stop = StopError
+				l.unwindAll()
+				return fmt.Errorf("sim: scheduler picked non-ready process %d", d.PID)
+			}
+			steps++
+			l.trace.ScheduledSteps = steps
+			delete(l.pending, d.PID)
+			switch req.kind {
+			case reqAccess:
+				ret, hasRet, err := l.mem.apply(req.reg, req.op, req.arg)
+				if err != nil {
+					l.trace.Stop = StopError
+					l.procs[d.PID].res <- response{kill: killStop}
+					l.unwindAll()
+					return fmt.Errorf("process %d: %w", d.PID, err)
+				}
+				l.record(Event{
+					PID:     d.PID,
+					Kind:    KindAccess,
+					Op:      req.op,
+					Cell:    req.reg.cell,
+					RegName: l.mem.Name(req.reg),
+					Shift:   req.reg.shift,
+					Width:   req.reg.width,
+					Arg:     req.arg,
+					Ret:     ret,
+					HasRet:  hasRet,
+				})
+				l.procs[d.PID].res <- response{ret: ret, hasRet: hasRet}
+			case reqLocal:
+				l.record(Event{PID: d.PID, Kind: KindLocal})
+				l.procs[d.PID].res <- response{}
+			case reqMark:
+				l.record(Event{PID: d.PID, Kind: KindMark, Phase: req.phase})
+				l.procs[d.PID].res <- response{}
+			case reqOutput:
+				l.record(Event{PID: d.PID, Kind: KindOutput, Out: req.out})
+				l.procs[d.PID].res <- response{}
+			default:
+				l.trace.Stop = StopError
+				l.unwindAll()
+				return fmt.Errorf("sim: internal error: scheduled request kind %d", req.kind)
+			}
+			l.await(d.PID)
+			if _, still := l.pending[d.PID]; !still {
+				ready = removeSorted(ready, d.PID) // terminated
+			}
+
+		default:
+			l.trace.Stop = StopError
+			l.unwindAll()
+			return fmt.Errorf("sim: scheduler returned invalid action %d", d.Action)
+		}
+	}
+	l.trace.Stop = StopAllDone
+	return nil
+}
+
+// await receives the next request from pid. All requests except done are
+// scheduled: they become the process's pending event, performed only when
+// the scheduler picks it. This matches the paper's model, in which internal
+// state updates are events of the run like any other, so a process that has
+// not been scheduled has not started (and in particular has not entered its
+// entry code).
+func (l *runLoop) await(pid int) {
+	pr := l.procs[pid]
+	req := <-pr.req
+	switch req.kind {
+	case reqAccess, reqLocal, reqMark, reqOutput:
+		l.pending[pid] = req
+	case reqDone:
+		// Record termination so traces can distinguish processes that
+		// finished from processes that were unwound or never ran.
+		l.record(Event{PID: pid, Kind: KindMark, Phase: PhaseDone})
+	default:
+		panic(fmt.Sprintf("sim: unknown request kind %d", req.kind))
+	}
+}
+
+// unwindAll kills every process that still has a pending request and
+// absorbs the remainder of processes currently computing, so no goroutine
+// outlives the run.
+func (l *runLoop) unwindAll() {
+	for pid := range l.pending {
+		delete(l.pending, pid)
+		l.procs[pid].res <- response{kill: killStop}
+	}
+}
+
+func (l *runLoop) record(e Event) {
+	e.Seq = len(l.trace.Events)
+	l.trace.Events = append(l.trace.Events, e)
+}
+
+// removeSorted removes pid from the sorted slice, preserving order.
+func removeSorted(s []int, pid int) []int {
+	i := sort.SearchInts(s, pid)
+	if i == len(s) || s[i] != pid {
+		return s
+	}
+	return append(s[:i], s[i+1:]...)
+}

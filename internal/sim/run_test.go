@@ -1,0 +1,597 @@
+package sim
+
+import (
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+
+	"cfc/internal/opset"
+)
+
+// runOrFail executes a run and fails the test on any error.
+func runOrFail(t *testing.T, cfg Config) *Trace {
+	t.Helper()
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Err != nil {
+		t.Fatalf("run error: %v", res.Err)
+	}
+	return res.Trace
+}
+
+func TestSingleProcessRun(t *testing.T) {
+	mem := NewMemory(opset.AtomicRegisters)
+	x := mem.Register("x", 8)
+
+	tr := runOrFail(t, Config{
+		Mem: mem,
+		Procs: []ProcFunc{func(p *Proc) {
+			p.Write(x, 7)
+			if got := p.Read(x); got != 7 {
+				t.Errorf("Read(x) = %d, want 7", got)
+			}
+			p.Output(uint64(p.ID()) + 100)
+		}},
+	})
+
+	if tr.Stop != StopAllDone {
+		t.Errorf("Stop = %v, want all-done", tr.Stop)
+	}
+	acc := tr.Accesses(0)
+	if len(acc) != 2 {
+		t.Fatalf("accesses = %d, want 2", len(acc))
+	}
+	if !acc[0].IsWrite() || acc[0].Op != opset.WriteWord || acc[0].Arg != 7 {
+		t.Errorf("first access = %+v", acc[0])
+	}
+	if !acc[1].IsRead() || acc[1].Ret != 7 {
+		t.Errorf("second access = %+v", acc[1])
+	}
+	out, ok := tr.Output(0)
+	if !ok || out != 100 {
+		t.Errorf("output = %d,%v, want 100,true", out, ok)
+	}
+}
+
+func TestMemoryResetBetweenRuns(t *testing.T) {
+	mem := NewMemory(opset.AtomicRegisters)
+	x := mem.Register("x", 8)
+	body := func(p *Proc) {
+		v := p.Read(x)
+		p.Write(x, v+1)
+		p.Output(v)
+	}
+	for i := 0; i < 3; i++ {
+		tr := runOrFail(t, Config{Mem: mem, Procs: []ProcFunc{body}})
+		out, _ := tr.Output(0)
+		if out != 0 {
+			t.Fatalf("run %d saw stale value %d; memory not reset", i, out)
+		}
+	}
+}
+
+func TestSequentialScheduler(t *testing.T) {
+	mem := NewMemory(opset.AtomicRegisters)
+	x := mem.Register("x", 8)
+	body := func(p *Proc) {
+		p.Write(x, uint64(p.ID())+1)
+		p.Output(p.Read(x))
+	}
+	tr := runOrFail(t, Config{
+		Mem:   mem,
+		Procs: []ProcFunc{body, body, body},
+		Sched: Sequential{},
+	})
+	// Sequentially, each process reads back its own write.
+	for pid := 0; pid < 3; pid++ {
+		out, ok := tr.Output(pid)
+		if !ok || out != uint64(pid)+1 {
+			t.Errorf("p%d output = %d,%v, want %d", pid, out, ok, pid+1)
+		}
+	}
+	// And p0's events all precede p1's, etc.
+	lastSeq := -1
+	for pid := 0; pid < 3; pid++ {
+		for _, e := range tr.PerProc(pid) {
+			if e.Seq < lastSeq {
+				t.Fatalf("events of p%d interleave with earlier process", pid)
+			}
+			lastSeq = e.Seq
+		}
+	}
+}
+
+func TestRoundRobinScheduler(t *testing.T) {
+	mem := NewMemory(opset.AtomicRegisters)
+	x := mem.Register("x", 8)
+	body := func(p *Proc) {
+		for i := 0; i < 3; i++ {
+			p.Read(x)
+		}
+	}
+	tr := runOrFail(t, Config{
+		Mem:   mem,
+		Procs: []ProcFunc{body, body},
+		Sched: &RoundRobin{},
+	})
+	var pids []int
+	for _, e := range tr.Accesses(-1) {
+		pids = append(pids, e.PID)
+	}
+	want := []int{0, 1, 0, 1, 0, 1}
+	if !reflect.DeepEqual(pids, want) {
+		t.Errorf("round-robin order = %v, want %v", pids, want)
+	}
+}
+
+func TestSoloScheduler(t *testing.T) {
+	mem := NewMemory(opset.AtomicRegisters)
+	x := mem.Register("x", 8)
+	body := func(p *Proc) {
+		p.Write(x, uint64(p.ID())+1)
+	}
+	tr := runOrFail(t, Config{
+		Mem:   mem,
+		Procs: []ProcFunc{body, body, body},
+		Sched: Solo{PID: 1},
+	})
+	if tr.Stop != StopScheduler {
+		t.Errorf("Stop = %v, want scheduler-stop", tr.Stop)
+	}
+	for _, e := range tr.Accesses(-1) {
+		if e.PID != 1 {
+			t.Errorf("process %d took a step under Solo(1)", e.PID)
+		}
+	}
+	if len(tr.Accesses(1)) != 1 {
+		t.Errorf("p1 accesses = %d, want 1", len(tr.Accesses(1)))
+	}
+}
+
+func TestNilProcStaysInRemainder(t *testing.T) {
+	mem := NewMemory(opset.AtomicRegisters)
+	x := mem.Register("x", 8)
+	tr := runOrFail(t, Config{
+		Mem: mem,
+		Procs: []ProcFunc{
+			nil,
+			func(p *Proc) { p.Write(x, 1) },
+			nil,
+		},
+	})
+	if tr.Stop != StopAllDone {
+		t.Errorf("Stop = %v", tr.Stop)
+	}
+	if tr.NumProcs != 3 {
+		t.Errorf("NumProcs = %d, want 3", tr.NumProcs)
+	}
+	if len(tr.Accesses(-1)) != 1 {
+		t.Errorf("total accesses = %d, want 1", len(tr.Accesses(-1)))
+	}
+}
+
+func TestScriptedScheduler(t *testing.T) {
+	mem := NewMemory(opset.AtomicRegisters)
+	x := mem.Register("x", 8)
+	body := func(p *Proc) {
+		p.Write(x, uint64(p.ID()))
+		p.Read(x)
+	}
+	sched := NewScripted([]int{1, 0, 0, 1})
+	tr := runOrFail(t, Config{Mem: mem, Procs: []ProcFunc{body, body}, Sched: sched})
+	var pids []int
+	for _, e := range tr.Accesses(-1) {
+		pids = append(pids, e.PID)
+	}
+	if want := []int{1, 0, 0, 1}; !reflect.DeepEqual(pids, want) {
+		t.Errorf("scripted order = %v, want %v", pids, want)
+	}
+	if !sched.Valid() {
+		t.Error("script should be valid")
+	}
+	if tr.Stop != StopAllDone {
+		t.Errorf("Stop = %v, want all-done", tr.Stop)
+	}
+}
+
+func TestScriptedSchedulerInvalidPid(t *testing.T) {
+	mem := NewMemory(opset.AtomicRegisters)
+	x := mem.Register("x", 8)
+	one := func(p *Proc) { p.Write(x, 1) }
+	two := func(p *Proc) { p.Write(x, 2); p.Write(x, 3) }
+	// p0 has only one step, so the second script entry schedules a process
+	// that is no longer ready while p1 still is.
+	sched := NewScripted([]int{0, 0})
+	tr := runOrFail(t, Config{Mem: mem, Procs: []ProcFunc{one, two}, Sched: sched})
+	if sched.Valid() {
+		t.Error("script scheduling a finished process should be invalid")
+	}
+	if tr.Stop != StopScheduler {
+		t.Errorf("Stop = %v", tr.Stop)
+	}
+}
+
+func TestScriptedStopsEarly(t *testing.T) {
+	mem := NewMemory(opset.AtomicRegisters)
+	x := mem.Register("x", 8)
+	body := func(p *Proc) {
+		for i := 0; i < 10; i++ {
+			p.Read(x)
+		}
+	}
+	sched := NewScripted([]int{0, 0, 0})
+	tr := runOrFail(t, Config{Mem: mem, Procs: []ProcFunc{body}, Sched: sched})
+	if got := len(tr.Accesses(0)); got != 3 {
+		t.Errorf("accesses = %d, want 3", got)
+	}
+	if tr.Stop != StopScheduler {
+		t.Errorf("Stop = %v", tr.Stop)
+	}
+	if sched.Consumed() != 3 {
+		t.Errorf("Consumed = %d", sched.Consumed())
+	}
+}
+
+func TestMaxStepsStopsBusyWait(t *testing.T) {
+	mem := NewMemory(opset.AtomicRegisters)
+	x := mem.Register("x", 1)
+	tr := runOrFail(t, Config{
+		Mem: mem,
+		Procs: []ProcFunc{func(p *Proc) {
+			for p.Read(x) == 0 { // never satisfied: nobody writes
+			}
+		}},
+		MaxSteps: 50,
+	})
+	if tr.Stop != StopMaxSteps {
+		t.Errorf("Stop = %v, want max-steps", tr.Stop)
+	}
+	if got := len(tr.Accesses(0)); got != 50 {
+		t.Errorf("accesses = %d, want 50", got)
+	}
+}
+
+func TestCrashInjection(t *testing.T) {
+	mem := NewMemory(opset.RMW)
+	b := mem.Bit("b")
+	body := func(p *Proc) {
+		p.TestAndSet(b)
+		p.TestAndSet(b)
+		p.TestAndSet(b)
+		p.Output(1)
+	}
+	tr := runOrFail(t, Config{
+		Mem:   mem,
+		Procs: []ProcFunc{body, body},
+		Sched: &Crasher{
+			Inner:   Sequential{},
+			CrashAt: map[int]int{0: 1}, // crash p0 after its first step
+		},
+	})
+	if !tr.Crashed(0) {
+		t.Error("p0 should have crashed")
+	}
+	if tr.Crashed(1) {
+		t.Error("p1 should not have crashed")
+	}
+	if _, ok := tr.Output(0); ok {
+		t.Error("crashed process should not output")
+	}
+	if out, ok := tr.Output(1); !ok || out != 1 {
+		t.Errorf("p1 output = %d,%v", out, ok)
+	}
+	if got := len(tr.Accesses(0)); got != 1 {
+		t.Errorf("p0 accesses = %d, want 1 (crashed after first)", got)
+	}
+	if tr.Stop != StopAllDone {
+		t.Errorf("Stop = %v, want all-done", tr.Stop)
+	}
+}
+
+func TestIllegalAccessAbortsRun(t *testing.T) {
+	mem := NewMemory(opset.ReadTAS)
+	b := mem.Bit("b")
+	res, err := Run(Config{
+		Mem: mem,
+		Procs: []ProcFunc{
+			func(p *Proc) {
+				p.Read(b)
+				p.TestAndFlip(b) // not in model
+				p.Read(b)
+			},
+			func(p *Proc) {
+				for i := 0; i < 100; i++ {
+					p.Read(b)
+				}
+			},
+		},
+		Sched: Sequential{},
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Err == nil {
+		t.Fatal("expected run error for illegal op")
+	}
+	if !errors.Is(res.Err, ErrOpNotInModel) {
+		t.Errorf("error = %v, want ErrOpNotInModel", res.Err)
+	}
+	if !strings.Contains(res.Err.Error(), "process 0") {
+		t.Errorf("error should name the process: %v", res.Err)
+	}
+	if res.Trace.Stop != StopError {
+		t.Errorf("Stop = %v, want error", res.Trace.Stop)
+	}
+	// Exactly one access (the legal read) was recorded.
+	if got := len(res.Trace.Accesses(0)); got != 1 {
+		t.Errorf("p0 recorded accesses = %d, want 1", got)
+	}
+}
+
+func TestMarksAndPhases(t *testing.T) {
+	mem := NewMemory(opset.AtomicRegisters)
+	x := mem.Register("x", 8)
+	tr := runOrFail(t, Config{
+		Mem: mem,
+		Procs: []ProcFunc{func(p *Proc) {
+			p.Mark(PhaseTry)
+			p.Write(x, 1)
+			p.Mark(PhaseCS)
+			p.Mark(PhaseExit)
+			p.Write(x, 0)
+			p.Mark(PhaseRemainder)
+		}},
+	})
+	// Initially in remainder.
+	if ph := tr.PhaseAt(0, -1); ph != PhaseRemainder {
+		t.Errorf("initial phase = %v", ph)
+	}
+	// After the first event (the Try mark), in entry.
+	if ph := tr.PhaseAt(0, 0); ph != PhaseTry {
+		t.Errorf("phase after mark = %v", ph)
+	}
+	// After the body returns, the runner auto-records termination.
+	last := len(tr.Events) - 1
+	if ph := tr.PhaseAt(0, last); ph != PhaseDone {
+		t.Errorf("final phase = %v, want done", ph)
+	}
+	if !tr.Done(0) {
+		t.Error("Done(0) should be true")
+	}
+	// Just before the done mark the process was back in its remainder.
+	if ph := tr.PhaseAt(0, last-1); ph != PhaseRemainder {
+		t.Errorf("phase before done = %v, want remainder", ph)
+	}
+}
+
+func TestLocalStepsConsumeTurnsNotSteps(t *testing.T) {
+	mem := NewMemory(opset.AtomicRegisters)
+	x := mem.Register("x", 8)
+	tr := runOrFail(t, Config{
+		Mem: mem,
+		Procs: []ProcFunc{func(p *Proc) {
+			p.Local()
+			p.Write(x, 1)
+			p.Local()
+			p.Local()
+		}},
+	})
+	if got := len(tr.Accesses(0)); got != 1 {
+		t.Errorf("accesses = %d, want 1", got)
+	}
+	if tr.ScheduledSteps != 4 {
+		t.Errorf("ScheduledSteps = %d, want 4 (3 local + 1 access)", tr.ScheduledSteps)
+	}
+}
+
+func TestLocalInterleavesWithOtherProcess(t *testing.T) {
+	mem := NewMemory(opset.AtomicRegisters)
+	x := mem.Register("x", 8)
+	tr := runOrFail(t, Config{
+		Mem: mem,
+		Procs: []ProcFunc{
+			func(p *Proc) { p.Local(); p.Read(x) },
+			func(p *Proc) { p.Write(x, 5) },
+		},
+		Sched: &RoundRobin{},
+	})
+	// Round-robin: p0 local, p1 write, p0 read -> p0 sees 5.
+	acc := tr.Accesses(0)
+	if len(acc) != 1 || acc[0].Ret != 5 {
+		t.Errorf("p0 read = %+v, want ret 5", acc)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	build := func() (*Memory, []ProcFunc) {
+		mem := NewMemory(opset.RMW)
+		bits := mem.Bits("b", 4)
+		body := func(p *Proc) {
+			for i := range bits {
+				if p.TestAndSet(bits[i]) == 0 {
+					p.Output(uint64(i))
+					return
+				}
+			}
+			p.Output(99)
+		}
+		return mem, []ProcFunc{body, body, body}
+	}
+
+	var first string
+	for i := 0; i < 5; i++ {
+		mem, procs := build()
+		res, err := Run(Config{Mem: mem, Procs: procs, Sched: NewRandom(42)})
+		if err != nil || res.Err != nil {
+			t.Fatalf("run %d: %v / %v", i, err, res.Err)
+		}
+		s := res.Trace.String()
+		if i == 0 {
+			first = s
+		} else if s != first {
+			t.Fatalf("run %d differs from run 0 under identical seed:\n%s\nvs\n%s", i, s, first)
+		}
+	}
+}
+
+func TestPriorityScheduler(t *testing.T) {
+	mem := NewMemory(opset.AtomicRegisters)
+	x := mem.Register("x", 8)
+	body := func(p *Proc) { p.Write(x, 1); p.Write(x, 2) }
+	tr := runOrFail(t, Config{
+		Mem:   mem,
+		Procs: []ProcFunc{body, body, body},
+		Sched: Priority{Order: []int{2, 0}},
+	})
+	var pids []int
+	for _, e := range tr.Accesses(-1) {
+		pids = append(pids, e.PID)
+	}
+	want := []int{2, 2, 0, 0, 1, 1}
+	if !reflect.DeepEqual(pids, want) {
+		t.Errorf("priority order = %v, want %v", pids, want)
+	}
+}
+
+func TestRunConfigErrors(t *testing.T) {
+	if _, err := Run(Config{Procs: []ProcFunc{func(*Proc) {}}}); err == nil {
+		t.Error("nil Mem should be rejected")
+	}
+	if _, err := Run(Config{Mem: NewMemory(opset.RMW)}); err == nil {
+		t.Error("no processes should be rejected")
+	}
+}
+
+func TestTraceReplayValues(t *testing.T) {
+	mem := NewMemory(opset.RMW)
+	b := mem.Bit("b")
+	c := mem.BitInit("c", 1)
+	tr := runOrFail(t, Config{
+		Mem: mem,
+		Procs: []ProcFunc{func(p *Proc) {
+			p.TestAndSet(b)
+			p.TestAndReset(c)
+			p.Flip(b)
+		}},
+	})
+	vals := tr.ReplayValues(len(tr.Events))
+	if vals[0] != 0 || vals[1] != 0 {
+		t.Errorf("replayed = %v, want [0 0]", vals)
+	}
+	// Prefix replay: after first access only.
+	vals = tr.ReplayValues(1)
+	if vals[0] != 1 || vals[1] != 1 {
+		t.Errorf("prefix replay = %v, want [1 1]", vals)
+	}
+	if got := mem.Snapshot(); !reflect.DeepEqual(got, tr.ReplayValues(len(tr.Events))) {
+		t.Errorf("replay disagrees with final memory: %v vs %v", tr.ReplayValues(len(tr.Events)), got)
+	}
+}
+
+func TestTraceReplayFieldAccesses(t *testing.T) {
+	mem := NewMemory(opset.AtomicRegisters)
+	w := mem.Register("w", 8)
+	lo := mem.Field(w, 0, 4)
+	hi := mem.Field(w, 4, 4)
+	tr := runOrFail(t, Config{
+		Mem: mem,
+		Procs: []ProcFunc{func(p *Proc) {
+			p.Write(lo, 0x5)
+			p.Write(hi, 0xA)
+		}},
+	})
+	vals := tr.ReplayValues(len(tr.Events))
+	if vals[0] != 0xA5 {
+		t.Errorf("replayed word = %#x, want 0xA5", vals[0])
+	}
+}
+
+func TestTraceAtomicity(t *testing.T) {
+	mem := NewMemory(opset.AtomicRegisters)
+	w := mem.Register("w", 8)
+	b := mem.Bit("b")
+	lo := mem.Field(w, 0, 3)
+	tr := runOrFail(t, Config{
+		Mem: mem,
+		Procs: []ProcFunc{func(p *Proc) {
+			p.Write(b, 1)
+			p.Write(lo, 5)
+		}},
+	})
+	if got := tr.Atomicity(); got != 3 {
+		t.Errorf("Atomicity = %d, want 3", got)
+	}
+
+	tr2 := runOrFail(t, Config{
+		Mem: mem,
+		Procs: []ProcFunc{func(p *Proc) {
+			p.Write(w, 200)
+		}},
+	})
+	if got := tr2.Atomicity(); got != 8 {
+		t.Errorf("Atomicity = %d, want 8", got)
+	}
+}
+
+func TestEventStringFormats(t *testing.T) {
+	mem := NewMemory(opset.RMW)
+	b := mem.Bit("flag")
+	tr := runOrFail(t, Config{
+		Mem: mem,
+		Procs: []ProcFunc{func(p *Proc) {
+			p.Mark(PhaseTry)
+			p.TestAndSet(b)
+			p.Local()
+			p.Output(3)
+		}},
+	})
+	s := tr.String()
+	for _, want := range []string{"test-and-set flag = 0", "-> entry", "local", "output 3"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("trace dump missing %q:\n%s", want, s)
+		}
+	}
+}
+
+// Property: every trace is well-formed — sequence numbers are dense, pids
+// in range, access events carry cell indices within bounds.
+func TestTraceWellFormed(t *testing.T) {
+	mem := NewMemory(opset.RMW)
+	bits := mem.Bits("b", 3)
+	body := func(p *Proc) {
+		for _, b := range bits {
+			if p.TestAndFlip(b) == 1 {
+				p.Flip(b)
+			}
+		}
+		p.Output(uint64(p.ID()))
+	}
+	for seed := int64(0); seed < 20; seed++ {
+		res, err := Run(Config{
+			Mem:   mem,
+			Procs: []ProcFunc{body, body, body, body},
+			Sched: NewRandom(seed),
+		})
+		if err != nil || res.Err != nil {
+			t.Fatalf("seed %d: %v / %v", seed, err, res.Err)
+		}
+		tr := res.Trace
+		for i, e := range tr.Events {
+			if e.Seq != i {
+				t.Fatalf("seed %d: event %d has Seq %d", seed, i, e.Seq)
+			}
+			if e.PID < 0 || e.PID >= tr.NumProcs {
+				t.Fatalf("seed %d: bad pid %d", seed, e.PID)
+			}
+			if e.Kind == KindAccess && (int(e.Cell) < 0 || int(e.Cell) >= len(tr.Cells)) {
+				t.Fatalf("seed %d: bad cell %d", seed, e.Cell)
+			}
+		}
+		if tr.Stop != StopAllDone {
+			t.Fatalf("seed %d: stop = %v", seed, tr.Stop)
+		}
+	}
+}

@@ -1,0 +1,239 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// Action is the kind of decision a Scheduler makes at each scheduling
+// point.
+type Action uint8
+
+const (
+	// ActStep schedules the chosen process to perform its pending event.
+	ActStep Action = iota + 1
+	// ActCrash injects a stopping failure into the chosen process; it
+	// takes no further steps (used to exercise wait-freedom).
+	ActCrash
+	// ActStop ends the run; all remaining processes are unwound.
+	ActStop
+)
+
+// Decision is a scheduling decision: an action and, for ActStep and
+// ActCrash, the target process.
+type Decision struct {
+	Action Action
+	PID    int
+}
+
+// Step returns a decision scheduling pid.
+func Step(pid int) Decision { return Decision{Action: ActStep, PID: pid} }
+
+// Crash returns a decision crashing pid.
+func Crash(pid int) Decision { return Decision{Action: ActCrash, PID: pid} }
+
+// Stop returns a decision ending the run.
+func Stop() Decision { return Decision{Action: ActStop} }
+
+// Scheduler chooses, at every scheduling point, which process performs its
+// pending atomic event. It is the adversary of the asynchronous model: no
+// assumption is made about relative speeds, so any scheduler is a legal
+// environment.
+//
+// ready is the sorted list of process ids with a pending scheduled event
+// (shared access or local step); it is never empty and must not be
+// modified. step is the number of scheduled events performed so far.
+type Scheduler interface {
+	Next(ready []int, step int) Decision
+}
+
+// Solo schedules only the process with id PID and stops the run once it
+// terminates (or if it never becomes ready). It produces the paper's
+// contention-free runs when the other processes stay in their remainder
+// regions.
+type Solo struct {
+	PID int
+}
+
+// Next implements Scheduler.
+func (s Solo) Next(ready []int, _ int) Decision {
+	if idx := sort.SearchInts(ready, s.PID); idx < len(ready) && ready[idx] == s.PID {
+		return Step(s.PID)
+	}
+	return Stop()
+}
+
+// Sequential runs processes to completion one at a time in increasing pid
+// order: the lowest ready pid always steps. This is exactly the run
+// construction of Theorems 5 and 7 of the paper ("all the processes are
+// scheduled one at a time, one after the other").
+type Sequential struct{}
+
+// Next implements Scheduler.
+func (Sequential) Next(ready []int, _ int) Decision {
+	return Step(ready[0])
+}
+
+// RoundRobin cycles through the ready processes, giving each one event per
+// round in pid order. Applied to identical processes it is the clone
+// adversary of Theorem 6: all processes take the same operation in lock
+// step.
+type RoundRobin struct {
+	last int // pid scheduled most recently + 1
+}
+
+// Next implements Scheduler.
+func (r *RoundRobin) Next(ready []int, _ int) Decision {
+	idx := sort.SearchInts(ready, r.last)
+	if idx == len(ready) {
+		idx = 0
+	}
+	pid := ready[idx]
+	r.last = pid + 1
+	return Step(pid)
+}
+
+// Random schedules a uniformly random ready process using a deterministic
+// seeded source, so runs remain reproducible.
+type Random struct {
+	rng *rand.Rand
+}
+
+// NewRandom returns a Random scheduler with the given seed.
+func NewRandom(seed int64) *Random {
+	return &Random{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Next implements Scheduler.
+func (r *Random) Next(ready []int, _ int) Decision {
+	return Step(ready[r.rng.Intn(len(ready))])
+}
+
+// Scripted follows an explicit schedule of pids, one per scheduling point,
+// and stops when the script is exhausted. If the scripted pid is not
+// ready, the run stops early and Valid is set to false; the model checker
+// only generates scripts from observed ready sets, so an invalid script
+// indicates nondeterminism and is reported loudly.
+type Scripted struct {
+	Script []int
+
+	pos     int
+	invalid bool
+}
+
+// NewScripted returns a scheduler that follows script.
+func NewScripted(script []int) *Scripted {
+	return &Scripted{Script: script}
+}
+
+// Next implements Scheduler.
+func (s *Scripted) Next(ready []int, _ int) Decision {
+	if s.pos >= len(s.Script) {
+		return Stop()
+	}
+	pid := s.Script[s.pos]
+	s.pos++
+	if idx := sort.SearchInts(ready, pid); idx == len(ready) || ready[idx] != pid {
+		s.invalid = true
+		return Stop()
+	}
+	return Step(pid)
+}
+
+// Valid reports whether every scripted pid was ready when scheduled (so
+// far). A false value after a run means the script did not correspond to a
+// real schedule of this program.
+func (s *Scripted) Valid() bool { return !s.invalid }
+
+// Consumed returns how many script entries were used.
+func (s *Scripted) Consumed() int { return s.pos }
+
+// Crasher wraps another scheduler and injects stopping failures: before
+// step CrashAt[pid] is scheduled, process pid is crashed. Crashes are
+// injected in increasing pid order when several trigger at the same step.
+type Crasher struct {
+	Inner   Scheduler
+	CrashAt map[int]int // pid -> step index at (or after) which it crashes
+
+	crashed map[int]bool
+}
+
+// Next implements Scheduler.
+func (c *Crasher) Next(ready []int, step int) Decision {
+	if c.crashed == nil {
+		c.crashed = make(map[int]bool, len(c.CrashAt))
+	}
+	victim := -1
+	for _, pid := range ready {
+		at, ok := c.CrashAt[pid]
+		if ok && !c.crashed[pid] && step >= at {
+			victim = pid
+			break
+		}
+	}
+	if victim >= 0 {
+		c.crashed[victim] = true
+		return Crash(victim)
+	}
+	return c.Inner.Next(ready, step)
+}
+
+// Func adapts a plain function to the Scheduler interface.
+type Func func(ready []int, step int) Decision
+
+// Next implements Scheduler.
+func (f Func) Next(ready []int, step int) Decision { return f(ready, step) }
+
+// Priority schedules the ready process whose pid appears earliest in
+// Order; pids absent from Order are scheduled last, in pid order. It is a
+// convenient building block for hand-crafted adversaries.
+type Priority struct {
+	Order []int
+}
+
+// Next implements Scheduler.
+func (p Priority) Next(ready []int, _ int) Decision {
+	rank := make(map[int]int, len(p.Order))
+	for i, pid := range p.Order {
+		if _, ok := rank[pid]; !ok {
+			rank[pid] = i
+		}
+	}
+	best := ready[0]
+	bestRank := rankOf(rank, best)
+	for _, pid := range ready[1:] {
+		if r := rankOf(rank, pid); r < bestRank {
+			best, bestRank = pid, r
+		}
+	}
+	return Step(best)
+}
+
+func rankOf(rank map[int]int, pid int) int {
+	if r, ok := rank[pid]; ok {
+		return r
+	}
+	return 1<<30 + pid // missing pids keep pid order after all ranked ones
+}
+
+var (
+	_ Scheduler = Solo{}
+	_ Scheduler = Sequential{}
+	_ Scheduler = (*RoundRobin)(nil)
+	_ Scheduler = (*Random)(nil)
+	_ Scheduler = (*Scripted)(nil)
+	_ Scheduler = (*Crasher)(nil)
+	_ Scheduler = Func(nil)
+	_ Scheduler = Priority{}
+)
+
+// String implementations aid debugging of experiment configurations.
+
+func (s Solo) String() string      { return fmt.Sprintf("solo(p%d)", s.PID) }
+func (Sequential) String() string  { return "sequential" }
+func (*RoundRobin) String() string { return "round-robin" }
+func (*Random) String() string     { return "random" }
+func (s *Scripted) String() string { return fmt.Sprintf("scripted(%d)", len(s.Script)) }
+func (c *Crasher) String() string  { return fmt.Sprintf("crasher(%v)", c.Inner) }
+func (p Priority) String() string  { return fmt.Sprintf("priority(%v)", p.Order) }

@@ -1,0 +1,34 @@
+package sim
+
+// Done reports whether process pid terminated normally (its body returned)
+// during the run.
+func (t *Trace) Done(pid int) bool {
+	for _, e := range t.Events {
+		if e.PID == pid && e.Kind == KindMark && e.Phase == PhaseDone {
+			return true
+		}
+	}
+	return false
+}
+
+// FirstEvent returns the sequence number of the first event of pid, or -1
+// if it has none.
+func (t *Trace) FirstEvent(pid int) int {
+	for _, e := range t.Events {
+		if e.PID == pid {
+			return e.Seq
+		}
+	}
+	return -1
+}
+
+// LastEvent returns the sequence number of the last event of pid, or -1 if
+// it has none.
+func (t *Trace) LastEvent(pid int) int {
+	for i := len(t.Events) - 1; i >= 0; i-- {
+		if t.Events[i].PID == pid {
+			return t.Events[i].Seq
+		}
+	}
+	return -1
+}

@@ -256,7 +256,13 @@ func BenchmarkAblationDetectorSource(b *testing.B) {
 
 func BenchmarkSimThroughput(b *testing.B) {
 	// Substrate microbenchmark: scheduled events per second of the
-	// lock-step runner (2 processes ping-ponging on a register).
+	// lock-step runner (2 processes of 2000 events each on a shared
+	// register), across the engine/scheduler matrix. "direct/*" rows are
+	// the direct-execution engine: inline under the run-to-completion
+	// Sequential scheduler (the contention-free fast path), same-thread
+	// coroutines under the interleaving RoundRobin; "goroutine/*" rows
+	// are the channel-handshake engine the seed shipped with.
+	const eventsPerOp = 4000
 	mem := cfc.NewMemory(cfc.AtomicRegisters)
 	x := mem.Register("x", 8)
 	body := func(p *cfc.Proc) {
@@ -265,18 +271,63 @@ func BenchmarkSimThroughput(b *testing.B) {
 			p.Read(x)
 		}
 	}
+	cases := []struct {
+		name   string
+		engine cfc.Engine
+		sched  func() cfc.Scheduler
+	}{
+		{"direct/sequential", cfc.EngineAuto, func() cfc.Scheduler { return cfc.Sequential{} }},
+		{"direct/round-robin", cfc.EngineAuto, func() cfc.Scheduler { return &cfc.RoundRobin{} }},
+		{"goroutine/sequential", cfc.EngineGoroutine, func() cfc.Scheduler { return cfc.Sequential{} }},
+		{"goroutine/round-robin", cfc.EngineGoroutine, func() cfc.Scheduler { return &cfc.RoundRobin{} }},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			arena := cfc.NewArena()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := cfc.Run(cfc.Config{
+					Mem:    mem,
+					Procs:  []cfc.ProcFunc{body, body},
+					Sched:  c.sched(),
+					Engine: c.engine,
+					Reuse:  arena,
+				})
+				if err != nil || res.Err != nil {
+					b.Fatalf("%v / %v", err, res.Err)
+				}
+			}
+			b.ReportMetric(eventsPerOp, "events/op")
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/eventsPerOp, "ns/event")
+		})
+	}
+}
+
+func BenchmarkSimSoloThroughput(b *testing.B) {
+	// The contention-free measurement shape itself: one process of n runs
+	// a solo attempt on the inline fast path with a reuse arena (zero
+	// allocations per run after warm-up).
+	mem := cfc.NewMemory(cfc.AtomicRegisters)
+	x := mem.Register("x", 8)
+	const eventsPerOp = 2001 // 2000 accesses + the termination mark
+	procs := make([]cfc.ProcFunc, 8)
+	procs[3] = func(p *cfc.Proc) {
+		for i := 0; i < 1000; i++ {
+			p.Write(x, uint64(i&0xff))
+			p.Read(x)
+		}
+	}
+	arena := cfc.NewArena()
+	cfg := cfc.Config{Mem: mem, Procs: procs, Sched: cfc.Solo{PID: 3}, Reuse: arena}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res, err := cfc.Run(cfc.Config{
-			Mem:   mem,
-			Procs: []cfc.ProcFunc{body, body},
-			Sched: &cfc.RoundRobin{},
-		})
+		res, err := cfc.Run(cfg)
 		if err != nil || res.Err != nil {
 			b.Fatalf("%v / %v", err, res.Err)
 		}
 	}
-	b.ReportMetric(4000, "events/op")
+	b.ReportMetric(eventsPerOp, "events/op")
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/eventsPerOp, "ns/event")
 }
 
 func BenchmarkSimExhaustiveCheck(b *testing.B) {

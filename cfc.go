@@ -77,6 +77,12 @@ type (
 	// Scheduler picks the interleaving; Decision is one choice.
 	Scheduler = sim.Scheduler
 	Decision  = sim.Decision
+	// Engine selects the execution engine (EngineAuto picks the direct
+	// engine for deterministic schedulers); Arena recycles run state
+	// across runs; Session is an incrementally driven run.
+	Engine  = sim.Engine
+	Arena   = sim.Arena
+	Session = sim.Session
 	// Schedulers.
 	Solo       = sim.Solo
 	Sequential = sim.Sequential
@@ -95,12 +101,26 @@ const (
 	PhaseDone      = sim.PhaseDone
 )
 
+// Execution engines re-exported from package sim; see the sim package
+// comment for how each engine drives process bodies.
+const (
+	EngineAuto      = sim.EngineAuto
+	EngineDirect    = sim.EngineDirect
+	EngineGoroutine = sim.EngineGoroutine
+)
+
 // NewMemory returns an empty memory supporting exactly the operations in
 // model.
 func NewMemory(model Model) *Memory { return sim.NewMemory(model) }
 
 // Run executes one run under cfg; see sim.Run.
 func Run(cfg Config) (*Result, error) { return sim.Run(cfg) }
+
+// NewArena returns reusable run state for Config.Reuse; see sim.Arena.
+func NewArena() *Arena { return sim.NewArena() }
+
+// StartSession begins an incrementally driven run; see sim.StartSession.
+func StartSession(cfg Config) (*Session, error) { return sim.StartSession(cfg) }
 
 // NewRandom returns a seeded random scheduler.
 func NewRandom(seed int64) Scheduler { return sim.NewRandom(seed) }

@@ -15,6 +15,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime/pprof"
 	"strings"
 
 	"cfc/internal/experiments"
@@ -27,12 +28,27 @@ func main() {
 
 func run() int {
 	var (
-		table = flag.String("table", "", "experiment to run: M, N, sweep, multigrain, backoff, detection, starvation, ablation (empty = all)")
-		n     = flag.Int("n", 16, "process count for Table N")
-		seeds = flag.Int("seeds", 10, "random schedules per measurement")
-		list  = flag.Bool("list", false, "list experiment names and exit")
+		table      = flag.String("table", "", "experiment to run: M, N, sweep, multigrain, backoff, detection, starvation, ablation (empty = all)")
+		n          = flag.Int("n", 16, "process count for Table N")
+		seeds      = flag.Int("seeds", 10, "random schedules per measurement")
+		list       = flag.Bool("list", false, "list experiment names and exit")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the experiment run to `file`")
 	)
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cfcbench: -cpuprofile: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "cfcbench: -cpuprofile: %v\n", err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+	}
 
 	if *list {
 		fmt.Println("M           Table M: bounds for mutual exclusion (Section 2.6)")

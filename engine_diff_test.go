@@ -1,0 +1,159 @@
+package cfc_test
+
+// Differential gate for the direct-execution engine: every algorithm of
+// the paper's portfolio — Lamport variants, the Theorem 3 tournaments
+// with both node kinds, all four naming algorithms, the splitter
+// detectors — must produce byte-identical traces on the goroutine and
+// direct engines under every scheduler family used by the measurement
+// drivers (solo, sequential, round-robin, scripted, seeded random,
+// crash-injecting).
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"cfc"
+)
+
+// portfolioPrograms builds one program per portfolio entry: n process
+// bodies plus the memory they share. Programs are rebuilt per run so the
+// two engine runs are fully independent.
+func portfolioPrograms(t *testing.T, n int) map[string]func() (*cfc.Memory, []cfc.ProcFunc) {
+	t.Helper()
+	progs := map[string]func() (*cfc.Memory, []cfc.ProcFunc){}
+
+	mutexAlgs := map[string]cfc.MutexAlgorithm{
+		"lamport":            cfc.LamportFast(),
+		"lamport-packed":     cfc.PackedLamport(),
+		"tournament-l1":      cfc.TournamentMutex(1),
+		"tournament-l2":      cfc.TournamentMutex(2),
+		"tournament-kessels": cfc.TournamentMutexWithNode(1, cfc.NodeKessels),
+		"ttas":               cfc.TTASLock(),
+	}
+	for name, alg := range mutexAlgs {
+		progs["mutex/"+name] = func() (*cfc.Memory, []cfc.ProcFunc) {
+			mem := cfc.NewMemory(alg.Model())
+			inst, err := alg.New(mem, n)
+			if err != nil {
+				t.Fatalf("%s.New: %v", alg.Name(), err)
+			}
+			procs := make([]cfc.ProcFunc, n)
+			for pid := range procs {
+				procs[pid] = cfc.MutexBody(inst, 1, 1)
+			}
+			return mem, procs
+		}
+	}
+
+	namingAlgs := map[string]cfc.NamingAlgorithm{
+		"taf-tree":       cfc.TAFTreeNaming(),
+		"tastar-tree":    cfc.TASTARTreeNaming(),
+		"tas-scan":       cfc.TASScanNaming(),
+		"tas-bin-search": cfc.TASBinSearchNaming(),
+	}
+	for name, alg := range namingAlgs {
+		progs["naming/"+name] = func() (*cfc.Memory, []cfc.ProcFunc) {
+			mem := cfc.NewMemory(alg.Model())
+			inst, err := alg.New(mem, n)
+			if err != nil {
+				t.Fatalf("%s.New: %v", alg.Name(), err)
+			}
+			procs := make([]cfc.ProcFunc, n)
+			for pid := range procs {
+				procs[pid] = cfc.TaskBody(inst)
+			}
+			return mem, procs
+		}
+	}
+
+	detectors := map[string]cfc.Detector{
+		"splitter":       cfc.SplitterDetector(),
+		"splitter-tree":  cfc.SplitterTreeDetector(2),
+		"lemma1-lamport": cfc.DetectorFromMutex(cfc.LamportFast()),
+	}
+	for name, det := range detectors {
+		progs["detector/"+name] = func() (*cfc.Memory, []cfc.ProcFunc) {
+			mem := cfc.NewMemory(det.Model())
+			inst, err := det.New(mem, n)
+			if err != nil {
+				t.Fatalf("%s.New: %v", det.Name(), err)
+			}
+			procs := make([]cfc.ProcFunc, n)
+			for pid := range procs {
+				procs[pid] = cfc.TaskBody(inst)
+			}
+			return mem, procs
+		}
+	}
+	return progs
+}
+
+// diffScheds builds fresh scheduler instances per engine run.
+func diffScheds(n int) map[string]func() cfc.Scheduler {
+	script := make([]int, 0, 6*n)
+	for r := 0; r < 6; r++ {
+		for pid := 0; pid < n; pid++ {
+			script = append(script, (pid+r)%n)
+		}
+	}
+	return map[string]func() cfc.Scheduler{
+		"solo":        func() cfc.Scheduler { return cfc.Solo{PID: n - 1} },
+		"sequential":  func() cfc.Scheduler { return cfc.Sequential{} },
+		"round-robin": func() cfc.Scheduler { return &cfc.RoundRobin{} },
+		"random-3":    func() cfc.Scheduler { return cfc.NewRandom(3) },
+		"scripted": func() cfc.Scheduler {
+			return &cfc.Scripted{Script: script}
+		},
+		"crasher": func() cfc.Scheduler {
+			return &cfc.Crasher{Inner: &cfc.RoundRobin{}, CrashAt: map[int]int{0: 2}}
+		},
+	}
+}
+
+func TestEngineDifferentialPortfolio(t *testing.T) {
+	const n = 4
+	for progName, mkProg := range portfolioPrograms(t, n) {
+		for schedName, mkSched := range diffScheds(n) {
+			name := fmt.Sprintf("%s/%s", progName, schedName)
+			t.Run(name, func(t *testing.T) {
+				var ref *cfc.Result
+				for _, engine := range []cfc.Engine{cfc.EngineGoroutine, cfc.EngineDirect} {
+					mem, procs := mkProg()
+					res, err := cfc.Run(cfc.Config{
+						Mem:      mem,
+						Procs:    procs,
+						Sched:    mkSched(),
+						MaxSteps: 1 << 14,
+						Engine:   engine,
+					})
+					if err != nil {
+						t.Fatalf("engine %v: %v", engine, err)
+					}
+					if res.Err != nil {
+						t.Fatalf("engine %v: run error: %v", engine, res.Err)
+					}
+					if engine == cfc.EngineGoroutine {
+						ref = res
+						continue
+					}
+					if res.Trace.Stop != ref.Trace.Stop {
+						t.Fatalf("stop reasons differ: goroutine=%v direct=%v",
+							ref.Trace.Stop, res.Trace.Stop)
+					}
+					if res.Trace.ScheduledSteps != ref.Trace.ScheduledSteps {
+						t.Fatalf("scheduled steps differ: goroutine=%d direct=%d",
+							ref.Trace.ScheduledSteps, res.Trace.ScheduledSteps)
+					}
+					if !reflect.DeepEqual(res.Trace.Events, ref.Trace.Events) {
+						t.Fatalf("traces differ\ngoroutine:\n%sdirect:\n%s",
+							ref.Trace, res.Trace)
+					}
+					if got, want := res.Trace.String(), ref.Trace.String(); got != want {
+						t.Fatalf("trace dumps differ\ngoroutine:\n%sdirect:\n%s", want, got)
+					}
+				}
+			})
+		}
+	}
+}

@@ -1,0 +1,3 @@
+module cfc
+
+go 1.24

@@ -7,13 +7,15 @@
 // their shared-memory operations return, so a global state is fully
 // described by the shared cell values plus each process's observation
 // history; the explorer replays schedules from scratch (the simulator is
-// cheap) and hashes that description to prune.
+// cheap) and hashes that description to prune. Replays run on the
+// simulator's direct engine with one shared arena, so a replay costs no
+// goroutines, no channels and no per-replay trace allocations.
 package check
 
 import (
+	"errors"
 	"fmt"
-	"hash/fnv"
-	"sort"
+	"slices"
 
 	"cfc/internal/sim"
 )
@@ -24,8 +26,13 @@ import (
 // are Properties.
 type Property func(t *sim.Trace) error
 
-// Builder constructs a fresh memory and process bodies for one replay.
-// It must be deterministic: every call must produce an identical program.
+// Builder constructs the memory and process bodies of the program under
+// check. It must be deterministic: every call must produce an identical
+// program. Explore calls it once and replays that one program for every
+// schedule (the simulator resets the memory at the start of each run), so
+// process bodies must not retain mutable state from one run to the next —
+// which holds for every algorithm body in this repository, all of which
+// are pure functions of the values their shared-memory operations return.
 type Builder func() (*sim.Memory, []sim.ProcFunc, error)
 
 // Options configures an exploration.
@@ -97,15 +104,24 @@ func Explore(build Builder, prop Property, opts Options) (Result, error) {
 	if maxStates <= 0 {
 		maxStates = 1 << 20
 	}
+	mem, procs, err := build()
+	if err != nil {
+		return Result{}, fmt.Errorf("check: builder: %w", err)
+	}
 	e := &explorer{
-		build:     build,
+		mem:       mem,
+		procs:     procs,
 		prop:      prop,
 		opts:      opts,
 		maxDepth:  maxDepth,
 		maxStates: maxStates,
-		visited:   make(map[uint64]bool),
+		visited:   make(map[uint64]struct{}),
+		arena:     sim.NewArena(),
 	}
-	err := e.dfs(nil)
+	err = e.dfs(nil)
+	if e.sess != nil {
+		e.sess.Close()
+	}
 	if err != nil {
 		return Result{}, err
 	}
@@ -118,76 +134,115 @@ func Explore(build Builder, prop Property, opts Options) (Result, error) {
 }
 
 type explorer struct {
-	build     Builder
+	mem       *sim.Memory
+	procs     []sim.ProcFunc
 	prop      Property
 	opts      Options
 	maxDepth  int
 	maxStates int
 
-	visited   map[uint64]bool
+	visited   map[uint64]struct{}
 	runs      int
 	truncated bool
 	violation *Violation
+
+	// Replay state: one simulator session, trace/event buffer (via the
+	// arena) and hashing scratch recycled across every replay of the
+	// exploration instead of being reallocated per dfs node. The live
+	// session doubles as a cursor: cursor records the schedule it has
+	// executed, and a dfs node whose schedule matches reuses the session
+	// instead of replaying — the first branch of every node extends its
+	// parent's run by a single event.
+	arena  *sim.Arena
+	sess   *sim.Session
+	cursor []int
+	hist   [][]histEntry
+	vals   []uint64
+	status []uint8
 }
 
-// replay runs the schedule and returns the trace plus the set of
-// processes that are still live (can be scheduled) afterwards.
-func (e *explorer) replay(schedule []int) (*sim.Trace, []int, error) {
-	mem, procs, err := e.build()
-	if err != nil {
-		return nil, nil, fmt.Errorf("check: builder: %w", err)
-	}
-	pos := 0
-	invalid := false
-	sched := sim.Func(func(ready []int, _ int) sim.Decision {
-		if pos >= len(schedule) {
-			return sim.Stop()
-		}
-		s := schedule[pos]
-		pos++
-		pid := s
-		crash := false
-		if s < 0 {
-			pid = -s - 1
-			crash = true
-		}
-		if idx := sort.SearchInts(ready, pid); idx == len(ready) || ready[idx] != pid {
-			invalid = true
-			return sim.Stop()
-		}
-		if crash {
-			return sim.Crash(pid)
-		}
-		return sim.Step(pid)
-	})
-	res, err := sim.Run(sim.Config{
-		Mem:      mem,
-		Procs:    procs,
-		Sched:    sched,
-		MaxSteps: e.maxDepth + 1,
-	})
-	if err != nil {
-		return nil, nil, err
-	}
-	if res.Err != nil {
-		return nil, nil, fmt.Errorf("check: replay error: %w", res.Err)
-	}
-	if invalid {
-		return nil, nil, fmt.Errorf("check: internal error: schedule %v became invalid", schedule)
-	}
+// statuses recorded while scanning a replayed trace.
+const (
+	statusDone uint8 = 1 << iota
+	statusCrashed
+)
 
-	// Live processes: have a body, not done, not crashed.
-	var live []int
-	for pid := 0; pid < len(procs); pid++ {
-		if procs[pid] == nil {
-			continue
-		}
-		if res.Trace.Done(pid) || res.Trace.Crashed(pid) {
-			continue
-		}
-		live = append(live, pid)
+// applyEntry feeds one schedule entry (non-negative: step that pid;
+// -pid-1: crash pid) to the live session and extends the cursor.
+func (e *explorer) applyEntry(entry int) error {
+	var err error
+	if entry < 0 {
+		err = e.sess.Crash(-entry - 1)
+	} else {
+		err = e.sess.Step(entry)
 	}
-	return res.Trace, live, nil
+	if err != nil {
+		if errors.Is(err, sim.ErrNotReady) {
+			// The explorer only schedules observed-live processes, so a
+			// non-ready entry means the program is nondeterministic.
+			return fmt.Errorf("check: internal error: schedule %v became invalid: %w",
+				append(e.cursor, entry), err)
+		}
+		return fmt.Errorf("check: replay error: %w", err)
+	}
+	e.cursor = append(e.cursor, entry)
+	return nil
+}
+
+// stateAt positions the live session at the given schedule — reusing it
+// when the cursor already matches, replaying from scratch otherwise — and
+// returns the trace plus the set of processes that are still live (can be
+// scheduled). The trace aliases the session: it is valid only until the
+// session advances or is replaced.
+func (e *explorer) stateAt(schedule []int) (*sim.Trace, []int, error) {
+	if e.sess == nil || !slices.Equal(e.cursor, schedule) {
+		if e.sess != nil {
+			e.sess.Close()
+		}
+		sess, err := sim.StartSession(sim.Config{
+			Mem:      e.mem,
+			Procs:    e.procs,
+			MaxSteps: e.maxDepth + 1,
+			Reuse:    e.arena,
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		e.sess = sess
+		e.cursor = e.cursor[:0]
+		for _, entry := range schedule {
+			if err := e.applyEntry(entry); err != nil {
+				return nil, nil, err
+			}
+		}
+	}
+	tr := e.sess.Trace()
+
+	// Live processes: have a body, not done, not crashed. One pass over
+	// the events instead of per-pid trace scans.
+	if cap(e.status) < len(e.procs) {
+		e.status = make([]uint8, len(e.procs))
+	} else {
+		e.status = e.status[:len(e.procs)]
+		clear(e.status)
+	}
+	for _, ev := range tr.Events {
+		switch {
+		case ev.Kind == sim.KindCrash:
+			e.status[ev.PID] |= statusCrashed
+		case ev.Kind == sim.KindMark && ev.Phase == sim.PhaseDone:
+			e.status[ev.PID] |= statusDone
+		}
+	}
+	// live is allocated per dfs frame: it must survive the recursion
+	// below the frame, unlike the trace and the status scratch.
+	live := make([]int, 0, len(e.procs))
+	for pid := 0; pid < len(e.procs); pid++ {
+		if e.procs[pid] != nil && e.status[pid] == 0 {
+			live = append(live, pid)
+		}
+	}
+	return tr, live, nil
 }
 
 // histEntry is one event of a process's observation history, in the form
@@ -201,54 +256,70 @@ type histEntry struct {
 	aux  uint64 // written arg / phase / output value
 }
 
+// hashSeed is an arbitrary odd constant seeding the state digest.
+const hashSeed = 14695981039346656037
+
+// mix64 folds v into a running hash with one multiply-xorshift round
+// (splitmix64-style). The digest only feeds the explorer's own visited
+// set, so word-at-a-time mixing replaces the byte-at-a-time fnv loop that
+// dominated hashing time.
+func mix64(h, v uint64) uint64 {
+	h ^= v
+	h *= 0x9E3779B97F4A7C15
+	h ^= h >> 29
+	h *= 0xBF58476D1CE4E5B9
+	h ^= h >> 32
+	return h
+}
+
 // stateHash digests the global state after a trace: final cell values plus
 // each process's observation history and status. Two prefixes with equal
 // hashes lead to identical futures. With collapse set, trailing busy-wait
 // periods in each history are reduced to one occurrence (see
-// Options.CollapseSpins).
-func stateHash(t *sim.Trace, collapse bool) uint64 {
-	hist := make([][]histEntry, t.NumProcs)
-	for _, e := range t.Events {
-		v := histEntry{kind: uint8(e.Kind)}
-		switch e.Kind {
+// Options.CollapseSpins). All scratch comes from the explorer's arena.
+func (e *explorer) stateHash(t *sim.Trace, collapse bool) uint64 {
+	if cap(e.hist) < t.NumProcs {
+		e.hist = append(e.hist[:cap(e.hist)], make([][]histEntry, t.NumProcs-cap(e.hist))...)
+	}
+	e.hist = e.hist[:t.NumProcs]
+	for pid := range e.hist {
+		e.hist[pid] = e.hist[pid][:0]
+	}
+	for _, ev := range t.Events {
+		v := histEntry{kind: uint8(ev.Kind)}
+		switch ev.Kind {
 		case sim.KindAccess:
-			v.op = uint8(e.Op)
-			v.cell = e.Cell
-			v.ret = e.Ret
-			v.aux = e.Arg
+			v.op = uint8(ev.Op)
+			v.cell = ev.Cell
+			v.ret = ev.Ret
+			v.aux = ev.Arg
 		case sim.KindMark:
-			v.aux = uint64(e.Phase)
+			v.aux = uint64(ev.Phase)
 		case sim.KindOutput:
-			v.aux = e.Out
+			v.aux = ev.Out
 		}
-		hist[e.PID] = append(hist[e.PID], v)
+		e.hist[ev.PID] = append(e.hist[ev.PID], v)
 	}
 	if collapse {
-		for pid := range hist {
-			hist[pid] = collapseTail(hist[pid])
+		for pid := range e.hist {
+			e.hist[pid] = collapseTail(e.hist[pid])
 		}
 	}
 
-	h := fnv.New64a()
-	buf := make([]byte, 8)
-	put := func(v uint64) {
-		for i := 0; i < 8; i++ {
-			buf[i] = byte(v >> (8 * i))
-		}
-		h.Write(buf)
+	h := uint64(hashSeed)
+	e.vals = t.ReplayValuesInto(e.vals, len(t.Events))
+	for _, v := range e.vals {
+		h = mix64(h, v)
 	}
-	for _, v := range t.ReplayValues(len(t.Events)) {
-		put(v)
-	}
-	for _, hh := range hist {
-		put(uint64(len(hh))<<32 | 0xabcd) // separator, collapse-aware length
-		for _, e := range hh {
-			put(uint64(e.kind) | uint64(e.op)<<8 | uint64(uint32(e.cell))<<16)
-			put(e.ret)
-			put(e.aux)
+	for _, hh := range e.hist {
+		h = mix64(h, uint64(len(hh))<<32|0xabcd) // separator, collapse-aware length
+		for _, en := range hh {
+			h = mix64(h, uint64(en.kind)|uint64(en.op)<<8|uint64(uint32(en.cell))<<16)
+			h = mix64(h, en.ret)
+			h = mix64(h, en.aux)
 		}
 	}
-	return h.Sum64()
+	return h
 }
 
 // maxSpinPeriod bounds the busy-wait loop body size recognised by
@@ -289,7 +360,7 @@ func (e *explorer) dfs(schedule []int) error {
 	if e.violation != nil {
 		return nil
 	}
-	tr, live, err := e.replay(schedule)
+	tr, live, err := e.stateAt(schedule)
 	if err != nil {
 		return err
 	}
@@ -320,17 +391,24 @@ func (e *explorer) dfs(schedule []int) error {
 		return nil
 	}
 
-	h := stateHash(tr, e.opts.CollapseSpins)
-	if e.visited[h] {
+	h := e.stateHash(tr, e.opts.CollapseSpins)
+	if _, seen := e.visited[h]; seen {
 		return nil
 	}
 	if len(e.visited) >= e.maxStates {
 		e.truncated = true
 		return nil
 	}
-	e.visited[h] = true
+	e.visited[h] = struct{}{}
 
-	for _, pid := range live {
+	for i, pid := range live {
+		if i == 0 && slices.Equal(e.cursor, schedule) {
+			// First branch: extend the live session by this one event so
+			// the child reuses it instead of replaying the whole prefix.
+			if err := e.applyEntry(pid); err != nil {
+				return err
+			}
+		}
 		if err := e.dfs(append(schedule, pid)); err != nil {
 			return err
 		}

@@ -195,9 +195,12 @@ func MeasureTask(task Task, opts TaskOptions) (Report, error) {
 	rep := Report{Algorithm: task.Label, N: task.N, WCComplete: true}
 
 	// Contention-free: every solo identity, then the sequential run in
-	// which later processes see earlier ones' traces.
+	// which later processes see earlier ones' traces. The solo sweep
+	// recycles one arena: each trace is fully consumed before the next
+	// run overwrites it.
+	arena := sim.NewArena()
 	for pid := 0; pid < task.N; pid++ {
-		tr, err := driver.SoloTaskRun(mem, inst, task.N, pid)
+		tr, err := driver.SoloTaskRunReusing(mem, inst, task.N, pid, arena)
 		if err != nil {
 			return Report{}, err
 		}

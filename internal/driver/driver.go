@@ -59,21 +59,27 @@ func SoloMutexRun(mem *sim.Memory, l Locker, n, pid int) (*sim.Trace, error) {
 // of a solo attempt (different processes can have different leaf positions
 // in tree constructions, so all must be tried).
 //
-// newInstance is called once per process because each run resets the
-// memory; it must return an instance over the same register layout (the
-// instance returned for the previous run may be reused if the algorithm is
-// stateless, which all algorithms in this repository are, so the function
-// is called with the shared memory once and the instance reused).
+// The n solo runs ride the simulator's inline fast path and share one
+// arena and one body closure, so the whole sweep performs no per-run
+// allocation beyond the first run's buffers.
 func ContentionFreeMutex(mem *sim.Memory, l Locker, n int) (metrics.Measure, error) {
+	arena := sim.NewArena()
+	procs := make([]sim.ProcFunc, n)
+	body := MutexBody(l, 1, 0)
 	var worst metrics.Measure
 	for pid := 0; pid < n; pid++ {
-		tr, err := SoloMutexRun(mem, l, n, pid)
+		procs[pid] = body
+		res, err := sim.Run(sim.Config{Mem: mem, Procs: procs, Sched: sim.Solo{PID: pid}, Reuse: arena})
+		procs[pid] = nil
 		if err != nil {
 			return metrics.Measure{}, fmt.Errorf("driver: solo run of p%d: %w", pid, err)
 		}
-		m, ok := metrics.ContentionFreeMutex(tr)
+		if res.Err != nil {
+			return metrics.Measure{}, fmt.Errorf("driver: solo run of p%d: %w", pid, res.Err)
+		}
+		m, ok := metrics.ContentionFreeMutex(res.Trace)
 		if !ok {
-			return metrics.Measure{}, fmt.Errorf("driver: p%d did not complete a contention-free attempt (stop: %v)", pid, tr.Stop)
+			return metrics.Measure{}, fmt.Errorf("driver: p%d did not complete a contention-free attempt (stop: %v)", pid, res.Trace.Stop)
 		}
 		worst = metrics.Max(worst, m)
 	}
@@ -130,9 +136,18 @@ func TaskRun(mem *sim.Memory, task TaskRunner, n int, sched sim.Scheduler, maxSt
 
 // SoloTaskRun runs the task with only process pid active (of n).
 func SoloTaskRun(mem *sim.Memory, task TaskRunner, n, pid int) (*sim.Trace, error) {
+	return SoloTaskRunReusing(mem, task, n, pid, nil)
+}
+
+// SoloTaskRunReusing is SoloTaskRun recycling run state from an arena
+// (which may be nil). With an arena the returned trace is valid only
+// until the arena's next run; measurement sweeps that consume each trace
+// before the next solo run use this to stay allocation-free on the
+// simulator side.
+func SoloTaskRunReusing(mem *sim.Memory, task TaskRunner, n, pid int, arena *sim.Arena) (*sim.Trace, error) {
 	procs := make([]sim.ProcFunc, n)
 	procs[pid] = TaskBody(task)
-	res, err := sim.Run(sim.Config{Mem: mem, Procs: procs, Sched: sim.Solo{PID: pid}})
+	res, err := sim.Run(sim.Config{Mem: mem, Procs: procs, Sched: sim.Solo{PID: pid}, Reuse: arena})
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,35 @@
+package sim
+
+// Arena is reusable run state: the trace (with its event and cell
+// buffers), the run-loop scratch and the result header. Passing the same
+// arena to consecutive Runs via Config.Reuse makes the simulator's solo
+// fast path allocation-free and lets replay-heavy callers — the model
+// checker explores hundreds of thousands of schedule prefixes — recycle
+// one event buffer instead of growing a fresh one per replay.
+//
+// An arena serves one Run at a time, and the Result/Trace of a run are
+// aliased by the next run with the same arena: callers must finish
+// consuming a trace before reusing the arena. The zero value is ready to
+// use.
+type Arena struct {
+	loop    runLoop
+	trace   Trace
+	result  Result
+	procs   []Proc        // direct-engine process handles, pid-indexed
+	coroT   coroTransport // coroutine-engine scratch
+	session Session       // StartSession header
+}
+
+// NewArena returns an empty arena.
+func NewArena() *Arena {
+	return &Arena{}
+}
+
+// prepare sizes the arena's pid-indexed scratch for a run of n processes.
+func (ar *Arena) prepare(n int) {
+	if cap(ar.procs) < n {
+		ar.procs = make([]Proc, n)
+	} else {
+		ar.procs = ar.procs[:n]
+	}
+}

@@ -1,0 +1,189 @@
+package sim
+
+import "iter"
+
+// This file implements the direct-execution engine: process bodies run on
+// the run-loop goroutine instead of behind channel handshakes. It has two
+// strategies, picked by pickEngine:
+//
+//   - inline: for run-to-completion schedulers (Solo, Sequential) the loop
+//     simply calls each body in schedule order and performs every access
+//     the moment the body issues it. No goroutines, no coroutines, no
+//     per-event synchronisation of any kind; with a reuse Arena a whole
+//     run allocates nothing.
+//
+//   - coroutine: for schedulers that interleave (Scripted, RoundRobin,
+//     Random, the checker's replay scheduler) each body runs inside an
+//     iter.Pull coroutine. A scheduled event costs one same-thread
+//     coroutine switch instead of two channel handshakes through the Go
+//     scheduler, which is about 4x cheaper, and all bodies still execute
+//     on the run loop's goroutine, one at a time.
+//
+// Both strategies reuse the shared runLoop core, so they produce traces
+// identical to the goroutine engine, with one documented exception: the
+// inline strategy starts a body only when the scheduler first selects it,
+// so a process that is never scheduled (or a body that returns without
+// issuing a single request) does not get its termination mark recorded at
+// the head of the trace the way the eager goroutine/coroutine absorption
+// records it. No algorithm in this repository has such a body.
+
+// coroTransport drives bodies as same-thread coroutines via iter.Pull.
+type coroTransport struct {
+	coros []coroProc
+}
+
+type coroProc struct {
+	proc *Proc
+	next func() (request, bool)
+	stop func()
+}
+
+func newCoroTransport(bodies []ProcFunc, ar *Arena) *coroTransport {
+	n := len(bodies)
+	var t *coroTransport
+	if ar != nil {
+		t = &ar.coroT
+		if cap(t.coros) < n {
+			t.coros = make([]coroProc, n)
+		} else {
+			t.coros = t.coros[:n]
+		}
+	} else {
+		t = &coroTransport{coros: make([]coroProc, n)}
+	}
+	for i, body := range bodies {
+		c := &t.coros[i]
+		if body == nil {
+			*c = coroProc{}
+			continue
+		}
+		var pr *Proc
+		if ar != nil {
+			pr = &ar.procs[i]
+			*pr = Proc{id: i, n: n}
+		} else {
+			pr = &Proc{id: i, n: n}
+		}
+		c.proc = pr
+		c.next, c.stop = iter.Pull(func(yield func(request) bool) {
+			defer func() {
+				if r := recover(); r != nil {
+					if _, ok := r.(unwind); ok {
+						return // killed by the run loop; already accounted
+					}
+					panic(r) // real bug in an algorithm: surface it
+				}
+			}()
+			pr.yield = yield
+			body(pr)
+		})
+	}
+	return t
+}
+
+func (t *coroTransport) start(pid int) (request, bool) {
+	return t.coros[pid].next()
+}
+
+func (t *coroTransport) resume(pid int, resp response) (request, bool) {
+	c := &t.coros[pid]
+	c.proc.resp = resp
+	return c.next()
+}
+
+// kill unwinds the body: iter.Pull's stop makes the suspended yield return
+// false, which Proc.do converts into the unwind panic the wrapper
+// recovers. stop is synchronous, so the body is gone when kill returns.
+func (t *coroTransport) kill(pid int) {
+	t.coros[pid].stop()
+}
+
+func (t *coroTransport) finish() {
+	for i := range t.coros {
+		if t.coros[i].stop != nil {
+			t.coros[i].stop()
+		}
+	}
+}
+
+// inlineDo is Proc.do for the inline strategy: the access is scheduled by
+// construction (the running process is the only ready one), so it is
+// performed immediately.
+func (l *runLoop) inlineDo(pid int, r request) response {
+	if l.steps >= l.maxSteps {
+		l.trace.Stop = StopMaxSteps
+		panic(unwind{})
+	}
+	resp, err := l.perform(pid, r)
+	if err != nil {
+		l.trace.Stop = StopError
+		l.inlineErr = err
+		panic(unwind{})
+	}
+	return resp
+}
+
+// runBodyInline executes one body to completion on the current goroutine.
+// It reports false if the body was unwound early (step budget exhausted or
+// illegal access); the stop reason and error are already recorded.
+func (l *runLoop) runBodyInline(pid int, body ProcFunc) (completed bool) {
+	var pr *Proc
+	if l.arena != nil {
+		pr = &l.arena.procs[pid]
+		*pr = Proc{id: pid, n: len(l.bodies), inl: l}
+	} else {
+		pr = &Proc{id: pid, n: len(l.bodies), inl: l}
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(unwind); ok {
+				return // completed stays false
+			}
+			panic(r)
+		}
+	}()
+	body(pr)
+	return true
+}
+
+// runInlineSeq is the Sequential{} fast path: the lowest ready pid always
+// steps and processes stay ready until they terminate, so each body runs
+// to completion in pid order.
+func (l *runLoop) runInlineSeq() error {
+	for pid, body := range l.bodies {
+		if body == nil {
+			continue
+		}
+		if !l.runBodyInline(pid, body) {
+			return l.inlineErr
+		}
+		l.record(Event{PID: pid, Kind: KindMark, Phase: PhaseDone})
+	}
+	l.trace.Stop = StopAllDone
+	return nil
+}
+
+// runInlineSolo is the Solo{PID} fast path: only PID ever steps; the run
+// stops once it terminates (StopScheduler if other processes were still
+// pending, StopAllDone otherwise, matching the general loop).
+func (l *runLoop) runInlineSolo(pid int) error {
+	others := false
+	for i, b := range l.bodies {
+		if b != nil && i != pid {
+			others = true
+			break
+		}
+	}
+	if pid >= 0 && pid < len(l.bodies) && l.bodies[pid] != nil {
+		if !l.runBodyInline(pid, l.bodies[pid]) {
+			return l.inlineErr
+		}
+		l.record(Event{PID: pid, Kind: KindMark, Phase: PhaseDone})
+	}
+	if others {
+		l.trace.Stop = StopScheduler
+	} else {
+		l.trace.Stop = StopAllDone
+	}
+	return nil
+}

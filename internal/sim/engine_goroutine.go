@@ -1,0 +1,74 @@
+package sim
+
+import (
+	"fmt"
+	"sync"
+)
+
+// goroTransport is the original execution engine: each process body runs
+// on its own goroutine and synchronises with the run loop through a pair
+// of unbuffered channels (two handshakes per scheduled event). It makes no
+// assumption about the scheduler, so it is the fallback for schedulers the
+// simulator cannot prove deterministic.
+type goroTransport struct {
+	procs []*Proc // nil entries: remainder-region processes
+	wg    sync.WaitGroup
+}
+
+// newGoroTransport launches one goroutine per non-nil body. Every body
+// runs concurrently up to its first request, which start later absorbs.
+func newGoroTransport(bodies []ProcFunc) *goroTransport {
+	t := &goroTransport{procs: make([]*Proc, len(bodies))}
+	for i, body := range bodies {
+		if body == nil {
+			continue
+		}
+		pr := &Proc{
+			id:  i,
+			n:   len(bodies),
+			req: make(chan request),
+			res: make(chan response),
+		}
+		t.procs[i] = pr
+		t.wg.Add(1)
+		go func(pr *Proc, body ProcFunc) {
+			defer t.wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					if _, ok := r.(unwind); ok {
+						return // killed by the run loop; already accounted
+					}
+					panic(r) // real bug in an algorithm: surface it
+				}
+			}()
+			body(pr)
+			pr.req <- request{kind: reqDone}
+		}(pr, body)
+	}
+	return t
+}
+
+func (t *goroTransport) start(pid int) (request, bool) {
+	req := <-t.procs[pid].req
+	switch req.kind {
+	case reqAccess, reqLocal, reqMark, reqOutput:
+		return req, true
+	case reqDone:
+		return request{}, false
+	default:
+		panic(fmt.Sprintf("sim: unknown request kind %d", req.kind))
+	}
+}
+
+func (t *goroTransport) resume(pid int, resp response) (request, bool) {
+	t.procs[pid].res <- resp
+	return t.start(pid)
+}
+
+func (t *goroTransport) kill(pid int) {
+	t.procs[pid].res <- response{kill: true}
+}
+
+func (t *goroTransport) finish() {
+	t.wg.Wait()
+}

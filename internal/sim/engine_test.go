@@ -1,0 +1,350 @@
+package sim
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+
+	"cfc/internal/opset"
+)
+
+// diffSchedulers enumerates fresh scheduler instances per call (several
+// built-ins carry state across Next calls, so each engine run needs its
+// own copy).
+func diffSchedulers() map[string]func() Scheduler {
+	return map[string]func() Scheduler{
+		"sequential":  func() Scheduler { return Sequential{} },
+		"solo-1":      func() Scheduler { return Solo{PID: 1} },
+		"round-robin": func() Scheduler { return &RoundRobin{} },
+		"random-7":    func() Scheduler { return NewRandom(7) },
+		"priority":    func() Scheduler { return Priority{Order: []int{2, 0}} },
+		"scripted":    func() Scheduler { return NewScripted([]int{0, 1, 1, 0, 2, 0, 1}) },
+		"crasher": func() Scheduler {
+			return &Crasher{Inner: &RoundRobin{}, CrashAt: map[int]int{1: 3}}
+		},
+	}
+}
+
+// runEngines executes the same program under the same scheduler on both
+// engines and requires byte-identical traces.
+func runEngines(t *testing.T, label string, mkSched func() Scheduler, mkProg func() (*Memory, []ProcFunc), maxSteps int) {
+	t.Helper()
+	var ref *Result
+	for _, engine := range []Engine{EngineGoroutine, EngineDirect} {
+		mem, procs := mkProg()
+		res, err := Run(Config{
+			Mem:      mem,
+			Procs:    procs,
+			Sched:    mkSched(),
+			MaxSteps: maxSteps,
+			Engine:   engine,
+		})
+		if err != nil {
+			t.Fatalf("%s/%v: Run: %v", label, engine, err)
+		}
+		if engine == EngineGoroutine {
+			ref = res
+			continue
+		}
+		if (res.Err == nil) != (ref.Err == nil) || (res.Err != nil && res.Err.Error() != ref.Err.Error()) {
+			t.Fatalf("%s: run errors differ: goroutine=%v direct=%v", label, ref.Err, res.Err)
+		}
+		if res.Trace.Stop != ref.Trace.Stop {
+			t.Fatalf("%s: stop reasons differ: goroutine=%v direct=%v", label, ref.Trace.Stop, res.Trace.Stop)
+		}
+		if res.Trace.ScheduledSteps != ref.Trace.ScheduledSteps {
+			t.Fatalf("%s: scheduled steps differ: goroutine=%d direct=%d",
+				label, ref.Trace.ScheduledSteps, res.Trace.ScheduledSteps)
+		}
+		if !reflect.DeepEqual(res.Trace.Events, ref.Trace.Events) {
+			t.Fatalf("%s: traces differ:\ngoroutine:\n%sdirect:\n%s", label, ref.Trace, res.Trace)
+		}
+	}
+}
+
+// TestEnginesProduceIdenticalTraces is the engine differential gate on
+// generated programs: every scheduler family, both engines, identical
+// events.
+func TestEnginesProduceIdenticalTraces(t *testing.T) {
+	for name, mkSched := range diffSchedulers() {
+		for seed := byte(0); seed < 8; seed++ {
+			script := make([]byte, 30)
+			for i := range script {
+				script[i] = byte(i)*37 + seed*11
+			}
+			label := fmt.Sprintf("%s/seed=%d", name, seed)
+			runEngines(t, label, mkSched, func() (*Memory, []ProcFunc) {
+				return genProgram(script, 3)
+			}, 0)
+		}
+	}
+}
+
+// TestEnginesAgreeOnBudgetStop exercises the StopMaxSteps path: a spinning
+// process cut by the budget must yield the same partial trace.
+func TestEnginesAgreeOnBudgetStop(t *testing.T) {
+	prog := func() (*Memory, []ProcFunc) {
+		mem := NewMemory(opset.AtomicRegisters)
+		x := mem.Register("x", 8)
+		spin := func(p *Proc) {
+			for p.Read(x) == 0 {
+			}
+		}
+		return mem, []ProcFunc{spin, spin}
+	}
+	for name, mkSched := range diffSchedulers() {
+		runEngines(t, "budget/"+name, mkSched, prog, 37)
+	}
+}
+
+// TestEnginesAgreeOnIllegalAccess exercises the StopError path: the
+// partial trace and the error must match across engines.
+func TestEnginesAgreeOnIllegalAccess(t *testing.T) {
+	prog := func() (*Memory, []ProcFunc) {
+		mem := NewMemory(opset.ReadTAS)
+		b := mem.Bit("b")
+		bad := func(p *Proc) {
+			p.Read(b)
+			p.TestAndFlip(b) // not in ReadTAS
+		}
+		good := func(p *Proc) {
+			for i := 0; i < 4; i++ {
+				p.Read(b)
+			}
+		}
+		return mem, []ProcFunc{bad, good}
+	}
+	for _, name := range []string{"sequential", "round-robin", "scripted"} {
+		mkSched := diffSchedulers()[name]
+		runEngines(t, "illegal/"+name, mkSched, prog, 0)
+	}
+}
+
+// TestCoroEngineMatchesGoroutineOnInstantBodies pins the absorb-order
+// semantics the inline fast path documents away: a body that returns
+// without a single request is recorded done at the head of the trace by
+// both eager engines.
+func TestCoroEngineMatchesGoroutineOnInstantBodies(t *testing.T) {
+	prog := func() (*Memory, []ProcFunc) {
+		mem := NewMemory(opset.AtomicRegisters)
+		x := mem.Register("x", 8)
+		return mem, []ProcFunc{
+			func(p *Proc) { p.Write(x, 1); p.Write(x, 2) },
+			func(*Proc) {}, // zero-event body
+			nil,
+			func(p *Proc) { p.Read(x) },
+		}
+	}
+	// Round-robin resolves to the coroutine strategy under EngineDirect.
+	runEngines(t, "instant-bodies/round-robin", func() Scheduler { return &RoundRobin{} }, prog, 0)
+
+	mem, procs := prog()
+	res, err := Run(Config{Mem: mem, Procs: procs, Sched: &RoundRobin{}, Engine: EngineDirect})
+	if err != nil || res.Err != nil {
+		t.Fatalf("Run: %v / %v", err, res.Err)
+	}
+	first := res.Trace.Events[0]
+	if first.PID != 1 || first.Kind != KindMark || first.Phase != PhaseDone {
+		t.Fatalf("zero-event body not recorded done at trace head: %v", res.Trace.Events[0])
+	}
+}
+
+// TestSessionMatchesScriptedRun drives a Session step by step and
+// requires the trace to match a Scripted run of the same schedule.
+func TestSessionMatchesScriptedRun(t *testing.T) {
+	script := []int{0, 1, 1, 0, 2, 2, 2, 0, 1}
+	mkProg := func() (*Memory, []ProcFunc) {
+		raw := make([]byte, 30)
+		for i := range raw {
+			raw[i] = byte(i * 29)
+		}
+		return genProgram(raw, 3)
+	}
+
+	mem, procs := mkProg()
+	want, err := Run(Config{Mem: mem, Procs: procs, Sched: NewScripted(script)})
+	if err != nil || want.Err != nil {
+		t.Fatalf("scripted run: %v / %v", err, want.Err)
+	}
+
+	mem2, procs2 := mkProg()
+	sess, err := StartSession(Config{Mem: mem2, Procs: procs2})
+	if err != nil {
+		t.Fatalf("StartSession: %v", err)
+	}
+	defer sess.Close()
+	for _, pid := range script {
+		if err := sess.Step(pid); err != nil {
+			t.Fatalf("Step(%d): %v", pid, err)
+		}
+	}
+	got := sess.Trace()
+	if got.Stop != want.Trace.Stop {
+		t.Fatalf("stop = %v, want %v", got.Stop, want.Trace.Stop)
+	}
+	if !reflect.DeepEqual(got.Events, want.Trace.Events) {
+		t.Fatalf("session trace differs from scripted run:\nsession:\n%swant:\n%s", got, want.Trace)
+	}
+}
+
+// TestSessionStepAndCrash covers the remaining session surface: ready
+// sets, crash injection, not-ready errors and close-idempotence.
+func TestSessionStepAndCrash(t *testing.T) {
+	mem := NewMemory(opset.RMW)
+	b := mem.Bit("b")
+	body := func(p *Proc) {
+		p.TestAndSet(b)
+		p.TestAndSet(b)
+		p.Output(1)
+	}
+	sess, err := StartSession(Config{Mem: mem, Procs: []ProcFunc{body, body}})
+	if err != nil {
+		t.Fatalf("StartSession: %v", err)
+	}
+	if got := sess.Ready(); !reflect.DeepEqual(got, []int{0, 1}) {
+		t.Fatalf("Ready = %v", got)
+	}
+	if err := sess.Step(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Crash(1); err != nil {
+		t.Fatal(err)
+	}
+	if got := sess.Ready(); !reflect.DeepEqual(got, []int{0}) {
+		t.Fatalf("Ready after crash = %v", got)
+	}
+	if err := sess.Step(1); err == nil || !strings.Contains(err.Error(), "no pending event") {
+		t.Fatalf("stepping crashed process: err = %v", err)
+	}
+	for !sess.Finished() {
+		if err := sess.Step(0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tr := sess.Trace()
+	if tr.Stop != StopAllDone {
+		t.Fatalf("Stop = %v, want all-done", tr.Stop)
+	}
+	if !tr.Crashed(1) || !tr.Done(0) {
+		t.Fatalf("statuses wrong: crashed(1)=%v done(0)=%v", tr.Crashed(1), tr.Done(0))
+	}
+	sess.Close()
+	sess.Close() // idempotent
+	if err := sess.Step(0); err != ErrSessionClosed {
+		t.Fatalf("step after close: %v", err)
+	}
+	if got := sess.Ready(); len(got) != 0 {
+		t.Fatalf("Ready after close = %v, want empty", got)
+	}
+}
+
+// TestSoloFastPathAllocationFree is the allocation-regression gate for
+// the tentpole: with a reuse arena, a contention-free (Solo) run must not
+// allocate at all, and a Sequential run at most warms the event buffer.
+func TestSoloFastPathAllocationFree(t *testing.T) {
+	mem := NewMemory(opset.AtomicRegisters)
+	x := mem.Register("x", 8)
+	procs := []ProcFunc{
+		nil,
+		func(p *Proc) {
+			p.Mark(PhaseTry)
+			for i := 0; i < 8; i++ {
+				p.Write(x, uint64(i))
+				p.Read(x)
+			}
+			p.Output(1)
+		},
+		nil,
+	}
+	arena := NewArena()
+	cfg := Config{Mem: mem, Procs: procs, Sched: Solo{PID: 1}, Reuse: arena}
+	if _, err := Run(cfg); err != nil { // warm the arena buffers
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		res, err := Run(cfg)
+		if err != nil || res.Err != nil {
+			t.Fatalf("%v / %v", err, res.Err)
+		}
+		if len(res.Trace.Events) != 19 {
+			t.Fatalf("events = %d", len(res.Trace.Events))
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("solo fast path allocates %.1f times per run, want 0", allocs)
+	}
+
+	cfg.Sched = Sequential{}
+	allocs = testing.AllocsPerRun(100, func() {
+		if res, err := Run(cfg); err != nil || res.Err != nil {
+			t.Fatalf("%v / %v", err, res.Err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("sequential fast path allocates %.1f times per run, want 0", allocs)
+	}
+}
+
+// TestArenaReuseAcrossPrograms checks that one arena can serve programs
+// of different shapes back to back (the checker restarts sessions over
+// the same arena; sweeps reuse one arena across n and algorithms).
+func TestArenaReuseAcrossPrograms(t *testing.T) {
+	arena := NewArena()
+	for n := 1; n <= 5; n++ {
+		mem := NewMemory(opset.RMW)
+		bits := mem.Bits("b", n)
+		body := func(p *Proc) {
+			for _, bit := range bits {
+				if p.TestAndSet(bit) == 0 {
+					p.Output(uint64(p.ID()))
+					return
+				}
+			}
+		}
+		procs := make([]ProcFunc, n)
+		for i := range procs {
+			procs[i] = body
+		}
+		res, err := Run(Config{Mem: mem, Procs: procs, Sched: &RoundRobin{}, Reuse: arena})
+		if err != nil || res.Err != nil {
+			t.Fatalf("n=%d: %v / %v", n, err, res.Err)
+		}
+		if res.Trace.Stop != StopAllDone {
+			t.Fatalf("n=%d: stop = %v", n, res.Trace.Stop)
+		}
+		if len(res.Trace.Outputs()) != n {
+			t.Fatalf("n=%d: outputs = %v", n, res.Trace.Outputs())
+		}
+	}
+}
+
+// TestEngineSelection pins the auto-selection rules: deterministic
+// schedulers take the direct engine, opaque Funcs the goroutine engine.
+func TestEngineSelection(t *testing.T) {
+	cases := []struct {
+		sched Scheduler
+		want  engineKind
+	}{
+		{Sequential{}, engineInline},
+		{Solo{PID: 2}, engineInline},
+		{&RoundRobin{}, engineCoro},
+		{NewRandom(1), engineCoro},
+		{NewScripted([]int{0}), engineCoro},
+		{Priority{}, engineCoro},
+		{&Crasher{Inner: Sequential{}}, engineCoro},
+		{&Crasher{Inner: Func(nil)}, engineGoroutine},
+		{Func(nil), engineGoroutine},
+	}
+	for _, c := range cases {
+		if got := pickEngine(c.sched, EngineAuto); got != c.want {
+			t.Errorf("auto engine for %T = %d, want %d", c.sched, got, c.want)
+		}
+	}
+	if got := pickEngine(Func(nil), EngineDirect); got != engineCoro {
+		t.Errorf("forced direct for Func = %d, want coro", got)
+	}
+	if got := pickEngine(Sequential{}, EngineGoroutine); got != engineGoroutine {
+		t.Errorf("forced goroutine for Sequential = %d", got)
+	}
+}

@@ -100,19 +100,21 @@ type Event struct {
 	// Kind discriminates the remaining fields.
 	Kind EventKind
 
-	// Op, Cell, RegName, Shift, Width, Arg, Ret, HasRet describe a
-	// KindAccess event: the operation, the index and name of the underlying
-	// cell, the bit offset and width of the accessed view within the cell,
-	// the written argument (for write-word), and the returned value if the
-	// operation returns one.
-	Op      opset.Op
-	Cell    int32
-	RegName string
-	Shift   uint8
-	Width   uint8
-	Arg     uint64
-	Ret     uint64
-	HasRet  bool
+	// Op, Cell, Shift, Width, Arg, Ret, HasRet describe a KindAccess
+	// event: the operation, the index of the underlying cell, the bit
+	// offset and width of the accessed view within the cell, the written
+	// argument (for write-word), and the returned value if the operation
+	// returns one. The register's name is not stored per event — it is
+	// resolved lazily from the cell index via Trace.RegName when a trace
+	// is printed, which keeps string lookups out of the simulator's hot
+	// path.
+	Op     opset.Op
+	Cell   int32
+	Shift  uint8
+	Width  uint8
+	Arg    uint64
+	Ret    uint64
+	HasRet bool
 
 	// Phase is set for KindMark events.
 	Phase Phase
@@ -136,19 +138,13 @@ func (e Event) IsRead() bool {
 	return e.Kind == KindAccess && !e.Op.Mutates() && e.Op.ReturnsValue()
 }
 
-// String formats the event for trace dumps.
+// String formats the event for trace dumps. Access events name their
+// register positionally ("cell3[0:4)"); Trace.EventString resolves the
+// declared register name instead.
 func (e Event) String() string {
 	switch e.Kind {
 	case KindAccess:
-		var b strings.Builder
-		fmt.Fprintf(&b, "#%d p%d %v %s", e.Seq, e.PID, e.Op, e.RegName)
-		if e.Op == opset.WriteWord {
-			fmt.Fprintf(&b, " <- %d", e.Arg)
-		}
-		if e.HasRet {
-			fmt.Fprintf(&b, " = %d", e.Ret)
-		}
-		return b.String()
+		return e.accessString(fmt.Sprintf("cell%d[%d:%d)", e.Cell, e.Shift, int(e.Shift)+int(e.Width)))
 	case KindLocal:
 		return fmt.Sprintf("#%d p%d local", e.Seq, e.PID)
 	case KindMark:
@@ -160,6 +156,19 @@ func (e Event) String() string {
 	default:
 		return fmt.Sprintf("#%d p%d %v", e.Seq, e.PID, e.Kind)
 	}
+}
+
+// accessString formats a KindAccess event given a register name.
+func (e Event) accessString(reg string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "#%d p%d %v %s", e.Seq, e.PID, e.Op, reg)
+	if e.Op == opset.WriteWord {
+		fmt.Fprintf(&b, " <- %d", e.Arg)
+	}
+	if e.HasRet {
+		fmt.Fprintf(&b, " = %d", e.Ret)
+	}
+	return b.String()
 }
 
 // StopReason explains why a run ended.
@@ -304,12 +313,45 @@ func (t *Trace) PhaseAt(pid, seq int) Phase {
 	return ph
 }
 
+// RegName resolves the register name of an access event from the trace's
+// cell metadata: the cell's declared name for a whole-cell access, or
+// "name[lo:hi)" for a packed-word field view. Names are resolved here,
+// at print/analysis time, rather than stored per event, keeping the
+// run loop free of string work.
+func (t *Trace) RegName(e Event) string {
+	c := t.Cells[e.Cell]
+	if e.Shift == 0 && int(e.Width) == c.Width {
+		return c.Name
+	}
+	return fmt.Sprintf("%s[%d:%d)", c.Name, e.Shift, int(e.Shift)+int(e.Width))
+}
+
+// EventString formats one event of the trace, resolving register names.
+func (t *Trace) EventString(e Event) string {
+	if e.Kind == KindAccess {
+		return e.accessString(t.RegName(e))
+	}
+	return e.String()
+}
+
 // ReplayValues returns the value of every cell after the first n events
 // (n = len(t.Events) replays the whole trace). It reconstructs the state
 // purely from the trace, which lets analyses inspect intermediate global
 // states without rerunning the schedule.
 func (t *Trace) ReplayValues(n int) []uint64 {
-	vals := make([]uint64, len(t.Cells))
+	return t.ReplayValuesInto(nil, n)
+}
+
+// ReplayValuesInto is ReplayValues writing into dst (grown as needed and
+// returned), so replay-heavy analyses like the model checker's state
+// hashing can reuse one buffer instead of allocating per call.
+func (t *Trace) ReplayValuesInto(dst []uint64, n int) []uint64 {
+	if cap(dst) < len(t.Cells) {
+		dst = make([]uint64, len(t.Cells))
+	} else {
+		dst = dst[:len(t.Cells)]
+	}
+	vals := dst
 	for i, c := range t.Cells {
 		vals[i] = c.Init
 	}
@@ -334,11 +376,12 @@ func (t *Trace) ReplayValues(n int) []uint64 {
 	return vals
 }
 
-// String formats the whole trace, one event per line.
+// String formats the whole trace, one event per line, with register names
+// resolved from the cell metadata.
 func (t *Trace) String() string {
 	var b strings.Builder
 	for _, e := range t.Events {
-		b.WriteString(e.String())
+		b.WriteString(t.EventString(e))
 		b.WriteByte('\n')
 	}
 	return b.String()

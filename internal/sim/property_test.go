@@ -122,33 +122,39 @@ func TestSequentialOrderingProperty(t *testing.T) {
 	}
 }
 
-func TestRemoveSorted(t *testing.T) {
-	tests := []struct {
-		in   []int
-		pid  int
-		want []int
-	}{
-		{[]int{1, 2, 3}, 2, []int{1, 3}},
-		{[]int{1, 2, 3}, 1, []int{2, 3}},
-		{[]int{1, 2, 3}, 3, []int{1, 2}},
-		{[]int{1, 2, 3}, 4, []int{1, 2, 3}},
-		{[]int{1, 2, 3}, 0, []int{1, 2, 3}},
-		{[]int{5}, 5, []int{}},
-		{[]int{}, 5, []int{}},
+// TestReadyListMaintenance exercises the pid-indexed pending table: the
+// sorted ready list is derived lazily and must track membership through
+// arbitrary set/clear sequences.
+func TestReadyListMaintenance(t *testing.T) {
+	l := &runLoop{pending: make([]request, 5), ready: make([]int, 0, 5)}
+	check := func(want ...int) {
+		t.Helper()
+		l.refreshReady()
+		if !reflect.DeepEqual(append([]int{}, l.ready...), want) {
+			t.Fatalf("ready = %v, want %v", l.ready, want)
+		}
 	}
-	for _, tt := range tests {
-		in := append([]int(nil), tt.in...)
-		got := removeSorted(in, tt.pid)
-		if len(got) != len(tt.want) {
-			t.Errorf("removeSorted(%v, %d) = %v, want %v", tt.in, tt.pid, got, tt.want)
-			continue
-		}
-		for i := range got {
-			if got[i] != tt.want[i] {
-				t.Errorf("removeSorted(%v, %d) = %v, want %v", tt.in, tt.pid, got, tt.want)
-				break
-			}
-		}
+	for _, pid := range []int{3, 0, 4} {
+		l.setPending(pid, request{kind: reqLocal})
+	}
+	l.readyStale = true
+	check(0, 3, 4)
+	l.clearPending(3)
+	check(0, 4)
+	if l.isPending(3) || !l.isPending(4) {
+		t.Fatal("isPending disagrees with pending table")
+	}
+	if l.isPending(-1) || l.isPending(5) {
+		t.Fatal("isPending must bounds-check the pid")
+	}
+	l.setPending(1, request{kind: reqLocal})
+	l.readyStale = true
+	check(0, 1, 4)
+	l.clearPending(0)
+	l.clearPending(4)
+	check(1)
+	if l.npending != 1 {
+		t.Fatalf("npending = %d, want 1", l.npending)
 	}
 }
 

@@ -2,8 +2,6 @@ package sim
 
 import (
 	"fmt"
-	"sort"
-	"sync"
 
 	"cfc/internal/opset"
 )
@@ -18,6 +16,27 @@ const DefaultMaxSteps = 1 << 20
 // index i runs as process id i.
 type ProcFunc func(p *Proc)
 
+// Engine selects the execution engine used to drive process bodies; see
+// the package comment for the trade-offs.
+type Engine uint8
+
+const (
+	// EngineAuto picks the direct engine when the scheduler is known to be
+	// deterministic (the built-in schedulers, or any scheduler implementing
+	// DeterministicScheduler) and the goroutine engine otherwise.
+	EngineAuto Engine = iota
+	// EngineDirect forces the direct engine: process bodies execute on the
+	// run-loop goroutine, inline for run-to-completion schedulers (Solo,
+	// Sequential) and via coroutine handoff otherwise. It is an order of
+	// magnitude faster than the goroutine engine and produces identical
+	// traces for every scheduler whose decisions depend only on the
+	// observed ready sets and step numbers.
+	EngineDirect
+	// EngineGoroutine forces the original engine: one goroutine per
+	// process, synchronised with the run loop through unbuffered channels.
+	EngineGoroutine
+)
+
 // Config describes one run.
 type Config struct {
 	// Mem is the shared memory; it is Reset at the start of the run.
@@ -30,6 +49,15 @@ type Config struct {
 	// MaxSteps bounds scheduled events (accesses + local steps);
 	// 0 means DefaultMaxSteps.
 	MaxSteps int
+	// Engine selects the execution engine; EngineAuto (the zero value)
+	// picks the fastest engine that is exact for the scheduler.
+	Engine Engine
+	// Reuse, if non-nil, recycles the run's trace, event buffer and run-loop
+	// scratch from the arena instead of allocating. The returned Result and
+	// Trace alias the arena: they are valid only until the next Run with the
+	// same arena. Replay-heavy callers (the model checker, measurement
+	// sweeps) use one arena across thousands of runs.
+	Reuse *Arena
 }
 
 // Result is the outcome of a run.
@@ -43,7 +71,7 @@ type Result struct {
 	Err error
 }
 
-// request kinds sent from process goroutines to the run loop.
+// request kinds sent from process bodies to the run loop.
 type reqKind uint8
 
 const (
@@ -63,25 +91,16 @@ type request struct {
 	out   uint64
 }
 
-// kill codes sent from the run loop to unwind a process goroutine.
-type killCode uint8
-
-const (
-	killNone  killCode = iota
-	killCrash          // injected stopping failure
-	killStop           // run over (budget, scheduler stop, error elsewhere)
-)
-
 type response struct {
 	ret    uint64
 	hasRet bool
-	kill   killCode
+	kill   bool
 }
 
-// unwind is the panic payload used to unwind a process goroutine when the
-// run loop kills it. It never escapes the package: the per-process wrapper
+// unwind is the panic payload used to unwind a process body when the run
+// loop kills it. It never escapes the package: the per-process wrapper
 // recovers it.
-type unwind struct{ code killCode }
+type unwind struct{}
 
 // Proc is the handle through which a process body accesses shared memory.
 // Every access blocks until the scheduler grants the process its next
@@ -89,8 +108,20 @@ type unwind struct{ code killCode }
 // chose. A Proc is only valid inside the ProcFunc it was passed to and
 // must not be shared with other goroutines.
 type Proc struct {
-	id  int
-	n   int
+	id int
+	n  int
+
+	// inl is set by the inline direct engine: the run loop executes the
+	// body on its own goroutine and performs accesses immediately.
+	inl *runLoop
+
+	// yield/resp are set by the coroutine direct engine: yield suspends the
+	// body and hands the request to the run loop, which stores the answer
+	// in resp before resuming.
+	yield func(request) bool
+	resp  response
+
+	// req/res are set by the goroutine engine.
 	req chan request
 	res chan response
 }
@@ -104,10 +135,23 @@ func (p *Proc) ID() int { return p.id }
 func (p *Proc) N() int { return p.n }
 
 func (p *Proc) do(r request) response {
+	if p.inl != nil {
+		return p.inl.inlineDo(p.id, r)
+	}
+	if p.yield != nil {
+		if !p.yield(r) {
+			panic(unwind{})
+		}
+		resp := p.resp
+		if resp.kill {
+			panic(unwind{})
+		}
+		return resp
+	}
 	p.req <- r
 	resp := <-p.res
-	if resp.kill != killNone {
-		panic(unwind{code: resp.kill})
+	if resp.kill {
+		panic(unwind{})
 	}
 	return resp
 }
@@ -187,17 +231,87 @@ func (p *Proc) Output(v uint64) {
 	p.do(request{kind: reqOutput, out: v})
 }
 
+// engineKind is the resolved execution strategy for one run.
+type engineKind uint8
+
+const (
+	engineGoroutine engineKind = iota
+	engineInline               // direct: bodies run inline, run-to-completion
+	engineCoro                 // direct: bodies run as same-thread coroutines
+)
+
+// pickEngine resolves the Config.Engine choice against the scheduler.
+func pickEngine(sched Scheduler, choice Engine) engineKind {
+	runToCompletion := false
+	switch sched.(type) {
+	case Solo, Sequential:
+		runToCompletion = true
+	}
+	switch choice {
+	case EngineGoroutine:
+		return engineGoroutine
+	case EngineDirect:
+		if runToCompletion {
+			return engineInline
+		}
+		return engineCoro
+	default: // EngineAuto
+		if runToCompletion {
+			return engineInline
+		}
+		if isDeterministic(sched) {
+			return engineCoro
+		}
+		return engineGoroutine
+	}
+}
+
+// isDeterministic reports whether the scheduler advertises deterministic
+// decisions (directly or, for Crasher, through its inner scheduler).
+func isDeterministic(s Scheduler) bool {
+	if c, ok := s.(*Crasher); ok {
+		return isDeterministic(c.Inner)
+	}
+	_, ok := s.(DeterministicScheduler)
+	return ok
+}
+
 // Run executes one run under cfg and returns its result. The memory is
 // reset first. Run never leaks goroutines: every process body is unwound
 // before Run returns. An error is returned only for configuration
 // mistakes; illegal accesses during the run are reported in Result.Err
 // with a partial trace.
 func Run(cfg Config) (*Result, error) {
+	loop, result, err := setupRun(cfg)
+	if err != nil {
+		return nil, err
+	}
+	switch pickEngine(loop.sched, cfg.Engine) {
+	case engineInline:
+		if s, ok := loop.sched.(Solo); ok {
+			err = loop.runInlineSolo(s.PID)
+		} else {
+			err = loop.runInlineSeq()
+		}
+	case engineCoro:
+		err = loop.run(newCoroTransport(cfg.Procs, cfg.Reuse))
+	default:
+		err = loop.run(newGoroTransport(cfg.Procs))
+	}
+	result.Trace = loop.trace
+	result.Err = err
+	return result, nil
+}
+
+// setupRun validates cfg, resets the memory and initialises the run-loop
+// state (from the reuse arena when one is provided). It is shared by Run
+// and StartSession.
+func setupRun(cfg Config) (*runLoop, *Result, error) {
 	if cfg.Mem == nil {
-		return nil, fmt.Errorf("sim: Config.Mem is nil")
+		return nil, nil, fmt.Errorf("sim: Config.Mem is nil")
 	}
 	if len(cfg.Procs) == 0 {
-		return nil, fmt.Errorf("sim: no processes")
+		return nil, nil, fmt.Errorf("sim: no processes")
 	}
 	sched := cfg.Sched
 	if sched == nil {
@@ -210,165 +324,166 @@ func Run(cfg Config) (*Result, error) {
 
 	mem := cfg.Mem
 	mem.Reset()
-
 	n := len(cfg.Procs)
-	trace := &Trace{NumProcs: n, Cells: make([]CellInfo, mem.NumCells())}
-	for i := range trace.Cells {
-		trace.Cells[i] = CellInfo{
+
+	ar := cfg.Reuse
+	var (
+		loop   *runLoop
+		trace  *Trace
+		result *Result
+	)
+	if ar != nil {
+		ar.prepare(n)
+		loop, trace, result = &ar.loop, &ar.trace, &ar.result
+	} else {
+		loop = new(runLoop)
+		trace = &Trace{Events: make([]Event, 0, eventsHint(maxSteps, n))}
+		result = new(Result)
+	}
+
+	trace.NumProcs = n
+	trace.Stop = 0
+	trace.ScheduledSteps = 0
+	trace.Events = trace.Events[:0]
+	trace.Cells = fillCells(trace.Cells, mem)
+
+	loop.mem = mem
+	loop.trace = trace
+	loop.bodies = cfg.Procs
+	loop.sched = sched
+	loop.maxSteps = maxSteps
+	loop.steps = 0
+	loop.arena = ar
+	loop.inlineErr = nil
+	loop.npending = 0
+	loop.readyStale = false
+	if cap(loop.pending) < n {
+		loop.pending = make([]request, n)
+		loop.ready = make([]int, 0, n)
+	} else {
+		loop.pending = loop.pending[:n]
+		clear(loop.pending)
+		loop.ready = loop.ready[:0]
+	}
+	return loop, result, nil
+}
+
+// eventsHint pre-sizes the event buffer: most runs are short (solo
+// attempts, bounded replays), so a modest capacity removes the first few
+// growth reallocations without wasting memory on them.
+func eventsHint(maxSteps, n int) int {
+	hint := maxSteps + n + 1
+	if hint > 128 {
+		hint = 128
+	}
+	return hint
+}
+
+// fillCells (re)builds the trace's cell metadata from the memory, reusing
+// dst's backing array when it is large enough.
+func fillCells(dst []CellInfo, mem *Memory) []CellInfo {
+	nc := mem.NumCells()
+	if cap(dst) < nc {
+		dst = make([]CellInfo, nc)
+	} else {
+		dst = dst[:nc]
+	}
+	for i := range dst {
+		dst[i] = CellInfo{
 			Name:  mem.cells[i].name,
 			Width: int(mem.cells[i].width),
 			Init:  mem.cells[i].init,
 		}
 	}
-
-	procs := make([]*Proc, n)
-	var wg sync.WaitGroup
-	for i, body := range cfg.Procs {
-		if body == nil {
-			continue
-		}
-		pr := &Proc{
-			id:  i,
-			n:   n,
-			req: make(chan request),
-			res: make(chan response),
-		}
-		procs[i] = pr
-		wg.Add(1)
-		go func(pr *Proc, body ProcFunc) {
-			defer wg.Done()
-			defer func() {
-				if r := recover(); r != nil {
-					if _, ok := r.(unwind); ok {
-						return // killed by the run loop; already accounted
-					}
-					panic(r) // real bug in an algorithm: surface it
-				}
-			}()
-			body(pr)
-			pr.req <- request{kind: reqDone}
-		}(pr, body)
-	}
-
-	loop := &runLoop{
-		mem:      mem,
-		trace:    trace,
-		procs:    procs,
-		pending:  make(map[int]request, n),
-		sched:    sched,
-		maxSteps: maxSteps,
-	}
-	err := loop.run()
-	wg.Wait()
-	return &Result{Trace: trace, Err: err}, nil
+	return dst
 }
 
-// runLoop owns all memory mutation and event recording for one run.
+// runLoop owns all memory mutation and event recording for one run. The
+// pending table is pid-indexed (kind 0 marks "no pending event") and the
+// sorted ready list is derived from it lazily: it is rebuilt, in place,
+// only after a membership change (termination or crash), so steady-state
+// scheduling does no list maintenance at all.
 type runLoop struct {
 	mem      *Memory
 	trace    *Trace
-	procs    []*Proc // nil entries: remainder-region processes
-	pending  map[int]request
+	bodies   []ProcFunc
 	sched    Scheduler
 	maxSteps int
+	steps    int
+	arena    *Arena
+
+	pending    []request // pid-indexed; kind == 0 means not ready
+	npending   int
+	ready      []int // sorted pids with a pending event
+	readyStale bool
+
+	inlineErr error // access error recorded by the inline engine
 }
 
-func (l *runLoop) run() error {
-	// Absorb the first scheduled request (or completion) of every process.
-	for pid, pr := range l.procs {
-		if pr != nil {
-			l.await(pid)
-		}
-	}
-	// The sorted ready list is maintained incrementally: processes leave
-	// it only when they terminate or crash, so the per-step cost is O(1)
-	// instead of an O(n log n) rebuild (which dominates large-n runs).
-	ready := make([]int, 0, len(l.pending))
-	for pid := range l.pending {
-		ready = append(ready, pid)
-	}
-	sort.Ints(ready)
+// transport is how a run loop drives process bodies; the goroutine and
+// coroutine engines differ only here.
+type transport interface {
+	// start runs pid's body up to its first request. ok is false if the
+	// body terminated without issuing one.
+	start(pid int) (req request, ok bool)
+	// resume delivers resp for pid's previous request and runs the body up
+	// to its next request. ok is false if the body terminated.
+	resume(pid int, resp response) (req request, ok bool)
+	// kill unwinds pid's body without performing its pending request.
+	kill(pid int)
+	// finish releases engine resources; no body survives it.
+	finish()
+}
 
-	steps := 0
-	for len(l.pending) > 0 {
-		if steps >= l.maxSteps {
+// run drives the scheduler loop over a transport. It is the exact
+// semantics both engines share: one pending event per started process,
+// one scheduled event performed at a time.
+func (l *runLoop) run(t transport) error {
+	defer t.finish()
+	l.absorb(t)
+
+	for l.npending > 0 {
+		if l.steps >= l.maxSteps {
 			l.trace.Stop = StopMaxSteps
-			l.unwindAll()
+			l.unwindAll(t)
 			return nil
 		}
 
-		d := l.sched.Next(ready, steps)
+		l.refreshReady()
+		d := l.sched.Next(l.ready, l.steps)
 		switch d.Action {
 		case ActStop:
 			l.trace.Stop = StopScheduler
-			l.unwindAll()
+			l.unwindAll(t)
 			return nil
 
 		case ActCrash:
-			if _, ok := l.pending[d.PID]; !ok {
+			if !l.isPending(d.PID) {
 				l.trace.Stop = StopError
-				l.unwindAll()
+				l.unwindAll(t)
 				return fmt.Errorf("sim: scheduler crashed non-ready process %d", d.PID)
 			}
-			delete(l.pending, d.PID)
-			ready = removeSorted(ready, d.PID)
+			l.clearPending(d.PID)
 			l.record(Event{PID: d.PID, Kind: KindCrash})
-			l.procs[d.PID].res <- response{kill: killCrash}
+			t.kill(d.PID)
 
 		case ActStep:
-			req, ok := l.pending[d.PID]
-			if !ok {
+			if !l.isPending(d.PID) {
 				l.trace.Stop = StopError
-				l.unwindAll()
+				l.unwindAll(t)
 				return fmt.Errorf("sim: scheduler picked non-ready process %d", d.PID)
 			}
-			steps++
-			l.trace.ScheduledSteps = steps
-			delete(l.pending, d.PID)
-			switch req.kind {
-			case reqAccess:
-				ret, hasRet, err := l.mem.apply(req.reg, req.op, req.arg)
-				if err != nil {
-					l.trace.Stop = StopError
-					l.procs[d.PID].res <- response{kill: killStop}
-					l.unwindAll()
-					return fmt.Errorf("process %d: %w", d.PID, err)
-				}
-				l.record(Event{
-					PID:     d.PID,
-					Kind:    KindAccess,
-					Op:      req.op,
-					Cell:    req.reg.cell,
-					RegName: l.mem.Name(req.reg),
-					Shift:   req.reg.shift,
-					Width:   req.reg.width,
-					Arg:     req.arg,
-					Ret:     ret,
-					HasRet:  hasRet,
-				})
-				l.procs[d.PID].res <- response{ret: ret, hasRet: hasRet}
-			case reqLocal:
-				l.record(Event{PID: d.PID, Kind: KindLocal})
-				l.procs[d.PID].res <- response{}
-			case reqMark:
-				l.record(Event{PID: d.PID, Kind: KindMark, Phase: req.phase})
-				l.procs[d.PID].res <- response{}
-			case reqOutput:
-				l.record(Event{PID: d.PID, Kind: KindOutput, Out: req.out})
-				l.procs[d.PID].res <- response{}
-			default:
+			if err := l.stepReady(d.PID, t); err != nil {
 				l.trace.Stop = StopError
-				l.unwindAll()
-				return fmt.Errorf("sim: internal error: scheduled request kind %d", req.kind)
-			}
-			l.await(d.PID)
-			if _, still := l.pending[d.PID]; !still {
-				ready = removeSorted(ready, d.PID) // terminated
+				l.readyStale = true
+				t.kill(d.PID)
+				l.unwindAll(t)
+				return err
 			}
 
 		default:
 			l.trace.Stop = StopError
-			l.unwindAll()
+			l.unwindAll(t)
 			return fmt.Errorf("sim: scheduler returned invalid action %d", d.Action)
 		}
 	}
@@ -376,47 +491,127 @@ func (l *runLoop) run() error {
 	return nil
 }
 
-// await receives the next request from pid. All requests except done are
-// scheduled: they become the process's pending event, performed only when
-// the scheduler picks it. This matches the paper's model, in which internal
-// state updates are events of the run like any other, so a process that has
-// not been scheduled has not started (and in particular has not entered its
-// entry code).
-func (l *runLoop) await(pid int) {
-	pr := l.procs[pid]
-	req := <-pr.req
-	switch req.kind {
-	case reqAccess, reqLocal, reqMark, reqOutput:
-		l.pending[pid] = req
-	case reqDone:
-		// Record termination so traces can distinguish processes that
-		// finished from processes that were unwound or never ran.
+// absorb runs every process body up to its first request, which becomes
+// its pending event; bodies that return without one are recorded done.
+func (l *runLoop) absorb(t transport) {
+	for pid, body := range l.bodies {
+		if body == nil {
+			continue
+		}
+		if req, ok := t.start(pid); ok {
+			l.setPending(pid, req)
+		} else {
+			l.record(Event{PID: pid, Kind: KindMark, Phase: PhaseDone})
+		}
+	}
+	l.readyStale = true
+}
+
+// stepReady performs pid's pending event — the caller has verified there
+// is one — and runs the body to its next request. A returned error is an
+// illegal access; the caller owns killing and unwinding.
+func (l *runLoop) stepReady(pid int, t transport) error {
+	req := l.pending[pid]
+	l.pending[pid] = request{}
+	l.npending--
+	resp, err := l.perform(pid, req)
+	if err != nil {
+		return err
+	}
+	if req2, ok := t.resume(pid, resp); ok {
+		// Membership unchanged: the ready list stays valid.
+		l.pending[pid] = req2
+		l.npending++
+	} else {
 		l.record(Event{PID: pid, Kind: KindMark, Phase: PhaseDone})
+		l.readyStale = true
+	}
+	return nil
+}
+
+// perform executes one scheduled event for pid and returns the response
+// owed to the process. It is the single place memory is mutated and events
+// are recorded, shared by all engines.
+func (l *runLoop) perform(pid int, req request) (response, error) {
+	l.steps++
+	l.trace.ScheduledSteps = l.steps
+	switch req.kind {
+	case reqAccess:
+		ret, hasRet, err := l.mem.apply(req.reg, req.op, req.arg)
+		if err != nil {
+			return response{}, fmt.Errorf("process %d: %w", pid, err)
+		}
+		l.record(Event{
+			PID:    pid,
+			Kind:   KindAccess,
+			Op:     req.op,
+			Cell:   req.reg.cell,
+			Shift:  req.reg.shift,
+			Width:  req.reg.width,
+			Arg:    req.arg,
+			Ret:    ret,
+			HasRet: hasRet,
+		})
+		return response{ret: ret, hasRet: hasRet}, nil
+	case reqLocal:
+		l.record(Event{PID: pid, Kind: KindLocal})
+		return response{}, nil
+	case reqMark:
+		l.record(Event{PID: pid, Kind: KindMark, Phase: req.phase})
+		return response{}, nil
+	case reqOutput:
+		l.record(Event{PID: pid, Kind: KindOutput, Out: req.out})
+		return response{}, nil
 	default:
-		panic(fmt.Sprintf("sim: unknown request kind %d", req.kind))
+		return response{}, fmt.Errorf("sim: internal error: scheduled request kind %d", req.kind)
 	}
 }
 
-// unwindAll kills every process that still has a pending request and
-// absorbs the remainder of processes currently computing, so no goroutine
-// outlives the run.
-func (l *runLoop) unwindAll() {
-	for pid := range l.pending {
-		delete(l.pending, pid)
-		l.procs[pid].res <- response{kill: killStop}
+func (l *runLoop) isPending(pid int) bool {
+	return pid >= 0 && pid < len(l.pending) && l.pending[pid].kind != 0
+}
+
+func (l *runLoop) setPending(pid int, req request) {
+	l.pending[pid] = req
+	l.npending++
+}
+
+// clearPending removes pid's event and marks the ready list for rebuild.
+func (l *runLoop) clearPending(pid int) {
+	l.pending[pid] = request{}
+	l.npending--
+	l.readyStale = true
+}
+
+// refreshReady rebuilds the sorted ready list, in place, from the
+// pid-indexed pending table. It runs only after a membership change.
+func (l *runLoop) refreshReady() {
+	if !l.readyStale {
+		return
 	}
+	l.ready = l.ready[:0]
+	for pid := range l.pending {
+		if l.pending[pid].kind != 0 {
+			l.ready = append(l.ready, pid)
+		}
+	}
+	l.readyStale = false
+}
+
+// unwindAll kills every process that still has a pending request, so no
+// body outlives the run.
+func (l *runLoop) unwindAll(t transport) {
+	for pid := range l.pending {
+		if l.pending[pid].kind != 0 {
+			l.pending[pid] = request{}
+			l.npending--
+			t.kill(pid)
+		}
+	}
+	l.readyStale = true
 }
 
 func (l *runLoop) record(e Event) {
 	e.Seq = len(l.trace.Events)
 	l.trace.Events = append(l.trace.Events, e)
-}
-
-// removeSorted removes pid from the sorted slice, preserving order.
-func removeSorted(s []int, pid int) []int {
-	i := sort.SearchInts(s, pid)
-	if i == len(s) || s[i] != pid {
-		return s
-	}
-	return append(s[:i], s[i+1:]...)
 }

@@ -48,6 +48,20 @@ type Scheduler interface {
 	Next(ready []int, step int) Decision
 }
 
+// DeterministicScheduler marks a scheduler whose decisions are a pure
+// function of the observed ready sets and step numbers (no wall-clock or
+// true randomness). Run exploits the promise by selecting the direct
+// execution engine automatically, which runs process bodies on the
+// run-loop goroutine instead of behind channel handshakes; the traces are
+// identical, an order of magnitude faster. All built-in schedulers are
+// deterministic (Random draws from a seeded source); a Crasher is
+// deterministic exactly when its inner scheduler is.
+type DeterministicScheduler interface {
+	Scheduler
+	// DeterministicSchedule is a marker; it is never called.
+	DeterministicSchedule()
+}
+
 // Solo schedules only the process with id PID and stops the run once it
 // terminates (or if it never becomes ready). It produces the paper's
 // contention-free runs when the other processes stay in their remainder
@@ -217,15 +231,24 @@ func rankOf(rank map[int]int, pid int) int {
 	return 1<<30 + pid // missing pids keep pid order after all ranked ones
 }
 
+// DeterministicSchedule marks the built-in schedulers as deterministic;
+// see DeterministicScheduler.
+func (Solo) DeterministicSchedule()        {}
+func (Sequential) DeterministicSchedule()  {}
+func (*RoundRobin) DeterministicSchedule() {}
+func (*Random) DeterministicSchedule()     {}
+func (*Scripted) DeterministicSchedule()   {}
+func (Priority) DeterministicSchedule()    {}
+
 var (
-	_ Scheduler = Solo{}
-	_ Scheduler = Sequential{}
-	_ Scheduler = (*RoundRobin)(nil)
-	_ Scheduler = (*Random)(nil)
-	_ Scheduler = (*Scripted)(nil)
-	_ Scheduler = (*Crasher)(nil)
-	_ Scheduler = Func(nil)
-	_ Scheduler = Priority{}
+	_ DeterministicScheduler = Solo{}
+	_ DeterministicScheduler = Sequential{}
+	_ DeterministicScheduler = (*RoundRobin)(nil)
+	_ DeterministicScheduler = (*Random)(nil)
+	_ DeterministicScheduler = (*Scripted)(nil)
+	_ Scheduler              = (*Crasher)(nil)
+	_ Scheduler              = Func(nil)
+	_ DeterministicScheduler = Priority{}
 )
 
 // String implementations aid debugging of experiment configurations.

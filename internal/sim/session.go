@@ -1,0 +1,149 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Session errors.
+var (
+	// ErrNotReady reports a Step/Crash of a process with no pending event.
+	ErrNotReady = errors.New("sim: process has no pending event")
+	// ErrSessionClosed reports a Step/Crash on a closed session.
+	ErrSessionClosed = errors.New("sim: session closed")
+	// ErrMaxSteps reports a Step beyond the session's step budget.
+	ErrMaxSteps = errors.New("sim: step budget exhausted")
+)
+
+// Session is an incrementally driven run: where Run asks a Scheduler for
+// every decision and plays the run to its end, a session hands the
+// schedule to the caller one decision at a time and stays suspended in
+// between, with every process body parked at its pending event. Callers
+// that explore many schedules sharing prefixes — the model checker's DFS
+// extends the current prefix by one event for the first branch of every
+// node — step a live session instead of replaying the prefix from
+// scratch.
+//
+// Sessions always execute on the direct engine (bodies run as
+// same-thread coroutines); Config.Sched and Config.Engine are ignored.
+// A session must be Closed when abandoned so all bodies unwind; a session
+// whose every process terminated (or crashed) finishes by itself, and
+// Close is then a no-op.
+type Session struct {
+	loop     *runLoop
+	tr       transport
+	finished bool
+	closed   bool
+	err      error
+}
+
+// StartSession validates cfg, resets the memory and runs every process
+// body up to its first pending event. Config.Reuse recycles the session,
+// trace and coroutine scratch exactly as it does for Run (the previous
+// session of the arena must be closed or finished).
+func StartSession(cfg Config) (*Session, error) {
+	loop, _, err := setupRun(cfg)
+	if err != nil {
+		return nil, err
+	}
+	var s *Session
+	if cfg.Reuse != nil {
+		s = &cfg.Reuse.session
+	} else {
+		s = new(Session)
+	}
+	t := newCoroTransport(cfg.Procs, cfg.Reuse)
+	*s = Session{loop: loop, tr: t}
+	loop.absorb(t)
+	s.finished = loop.npending == 0
+	return s, nil
+}
+
+// Ready returns the sorted pids with a pending event. The slice is valid
+// until the next Step/Crash/Close and must not be modified.
+func (s *Session) Ready() []int {
+	s.loop.refreshReady()
+	return s.loop.ready
+}
+
+// Finished reports whether every started process has terminated or
+// crashed (the run cannot be extended further).
+func (s *Session) Finished() bool { return s.finished }
+
+// Err returns the access error that aborted the session, if any.
+func (s *Session) Err() error { return s.err }
+
+// Step performs the pending event of pid, exactly as if a scheduler had
+// picked it, and runs the body to its next pending event. It reports
+// ErrNotReady if pid has no pending event, ErrMaxSteps past the budget,
+// and the access error if the event was illegal (the session is then
+// closed with a StopError trace, like an aborted Run).
+func (s *Session) Step(pid int) error { return s.apply(pid, false) }
+
+// Crash injects a stopping failure into pid: its pending event is
+// discarded and it takes no further steps.
+func (s *Session) Crash(pid int) error { return s.apply(pid, true) }
+
+func (s *Session) apply(pid int, crash bool) error {
+	if s.closed {
+		return ErrSessionClosed
+	}
+	if s.err != nil {
+		return s.err
+	}
+	l := s.loop
+	if !l.isPending(pid) {
+		return fmt.Errorf("sim: session: process %d: %w", pid, ErrNotReady)
+	}
+	if crash {
+		l.clearPending(pid)
+		l.record(Event{PID: pid, Kind: KindCrash})
+		s.tr.kill(pid)
+	} else {
+		if l.steps >= l.maxSteps {
+			return ErrMaxSteps
+		}
+		if err := l.stepReady(pid, s.tr); err != nil {
+			l.trace.Stop = StopError
+			l.readyStale = true
+			s.err = err
+			s.tr.kill(pid)
+			s.close()
+			return err
+		}
+	}
+	s.finished = l.npending == 0
+	return nil
+}
+
+// Trace returns the run-so-far. Its Stop reason reads as the run the
+// session has produced: StopAllDone once every process terminated,
+// StopError after an illegal access, and StopScheduler otherwise (the
+// caller, playing the scheduler, has stopped here — for now or for
+// good). The trace is live: later Steps append to it, and with an arena
+// it is recycled by the arena's next run.
+func (s *Session) Trace() *Trace {
+	if s.err == nil {
+		if s.finished {
+			s.loop.trace.Stop = StopAllDone
+		} else {
+			s.loop.trace.Stop = StopScheduler
+		}
+	}
+	return s.loop.trace
+}
+
+// Close unwinds every process still suspended at a pending event. It is
+// idempotent and must be called before abandoning an unfinished session.
+func (s *Session) Close() {
+	if s.closed {
+		return
+	}
+	s.close()
+}
+
+func (s *Session) close() {
+	s.closed = true
+	s.loop.unwindAll(s.tr)
+	s.tr.finish()
+}

@@ -1,0 +1,62 @@
+#!/usr/bin/env bash
+# bench.sh — tier-1 gate + simulator benchmark family, emitting a JSON
+# perf record so successive PRs accumulate a trajectory (BENCH_1.json,
+# BENCH_2.json, ...).
+#
+# Usage:
+#   scripts/bench.sh [output.json]      # default BENCH_1.json
+#   BENCHTIME=2s scripts/bench.sh       # longer benchtime for stabler numbers
+#
+# The emitted file carries ns/op, events/op and ns/event per benchmark,
+# plus the frozen seed baseline (the goroutine-engine numbers before the
+# direct-execution engine landed) so before/after is always in one place.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="${1:-BENCH_1.json}"
+BENCHTIME="${BENCHTIME:-500ms}"
+RAW="$(mktemp)"
+trap 'rm -f "$RAW"' EXIT
+
+go build ./...
+go test ./...
+go test -run '^$' -bench 'BenchmarkSim' -benchtime "$BENCHTIME" . | tee "$RAW"
+
+awk -v benchtime="$BENCHTIME" -v goversion="$(go version | awk '{print $3}')" '
+function jsonkey(unit) {
+    gsub(/\//, "_per_", unit)
+    gsub(/-/, "_", unit)
+    return unit
+}
+BEGIN {
+    printf "{\n"
+    printf "  \"schema\": \"cfc-bench-v1\",\n"
+    printf "  \"generated\": \"%s\",\n", strftime("%Y-%m-%dT%H:%M:%SZ", systime(), 1)
+    printf "  \"go\": \"%s\",\n", goversion
+    printf "  \"benchtime\": \"%s\",\n", benchtime
+    # Frozen reference: BenchmarkSimThroughput on the seed (goroutine
+    # engine, round-robin scheduler) before the direct-execution engine.
+    printf "  \"seed_baseline\": {\n"
+    printf "    \"SimThroughput\": {\"ns_per_op\": 2406599, \"events_per_op\": 4000, \"ns_per_event\": 601.6},\n"
+    printf "    \"SimExhaustiveCheck\": {\"ns_per_op\": 6397282},\n"
+    printf "    \"go_test_internal_check_seconds\": 13.3\n"
+    printf "  },\n"
+    printf "  \"benchmarks\": [\n"
+    first = 1
+}
+/^Benchmark/ {
+    name = $1
+    sub(/^Benchmark/, "", name)
+    if (!first) printf ",\n"
+    first = 0
+    printf "    {\"name\": \"%s\", \"iterations\": %s", name, $2
+    for (i = 3; i < NF; i += 2) {
+        printf ", \"%s\": %s", jsonkey($(i + 1)), $i
+    }
+    printf "}"
+}
+END {
+    printf "\n  ]\n}\n"
+}' "$RAW" > "$OUT"
+
+echo "wrote $OUT"

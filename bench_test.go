@@ -332,29 +332,37 @@ func BenchmarkSimSoloThroughput(b *testing.B) {
 
 func BenchmarkSimExhaustiveCheck(b *testing.B) {
 	// Substrate microbenchmark: full exhaustive exploration of Peterson's
-	// algorithm for two processes.
-	for i := 0; i < b.N; i++ {
-		build := func() (*cfc.Memory, []cfc.ProcFunc, error) {
-			alg := cfc.Peterson2P()
-			mem := cfc.NewMemory(alg.Model())
-			inst, err := alg.New(mem, 2)
-			if err != nil {
-				return nil, nil, err
-			}
-			return mem, []cfc.ProcFunc{
-				cfc.MutexBody(inst, 1, 0),
-				cfc.MutexBody(inst, 1, 0),
-			}, nil
-		}
-		res, err := cfc.Explore(build, cfc.CheckMutualExclusion, cfc.CheckOptions{
-			MaxDepth:      80,
-			CollapseSpins: true,
-		})
+	// algorithm for two processes, serial and on the work-stealing
+	// parallel explorer (on a single-core machine the workers=4 row
+	// measures pure coordination overhead; on multi-core it measures the
+	// speedup).
+	build := func() (*cfc.Memory, []cfc.ProcFunc, error) {
+		alg := cfc.Peterson2P()
+		mem := cfc.NewMemory(alg.Model())
+		inst, err := alg.New(mem, 2)
 		if err != nil {
-			b.Fatal(err)
+			return nil, nil, err
 		}
-		if res.Violation != nil {
-			b.Fatal(res.Violation)
-		}
+		return mem, []cfc.ProcFunc{
+			cfc.MutexBody(inst, 1, 0),
+			cfc.MutexBody(inst, 1, 0),
+		}, nil
+	}
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := cfc.Explore(build, cfc.CheckMutualExclusion, cfc.CheckOptions{
+					MaxDepth:      80,
+					CollapseSpins: true,
+					Workers:       workers,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Violation != nil {
+					b.Fatal(res.Violation)
+				}
+			}
+		})
 	}
 }

@@ -17,7 +17,8 @@
 //     naming algorithms of Theorem 4;
 //   - the closed-form bounds of Theorems 1-7 as checkable functions;
 //   - executable adversaries for the lower-bound constructions and an
-//     exhaustive model checker for small configurations.
+//     exhaustive model checker for small configurations, serial or
+//     parallel (CheckOptions.Workers) with identical results.
 //
 // # Quick start
 //
@@ -357,7 +358,8 @@ type (
 	Violation    = check.Violation
 )
 
-// Explore exhaustively explores the interleavings of a small program.
+// Explore exhaustively explores the interleavings of a small program,
+// serially or on CheckOptions.Workers parallel workers; see check.Explore.
 func Explore(build Builder, prop func(*Trace) error, opts CheckOptions) (CheckResult, error) {
 	return check.Explore(build, prop, opts)
 }

@@ -5,16 +5,22 @@
 //
 // Usage:
 //
-//	cfccheck                      # check everything at n = 2
+//	cfccheck                      # check everything at n = 2, all cores
 //	cfccheck -n 3                 # n = 3 (slower)
 //	cfccheck -kind mutex          # only mutual exclusion
 //	cfccheck -kind naming -crash  # naming with crash injection
+//	cfccheck -workers 1           # serial exploration (reference mode)
+//
+// -workers selects the explorer parallelism per job (default: all
+// cores). Completed explorations report identical states, runs and
+// verdicts at any worker count; see check.Options.Workers.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"cfc/internal/check"
 	"cfc/internal/contention"
@@ -38,11 +44,12 @@ type job struct {
 
 func run() int {
 	var (
-		n      = flag.Int("n", 2, "process count")
-		kind   = flag.String("kind", "", "what to check: mutex, detection, naming (empty = all)")
-		crash  = flag.Bool("crash", false, "inject crashes (naming and detection)")
-		depth  = flag.Int("depth", 120, "schedule depth bound")
-		states = flag.Int("states", 1<<19, "state budget")
+		n       = flag.Int("n", 2, "process count")
+		kind    = flag.String("kind", "", "what to check: mutex, detection, naming (empty = all)")
+		crash   = flag.Bool("crash", false, "inject crashes (naming and detection)")
+		depth   = flag.Int("depth", 120, "schedule depth bound")
+		states  = flag.Int("states", 1<<19, "state budget")
+		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "parallel explorer workers per job (1 = serial)")
 	)
 	flag.Parse()
 
@@ -77,7 +84,7 @@ func run() int {
 					return mem, procs, nil
 				},
 				prop: metrics.CheckMutualExclusion,
-				opts: check.Options{MaxDepth: *depth, MaxStates: *states, CollapseSpins: true},
+				opts: check.Options{MaxDepth: *depth, MaxStates: *states, CollapseSpins: true, Workers: *workers},
 			})
 		}
 	}
@@ -107,6 +114,7 @@ func run() int {
 				opts: check.Options{
 					MaxDepth: *depth, MaxStates: *states,
 					CollapseSpins: true, ExploreCrashes: *crash,
+					Workers: *workers,
 				},
 			})
 		}
@@ -138,7 +146,7 @@ func run() int {
 				opts: check.Options{
 					MaxDepth: *depth, MaxStates: *states,
 					CollapseSpins: true, ExploreCrashes: *crash,
-					ExpectTermination: true,
+					ExpectTermination: true, Workers: *workers,
 				},
 			})
 		}

@@ -8,6 +8,12 @@
 // must have measured complexity strictly above (Theorem 1) or at least
 // (Theorem 2) the threshold. Upper bounds are the exact values achieved by
 // the paper's constructions (Theorem 3 and Theorem 4).
+//
+// Everything in this package is a pure function of its arguments — no
+// package state, no caching — so every function is safe for concurrent
+// use. Concurrent sweeps (the parallel model checker's workers, parallel
+// measurement drivers) call these freely and accumulate results on their
+// own side.
 package bounds
 
 import (

@@ -1,21 +1,7 @@
-// Package check is an exhaustive explorer for small configurations: it
-// enumerates every interleaving of a deterministic program (optionally
-// with crash injection) up to a depth bound, prunes equivalent states, and
-// verifies safety properties on every reachable state.
-//
-// Processes in the simulator are deterministic functions of the values
-// their shared-memory operations return, so a global state is fully
-// described by the shared cell values plus each process's observation
-// history; the explorer replays schedules from scratch (the simulator is
-// cheap) and hashes that description to prune. Replays run on the
-// simulator's direct engine with one shared arena, so a replay costs no
-// goroutines, no channels and no per-replay trace allocations.
 package check
 
 import (
-	"errors"
 	"fmt"
-	"slices"
 
 	"cfc/internal/sim"
 )
@@ -23,15 +9,21 @@ import (
 // Property is a safety predicate over a (partial) run: it must return an
 // error if any state of the trace violates the property. The metrics
 // package's CheckMutualExclusion, CheckUniqueOutputs and CheckDetection
-// are Properties.
+// are Properties. In parallel explorations the property is called
+// concurrently from worker goroutines (each on its own trace), so it must
+// not keep mutable state between calls — a pure function of the trace,
+// which all three metrics properties are.
 type Property func(t *sim.Trace) error
 
 // Builder constructs the memory and process bodies of the program under
 // check. It must be deterministic: every call must produce an identical
-// program. Explore calls it once and replays that one program for every
-// schedule (the simulator resets the memory at the start of each run), so
-// process bodies must not retain mutable state from one run to the next —
-// which holds for every algorithm body in this repository, all of which
+// program. The serial explorer calls it once and replays that one program
+// for every schedule; the parallel explorer calls it once per worker, so
+// each worker replays a private instance (plus once more to canonicalise
+// a counterexample, see Options.Workers). Builder calls are never
+// concurrent, but distinct instances are driven concurrently, so
+// instances must not share mutable state through package-level variables
+// — which holds for every algorithm body in this repository, all of which
 // are pure functions of the values their shared-memory operations return.
 type Builder func() (*sim.Memory, []sim.ProcFunc, error)
 
@@ -51,18 +43,41 @@ type Options struct {
 	// that can neither step nor finish would be a simulator-level
 	// deadlock.
 	ExpectTermination bool
-	// CollapseSpins canonicalises busy-wait loops when hashing states: a
-	// process history whose tail repeats a short period (up to 4 events)
-	// with identical operations, registers and return values is reduced
-	// to a single occurrence of the period, so "spun 3 times" and "spun
-	// 30 times" merge. This turns the unbounded spin chains of
-	// deadlock-free mutex algorithms into finitely many states.
+	// CollapseSpins canonicalises busy-wait loops when hashing states:
+	// wherever a process history repeats a short period (up to 4 events)
+	// with identical operations, registers and return values, the
+	// repetition is reduced to a single occurrence of the period, so
+	// "spun 3 times" and "spun 30 times" merge — also when the process
+	// has since moved past the spin. This turns the unbounded spin
+	// chains of deadlock-free mutex algorithms into finitely many
+	// states, and because the reduction is applied online (it commutes
+	// with extending the history by one event), state identity is a pure
+	// function of the program: serial and parallel exploration prune
+	// identically.
 	//
 	// The reduction is sound only for algorithms whose busy-wait loops
 	// carry no loop-local state (no iteration counters, no accumulated
 	// values): every algorithm in this repository except the backoff
 	// variants qualifies. It is off by default.
 	CollapseSpins bool
+	// Workers selects the explorer. 0 or 1 (the default) explores
+	// serially on the calling goroutine. A value above 1 runs that many
+	// workers, each owning a private program instance (one Builder call)
+	// and live session; subtree frontiers are distributed over per-worker
+	// deques with work stealing, and the visited set is shared (sharded).
+	//
+	// Results are deterministic and identical to serial exploration
+	// whenever the exploration is not truncated: the visited-state set is
+	// closed under the same transition relation regardless of visit
+	// order, so States, Runs, Truncated and the verdict all match. A
+	// truncated exploration (depth or state budget hit) depends on visit
+	// order in either mode and parallel counts may differ from serial
+	// ones. When a violation is found, the parallel explorer cancels its
+	// workers and re-runs the serial explorer, so the reported
+	// counterexample is always the canonical depth-first-minimal one —
+	// byte-identical to what Workers=1 reports (violating explorations
+	// therefore cost one parallel detection plus one serial rerun).
+	Workers int
 }
 
 // Violation describes a property failure found during exploration.
@@ -94,7 +109,8 @@ type Result struct {
 
 // Explore exhaustively explores the interleavings of the program under
 // the property. It returns an error only for configuration problems; a
-// property failure is reported in Result.Violation.
+// property failure is reported in Result.Violation. Options.Workers
+// selects between the serial and the parallel explorer.
 func Explore(build Builder, prop Property, opts Options) (Result, error) {
 	maxDepth := opts.MaxDepth
 	if maxDepth <= 0 {
@@ -104,24 +120,26 @@ func Explore(build Builder, prop Property, opts Options) (Result, error) {
 	if maxStates <= 0 {
 		maxStates = 1 << 20
 	}
-	mem, procs, err := build()
-	if err != nil {
-		return Result{}, fmt.Errorf("check: builder: %w", err)
+	if opts.Workers > 1 {
+		return exploreParallel(build, prop, opts, maxDepth, maxStates)
 	}
+	return exploreSerial(build, prop, opts, maxDepth, maxStates)
+}
+
+// exploreSerial is the single-goroutine depth-first explorer.
+func exploreSerial(build Builder, prop Property, opts Options, maxDepth, maxStates int) (Result, error) {
 	e := &explorer{
-		mem:       mem,
-		procs:     procs,
 		prop:      prop,
 		opts:      opts,
 		maxDepth:  maxDepth,
 		maxStates: maxStates,
 		visited:   make(map[uint64]struct{}),
-		arena:     sim.NewArena(),
 	}
-	err = e.dfs(nil)
-	if e.sess != nil {
-		e.sess.Close()
+	if err := e.core.init(build, maxDepth); err != nil {
+		return Result{}, err
 	}
+	err := e.dfs(nil)
+	e.core.close()
 	if err != nil {
 		return Result{}, err
 	}
@@ -134,8 +152,7 @@ func Explore(build Builder, prop Property, opts Options) (Result, error) {
 }
 
 type explorer struct {
-	mem       *sim.Memory
-	procs     []sim.ProcFunc
+	core      replayCore
 	prop      Property
 	opts      Options
 	maxDepth  int
@@ -145,222 +162,13 @@ type explorer struct {
 	runs      int
 	truncated bool
 	violation *Violation
-
-	// Replay state: one simulator session, trace/event buffer (via the
-	// arena) and hashing scratch recycled across every replay of the
-	// exploration instead of being reallocated per dfs node. The live
-	// session doubles as a cursor: cursor records the schedule it has
-	// executed, and a dfs node whose schedule matches reuses the session
-	// instead of replaying — the first branch of every node extends its
-	// parent's run by a single event.
-	arena  *sim.Arena
-	sess   *sim.Session
-	cursor []int
-	hist   [][]histEntry
-	vals   []uint64
-	status []uint8
-}
-
-// statuses recorded while scanning a replayed trace.
-const (
-	statusDone uint8 = 1 << iota
-	statusCrashed
-)
-
-// applyEntry feeds one schedule entry (non-negative: step that pid;
-// -pid-1: crash pid) to the live session and extends the cursor.
-func (e *explorer) applyEntry(entry int) error {
-	var err error
-	if entry < 0 {
-		err = e.sess.Crash(-entry - 1)
-	} else {
-		err = e.sess.Step(entry)
-	}
-	if err != nil {
-		if errors.Is(err, sim.ErrNotReady) {
-			// The explorer only schedules observed-live processes, so a
-			// non-ready entry means the program is nondeterministic.
-			return fmt.Errorf("check: internal error: schedule %v became invalid: %w",
-				append(e.cursor, entry), err)
-		}
-		return fmt.Errorf("check: replay error: %w", err)
-	}
-	e.cursor = append(e.cursor, entry)
-	return nil
-}
-
-// stateAt positions the live session at the given schedule — reusing it
-// when the cursor already matches, replaying from scratch otherwise — and
-// returns the trace plus the set of processes that are still live (can be
-// scheduled). The trace aliases the session: it is valid only until the
-// session advances or is replaced.
-func (e *explorer) stateAt(schedule []int) (*sim.Trace, []int, error) {
-	if e.sess == nil || !slices.Equal(e.cursor, schedule) {
-		if e.sess != nil {
-			e.sess.Close()
-		}
-		sess, err := sim.StartSession(sim.Config{
-			Mem:      e.mem,
-			Procs:    e.procs,
-			MaxSteps: e.maxDepth + 1,
-			Reuse:    e.arena,
-		})
-		if err != nil {
-			return nil, nil, err
-		}
-		e.sess = sess
-		e.cursor = e.cursor[:0]
-		for _, entry := range schedule {
-			if err := e.applyEntry(entry); err != nil {
-				return nil, nil, err
-			}
-		}
-	}
-	tr := e.sess.Trace()
-
-	// Live processes: have a body, not done, not crashed. One pass over
-	// the events instead of per-pid trace scans.
-	if cap(e.status) < len(e.procs) {
-		e.status = make([]uint8, len(e.procs))
-	} else {
-		e.status = e.status[:len(e.procs)]
-		clear(e.status)
-	}
-	for _, ev := range tr.Events {
-		switch {
-		case ev.Kind == sim.KindCrash:
-			e.status[ev.PID] |= statusCrashed
-		case ev.Kind == sim.KindMark && ev.Phase == sim.PhaseDone:
-			e.status[ev.PID] |= statusDone
-		}
-	}
-	// live is allocated per dfs frame: it must survive the recursion
-	// below the frame, unlike the trace and the status scratch.
-	live := make([]int, 0, len(e.procs))
-	for pid := 0; pid < len(e.procs); pid++ {
-		if e.procs[pid] != nil && e.status[pid] == 0 {
-			live = append(live, pid)
-		}
-	}
-	return tr, live, nil
-}
-
-// histEntry is one event of a process's observation history, in the form
-// that determines its future behaviour (processes are deterministic
-// functions of the values their operations return).
-type histEntry struct {
-	kind uint8
-	op   uint8
-	cell int32
-	ret  uint64
-	aux  uint64 // written arg / phase / output value
-}
-
-// hashSeed is an arbitrary odd constant seeding the state digest.
-const hashSeed = 14695981039346656037
-
-// mix64 folds v into a running hash with one multiply-xorshift round
-// (splitmix64-style). The digest only feeds the explorer's own visited
-// set, so word-at-a-time mixing replaces the byte-at-a-time fnv loop that
-// dominated hashing time.
-func mix64(h, v uint64) uint64 {
-	h ^= v
-	h *= 0x9E3779B97F4A7C15
-	h ^= h >> 29
-	h *= 0xBF58476D1CE4E5B9
-	h ^= h >> 32
-	return h
-}
-
-// stateHash digests the global state after a trace: final cell values plus
-// each process's observation history and status. Two prefixes with equal
-// hashes lead to identical futures. With collapse set, trailing busy-wait
-// periods in each history are reduced to one occurrence (see
-// Options.CollapseSpins). All scratch comes from the explorer's arena.
-func (e *explorer) stateHash(t *sim.Trace, collapse bool) uint64 {
-	if cap(e.hist) < t.NumProcs {
-		e.hist = append(e.hist[:cap(e.hist)], make([][]histEntry, t.NumProcs-cap(e.hist))...)
-	}
-	e.hist = e.hist[:t.NumProcs]
-	for pid := range e.hist {
-		e.hist[pid] = e.hist[pid][:0]
-	}
-	for _, ev := range t.Events {
-		v := histEntry{kind: uint8(ev.Kind)}
-		switch ev.Kind {
-		case sim.KindAccess:
-			v.op = uint8(ev.Op)
-			v.cell = ev.Cell
-			v.ret = ev.Ret
-			v.aux = ev.Arg
-		case sim.KindMark:
-			v.aux = uint64(ev.Phase)
-		case sim.KindOutput:
-			v.aux = ev.Out
-		}
-		e.hist[ev.PID] = append(e.hist[ev.PID], v)
-	}
-	if collapse {
-		for pid := range e.hist {
-			e.hist[pid] = collapseTail(e.hist[pid])
-		}
-	}
-
-	h := uint64(hashSeed)
-	e.vals = t.ReplayValuesInto(e.vals, len(t.Events))
-	for _, v := range e.vals {
-		h = mix64(h, v)
-	}
-	for _, hh := range e.hist {
-		h = mix64(h, uint64(len(hh))<<32|0xabcd) // separator, collapse-aware length
-		for _, en := range hh {
-			h = mix64(h, uint64(en.kind)|uint64(en.op)<<8|uint64(uint32(en.cell))<<16)
-			h = mix64(h, en.ret)
-			h = mix64(h, en.aux)
-		}
-	}
-	return h
-}
-
-// maxSpinPeriod bounds the busy-wait loop body size recognised by
-// collapseTail (in events per iteration).
-const maxSpinPeriod = 4
-
-// collapseTail repeatedly removes the last period of the history while the
-// tail repeats a period of up to maxSpinPeriod identical entries.
-func collapseTail(h []histEntry) []histEntry {
-	for {
-		reduced := false
-		for p := 1; p <= maxSpinPeriod && 2*p <= len(h); p++ {
-			if tailRepeats(h, p) {
-				h = h[:len(h)-p]
-				reduced = true
-				break
-			}
-		}
-		if !reduced {
-			return h
-		}
-	}
-}
-
-// tailRepeats reports whether the last p entries equal the p entries
-// before them.
-func tailRepeats(h []histEntry, p int) bool {
-	n := len(h)
-	for i := 0; i < p; i++ {
-		if h[n-1-i] != h[n-1-p-i] {
-			return false
-		}
-	}
-	return true
 }
 
 func (e *explorer) dfs(schedule []int) error {
 	if e.violation != nil {
 		return nil
 	}
-	tr, live, err := e.stateAt(schedule)
+	tr, live, err := e.core.stateAt(schedule)
 	if err != nil {
 		return err
 	}
@@ -373,13 +181,10 @@ func (e *explorer) dfs(schedule []int) error {
 	if len(live) == 0 {
 		e.runs++
 		if e.opts.ExpectTermination {
-			for pid := 0; pid < tr.NumProcs; pid++ {
-				if tr.FirstEvent(pid) >= 0 && !tr.Done(pid) && !tr.Crashed(pid) {
-					e.violation = &Violation{
-						Schedule: append([]int(nil), schedule...),
-						Err:      fmt.Errorf("process %d started but neither terminated nor crashed", pid),
-					}
-					return nil
+			if pid, ok := unterminated(tr); ok {
+				e.violation = &Violation{
+					Schedule: append([]int(nil), schedule...),
+					Err:      unterminatedErr(pid),
 				}
 			}
 		}
@@ -391,7 +196,7 @@ func (e *explorer) dfs(schedule []int) error {
 		return nil
 	}
 
-	h := e.stateHash(tr, e.opts.CollapseSpins)
+	h := e.core.stateHash(tr, e.opts.CollapseSpins)
 	if _, seen := e.visited[h]; seen {
 		return nil
 	}
@@ -401,14 +206,10 @@ func (e *explorer) dfs(schedule []int) error {
 	}
 	e.visited[h] = struct{}{}
 
-	for i, pid := range live {
-		if i == 0 && slices.Equal(e.cursor, schedule) {
-			// First branch: extend the live session by this one event so
-			// the child reuses it instead of replaying the whole prefix.
-			if err := e.applyEntry(pid); err != nil {
-				return err
-			}
-		}
+	// First branch first: the live session's decision stack still equals
+	// schedule here, so the child's Seek extends it by one event instead
+	// of replaying the prefix; later siblings rebuild from the root.
+	for _, pid := range live {
 		if err := e.dfs(append(schedule, pid)); err != nil {
 			return err
 		}
@@ -432,11 +233,18 @@ func (e *explorer) dfs(schedule []int) error {
 	return nil
 }
 
-func crashedIn(schedule []int, pid int) bool {
-	for _, s := range schedule {
-		if s == -pid-1 {
-			return true
+// unterminated scans a maximal run for a process that started but neither
+// terminated nor crashed — a simulator-level deadlock under
+// Options.ExpectTermination.
+func unterminated(tr *sim.Trace) (int, bool) {
+	for pid := 0; pid < tr.NumProcs; pid++ {
+		if tr.FirstEvent(pid) >= 0 && !tr.Done(pid) && !tr.Crashed(pid) {
+			return pid, true
 		}
 	}
-	return false
+	return -1, false
+}
+
+func unterminatedErr(pid int) error {
+	return fmt.Errorf("process %d started but neither terminated nor crashed", pid)
 }

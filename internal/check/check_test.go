@@ -63,6 +63,7 @@ func TestExhaustiveMutualExclusionTwoProcs(t *testing.T) {
 			res, err := check.Explore(mutexBuilder(alg, 2, 1), metrics.CheckMutualExclusion, check.Options{
 				MaxDepth:      120,
 				CollapseSpins: true,
+				Workers:       exploreWorkers(),
 			})
 			if err != nil {
 				t.Fatal(err)
@@ -94,6 +95,7 @@ func TestExhaustiveMutualExclusionThreeProcs(t *testing.T) {
 				MaxDepth:      80,
 				MaxStates:     1 << 16,
 				CollapseSpins: true,
+				Workers:       exploreWorkers(),
 			})
 			if err != nil {
 				t.Fatal(err)
@@ -175,7 +177,7 @@ func TestExhaustiveDetectionSafety(t *testing.T) {
 				prop := func(tr *sim.Trace) error {
 					return metrics.CheckDetection(tr, false)
 				}
-				res, err := check.Explore(build, prop, check.Options{MaxDepth: 80, CollapseSpins: true})
+				res, err := check.Explore(build, prop, check.Options{MaxDepth: 80, CollapseSpins: true, Workers: exploreWorkers()})
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -209,6 +211,7 @@ func TestExhaustiveNamingUniquenessWithCrashes(t *testing.T) {
 					ExploreCrashes:    true,
 					ExpectTermination: true,
 					CollapseSpins:     true,
+					Workers:           exploreWorkers(),
 				})
 				if err != nil {
 					t.Fatal(err)
@@ -241,6 +244,7 @@ func TestExhaustiveNamingFourProcs(t *testing.T) {
 				MaxDepth:      120,
 				MaxStates:     1 << 20,
 				CollapseSpins: true,
+				Workers:       exploreWorkers(),
 			})
 			if err != nil {
 				t.Fatal(err)

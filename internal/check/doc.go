@@ -1,0 +1,43 @@
+// Package check is an exhaustive explorer for small configurations: it
+// enumerates every interleaving of a deterministic program (optionally
+// with crash injection) up to a depth bound, prunes equivalent states, and
+// verifies safety properties on every reachable state.
+//
+// # State model
+//
+// Processes in the simulator are deterministic functions of the values
+// their shared-memory operations return, so a global state is fully
+// described by the shared cell values plus each process's observation
+// history; the explorer replays schedules (the simulator is cheap) and
+// hashes that description to prune: two schedule prefixes with equal
+// digests lead to identical futures, so only the first arrival's subtree
+// is expanded. Options.CollapseSpins additionally canonicalises busy-wait
+// tails, which makes the state space of deadlock-free spin algorithms
+// finite.
+//
+// # Replay engine
+//
+// Replays run on the simulator's direct engine through a sim.Session with
+// one reuse arena, so a replay costs no goroutines, no channels and no
+// per-replay trace allocations. The session's checkpointed decision stack
+// (sim.Session.Seek) is the core of the exploration's economics: in
+// depth-first order the next node's schedule almost always has the
+// session's current stack as a prefix, and Seek then extends the live run
+// by a single decision instead of replaying the prefix; only sibling
+// switches rebuild from the root, paying exactly the schedule length.
+//
+// # Serial and parallel exploration
+//
+// Options.Workers selects between two explorers over the same replay
+// core. The serial explorer (Workers <= 1) is a recursive depth-first
+// search on the calling goroutine. The parallel explorer runs a pool of
+// workers, each with a private program instance (one Builder call each)
+// and live session; subtree frontiers are distributed over per-worker
+// deques with work stealing, the visited set is sharded, and every
+// reachable state's subtree is expanded by exactly one worker. Completed
+// (non-truncated) explorations report identical States, Runs and
+// verdicts in both modes, and counterexamples are canonicalised to the
+// serial depth-first-first witness; see Options.Workers and the
+// commentary in parallel.go for why visit order cannot change the
+// result.
+package check

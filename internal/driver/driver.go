@@ -1,8 +1,3 @@
-// Package driver wraps algorithm instances into simulator process bodies
-// that follow the phase-marking protocol package metrics expects, and
-// provides the standard run shapes used throughout the experiments:
-// contention-free (solo) runs, sequential runs, and contended runs under
-// arbitrary schedulers.
 package driver
 
 import (

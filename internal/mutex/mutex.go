@@ -1,13 +1,3 @@
-// Package mutex implements the mutual-exclusion algorithms studied in
-// Section 2 of Alur & Taubenfeld: Lamport's fast algorithm, the Theorem 3
-// tournament construction for arbitrary atomicity l, the Peterson/Fischer
-// and Kessels bit-only tournaments, a packed-word (multi-grain) variant of
-// Lamport's algorithm after Michael & Scott, a test-and-set lock baseline,
-// and backoff wrappers (Section 4).
-//
-// Every algorithm is written against the simulator's Proc API, so each
-// shared-memory access is one atomic scheduled event and complexity is
-// measured, not estimated.
 package mutex
 
 import (

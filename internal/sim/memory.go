@@ -1,46 +1,3 @@
-// Package sim is an executable version of the formal model of Alur &
-// Taubenfeld (Information and Computation 126, 1996, Section 2.2): an
-// asynchronous shared-memory system in which processes are state machines
-// and a run is an alternating sequence of global states and events, where
-// each event is one atomic access to a shared register (or an internal
-// step) by one process.
-//
-// The simulator is a lock-step interpreter: process bodies run as ordinary
-// Go functions, but every shared-memory access blocks until a pluggable
-// Scheduler selects that process to perform its next atomic event. Exactly
-// one process performs one event at a time and all memory mutation happens
-// in the run loop, so every run is deterministic given the scheduler, and
-// the produced Trace is a faithful record of the interleaving. Complexity
-// measures (step and register complexity, worst-case and contention-free)
-// are computed from traces by package metrics.
-//
-// # Execution engines
-//
-// Two engines realise that semantics, selected per run by Config.Engine
-// (EngineAuto by default):
-//
-//   - The goroutine engine runs each body on its own goroutine; every
-//     scheduled event costs two unbuffered-channel handshakes through the
-//     Go scheduler (~500ns). It makes no assumption about the Scheduler,
-//     so it is the fallback for schedulers the simulator cannot prove
-//     deterministic — e.g. a user Func consulting wall-clock time.
-//
-//   - The direct engine runs bodies on the run-loop goroutine itself. For
-//     run-to-completion schedulers (Solo, Sequential — every
-//     contention-free measurement and the Theorem 5/7 sequential
-//     adversaries) bodies are simply called inline and each access is
-//     performed the moment it is issued: no goroutines, no channels, no
-//     per-event synchronisation, and with a reuse Arena the whole run
-//     loop allocates nothing. For deterministic schedulers that
-//     interleave (Scripted, RoundRobin, Random, the model checker's
-//     replay scheduler) bodies run as same-thread coroutines (iter.Pull),
-//     one cheap coroutine switch per event.
-//
-// Both engines drive the same run-loop core, mutate memory in the same
-// single place and produce identical traces; an engine only changes how
-// control moves between the loop and a body. EngineAuto selects the
-// direct engine whenever the scheduler implements DeterministicScheduler
-// (all built-in schedulers do), and the goroutine engine otherwise.
 package sim
 
 import (

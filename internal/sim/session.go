@@ -24,17 +24,44 @@ var (
 // node — step a live session instead of replaying the prefix from
 // scratch.
 //
+// # Checkpointed decision stack
+//
+// A session records every decision it performs (Step and Crash) on a
+// decision stack, readable through Decisions. The stack is a checkpoint
+// of the whole run: process bodies are deterministic functions of the
+// values their shared-memory operations return, so replaying the stack
+// against a fresh copy of the program reproduces the session state
+// exactly. Three primitives build on it:
+//
+//   - TruncateTo(k) rewinds the session to its first k decisions;
+//   - Seek(schedule) positions the session at an arbitrary decision
+//     prefix, extending the live run in place when the current stack is
+//     a prefix of the target and rewinding otherwise;
+//   - Fork(cfg) starts an independent session, over a separately built
+//     copy of the program, replayed to the same decision stack.
+//
+// Bodies are Go coroutines and cannot run backwards, so rewinding
+// physically restarts the program and replays the kept prefix from the
+// root; the primitives' value is that extending (the common case in
+// depth-first exploration, where consecutive targets share long
+// prefixes) costs only the new decisions. Seek makes that policy
+// explicit: it replays the shortest suffix the coroutine model allows.
+//
 // Sessions always execute on the direct engine (bodies run as
 // same-thread coroutines); Config.Sched and Config.Engine are ignored.
 // A session must be Closed when abandoned so all bodies unwind; a session
 // whose every process terminated (or crashed) finishes by itself, and
-// Close is then a no-op.
+// Close is then a no-op. A closed (or finished, or errored) session is
+// not dead: TruncateTo and Seek revive it by restarting the program.
 type Session struct {
-	loop     *runLoop
-	tr       transport
-	finished bool
-	closed   bool
-	err      error
+	cfg       Config
+	loop      *runLoop
+	tr        transport
+	decisions []int
+	scratch   []int // replay copy, so rewinds never read what they append
+	finished  bool
+	closed    bool
+	err       error
 }
 
 // StartSession validates cfg, resets the memory and runs every process
@@ -53,7 +80,7 @@ func StartSession(cfg Config) (*Session, error) {
 		s = new(Session)
 	}
 	t := newCoroTransport(cfg.Procs, cfg.Reuse)
-	*s = Session{loop: loop, tr: t}
+	*s = Session{cfg: cfg, loop: loop, tr: t, decisions: s.decisions[:0], scratch: s.scratch[:0]}
 	loop.absorb(t)
 	s.finished = loop.npending == 0
 	return s, nil
@@ -72,6 +99,16 @@ func (s *Session) Finished() bool { return s.finished }
 
 // Err returns the access error that aborted the session, if any.
 func (s *Session) Err() error { return s.err }
+
+// Decisions returns the session's decision stack: one entry per performed
+// decision, in order, with entry pid for a Step of pid and entry -pid-1
+// for a Crash of pid (the model checker's schedule encoding). The slice
+// aliases session state — it is valid until the next Step, Crash,
+// TruncateTo or Seek and must not be modified; copy it to retain it.
+func (s *Session) Decisions() []int { return s.decisions }
+
+// Depth returns the number of decisions performed, len(Decisions()).
+func (s *Session) Depth() int { return len(s.decisions) }
 
 // Step performs the pending event of pid, exactly as if a scheduler had
 // picked it, and runs the body to its next pending event. It reports
@@ -99,6 +136,7 @@ func (s *Session) apply(pid int, crash bool) error {
 		l.clearPending(pid)
 		l.record(Event{PID: pid, Kind: KindCrash})
 		s.tr.kill(pid)
+		s.decisions = append(s.decisions, -pid-1)
 	} else {
 		if l.steps >= l.maxSteps {
 			return ErrMaxSteps
@@ -111,8 +149,130 @@ func (s *Session) apply(pid int, crash bool) error {
 			s.close()
 			return err
 		}
+		s.decisions = append(s.decisions, pid)
 	}
 	s.finished = l.npending == 0
+	return nil
+}
+
+// TruncateTo rewinds the session so that exactly the first k entries of
+// the decision stack are applied; the rest of the stack is discarded.
+// Because process bodies cannot run backwards, the rewind restarts the
+// program (resetting the memory) and replays the kept prefix from the
+// root. TruncateTo(len(Decisions())) on a live session is a no-op;
+// TruncateTo(0) restarts from the initial state. A closed, finished or
+// errored session is revived. An error during the replay (which can only
+// mean the program is not deterministic, or the step budget changed)
+// leaves the session at the failing decision with the error returned.
+func (s *Session) TruncateTo(k int) error {
+	if k < 0 || k > len(s.decisions) {
+		return fmt.Errorf("sim: session: truncate to %d of %d decisions", k, len(s.decisions))
+	}
+	if k == len(s.decisions) && !s.closed && s.err == nil {
+		return nil
+	}
+	s.scratch = append(s.scratch[:0], s.decisions[:k]...)
+	if err := s.restart(); err != nil {
+		return err
+	}
+	return s.replay(s.scratch)
+}
+
+// Seek positions the session at the given decision prefix: after a
+// successful Seek, Decisions() equals schedule. When the current stack is
+// a prefix of schedule the live run is extended in place — this is the
+// longest-common-prefix sharing the model checker's exploration relies
+// on, and it costs only the missing decisions. Otherwise the session
+// rewinds (restart plus replay from the root, see TruncateTo) and then
+// extends. The schedule uses the Decisions encoding: entry pid steps pid,
+// entry -pid-1 crashes pid.
+func (s *Session) Seek(schedule []int) error {
+	if !s.closed && s.err == nil {
+		lcp := 0
+		for lcp < len(schedule) && lcp < len(s.decisions) && s.decisions[lcp] == schedule[lcp] {
+			lcp++
+		}
+		if lcp == len(s.decisions) {
+			return s.replay(schedule[lcp:])
+		}
+	}
+	// Diverged past the common prefix, or the session is dead: rebuild.
+	// schedule may alias the caller's view of s.decisions, so copy it
+	// before restart truncates the stack.
+	s.scratch = append(s.scratch[:0], schedule...)
+	if err := s.restart(); err != nil {
+		return err
+	}
+	return s.replay(s.scratch)
+}
+
+// Fork starts an independent session positioned at the same decision
+// stack as s. Coroutine state cannot be duplicated, so the caller
+// provides a separately built copy of the program in cfg (fresh Memory
+// and ProcFuncs — typically a second call of the same builder; the
+// program must be deterministic and structurally identical). cfg.Mem and
+// cfg.Reuse must not be shared with the parent: a session owns its memory
+// and arena. Forking at depth 0 is an ordinary StartSession of cfg.
+func (s *Session) Fork(cfg Config) (*Session, error) {
+	if cfg.Mem != nil && cfg.Mem == s.cfg.Mem {
+		return nil, fmt.Errorf("sim: session: fork must not share the parent's memory")
+	}
+	if cfg.Reuse != nil && cfg.Reuse == s.cfg.Reuse {
+		return nil, fmt.Errorf("sim: session: fork must not share the parent's arena")
+	}
+	if len(cfg.Procs) != len(s.cfg.Procs) {
+		return nil, fmt.Errorf("sim: session: fork program has %d processes, parent has %d",
+			len(cfg.Procs), len(s.cfg.Procs))
+	}
+	s2, err := StartSession(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := s2.replay(s.decisions); err != nil {
+		s2.Close()
+		return nil, fmt.Errorf("sim: session: fork replay: %w", err)
+	}
+	return s2, nil
+}
+
+// restart rebuilds the session at the initial state: unwinds any live
+// bodies, resets the memory and re-runs every body to its first pending
+// event, clearing the decision stack.
+func (s *Session) restart() error {
+	if !s.closed {
+		s.loop.unwindAll(s.tr)
+		s.tr.finish()
+		s.closed = true
+	}
+	loop, _, err := setupRun(s.cfg)
+	if err != nil {
+		return err
+	}
+	t := newCoroTransport(s.cfg.Procs, s.cfg.Reuse)
+	s.loop, s.tr = loop, t
+	s.err = nil
+	s.closed = false
+	s.decisions = s.decisions[:0]
+	loop.absorb(t)
+	s.finished = loop.npending == 0
+	return nil
+}
+
+// replay applies a decision sequence (Decisions encoding). The slice must
+// not alias the session's scratch buffer; aliasing the decision stack is
+// fine, since entry i is read before it is re-appended.
+func (s *Session) replay(schedule []int) error {
+	for _, d := range schedule {
+		var err error
+		if d < 0 {
+			err = s.Crash(-d - 1)
+		} else {
+			err = s.Step(d)
+		}
+		if err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
@@ -135,6 +295,8 @@ func (s *Session) Trace() *Trace {
 
 // Close unwinds every process still suspended at a pending event. It is
 // idempotent and must be called before abandoning an unfinished session.
+// Close does not erase the decision stack: a closed session can be
+// revived with TruncateTo or Seek.
 func (s *Session) Close() {
 	if s.closed {
 		return

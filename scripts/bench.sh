@@ -4,25 +4,54 @@
 # BENCH_2.json, ...).
 #
 # Usage:
-#   scripts/bench.sh [output.json]      # default BENCH_1.json
+#   scripts/bench.sh [output.json]      # default BENCH_2.json
 #   BENCHTIME=2s scripts/bench.sh       # longer benchtime for stabler numbers
+#   BASELINE=BENCH_1.json scripts/bench.sh  # record to diff against
 #
 # The emitted file carries ns/op, events/op and ns/event per benchmark,
-# plus the frozen seed baseline (the goroutine-engine numbers before the
-# direct-execution engine landed) so before/after is always in one place.
+# the frozen seed baseline (the goroutine-engine numbers before the
+# direct-execution engine landed), and a check_suite section timing the
+# model-checker test suite serially versus with 4 parallel explorer
+# workers (CFC_CHECK_WORKERS). After writing the record it is diffed
+# against the committed baseline record and any benchmark that slowed by
+# more than 25% gets a printed REGRESSION WARNING.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT="${1:-BENCH_1.json}"
+OUT="${1:-BENCH_2.json}"
+BASELINE="${BASELINE:-BENCH_1.json}"
 BENCHTIME="${BENCHTIME:-500ms}"
 RAW="$(mktemp)"
-trap 'rm -f "$RAW"' EXIT
+OLDTAB="$(mktemp)"
+NEWTAB="$(mktemp)"
+trap 'rm -f "$RAW" "$OLDTAB" "$NEWTAB"' EXIT
 
 go build ./...
 go test ./...
+
+# Model-checker exploration wall clock, serial vs 4 workers. Only the
+# worker-sensitive exhaustive tests are timed (-run TestExhaustive):
+# the rest of the package — in particular the differential gate, which
+# always explores in both modes — would be a mode-independent constant
+# diluting the ratio. On a single-core machine the two are expected to
+# tie (the workers time-slice); the speedup is meaningful on multi-core
+# only, so the record carries the cpu count alongside.
+CPUS="$(getconf _NPROCESSORS_ONLN)"
+now_ms() { date +%s%3N; }
+t0=$(now_ms)
+CFC_CHECK_WORKERS=1 go test -count=1 -run 'TestExhaustive' ./internal/check >/dev/null
+t1=$(now_ms)
+CHECK_SERIAL_MS=$((t1 - t0))
+t0=$(now_ms)
+CFC_CHECK_WORKERS=4 go test -count=1 -run 'TestExhaustive' ./internal/check >/dev/null
+t1=$(now_ms)
+CHECK_PAR_MS=$((t1 - t0))
+echo "check explorations: serial ${CHECK_SERIAL_MS}ms, workers=4 ${CHECK_PAR_MS}ms (cpus: ${CPUS})"
+
 go test -run '^$' -bench 'BenchmarkSim' -benchtime "$BENCHTIME" . | tee "$RAW"
 
-awk -v benchtime="$BENCHTIME" -v goversion="$(go version | awk '{print $3}')" '
+awk -v benchtime="$BENCHTIME" -v goversion="$(go version | awk '{print $3}')" \
+    -v cpus="$CPUS" -v serialms="$CHECK_SERIAL_MS" -v parms="$CHECK_PAR_MS" '
 function jsonkey(unit) {
     gsub(/\//, "_per_", unit)
     gsub(/-/, "_", unit)
@@ -34,6 +63,7 @@ BEGIN {
     printf "  \"generated\": \"%s\",\n", strftime("%Y-%m-%dT%H:%M:%SZ", systime(), 1)
     printf "  \"go\": \"%s\",\n", goversion
     printf "  \"benchtime\": \"%s\",\n", benchtime
+    printf "  \"cpus\": %d,\n", cpus
     # Frozen reference: BenchmarkSimThroughput on the seed (goroutine
     # engine, round-robin scheduler) before the direct-execution engine.
     printf "  \"seed_baseline\": {\n"
@@ -41,6 +71,13 @@ BEGIN {
     printf "    \"SimExhaustiveCheck\": {\"ns_per_op\": 6397282},\n"
     printf "    \"go_test_internal_check_seconds\": 13.3\n"
     printf "  },\n"
+    # The exhaustive exploration tests (go test -run TestExhaustive
+    # ./internal/check) serial vs parallel explorer (see
+    # CFC_CHECK_WORKERS in internal/check/parallel_test.go). speedup is
+    # serial/workers4; on a single-core host (cpus = 1) it cannot exceed
+    # ~1 and records coordination overhead instead.
+    printf "  \"check_suite\": {\"cpus\": %d, \"serial_seconds\": %.2f, \"workers4_seconds\": %.2f, \"speedup\": %.2f},\n", \
+        cpus, serialms / 1000.0, parms / 1000.0, (parms > 0 ? serialms / (parms * 1.0) : 0)
     printf "  \"benchmarks\": [\n"
     first = 1
 }
@@ -60,3 +97,35 @@ END {
 }' "$RAW" > "$OUT"
 
 echo "wrote $OUT"
+
+# Regression diff against the committed baseline record: match benchmark
+# names (GOMAXPROCS suffix stripped) and warn when ns/op slowed > 25%.
+extract_ns() {
+    awk -F'"' '/"name":/ {
+        name = $4
+        sub(/-[0-9]+$/, "", name)
+        # The serial explorer row compares against records from before
+        # the workers dimension existed (BENCH_1.json has a plain
+        # "SimExhaustiveCheck" entry).
+        sub(/\/workers=1$/, "", name)
+        if (match($0, /"ns_per_op": [0-9.e+]+/)) {
+            v = substr($0, RSTART + 13, RLENGTH - 13)
+            print name, v
+        }
+    }' "$1"
+}
+if [[ -f "$BASELINE" && "$BASELINE" != "$OUT" ]]; then
+    extract_ns "$BASELINE" > "$OLDTAB"
+    extract_ns "$OUT" > "$NEWTAB"
+    awk -v base="$BASELINE" '
+        NR == FNR { old[$1] = $2; next }
+        ($1 in old) && old[$1] > 0 && $2 > old[$1] * 1.25 {
+            printf "REGRESSION WARNING: %s slowed %.0f%% vs %s (%s -> %s ns/op)\n",
+                $1, ($2 / old[$1] - 1) * 100, base, old[$1], $2
+            bad = 1
+        }
+        END { if (!bad) printf "no benchmark regressions vs %s\n", base }
+    ' "$OLDTAB" "$NEWTAB"
+else
+    echo "no baseline record ($BASELINE) to diff against"
+fi

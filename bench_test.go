@@ -348,13 +348,25 @@ func BenchmarkSimExhaustiveCheck(b *testing.B) {
 			cfc.MutexBody(inst, 1, 0),
 		}, nil
 	}
-	for _, workers := range []int{1, 4} {
-		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+	modes := []struct {
+		name    string
+		workers int
+		por     bool
+	}{
+		{"workers=1", 1, false},
+		{"workers=4", 4, false},
+		{"workers=1-por", 1, true},
+		{"workers=4-por", 4, true},
+	}
+	for _, m := range modes {
+		b.Run(m.name, func(b *testing.B) {
+			var states int
 			for i := 0; i < b.N; i++ {
 				res, err := cfc.Explore(build, cfc.CheckMutualExclusion, cfc.CheckOptions{
 					MaxDepth:      80,
 					CollapseSpins: true,
-					Workers:       workers,
+					POR:           m.por,
+					Workers:       m.workers,
 				})
 				if err != nil {
 					b.Fatal(err)
@@ -362,7 +374,9 @@ func BenchmarkSimExhaustiveCheck(b *testing.B) {
 				if res.Violation != nil {
 					b.Fatal(res.Violation)
 				}
+				states = res.States
 			}
+			b.ReportMetric(float64(states), "states")
 		})
 	}
 }

@@ -131,7 +131,17 @@ type (
 	// Op is one atomic operation; Model a set of operations.
 	Op    = opset.Op
 	Model = opset.Model
+	// Acc is one pending access's footprint for the independence oracle.
+	Acc = opset.Acc
+	// PendingOp is a ready process's next request, observable through
+	// Session.PendingOps before it commits — what the model checker's
+	// partial-order reduction judges independence over.
+	PendingOp = sim.PendingOp
 )
+
+// Independent reports whether two accesses commute — both orders yield
+// identical memory and identical returns; see opset.Independent.
+func Independent(a, b Acc) bool { return opset.Independent(a, b) }
 
 // The eight single-bit operations of Section 3.1 plus the multi-bit
 // register operations.

@@ -9,11 +9,20 @@
 //	cfccheck -n 3                 # n = 3 (slower)
 //	cfccheck -kind mutex          # only mutual exclusion
 //	cfccheck -kind naming -crash  # naming with crash injection
-//	cfccheck -workers 1           # serial exploration (reference mode)
+//	cfccheck -workers 1           # serial exploration
+//	cfccheck -por=false           # unreduced reference exploration
+//	cfccheck -pordiff             # POR-on vs POR-off differential gate
 //
 // -workers selects the explorer parallelism per job (default: all
 // cores). Completed explorations report identical states, runs and
 // verdicts at any worker count; see check.Options.Workers.
+//
+// -por (default on) enables partial-order reduction: commuting pending
+// steps are explored in one order instead of all. -por=false is the
+// exhaustive reference mode. -pordiff runs every job both ways and
+// fails unless the verdicts agree (replaying both witnesses when a
+// violation is found), printing per-job state counts, wall-clock and
+// the reduction ratio — the soundness gate CI runs on the portfolio.
 package main
 
 import (
@@ -21,6 +30,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"time"
 
 	"cfc/internal/check"
 	"cfc/internal/contention"
@@ -50,6 +60,8 @@ func run() int {
 		depth   = flag.Int("depth", 120, "schedule depth bound")
 		states  = flag.Int("states", 1<<19, "state budget")
 		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "parallel explorer workers per job (1 = serial)")
+		por     = flag.Bool("por", true, "partial-order reduction (-por=false = unreduced reference mode)")
+		pordiff = flag.Bool("pordiff", false, "differential gate: run POR-on AND POR-off, require agreeing verdicts, report reduction ratios")
 	)
 	flag.Parse()
 
@@ -84,7 +96,7 @@ func run() int {
 					return mem, procs, nil
 				},
 				prop: metrics.CheckMutualExclusion,
-				opts: check.Options{MaxDepth: *depth, MaxStates: *states, CollapseSpins: true, Workers: *workers},
+				opts: check.Options{MaxDepth: *depth, MaxStates: *states, CollapseSpins: true, POR: *por, Workers: *workers},
 			})
 		}
 	}
@@ -114,7 +126,7 @@ func run() int {
 				opts: check.Options{
 					MaxDepth: *depth, MaxStates: *states,
 					CollapseSpins: true, ExploreCrashes: *crash,
-					Workers: *workers,
+					POR: *por, Workers: *workers,
 				},
 			})
 		}
@@ -146,10 +158,14 @@ func run() int {
 				opts: check.Options{
 					MaxDepth: *depth, MaxStates: *states,
 					CollapseSpins: true, ExploreCrashes: *crash,
-					ExpectTermination: true, Workers: *workers,
+					ExpectTermination: true, POR: *por, Workers: *workers,
 				},
 			})
 		}
+	}
+
+	if *pordiff {
+		return runPORDiff(jobs)
 	}
 
 	failed := 0
@@ -170,11 +186,128 @@ func run() int {
 		if res.Truncated {
 			status = "no violation found (truncated)"
 		}
-		fmt.Printf("%-40s %-32s %7d states %6d runs\n", j.name, status, res.States, res.Runs)
+		extra := ""
+		if j.opts.POR {
+			status = "no violation (POR)"
+			if !res.Truncated {
+				status = "proved (POR-reduced)"
+			}
+			extra = fmt.Sprintf("  %6d reduced nodes", res.ReducedNodes)
+		}
+		fmt.Printf("%-40s %-32s %7d states %6d runs%s\n", j.name, status, res.States, res.Runs, extra)
 	}
 	if failed > 0 {
 		fmt.Fprintf(os.Stderr, "cfccheck: %d job(s) failed\n", failed)
 		return 1
 	}
 	return 0
+}
+
+// runPORDiff is the soundness gate: every job explored POR-on and
+// POR-off with otherwise identical options. The two runs must agree on
+// the verdict; when both find a violation, both witness schedules are
+// replayed on fresh program instances and must reproduce it. One
+// machine-parseable line per job (scripts/bench.sh turns them into the
+// BENCH record's por section).
+func runPORDiff(jobs []job) int {
+	failed := 0
+	var maxRatio float64
+	for _, j := range jobs {
+		refOpts := j.opts
+		refOpts.POR = false
+		porOpts := j.opts
+		porOpts.POR = true
+
+		t0 := time.Now()
+		ref, err := check.Explore(j.build, j.prop, refOpts)
+		refMS := time.Since(t0).Milliseconds()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%-40s ERROR (reference): %v\n", j.name, err)
+			failed++
+			continue
+		}
+		t0 = time.Now()
+		por, err := check.Explore(j.build, j.prop, porOpts)
+		porMS := time.Since(t0).Milliseconds()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%-40s ERROR (POR): %v\n", j.name, err)
+			failed++
+			continue
+		}
+
+		verdict := "agree"
+		switch {
+		case (ref.Violation == nil) != (por.Violation == nil):
+			// A truncated exploration may legitimately miss a violation the
+			// other run reaches: the comparison is vacuous, not unsound.
+			if ref.Truncated || por.Truncated {
+				verdict = "incomparable-truncated"
+				fmt.Fprintf(os.Stderr, "%-40s WARNING: verdicts differ under truncation (ref truncated=%v, por truncated=%v); raise -depth/-states for a meaningful diff\n",
+					j.name, ref.Truncated, por.Truncated)
+			} else {
+				verdict = "DISAGREE"
+				failed++
+			}
+		case ref.Violation != nil:
+			verdict = "agree-violation"
+			for _, w := range []*check.Violation{ref.Violation, por.Violation} {
+				ok, err := replaysToViolation(j.build, j.prop, refOpts, w.Schedule)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "%-40s ERROR (witness replay): %v\n", j.name, err)
+					failed++
+				} else if !ok {
+					verdict = "WITNESS-DEAD"
+					failed++
+				}
+			}
+		}
+		ratio := 0.0
+		if por.States > 0 {
+			ratio = float64(ref.States) / float64(por.States)
+		}
+		if ratio > maxRatio {
+			maxRatio = ratio
+		}
+		fmt.Printf("PORDIFF name=%s verdict=%s por_states=%d ref_states=%d ratio=%.2f por_ms=%d ref_ms=%d reduced_nodes=%d truncated=%v/%v\n",
+			j.name, verdict, por.States, ref.States, ratio, porMS, refMS, por.ReducedNodes, por.Truncated, ref.Truncated)
+	}
+	fmt.Printf("PORDIFF-SUMMARY jobs=%d failed=%d max_ratio=%.2f\n", len(jobs), failed, maxRatio)
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "cfccheck: POR differential failed on %d job(s)\n", failed)
+		return 1
+	}
+	return 0
+}
+
+// replaysToViolation replays a witness schedule (Decisions encoding:
+// entry pid steps pid, entry -pid-1 crashes it) through a session on a
+// fresh program instance and reports whether it reproduces a violation:
+// either the property rejects the trace, or — mirroring the explorer's
+// leaf check under Options.ExpectTermination — the replayed run is
+// maximal with a started process that neither terminated nor crashed.
+func replaysToViolation(build check.Builder, prop check.Property, opts check.Options, schedule []int) (bool, error) {
+	mem, procs, err := build()
+	if err != nil {
+		return false, err
+	}
+	sess, err := sim.StartSession(sim.Config{Mem: mem, Procs: procs, MaxSteps: len(schedule) + 1})
+	if err != nil {
+		return false, err
+	}
+	defer sess.Close()
+	if err := sess.Seek(schedule); err != nil {
+		return false, fmt.Errorf("witness schedule does not replay: %w", err)
+	}
+	tr := sess.Trace()
+	if prop(tr) != nil {
+		return true, nil
+	}
+	if opts.ExpectTermination && sess.Finished() {
+		for pid := 0; pid < tr.NumProcs; pid++ {
+			if tr.FirstEvent(pid) >= 0 && !tr.Done(pid) && !tr.Crashed(pid) {
+				return true, nil
+			}
+		}
+	}
+	return false, nil
 }

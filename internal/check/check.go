@@ -60,6 +60,33 @@ type Options struct {
 	// values): every algorithm in this repository except the backoff
 	// variants qualifies. It is off by default.
 	CollapseSpins bool
+	// POR enables partial-order reduction: node expansion is delegated to
+	// an ample-set + sleep-set provider (see por.go) that explores a
+	// single step branch wherever some process's pending step is
+	// property-invisible and provably commutes — per the opset
+	// independence oracle — with every other live process's pending step,
+	// instead of branching on every ready process. Phase marks and
+	// outputs, which the safety properties observe, are never pruned
+	// alone, and crash branches are never pruned at all.
+	//
+	// Soundness contract: the property must depend only on the events the
+	// metrics properties depend on — the interleaving of marks, outputs
+	// and crashes, and each process's own event subsequence — not on the
+	// global order of accesses by different processes. Any violation
+	// reported under POR is real (POR only omits schedules; every witness
+	// replays), and a reduced exploration that reports no violation has
+	// checked a sufficient subset under that contract; -por=false (the
+	// zero value here) is the exhaustive reference mode, and the cfccheck
+	// -pordiff gate diffs the two verdicts across the whole portfolio.
+	//
+	// Under POR, States counts expanded (state, sleep set) nodes — the
+	// unit of work the reduced search actually performs — and Runs counts
+	// the maximal schedules of the reduced tree, so both are expected to
+	// be (much) smaller than the reference exploration's; they remain
+	// deterministic and identical between serial and parallel explorers.
+	// Reduction requires at most 64 processes (sleep sets are pid
+	// bitmasks); wider programs silently fall back to the full provider.
+	POR bool
 	// Workers selects the explorer. 0 or 1 (the default) explores
 	// serially on the calling goroutine. A value above 1 runs that many
 	// workers, each owning a private program instance (one Builder call)
@@ -103,6 +130,10 @@ type Result struct {
 	// Truncated reports that a bound (depth or states) was hit, so the
 	// exploration is not a full proof.
 	Truncated bool
+	// ReducedNodes counts the expanded nodes whose branch set was a
+	// strict subset of the enabled steps (ample-set or sleep-set
+	// pruning). Zero without Options.POR.
+	ReducedNodes int
 	// Violation is the first property failure found, or nil.
 	Violation *Violation
 }
@@ -138,16 +169,18 @@ func exploreSerial(build Builder, prop Property, opts Options, maxDepth, maxStat
 	if err := e.core.init(build, maxDepth); err != nil {
 		return Result{}, err
 	}
-	err := e.dfs(nil)
+	e.provider, e.por = newProvider(opts, len(e.core.procs))
+	err := e.dfs(nil, 0)
 	e.core.close()
 	if err != nil {
 		return Result{}, err
 	}
 	return Result{
-		States:    len(e.visited),
-		Runs:      e.runs,
-		Truncated: e.truncated,
-		Violation: e.violation,
+		States:       len(e.visited),
+		Runs:         e.runs,
+		Truncated:    e.truncated,
+		ReducedNodes: e.reduced,
+		Violation:    e.violation,
 	}, nil
 }
 
@@ -157,14 +190,17 @@ type explorer struct {
 	opts      Options
 	maxDepth  int
 	maxStates int
+	provider  enabledProvider
+	por       bool
 
 	visited   map[uint64]struct{}
 	runs      int
+	reduced   int
 	truncated bool
 	violation *Violation
 }
 
-func (e *explorer) dfs(schedule []int) error {
+func (e *explorer) dfs(schedule []int, sleep uint64) error {
 	if e.violation != nil {
 		return nil
 	}
@@ -197,6 +233,13 @@ func (e *explorer) dfs(schedule []int) error {
 	}
 
 	h := e.core.stateHash(tr, e.opts.CollapseSpins)
+	if e.por {
+		// A node is (state, sleep set): the same state arrived at with a
+		// different sleep set explores different branches, so the visited
+		// key must separate them — that keeps expansion a pure function
+		// of the node, and with it the exploration order-independent.
+		h = mix64(h, sleep)
+	}
 	if _, seen := e.visited[h]; seen {
 		return nil
 	}
@@ -209,25 +252,16 @@ func (e *explorer) dfs(schedule []int) error {
 	// First branch first: the live session's decision stack still equals
 	// schedule here, so the child's Seek extends it by one event instead
 	// of replaying the prefix; later siblings rebuild from the root.
-	for _, pid := range live {
-		if err := e.dfs(append(schedule, pid)); err != nil {
+	br, reduced := e.provider.branches(&e.core, live, schedule, sleep)
+	if reduced {
+		e.reduced++
+	}
+	for _, b := range br {
+		if err := e.dfs(append(schedule, b.entry), b.sleep); err != nil {
 			return err
 		}
 		if e.violation != nil {
 			return nil
-		}
-	}
-	if e.opts.ExploreCrashes {
-		for _, pid := range live {
-			if crashedIn(schedule, pid) {
-				continue
-			}
-			if err := e.dfs(append(schedule, -pid-1)); err != nil {
-				return err
-			}
-			if e.violation != nil {
-				return nil
-			}
 		}
 	}
 	return nil

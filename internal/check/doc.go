@@ -26,6 +26,36 @@
 // by a single decision instead of replaying the prefix; only sibling
 // switches rebuild from the root, paying exactly the schedule length.
 //
+// # Partial-order reduction
+//
+// Options.POR delegates node expansion to an ample-set + sleep-set
+// provider (por.go) instead of branching on every ready process. The
+// independence relation comes from three sources: the opset oracle
+// proves when two pending accesses commute (different cells, disjoint
+// bit-field footprints of one packed word, or a commuting operation
+// pair — a table brute-forced against Op.Apply), Local steps commute
+// with everything, and phase-mark/output steps are property-visible —
+// the safety properties observe their relative order — so they are
+// never pruned alone and two visible steps never commute. Where one
+// process's pending step commutes with every other live process's
+// pending step (and clears two dynamic footprint guards plus a cycle
+// proviso tied to the spin collapse), the node branches on that single
+// step; sleep sets then remove the remaining permutational duplicates,
+// travelling with stolen frontier nodes in the parallel explorer.
+// Crash branches are never pruned.
+//
+// Reduced state counts are NOT comparable to -por=false counts: the
+// reduced exploration skips the interior states of commuting diamonds
+// and counts (state, sleep set) expansions, so States and Runs shrink —
+// that is the point — while verdicts must not change. The soundness
+// story is differential rather than proof-carrying (pending steps
+// cannot reveal a future conflict, so the ample choice is a heuristic
+// persistent-set approximation): any violation found under POR replays
+// to a real one, and cfccheck -pordiff re-checks the whole portfolio
+// POR-on versus POR-off — agreeing verdicts, replaying witnesses — in
+// CI on every push. The unreduced reference run is always available:
+// cfccheck -por=false, or a zero Options.POR at the library level.
+//
 // # Serial and parallel exploration
 //
 // Options.Workers selects between two explorers over the same replay

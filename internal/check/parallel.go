@@ -93,6 +93,15 @@ func (s *shardedSet) insert(h uint64, budget int) (added, full bool) {
 	return true, false
 }
 
+// porTask is one frontier node: the schedule reaching it plus its sleep
+// set. The sleep set travels with the node — a stolen node must be
+// expanded exactly as its originating worker would have expanded it, or
+// the (state, sleep)-keyed exploration would depend on who steals what.
+type porTask struct {
+	sched []int
+	sleep uint64
+}
+
 // deque is one worker's frontier: owner pushes and pops at the tail,
 // thieves steal from the head. A plain mutex suffices — pushes are
 // batched per expanded node and the critical sections are a few
@@ -100,39 +109,39 @@ func (s *shardedSet) insert(h uint64, budget int) (added, full bool) {
 // counts.
 type deque struct {
 	mu    sync.Mutex
-	nodes [][]int
+	nodes []porTask
 }
 
-func (d *deque) push(batch [][]int) {
+func (d *deque) push(batch []porTask) {
 	d.mu.Lock()
 	d.nodes = append(d.nodes, batch...)
 	d.mu.Unlock()
 }
 
 // pop takes the most recently pushed node (owner side).
-func (d *deque) pop() ([]int, bool) {
+func (d *deque) pop() (porTask, bool) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	n := len(d.nodes)
 	if n == 0 {
-		return nil, false
+		return porTask{}, false
 	}
 	s := d.nodes[n-1]
-	d.nodes[n-1] = nil
+	d.nodes[n-1] = porTask{}
 	d.nodes = d.nodes[:n-1]
 	return s, true
 }
 
 // steal takes the oldest node (thief side): the shallowest frontier entry,
 // which roots the largest remaining subtree.
-func (d *deque) steal() ([]int, bool) {
+func (d *deque) steal() (porTask, bool) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if len(d.nodes) == 0 {
-		return nil, false
+		return porTask{}, false
 	}
 	s := d.nodes[0]
-	d.nodes[0] = nil
+	d.nodes[0] = porTask{}
 	d.nodes = d.nodes[1:]
 	return s, true
 }
@@ -158,14 +167,14 @@ func newFrontier(workers int) *frontier {
 }
 
 // seed enqueues the root node on worker 0's deque.
-func (f *frontier) seed(root []int) {
+func (f *frontier) seed(root porTask) {
 	f.inflight.Store(1)
-	f.deques[0].push([][]int{root})
+	f.deques[0].push([]porTask{root})
 }
 
 // push enqueues a batch of sibling nodes on the owner's deque and wakes
 // parked workers.
-func (f *frontier) push(owner int, batch [][]int) {
+func (f *frontier) push(owner int, batch []porTask) {
 	f.inflight.Add(int64(len(batch)))
 	f.deques[owner].push(batch)
 	f.mu.Lock()
@@ -198,11 +207,11 @@ func (f *frontier) halt() {
 // from another worker's head, else it parks until work arrives or the
 // exploration completes or halts. The second return is false when the
 // worker should exit.
-func (f *frontier) next(owner int) ([]int, bool) {
+func (f *frontier) next(owner int) (porTask, bool) {
 	n := len(f.deques)
 	for {
 		if f.stop.Load() {
-			return nil, false
+			return porTask{}, false
 		}
 		if s, ok := f.deques[owner].pop(); ok {
 			return s, true
@@ -225,7 +234,7 @@ func (f *frontier) next(owner int) ([]int, bool) {
 		}
 		if f.stop.Load() || f.inflight.Load() == 0 {
 			f.mu.Unlock()
-			return nil, false
+			return porTask{}, false
 		}
 		f.waiting++
 		f.cond.Wait()
@@ -234,7 +243,7 @@ func (f *frontier) next(owner int) ([]int, bool) {
 	}
 }
 
-func (f *frontier) grabAnyLocked(owner int) ([]int, bool) {
+func (f *frontier) grabAnyLocked(owner int) (porTask, bool) {
 	n := len(f.deques)
 	for i := 0; i < n; i++ {
 		idx := (owner + i) % n
@@ -246,7 +255,7 @@ func (f *frontier) grabAnyLocked(owner int) ([]int, bool) {
 			return s, true
 		}
 	}
-	return nil, false
+	return porTask{}, false
 }
 
 // parexplorer is the shared state of one parallel exploration.
@@ -255,10 +264,13 @@ type parexplorer struct {
 	opts      Options
 	maxDepth  int
 	maxStates int
+	provider  enabledProvider
+	por       bool
 
 	visited   *shardedSet
 	fr        *frontier
 	runs      atomic.Int64
+	reduced   atomic.Int64
 	truncated atomic.Bool
 	cancel    atomic.Bool
 
@@ -288,8 +300,9 @@ func exploreParallel(build Builder, prop Property, opts Options, maxDepth, maxSt
 			return Result{}, err
 		}
 	}
+	e.provider, e.por = newProvider(opts, len(cores[0].procs))
 
-	e.fr.seed([]int{})
+	e.fr.seed(porTask{sched: []int{}})
 	var wg sync.WaitGroup
 	for i := range cores {
 		wg.Add(1)
@@ -297,11 +310,11 @@ func exploreParallel(build Builder, prop Property, opts Options, maxDepth, maxSt
 			defer wg.Done()
 			defer core.close()
 			for {
-				sched, ok := e.fr.next(id)
+				t, ok := e.fr.next(id)
 				if !ok {
 					return
 				}
-				e.chase(id, core, sched)
+				e.chase(id, core, t)
 				e.fr.taskDone()
 			}
 		}(i, cores[i])
@@ -329,19 +342,21 @@ func exploreParallel(build Builder, prop Property, opts Options, maxDepth, maxSt
 		return res, nil
 	}
 	return Result{
-		States:    e.visited.Len(),
-		Runs:      int(e.runs.Load()),
-		Truncated: e.truncated.Load(),
+		States:       e.visited.Len(),
+		Runs:         int(e.runs.Load()),
+		Truncated:    e.truncated.Load(),
+		ReducedNodes: int(e.reduced.Load()),
 	}, nil
 }
 
-// chase explores a chain starting at schedule: it expands the node,
-// pushes all branches but the first onto the worker's deque and continues
-// with the first branch in place, so the worker's live session is
-// extended by exactly one decision per node along the chain. The chain
+// chase explores a chain starting at a frontier node: it expands the
+// node, pushes all branches but the first onto the worker's deque and
+// continues with the first branch in place, so the worker's live session
+// is extended by exactly one decision per node along the chain. The chain
 // ends at leaves, pruned states, budget cut-offs, violations or
 // cancellation.
-func (e *parexplorer) chase(id int, core *replayCore, schedule []int) {
+func (e *parexplorer) chase(id int, core *replayCore, t porTask) {
+	schedule, sleep := t.sched, t.sleep
 	for {
 		if e.cancel.Load() {
 			return
@@ -369,6 +384,9 @@ func (e *parexplorer) chase(id int, core *replayCore, schedule []int) {
 			return
 		}
 		h := core.stateHash(tr, e.opts.CollapseSpins)
+		if e.por {
+			h = mix64(h, sleep) // nodes are (state, sleep set), as in the serial DFS
+		}
 		added, full := e.visited.insert(h, e.maxStates)
 		if full {
 			e.truncated.Store(true)
@@ -378,24 +396,26 @@ func (e *parexplorer) chase(id int, core *replayCore, schedule []int) {
 			return
 		}
 
-		// Branches in serial depth-first order: steps of live pids
-		// ascending, then crashes. The first continues this chain; the
-		// rest become frontier nodes, each owning a fresh schedule copy.
-		var rest [][]int
-		for _, pid := range live[1:] {
-			rest = append(rest, childSchedule(schedule, pid))
+		// Branches in serial depth-first order, from the same provider the
+		// serial DFS asks. The first continues this chain; the rest become
+		// frontier nodes, each owning a fresh schedule copy plus its sleep
+		// set.
+		br, reduced := e.provider.branches(core, live, schedule, sleep)
+		if reduced {
+			e.reduced.Add(1)
 		}
-		if e.opts.ExploreCrashes {
-			for _, pid := range live {
-				if !crashedIn(schedule, pid) {
-					rest = append(rest, childSchedule(schedule, -pid-1))
-				}
+		if len(br) == 0 {
+			return // every enabled step is asleep: covered by a sibling subtree
+		}
+		if len(br) > 1 {
+			rest := make([]porTask, 0, len(br)-1)
+			for _, b := range br[1:] {
+				rest = append(rest, porTask{sched: childSchedule(schedule, b.entry), sleep: b.sleep})
 			}
-		}
-		if len(rest) > 0 {
 			e.fr.push(id, rest)
 		}
-		schedule = append(schedule, live[0])
+		schedule = append(schedule, br[0].entry)
+		sleep = br[0].sleep
 	}
 }
 

@@ -171,6 +171,9 @@ func assertSameResult(t *testing.T, serial, parallel check.Result, workers int) 
 	if serial.Truncated != parallel.Truncated {
 		t.Errorf("workers=%d: Truncated %v != serial %v", workers, parallel.Truncated, serial.Truncated)
 	}
+	if serial.ReducedNodes != parallel.ReducedNodes {
+		t.Errorf("workers=%d: ReducedNodes %d != serial %d", workers, parallel.ReducedNodes, serial.ReducedNodes)
+	}
 	switch {
 	case (serial.Violation == nil) != (parallel.Violation == nil):
 		t.Errorf("workers=%d: violation presence %v != serial %v",

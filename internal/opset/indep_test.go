@@ -1,0 +1,196 @@
+package opset
+
+import (
+	"fmt"
+	"testing"
+)
+
+// applyAcc performs one access on a cell value exactly as sim.Memory.apply
+// does: the operation sees only the view's masked bits and writes only
+// them back. It returns the new cell value and the access's return value.
+func applyAcc(val uint64, a Acc) (next uint64, ret uint64) {
+	mask := a.Mask()
+	old := (val & mask) >> a.Shift
+	n, r, _ := a.Op.Apply(old, a.Arg)
+	return (val &^ mask) | ((n << a.Shift) & mask), r
+}
+
+// commutes is the ground truth the oracle must match on the covered
+// cases: for every initial value of a cellWidth-bit cell, both execution
+// orders yield the same final cell and the same per-access returns.
+func commutes(a, b Acc, cellWidth int) bool {
+	for v := uint64(0); v < 1<<cellWidth; v++ {
+		abv, ar := applyAcc(v, a)
+		abv, br := applyAcc(abv, b)
+		bav, br2 := applyAcc(v, b)
+		bav, ar2 := applyAcc(bav, a)
+		if abv != bav || ar != ar2 || br != br2 {
+			return false
+		}
+	}
+	return true
+}
+
+// bitAccs enumerates every access shape on a single-bit view of cell:
+// the eight bit operations plus read-word and write-word (both
+// arguments), i.e. everything a process can issue against a shared bit.
+func bitAccs(cell int32, shift uint8) []Acc {
+	accs := []Acc{}
+	for o := Skip; o <= TestAndFlip; o++ {
+		accs = append(accs, Acc{Op: o, Cell: cell, Shift: shift, Width: 1})
+	}
+	accs = append(accs,
+		Acc{Op: ReadWord, Cell: cell, Shift: shift, Width: 1},
+		Acc{Op: WriteWord, Cell: cell, Shift: shift, Width: 1, Arg: 0},
+		Acc{Op: WriteWord, Cell: cell, Shift: shift, Width: 1, Arg: 1},
+	)
+	return accs
+}
+
+// TestIndependentMatchesApplyOnSharedBit is the exhaustive proof of the
+// oracle's same-view table: for ALL ordered pairs of the eight bit
+// operations (plus word read/write) on one shared bit, Independent must
+// hold exactly when applying the pair in both orders yields identical
+// final memory and identical return values under Op.Apply.
+func TestIndependentMatchesApplyOnSharedBit(t *testing.T) {
+	accs := bitAccs(0, 0)
+	for _, a := range accs {
+		for _, b := range accs {
+			want := commutes(a, b, 1)
+			if got := Independent(a, b); got != want {
+				t.Errorf("Independent(%v/arg=%d, %v/arg=%d) = %v, commutation says %v",
+					a.Op, a.Arg, b.Op, b.Arg, got, want)
+			}
+		}
+	}
+}
+
+// TestIndependentMatchesApplyOnSharedWord proves the word-operation rows
+// on a shared multi-bit view: all ordered pairs of read-word, write-word
+// (all arguments) and skip on one 3-bit register, against all 8 initial
+// values.
+func TestIndependentMatchesApplyOnSharedWord(t *testing.T) {
+	const w = 3
+	accs := []Acc{
+		{Op: Skip, Width: w},
+		{Op: ReadWord, Width: w},
+	}
+	for arg := uint64(0); arg < 1<<w; arg++ {
+		accs = append(accs, Acc{Op: WriteWord, Width: w, Arg: arg})
+	}
+	for _, a := range accs {
+		for _, b := range accs {
+			want := commutes(a, b, w)
+			if got := Independent(a, b); got != want {
+				t.Errorf("Independent(%v/arg=%d, %v/arg=%d) = %v, commutation says %v",
+					a.Op, a.Arg, b.Op, b.Arg, got, want)
+			}
+		}
+	}
+}
+
+// TestIndependentDisjointFootprints: accesses to different cells, and to
+// non-overlapping fields of one packed word, are always independent —
+// and the claim is checked against the ground truth, not just asserted.
+func TestIndependentDisjointFootprints(t *testing.T) {
+	// Different cells: independent for every op pair.
+	for _, a := range bitAccs(0, 0) {
+		for _, b := range bitAccs(1, 0) {
+			if !Independent(a, b) {
+				t.Errorf("different cells: Independent(%v, %v) = false", a.Op, b.Op)
+			}
+		}
+	}
+	// Disjoint fields of one 8-bit packed word (bits 0 and 5, plus a
+	// write-word to [4:8) against ops on bit 0).
+	for _, a := range bitAccs(0, 0) {
+		for _, b := range bitAccs(0, 5) {
+			want := commutes(a, b, 8)
+			if !want {
+				t.Fatalf("ground truth says disjoint bits conflict: %v vs %v", a.Op, b.Op)
+			}
+			if !Independent(a, b) {
+				t.Errorf("disjoint fields: Independent(%v@0, %v@5) = false", a.Op, b.Op)
+			}
+		}
+		hi := Acc{Op: WriteWord, Cell: 0, Shift: 4, Width: 4, Arg: 9}
+		if want := commutes(a, hi, 8); !want {
+			t.Fatalf("ground truth says disjoint field write conflicts with %v", a.Op)
+		}
+		if !Independent(a, hi) {
+			t.Errorf("disjoint fields: Independent(%v@0, write-word@[4:8)) = false", a.Op)
+		}
+	}
+}
+
+// TestIndependentOverlappingViews: unequal overlapping views are called
+// dependent whenever a mutation is involved (conservative), and
+// independent when both sides are non-mutating — sound either way
+// against the ground truth.
+func TestIndependentOverlappingViews(t *testing.T) {
+	whole := func(o Op, arg uint64) Acc { return Acc{Op: o, Cell: 0, Shift: 0, Width: 8, Arg: arg} }
+	low := func(o Op, arg uint64) Acc { return Acc{Op: o, Cell: 0, Shift: 0, Width: 4, Arg: arg} }
+	cases := []struct {
+		a, b Acc
+		want bool
+	}{
+		{whole(ReadWord, 0), low(ReadWord, 0), true},    // non-mutating pair
+		{whole(ReadWord, 0), low(WriteWord, 3), false},  // read sees the subfield write
+		{whole(WriteWord, 7), low(WriteWord, 7), false}, // overlapping writes
+		{whole(WriteWord, 0), low(ReadWord, 0), false},  // conservative
+		{low(WriteWord, 3), whole(ReadWord, 0), false},  // symmetric
+		{whole(Skip, 0), low(WriteWord, 3), true},       // skip touches nothing
+	}
+	for _, c := range cases {
+		if got := Independent(c.a, c.b); got != c.want {
+			t.Errorf("Independent(%v[%d:%d), %v[%d:%d)) = %v, want %v",
+				c.a.Op, c.a.Shift, int(c.a.Shift)+int(c.a.Width),
+				c.b.Op, c.b.Shift, int(c.b.Shift)+int(c.b.Width), got, c.want)
+		}
+		// Soundness direction: a claimed independence must really commute.
+		if Independent(c.a, c.b) && !commutes(c.a, c.b, 8) {
+			t.Errorf("oracle claims independence of a non-commuting pair: %+v %+v", c.a, c.b)
+		}
+	}
+}
+
+// TestIndependentSymmetric: the relation is symmetric over every access
+// shape used above (commutation is symmetric by definition, so the
+// oracle must be too).
+func TestIndependentSymmetric(t *testing.T) {
+	var accs []Acc
+	accs = append(accs, bitAccs(0, 0)...)
+	accs = append(accs, bitAccs(0, 5)...)
+	accs = append(accs, bitAccs(1, 0)...)
+	accs = append(accs,
+		Acc{Op: ReadWord, Cell: 0, Width: 8},
+		Acc{Op: WriteWord, Cell: 0, Width: 8, Arg: 6},
+		Acc{Op: WriteWord, Cell: 0, Shift: 4, Width: 4, Arg: 2},
+	)
+	for _, a := range accs {
+		for _, b := range accs {
+			if Independent(a, b) != Independent(b, a) {
+				t.Errorf("asymmetric: %+v vs %+v", a, b)
+			}
+		}
+	}
+}
+
+// ExampleIndependent documents the three independence sources: distinct
+// cells, commuting operations on one bit, and disjoint packed-word
+// fields.
+func ExampleIndependent() {
+	onBit := func(o Op) Acc { return Acc{Op: o, Cell: 0, Width: 1} }
+	fmt.Println(Independent(Acc{Op: Write1, Cell: 0, Width: 1}, Acc{Op: Write1, Cell: 1, Width: 1}))
+	fmt.Println(Independent(onBit(Read), onBit(Read)))
+	fmt.Println(Independent(onBit(Read), onBit(TestAndSet)))
+	fmt.Println(Independent(
+		Acc{Op: WriteWord, Cell: 0, Shift: 0, Width: 4, Arg: 5},
+		Acc{Op: WriteWord, Cell: 0, Shift: 4, Width: 4, Arg: 5},
+	))
+	// Output:
+	// true
+	// true
+	// false
+	// true
+}

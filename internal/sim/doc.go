@@ -65,6 +65,15 @@
 // extension, and its parallel explorer gives each worker a private
 // session positioned with Seek at stolen frontier schedules.
 //
+// Session.PendingOps exposes the suspended processes' next requests —
+// operation, register footprint, written argument — before any of them
+// commits. This is the observation window the checker's partial-order
+// reduction needs: deciding whether two processes' next steps commute
+// (opset.Independent over their footprints) requires seeing the steps
+// before choosing which to schedule. Mark, Output and Local steps
+// carry no footprint; PendingOp.TouchesShared classifies them as
+// shared-memory-invisible.
+//
 // Concurrency contract: a Memory, an Arena and a Session belong to one
 // run at a time and are confined to one goroutine; parallel callers hold
 // one of each per worker (the simulator itself never shares mutable

@@ -1,0 +1,98 @@
+package sim
+
+import "cfc/internal/opset"
+
+// PendingOp is the next scheduled event of a ready process, observed
+// before it commits: the request the process body is parked at, which the
+// run loop will perform when the scheduler (or a Session caller) picks
+// that process. The partial-order-reduction layer of the model checker
+// reads these to decide which interleavings are worth distinguishing —
+// commuting pending steps need only one order explored.
+//
+// A PendingOp mirrors the Event the step will record, minus the outcome:
+// for an access the return value is unknown until the step commits (it
+// depends on the memory at commit time), so only the operation and its
+// footprint (cell, bit-field shift and width, written argument) are
+// exposed.
+type PendingOp struct {
+	// PID is the process whose step this is.
+	PID int
+	// Kind is the step's event kind: KindAccess, KindLocal, KindMark or
+	// KindOutput. Crashes are scheduler decisions, not pending requests,
+	// so KindCrash never appears here.
+	Kind EventKind
+
+	// Op, Cell, Shift, Width and Arg describe a KindAccess step, exactly
+	// as the resulting Event will record them.
+	Op    opset.Op
+	Cell  int32
+	Shift uint8
+	Width uint8
+	Arg   uint64
+
+	// Phase is set for KindMark steps; Out for KindOutput steps.
+	Phase Phase
+	Out   uint64
+}
+
+// TouchesShared reports whether performing the step touches shared
+// memory at all. Mark, Output and Local steps are shared-memory-invisible:
+// they read and write no register, so they commute with every step of
+// every other process as far as the memory — and therefore every other
+// process's future observations — is concerned. Whether such a step is
+// visible to a safety property (phase marks and outputs are what the
+// properties observe) is a separate question the model checker answers
+// per event kind.
+func (po PendingOp) TouchesShared() bool { return po.Kind == KindAccess }
+
+// Acc returns the access footprint in the independence oracle's terms.
+// It is meaningful only when TouchesShared reports true.
+func (po PendingOp) Acc() opset.Acc {
+	return opset.Acc{Op: po.Op, Cell: po.Cell, Shift: po.Shift, Width: po.Width, Arg: po.Arg}
+}
+
+// PendingOps appends one PendingOp per ready process, in ascending pid
+// order (the same order Ready reports), reusing dst's backing array. The
+// result is a snapshot in the sense that it stays correct until the next
+// Step, Crash, TruncateTo, Seek or Close; like Ready, callers that
+// advance the session must re-read it.
+func (s *Session) PendingOps(dst []PendingOp) []PendingOp {
+	s.loop.refreshReady()
+	dst = dst[:0]
+	for _, pid := range s.loop.ready {
+		dst = append(dst, pendingOpOf(pid, s.loop.pending[pid]))
+	}
+	return dst
+}
+
+// PendingOp returns pid's pending step, or false if pid has none (not
+// started, terminated, crashed, or mid-unwind).
+func (s *Session) PendingOp(pid int) (PendingOp, bool) {
+	if !s.loop.isPending(pid) {
+		return PendingOp{}, false
+	}
+	return pendingOpOf(pid, s.loop.pending[pid]), true
+}
+
+// pendingOpOf converts a run-loop request into its public view.
+func pendingOpOf(pid int, r request) PendingOp {
+	po := PendingOp{PID: pid}
+	switch r.kind {
+	case reqAccess:
+		po.Kind = KindAccess
+		po.Op = r.op
+		po.Cell = r.reg.cell
+		po.Shift = r.reg.shift
+		po.Width = r.reg.width
+		po.Arg = r.arg
+	case reqLocal:
+		po.Kind = KindLocal
+	case reqMark:
+		po.Kind = KindMark
+		po.Phase = r.phase
+	case reqOutput:
+		po.Kind = KindOutput
+		po.Out = r.out
+	}
+	return po
+}

@@ -4,35 +4,44 @@
 # BENCH_2.json, ...).
 #
 # Usage:
-#   scripts/bench.sh [output.json]      # default BENCH_2.json
+#   scripts/bench.sh [output.json]      # default BENCH_3.json
 #   BENCHTIME=2s scripts/bench.sh       # longer benchtime for stabler numbers
-#   BASELINE=BENCH_1.json scripts/bench.sh  # record to diff against
+#   BASELINE=BENCH_2.json scripts/bench.sh  # record to diff against
 #
 # The emitted file carries ns/op, events/op and ns/event per benchmark,
 # the frozen seed baseline (the goroutine-engine numbers before the
-# direct-execution engine landed), and a check_suite section timing the
+# direct-execution engine landed), a check_suite section timing the
 # model-checker test suite serially versus with 4 parallel explorer
-# workers (CFC_CHECK_WORKERS). After writing the record it is diffed
-# against the committed baseline record and any benchmark that slowed by
-# more than 25% gets a printed REGRESSION WARNING.
+# workers (CFC_CHECK_WORKERS), and a por section recording the
+# partial-order-reduction differential (cfccheck -pordiff): per
+# portfolio entry the POR-on and POR-off state counts, wall-clock and
+# reduction ratio, with agreeing verdicts enforced.
+#
+# After writing the record it is diffed against the committed baseline
+# record. Wall-clock comparisons are only meaningful on like hardware:
+# when the baseline's cpu count differs from this host's, a HARDWARE
+# MISMATCH note is printed and the time-based comparisons (check_suite
+# speedup, ns/op regression warnings) are suppressed instead of
+# reporting misleading ratios.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT="${1:-BENCH_2.json}"
-BASELINE="${BASELINE:-BENCH_1.json}"
+OUT="${1:-BENCH_3.json}"
+BASELINE="${BASELINE:-BENCH_2.json}"
 BENCHTIME="${BENCHTIME:-500ms}"
 RAW="$(mktemp)"
+PORRAW="$(mktemp)"
 OLDTAB="$(mktemp)"
 NEWTAB="$(mktemp)"
-trap 'rm -f "$RAW" "$OLDTAB" "$NEWTAB"' EXIT
+trap 'rm -f "$RAW" "$PORRAW" "$OLDTAB" "$NEWTAB"' EXIT
 
 go build ./...
 go test ./...
 
 # Model-checker exploration wall clock, serial vs 4 workers. Only the
 # worker-sensitive exhaustive tests are timed (-run TestExhaustive):
-# the rest of the package — in particular the differential gate, which
-# always explores in both modes — would be a mode-independent constant
+# the rest of the package — in particular the differential gates, which
+# always explore in both modes — would be a mode-independent constant
 # diluting the ratio. On a single-core machine the two are expected to
 # tie (the workers time-slice); the speedup is meaningful on multi-core
 # only, so the record carries the cpu count alongside.
@@ -48,58 +57,87 @@ t1=$(now_ms)
 CHECK_PAR_MS=$((t1 - t0))
 echo "check explorations: serial ${CHECK_SERIAL_MS}ms, workers=4 ${CHECK_PAR_MS}ms (cpus: ${CPUS})"
 
+# Partial-order-reduction differential over the default portfolio: the
+# gate fails the whole bench run if any verdict disagrees (set -e), and
+# the per-entry lines become the record's por section.
+go run ./cmd/cfccheck -pordiff | tee "$PORRAW"
+
 go test -run '^$' -bench 'BenchmarkSim' -benchtime "$BENCHTIME" . | tee "$RAW"
 
-awk -v benchtime="$BENCHTIME" -v goversion="$(go version | awk '{print $3}')" \
-    -v cpus="$CPUS" -v serialms="$CHECK_SERIAL_MS" -v parms="$CHECK_PAR_MS" '
-function jsonkey(unit) {
-    gsub(/\//, "_per_", unit)
-    gsub(/-/, "_", unit)
-    return unit
-}
-BEGIN {
-    printf "{\n"
-    printf "  \"schema\": \"cfc-bench-v1\",\n"
-    printf "  \"generated\": \"%s\",\n", strftime("%Y-%m-%dT%H:%M:%SZ", systime(), 1)
-    printf "  \"go\": \"%s\",\n", goversion
-    printf "  \"benchtime\": \"%s\",\n", benchtime
-    printf "  \"cpus\": %d,\n", cpus
+{
+    printf '{\n'
+    printf '  "schema": "cfc-bench-v1",\n'
+    printf '  "generated": "%s",\n' "$(date -u +%Y-%m-%dT%H:%M:%SZ)"
+    printf '  "go": "%s",\n' "$(go version | awk '{print $3}')"
+    printf '  "benchtime": "%s",\n' "$BENCHTIME"
+    printf '  "cpus": %d,\n' "$CPUS"
     # Frozen reference: BenchmarkSimThroughput on the seed (goroutine
     # engine, round-robin scheduler) before the direct-execution engine.
-    printf "  \"seed_baseline\": {\n"
-    printf "    \"SimThroughput\": {\"ns_per_op\": 2406599, \"events_per_op\": 4000, \"ns_per_event\": 601.6},\n"
-    printf "    \"SimExhaustiveCheck\": {\"ns_per_op\": 6397282},\n"
-    printf "    \"go_test_internal_check_seconds\": 13.3\n"
-    printf "  },\n"
-    # The exhaustive exploration tests (go test -run TestExhaustive
-    # ./internal/check) serial vs parallel explorer (see
+    printf '  "seed_baseline": {\n'
+    printf '    "SimThroughput": {"ns_per_op": 2406599, "events_per_op": 4000, "ns_per_event": 601.6},\n'
+    printf '    "SimExhaustiveCheck": {"ns_per_op": 6397282},\n'
+    printf '    "go_test_internal_check_seconds": 13.3\n'
+    printf '  },\n'
+    # The exhaustive exploration tests serial vs parallel explorer (see
     # CFC_CHECK_WORKERS in internal/check/parallel_test.go). speedup is
     # serial/workers4; on a single-core host (cpus = 1) it cannot exceed
     # ~1 and records coordination overhead instead.
-    printf "  \"check_suite\": {\"cpus\": %d, \"serial_seconds\": %.2f, \"workers4_seconds\": %.2f, \"speedup\": %.2f},\n", \
-        cpus, serialms / 1000.0, parms / 1000.0, (parms > 0 ? serialms / (parms * 1.0) : 0)
-    printf "  \"benchmarks\": [\n"
-    first = 1
-}
-/^Benchmark/ {
-    name = $1
-    sub(/^Benchmark/, "", name)
-    if (!first) printf ",\n"
-    first = 0
-    printf "    {\"name\": \"%s\", \"iterations\": %s", name, $2
-    for (i = 3; i < NF; i += 2) {
-        printf ", \"%s\": %s", jsonkey($(i + 1)), $i
+    printf '  "check_suite": {"cpus": %d, "serial_seconds": %.2f, "workers4_seconds": %.2f, "speedup": %.2f},\n' \
+        "$CPUS" "$(awk "BEGIN{print $CHECK_SERIAL_MS/1000.0}")" "$(awk "BEGIN{print $CHECK_PAR_MS/1000.0}")" \
+        "$(awk "BEGIN{print ($CHECK_PAR_MS > 0) ? $CHECK_SERIAL_MS/$CHECK_PAR_MS : 0}")"
+    # POR differential: states and wall-clock with the reduction on and
+    # off per portfolio entry, from cfccheck -pordiff.
+    awk '
+    function val(key,    i) {
+        for (i = 2; i <= NF; i++) {
+            if (index($i, key "=") == 1) return substr($i, length(key) + 2)
+        }
+        return ""
     }
-    printf "}"
-}
-END {
-    printf "\n  ]\n}\n"
-}' "$RAW" > "$OUT"
+    BEGIN { printf "  \"por\": {\"jobs\": [\n"; first = 1 }
+    /^PORDIFF / {
+        if (!first) printf ",\n"
+        first = 0
+        printf "    {\"name\": \"%s\", \"verdict\": \"%s\", \"por_states\": %s, \"ref_states\": %s, \"ratio\": %s, \"por_ms\": %s, \"ref_ms\": %s, \"reduced_nodes\": %s}", \
+            val("name"), val("verdict"), val("por_states"), val("ref_states"), val("ratio"), val("por_ms"), val("ref_ms"), val("reduced_nodes")
+    }
+    /^PORDIFF-SUMMARY / { max = val("max_ratio") }
+    END { printf "\n  ], \"max_ratio\": %s},\n", (max == "" ? "0" : max) }
+    ' "$PORRAW"
+    awk '
+    function jsonkey(unit) {
+        gsub(/\//, "_per_", unit)
+        gsub(/-/, "_", unit)
+        return unit
+    }
+    BEGIN { printf "  \"benchmarks\": [\n"; first = 1 }
+    /^Benchmark/ {
+        name = $1
+        sub(/^Benchmark/, "", name)
+        if (!first) printf ",\n"
+        first = 0
+        printf "    {\"name\": \"%s\", \"iterations\": %s", name, $2
+        for (i = 3; i < NF; i += 2) {
+            printf ", \"%s\": %s", jsonkey($(i + 1)), $i
+        }
+        printf "}"
+    }
+    END { printf "\n  ]\n}\n" }
+    ' "$RAW"
+} > "$OUT"
 
 echo "wrote $OUT"
 
-# Regression diff against the committed baseline record: match benchmark
-# names (GOMAXPROCS suffix stripped) and warn when ns/op slowed > 25%.
+# Comparisons against the committed baseline record. Wall-clock numbers
+# from different hardware are not comparable: a parallel suite timed on
+# one core measures coordination overhead, not speedup, and ns/op moves
+# with the core count and clock. So first check the recorded cpu count.
+json_num() { # json_num file key -> first numeric value of "key"
+    awk -F'[:,}]' -v key="\"$2\"" '
+        $0 ~ key {
+            for (i = 1; i < NF; i++) if ($i ~ key) { gsub(/[ "]/, "", $(i+1)); print $(i+1); exit }
+        }' "$1"
+}
 extract_ns() {
     awk -F'"' '/"name":/ {
         name = $4
@@ -115,17 +153,29 @@ extract_ns() {
     }' "$1"
 }
 if [[ -f "$BASELINE" && "$BASELINE" != "$OUT" ]]; then
-    extract_ns "$BASELINE" > "$OLDTAB"
-    extract_ns "$OUT" > "$NEWTAB"
-    awk -v base="$BASELINE" '
-        NR == FNR { old[$1] = $2; next }
-        ($1 in old) && old[$1] > 0 && $2 > old[$1] * 1.25 {
-            printf "REGRESSION WARNING: %s slowed %.0f%% vs %s (%s -> %s ns/op)\n",
-                $1, ($2 / old[$1] - 1) * 100, base, old[$1], $2
-            bad = 1
-        }
-        END { if (!bad) printf "no benchmark regressions vs %s\n", base }
-    ' "$OLDTAB" "$NEWTAB"
+    BASE_CPUS="$(json_num "$BASELINE" cpus)"
+    if [[ -n "$BASE_CPUS" && "$BASE_CPUS" != "$CPUS" ]]; then
+        echo "HARDWARE MISMATCH: $BASELINE was recorded on ${BASE_CPUS} cpu(s), this host has ${CPUS};"
+        echo "  suppressing the check_suite speedup comparison and the ns/op regression diff"
+        echo "  (time-based ratios across differing hardware are not meaningful; compare records from like hardware)"
+    else
+        BASE_SPEEDUP="$(json_num "$BASELINE" speedup)"
+        NEW_SPEEDUP="$(json_num "$OUT" speedup)"
+        if [[ -n "$BASE_SPEEDUP" ]]; then
+            echo "check_suite speedup: ${NEW_SPEEDUP} (baseline ${BASE_SPEEDUP}, cpus ${CPUS})"
+        fi
+        extract_ns "$BASELINE" > "$OLDTAB"
+        extract_ns "$OUT" > "$NEWTAB"
+        awk -v base="$BASELINE" '
+            NR == FNR { old[$1] = $2; next }
+            ($1 in old) && old[$1] > 0 && $2 > old[$1] * 1.25 {
+                printf "REGRESSION WARNING: %s slowed %.0f%% vs %s (%s -> %s ns/op)\n",
+                    $1, ($2 / old[$1] - 1) * 100, base, old[$1], $2
+                bad = 1
+            }
+            END { if (!bad) printf "no benchmark regressions vs %s\n", base }
+        ' "$OLDTAB" "$NEWTAB"
+    fi
 else
     echo "no baseline record ($BASELINE) to diff against"
 fi

@@ -90,7 +90,9 @@ type (
 	RoundRobin = sim.RoundRobin
 	Scripted   = sim.Scripted
 	Crasher    = sim.Crasher
-	Phase      = sim.Phase
+	// CrashWindow is one crash/recovery cycle of Crasher.Windows.
+	CrashWindow = sim.CrashWindow
+	Phase       = sim.Phase
 )
 
 // Scheduler and phase constants re-exported from package sim.

@@ -11,7 +11,12 @@
 //	cfccheck -kind naming -crash  # naming with crash injection
 //	cfccheck -workers 1           # serial exploration
 //	cfccheck -por=false           # unreduced reference exploration
+//	cfccheck -porauto=false       # never fall back to the reference run
 //	cfccheck -pordiff             # POR-on vs POR-off differential gate
+//
+// The job list is the fleet's workload registry (internal/fleet): the
+// same named programs cmd/cfcfleet storms at n = 16-64 are proved here
+// exhaustively at small n, including the mixed mutex+naming workloads.
 //
 // -workers selects the explorer parallelism per job (default: all
 // cores). Completed explorations report identical states, runs and
@@ -30,14 +35,11 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strings"
 	"time"
 
 	"cfc/internal/check"
-	"cfc/internal/contention"
-	"cfc/internal/driver"
-	"cfc/internal/metrics"
-	"cfc/internal/mutex"
-	"cfc/internal/naming"
+	"cfc/internal/fleet"
 	"cfc/internal/sim"
 )
 
@@ -55,113 +57,38 @@ type job struct {
 func run() int {
 	var (
 		n       = flag.Int("n", 2, "process count")
-		kind    = flag.String("kind", "", "what to check: mutex, detection, naming (empty = all)")
+		kind    = flag.String("kind", "", "what to check: mutex, detection, naming, mixed (empty = all)")
 		crash   = flag.Bool("crash", false, "inject crashes (naming and detection)")
 		depth   = flag.Int("depth", 120, "schedule depth bound")
 		states  = flag.Int("states", 1<<19, "state budget")
 		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "parallel explorer workers per job (1 = serial)")
 		por     = flag.Bool("por", true, "partial-order reduction (-por=false = unreduced reference mode)")
+		porauto = flag.Bool("porauto", true, "fall back to the unreduced exploration when the reduction is unprofitable (tas/ttas-style conflict-heavy programs)")
 		pordiff = flag.Bool("pordiff", false, "differential gate: run POR-on AND POR-off, require agreeing verdicts, report reduction ratios")
 	)
 	flag.Parse()
 
+	// The jobs come from the fleet's workload registry: the model checker
+	// proves at small n exactly the programs the randomized fleet
+	// (cmd/cfcfleet) storms at n = 16-64.
 	var jobs []job
-	if *kind == "" || *kind == "mutex" {
-		algs := []mutex.Algorithm{
-			mutex.Lamport{},
-			mutex.PackedLamport{},
-			mutex.TASLock{},
-			mutex.TTASLock{},
-			mutex.Tournament{L: 1},
-			mutex.Tournament{L: 1, Node: mutex.NodeKessels},
-			mutex.Tournament{L: 2},
+	for _, w := range fleet.Portfolio(*n) {
+		kindName := w.Name[:strings.IndexByte(w.Name, '/')]
+		if *kind != "" && *kind != kindName {
+			continue
 		}
-		if *n == 2 {
-			algs = append(algs, mutex.Peterson{}, mutex.Kessels{})
+		opts := check.Options{
+			MaxDepth: *depth, MaxStates: *states,
+			CollapseSpins: true, POR: *por, PORAuto: *porauto,
+			Workers: *workers,
 		}
-		for _, alg := range algs {
-			alg := alg
-			jobs = append(jobs, job{
-				name: "mutex/" + alg.Name(),
-				build: func() (*sim.Memory, []sim.ProcFunc, error) {
-					mem := sim.NewMemory(alg.Model())
-					inst, err := alg.New(mem, *n)
-					if err != nil {
-						return nil, nil, err
-					}
-					procs := make([]sim.ProcFunc, *n)
-					for pid := range procs {
-						procs[pid] = driver.MutexBody(inst, 1, 0)
-					}
-					return mem, procs, nil
-				},
-				prop: metrics.CheckMutualExclusion,
-				opts: check.Options{MaxDepth: *depth, MaxStates: *states, CollapseSpins: true, POR: *por, Workers: *workers},
-			})
+		if w.Kind == fleet.KindTask {
+			// One-shot tasks admit crash branching; a crashed spinning
+			// mutex process would deadlock the rest instead.
+			opts.ExploreCrashes = *crash
+			opts.ExpectTermination = w.ExpectTermination
 		}
-	}
-	if *kind == "" || *kind == "detection" {
-		dets := []contention.Detector{
-			contention.Splitter{},
-			contention.ChunkedSplitter{L: 1},
-			contention.ChunkedSplitter{L: 2},
-		}
-		for _, det := range dets {
-			det := det
-			jobs = append(jobs, job{
-				name: "detection/" + det.Name(),
-				build: func() (*sim.Memory, []sim.ProcFunc, error) {
-					mem := sim.NewMemory(det.Model())
-					inst, err := det.New(mem, *n)
-					if err != nil {
-						return nil, nil, err
-					}
-					procs := make([]sim.ProcFunc, *n)
-					for pid := range procs {
-						procs[pid] = driver.TaskBody(inst)
-					}
-					return mem, procs, nil
-				},
-				prop: func(t *sim.Trace) error { return metrics.CheckDetection(t, false) },
-				opts: check.Options{
-					MaxDepth: *depth, MaxStates: *states,
-					CollapseSpins: true, ExploreCrashes: *crash,
-					POR: *por, Workers: *workers,
-				},
-			})
-		}
-	}
-	if *kind == "" || *kind == "naming" {
-		algs := []naming.Algorithm{
-			naming.TAFTree{},
-			naming.TASTARTree{},
-			naming.TASScan{},
-			naming.TASBinSearch{},
-		}
-		for _, alg := range algs {
-			alg := alg
-			jobs = append(jobs, job{
-				name: "naming/" + alg.Name(),
-				build: func() (*sim.Memory, []sim.ProcFunc, error) {
-					mem := sim.NewMemory(alg.Model())
-					inst, err := alg.New(mem, *n)
-					if err != nil {
-						return nil, nil, err
-					}
-					procs := make([]sim.ProcFunc, *n)
-					for pid := range procs {
-						procs[pid] = driver.TaskBody(inst)
-					}
-					return mem, procs, nil
-				},
-				prop: metrics.CheckUniqueOutputs,
-				opts: check.Options{
-					MaxDepth: *depth, MaxStates: *states,
-					CollapseSpins: true, ExploreCrashes: *crash,
-					ExpectTermination: true, POR: *por, Workers: *workers,
-				},
-			})
-		}
+		jobs = append(jobs, job{name: w.Name, build: w.Builder(*n), prop: w.Check, opts: opts})
 	}
 
 	if *pordiff {
@@ -187,12 +114,17 @@ func run() int {
 			status = "no violation found (truncated)"
 		}
 		extra := ""
-		if j.opts.POR {
+		if j.opts.POR && !res.PORDisabled {
 			status = "no violation (POR)"
 			if !res.Truncated {
 				status = "proved (POR-reduced)"
 			}
 			extra = fmt.Sprintf("  %6d reduced nodes", res.ReducedNodes)
+		} else if res.PORDisabled {
+			status = "proved (POR-auto: reference kept)"
+			if res.Truncated {
+				status = "no violation (POR-auto: reference kept)"
+			}
 		}
 		fmt.Printf("%-40s %-32s %7d states %6d runs%s\n", j.name, status, res.States, res.Runs, extra)
 	}
@@ -213,10 +145,13 @@ func runPORDiff(jobs []job) int {
 	failed := 0
 	var maxRatio float64
 	for _, j := range jobs {
+		// The differential compares pure reduced vs pure reference
+		// explorations; PORAuto would silently substitute the reference
+		// on the POR side and make the diff vacuous.
 		refOpts := j.opts
-		refOpts.POR = false
+		refOpts.POR, refOpts.PORAuto = false, false
 		porOpts := j.opts
-		porOpts.POR = true
+		porOpts.POR, porOpts.PORAuto = true, false
 
 		t0 := time.Now()
 		ref, err := check.Explore(j.build, j.prop, refOpts)

@@ -1,0 +1,141 @@
+// Command cfcfleet drives the randomized fault-injection fleet: millions
+// of seeded runs of the algorithm portfolio at large process counts,
+// under bursty, skewed and crash/recovery adversaries, with statistical
+// estimates of the paper's metrics and automatic promotion of any safety
+// violation to a minimized, deterministically replayable regression
+// artifact.
+//
+// Usage:
+//
+//	cfcfleet -seed 1 -n 32 -runs 1000                     # default scenarios
+//	cfcfleet -seed 1 -scenarios crashstorm,burst,mixed -n 32 -runs 100000
+//	cfcfleet -scenarios broken -runs 200 -artifacts out/   # promote a violation
+//
+// The process exits 1 if any safety violation was found or any scenario
+// degraded (panic or budget overrun), so CI can gate on a fixed-seed
+// smoke fleet.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"cfc/internal/fleet"
+)
+
+func main() {
+	var (
+		seed      = flag.Int64("seed", 1, "fleet base seed (every run derives from it)")
+		n         = flag.Int("n", 32, "processes per run")
+		runs      = flag.Int("runs", 10000, "runs per (scenario, workload) cell")
+		start     = flag.Int("start", 0, "first run index (resume an interrupted fleet)")
+		scenarios = flag.String("scenarios", "", "comma-separated scenario names (default: all non-broken)")
+		workers   = flag.Int("workers", 0, "concurrent workers per cell (0 = GOMAXPROCS)")
+		maxSteps  = flag.Int("maxsteps", 0, "step budget per run (0 = 64*n+2048)")
+		budget    = flag.Duration("budget", 0, "wall-clock budget per scenario (0 = none)")
+		artifacts = flag.String("artifacts", "", "directory for promoted violation artifacts (empty = don't write)")
+		verbose   = flag.Bool("v", false, "log per-cell progress")
+		list      = flag.Bool("list", false, "list scenarios and workloads, then exit")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("scenarios:")
+		for _, s := range fleet.Scenarios() {
+			broken := ""
+			if s.Broken {
+				broken = " [broken: harness validation only]"
+			}
+			fmt.Printf("  %-12s %s%s\n", s.Name, s.Desc, broken)
+		}
+		fmt.Printf("portfolio workloads at n=%d:\n", *n)
+		for _, w := range fleet.Portfolio(*n) {
+			fmt.Printf("  %s\n", w.Name)
+		}
+		return
+	}
+
+	opts := fleet.Options{
+		Seed:     *seed,
+		N:        *n,
+		Runs:     *runs,
+		StartRun: *start,
+		Workers:  *workers,
+		MaxSteps: *maxSteps,
+		Budget:   *budget,
+	}
+	if *scenarios != "" {
+		for _, name := range strings.Split(*scenarios, ",") {
+			if name = strings.TrimSpace(name); name != "" {
+				opts.Scenarios = append(opts.Scenarios, name)
+			}
+		}
+	}
+	if *verbose {
+		opts.Log = os.Stderr
+	}
+
+	startT := time.Now()
+	rep, err := fleet.Run(opts)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cfcfleet: %v\n", err)
+		os.Exit(2)
+	}
+
+	for _, t := range rep.Tables() {
+		fmt.Println(t.String())
+	}
+
+	// Promote violations: verify by deterministic replay, minimize, and
+	// (with -artifacts) write regression artifacts.
+	promoted := 0
+	for _, c := range rep.Cells {
+		if c.First == nil {
+			continue
+		}
+		a, err := fleet.Promote(c)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cfcfleet: promote %s/%s: %v\n", c.Scenario, c.Workload, err)
+			continue
+		}
+		promoted++
+		fmt.Printf("VIOLATION scenario=%s workload=%s run=%d seed=%d schedule_len=%d minimized=%v err=%q\n",
+			a.Scenario, a.Workload, a.Run, a.Seed, len(a.Schedule), a.Minimized, a.Err)
+		if *artifacts != "" {
+			path, err := a.WriteArtifact(*artifacts)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "cfcfleet: write artifact: %v\n", err)
+			} else {
+				fmt.Printf("ARTIFACT %s\n", path)
+			}
+		}
+	}
+
+	for _, s := range rep.Scenarios {
+		if s.Degraded {
+			fmt.Printf("DEGRADED scenario=%s reason=%s\n", s.Name, s.Reason)
+		}
+	}
+
+	elapsed := time.Since(startT).Seconds()
+	fmt.Printf("FLEET-SUMMARY seed=%d n=%d runs=%d events=%d violations=%d degraded=%d elapsed_s=%.3f runs_per_s=%.0f events_per_s=%.0f\n",
+		rep.Seed, rep.N, rep.TotalRuns(), rep.TotalEvents(), rep.Violations(), countDegraded(rep),
+		elapsed, float64(rep.TotalRuns())/elapsed, float64(rep.TotalEvents())/elapsed)
+
+	if rep.Violations() > 0 || rep.Degraded() {
+		os.Exit(1)
+	}
+}
+
+func countDegraded(rep *fleet.Report) int {
+	k := 0
+	for _, s := range rep.Scenarios {
+		if s.Degraded {
+			k++
+		}
+	}
+	return k
+}

@@ -1,0 +1,246 @@
+package adversary
+
+import (
+	"math/rand"
+	"sort"
+
+	"cfc/internal/sim"
+)
+
+// This file is the fleet's fault-injection layer: seeded randomized
+// adversaries that shape arrival and interleaving patterns the paper's
+// claims are sensitive to — bursty arrival waves, heavily skewed process
+// speeds, alternating quiet/storm contention waves — plus generators for
+// crash/recovery storm schedules consumed by sim.Crasher. Every adversary
+// is a pure function of its seeded rand.Rand, the observed ready sets and
+// the step numbers, so runs are reproducible from (seed, program) alone
+// and the simulator's direct engine applies (all three implement
+// DeterministicScheduler).
+
+// Burst schedules in arrival waves: a random subset of processes (the
+// active wave) gets all scheduling turns for a dwell period, then a new
+// wave is drawn. Processes outside the wave are frozen mid-protocol, so
+// every wave boundary is a contention cliff: the paper's fast-path
+// claims are exercised under exactly the skewed/bursty arrivals real
+// systems see instead of the uniform interleaving Random produces.
+type Burst struct {
+	rng   *rand.Rand
+	n     int
+	wave  []bool // pid -> in the active wave
+	until int    // step at which the wave is redrawn
+	size  int    // wave size
+	dwell int    // scheduling turns per wave
+}
+
+// NewBurst returns a seeded burst adversary over n processes with the
+// given wave size and dwell (both clamped to sane minima).
+func NewBurst(rng *rand.Rand, n, size, dwell int) *Burst {
+	if size < 1 {
+		size = 1
+	}
+	if size > n {
+		size = n
+	}
+	if dwell < 1 {
+		dwell = 1
+	}
+	return &Burst{rng: rng, n: n, wave: make([]bool, n), size: size, dwell: dwell}
+}
+
+// Next implements sim.Scheduler.
+func (b *Burst) Next(ready []int, step int) sim.Decision {
+	if step >= b.until || b.none(ready) {
+		b.redraw(ready)
+		b.until = step + b.dwell
+	}
+	// Pick uniformly among ready wave members.
+	k := 0
+	for _, pid := range ready {
+		if b.wave[pid] {
+			k++
+		}
+	}
+	if k == 0 {
+		return sim.Step(ready[b.rng.Intn(len(ready))])
+	}
+	pick := b.rng.Intn(k)
+	for _, pid := range ready {
+		if b.wave[pid] {
+			if pick == 0 {
+				return sim.Step(pid)
+			}
+			pick--
+		}
+	}
+	return sim.Step(ready[0]) // unreachable
+}
+
+// none reports whether no ready process is in the active wave.
+func (b *Burst) none(ready []int) bool {
+	for _, pid := range ready {
+		if b.wave[pid] {
+			return false
+		}
+	}
+	return true
+}
+
+// redraw draws a fresh wave: size processes, biased toward ready ones so
+// a wave always makes progress.
+func (b *Burst) redraw(ready []int) {
+	for i := range b.wave {
+		b.wave[i] = false
+	}
+	// Always include at least one ready process.
+	if len(ready) > 0 {
+		b.wave[ready[b.rng.Intn(len(ready))]] = true
+	}
+	for i := 1; i < b.size; i++ {
+		b.wave[b.rng.Intn(b.n)] = true
+	}
+}
+
+// DeterministicSchedule implements sim.DeterministicScheduler.
+func (*Burst) DeterministicSchedule() {}
+
+// Skew schedules processes with geometrically decaying priority: ready
+// pid ranks are walked from a seeded random permutation's front with
+// probability keep, so a few processes hog the schedule while the rest
+// crawl — the starvation-adjacent regime where slow processes observe
+// many fast-process protocol generations.
+type Skew struct {
+	rng  *rand.Rand
+	perm []int // fixed priority order, drawn once from the seed
+	keep float64
+}
+
+// NewSkew returns a seeded skew adversary over n processes. keep is the
+// probability of stopping at each rank (higher = more skewed); values
+// outside (0, 1) default to 0.75.
+func NewSkew(rng *rand.Rand, n int, keep float64) *Skew {
+	if keep <= 0 || keep >= 1 {
+		keep = 0.75
+	}
+	return &Skew{rng: rng, perm: rng.Perm(n), keep: keep}
+}
+
+// Next implements sim.Scheduler.
+func (s *Skew) Next(ready []int, _ int) sim.Decision {
+	// Walk the fixed priority permutation; at each ready process stop
+	// with probability keep.
+	var last = -1
+	for _, pid := range s.perm {
+		if idx := sort.SearchInts(ready, pid); idx < len(ready) && ready[idx] == pid {
+			last = pid
+			if s.rng.Float64() < s.keep {
+				return sim.Step(pid)
+			}
+		}
+	}
+	if last >= 0 {
+		return sim.Step(last)
+	}
+	return sim.Step(ready[s.rng.Intn(len(ready))])
+}
+
+// DeterministicSchedule implements sim.DeterministicScheduler.
+func (*Skew) DeterministicSchedule() {}
+
+// Wave alternates contention regimes: quiet periods in which a single
+// random process runs alone (the contention-free fast path) and storm
+// periods scheduling uniformly over all ready processes (full
+// contention). The fleet uses it to measure fast-path hit rates under
+// realistic load alternation rather than constant contention.
+type Wave struct {
+	rng      *rand.Rand
+	soloPID  int
+	until    int
+	storm    bool
+	quietLen int
+	stormLen int
+}
+
+// NewWave returns a seeded wave adversary: quietLen turns of solo running
+// alternating with stormLen turns of uniform contention.
+func NewWave(rng *rand.Rand, quietLen, stormLen int) *Wave {
+	if quietLen < 1 {
+		quietLen = 1
+	}
+	if stormLen < 1 {
+		stormLen = 1
+	}
+	return &Wave{rng: rng, quietLen: quietLen, stormLen: stormLen, soloPID: -1}
+}
+
+// Next implements sim.Scheduler.
+func (w *Wave) Next(ready []int, step int) sim.Decision {
+	if step >= w.until {
+		w.storm = !w.storm
+		if w.storm {
+			w.until = step + w.stormLen
+		} else {
+			w.until = step + w.quietLen
+			w.soloPID = ready[w.rng.Intn(len(ready))]
+		}
+	}
+	if !w.storm {
+		if idx := sort.SearchInts(ready, w.soloPID); idx < len(ready) && ready[idx] == w.soloPID {
+			return sim.Step(w.soloPID)
+		}
+		// The solo process finished or crashed: hand the quiet period to
+		// another.
+		w.soloPID = ready[w.rng.Intn(len(ready))]
+		return sim.Step(w.soloPID)
+	}
+	return sim.Step(ready[w.rng.Intn(len(ready))])
+}
+
+// DeterministicSchedule implements sim.DeterministicScheduler.
+func (*Wave) DeterministicSchedule() {}
+
+// StormWindows draws a crash/recovery storm for sim.Crasher: each of
+// victims processes (drawn without replacement from 0..n-1) gets cycles
+// crash/restart windows spread over horizon steps, with the last cycle's
+// restart sometimes withheld (crash-stop tail) — the "crash mid-critical-
+// section, restart, crash again" churn of the fleet's crashstorm
+// scenario. Crash points are uniform over the horizon, so with enough
+// runs crashes land in every protocol phase, including inside critical
+// sections and exit code.
+func StormWindows(rng *rand.Rand, n, victims, cycles, horizon int) map[int][]sim.CrashWindow {
+	if victims < 1 {
+		victims = 1
+	}
+	if victims > n {
+		victims = n
+	}
+	if cycles < 1 {
+		cycles = 1
+	}
+	if horizon < 2 {
+		horizon = 2
+	}
+	out := make(map[int][]sim.CrashWindow, victims)
+	perm := rng.Perm(n)
+	for _, pid := range perm[:victims] {
+		ws := make([]sim.CrashWindow, 0, cycles)
+		at := 0
+		for c := 0; c < cycles; c++ {
+			crash := at + rng.Intn(horizon/cycles+1)
+			restart := crash + 1 + rng.Intn(horizon/cycles+1)
+			w := sim.CrashWindow{Crash: crash, Restart: restart}
+			if c == cycles-1 && rng.Intn(4) == 0 {
+				w.Restart = -1 // crash-stop tail: one in four victims stays down
+			}
+			ws = append(ws, w)
+			at = restart
+		}
+		out[pid] = ws
+	}
+	return out
+}
+
+var (
+	_ sim.DeterministicScheduler = (*Burst)(nil)
+	_ sim.DeterministicScheduler = (*Skew)(nil)
+	_ sim.DeterministicScheduler = (*Wave)(nil)
+)

@@ -87,6 +87,21 @@ type Options struct {
 	// Reduction requires at most 64 processes (sleep sets are pid
 	// bitmasks); wider programs silently fall back to the full provider.
 	POR bool
+	// PORAuto tempers the known failure mode of (state, sleep)-keyed
+	// reduction: algorithms whose pending steps almost always conflict
+	// (tas/ttas — every process hammers one test-and-set bit) get no
+	// ample-set pruning, yet still pay the sleep-set key splitting, which
+	// inflates States ~10% over the exhaustive reference. With PORAuto
+	// (requires POR; otherwise ignored) the exploration first runs
+	// reduced; if it found a violation, that is returned as-is (POR
+	// verdicts are sound). If the reduction proved unprofitable — fewer
+	// than a quarter of the expanded nodes were actually reduced — the
+	// exhaustive reference exploration runs too, and the smaller of the
+	// two results is returned, with Result.PORDisabled set when the
+	// reference won. The decision is a pure function of the
+	// (deterministic) reduced exploration, so PORAuto verdicts and counts
+	// are reproducible.
+	PORAuto bool
 	// Workers selects the explorer. 0 or 1 (the default) explores
 	// serially on the calling goroutine. A value above 1 runs that many
 	// workers, each owning a private program instance (one Builder call)
@@ -136,6 +151,11 @@ type Result struct {
 	ReducedNodes int
 	// Violation is the first property failure found, or nil.
 	Violation *Violation
+	// PORDisabled reports that Options.PORAuto fell back to the
+	// exhaustive reference exploration because the reduction was
+	// unprofitable for this program; the counts describe the reference
+	// run.
+	PORDisabled bool
 }
 
 // Explore exhaustively explores the interleavings of the program under
@@ -151,10 +171,44 @@ func Explore(build Builder, prop Property, opts Options) (Result, error) {
 	if maxStates <= 0 {
 		maxStates = 1 << 20
 	}
+	if opts.POR && opts.PORAuto {
+		return exploreAuto(build, prop, opts, maxDepth, maxStates)
+	}
+	return exploreDispatch(build, prop, opts, maxDepth, maxStates)
+}
+
+func exploreDispatch(build Builder, prop Property, opts Options, maxDepth, maxStates int) (Result, error) {
 	if opts.Workers > 1 {
 		return exploreParallel(build, prop, opts, maxDepth, maxStates)
 	}
 	return exploreSerial(build, prop, opts, maxDepth, maxStates)
+}
+
+// exploreAuto implements Options.PORAuto: a reduced exploration first,
+// then — only when the reduction was unprofitable — the exhaustive
+// reference, keeping whichever visited fewer states.
+func exploreAuto(build Builder, prop Property, opts Options, maxDepth, maxStates int) (Result, error) {
+	por, err := exploreDispatch(build, prop, opts, maxDepth, maxStates)
+	if err != nil {
+		return Result{}, err
+	}
+	// Violations are sound under POR, and a healthy reduction (at least a
+	// quarter of expanded nodes reduced) is kept without paying for the
+	// reference run.
+	if por.Violation != nil || por.ReducedNodes*4 >= por.States {
+		return por, nil
+	}
+	ref := opts
+	ref.POR, ref.PORAuto = false, false
+	full, err := exploreDispatch(build, prop, ref, maxDepth, maxStates)
+	if err != nil {
+		return Result{}, err
+	}
+	if full.Violation != nil || full.States < por.States {
+		full.PORDisabled = true
+		return full, nil
+	}
+	return por, nil
 }
 
 // exploreSerial is the single-goroutine depth-first explorer.
@@ -170,7 +224,18 @@ func exploreSerial(build Builder, prop Property, opts Options, maxDepth, maxStat
 		return Result{}, err
 	}
 	e.provider, e.por = newProvider(opts, len(e.core.procs))
-	err := e.dfs(nil, 0)
+	// A panic in an algorithm body, property or provider surfaces as a
+	// checker error carrying the schedule prefix being expanded, mirroring
+	// the parallel explorer's containment (see parexplorer.chase).
+	err := func() (err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				prefix := append([]int(nil), e.core.sess.Decisions()...)
+				err = fmt.Errorf("check: panicked expanding schedule prefix %v: %v", prefix, r)
+			}
+		}()
+		return e.dfs(nil, 0)
+	}()
 	e.core.close()
 	if err != nil {
 		return Result{}, err

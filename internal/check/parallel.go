@@ -1,6 +1,7 @@
 package check
 
 import (
+	"fmt"
 	"sync"
 	"sync/atomic"
 )
@@ -357,6 +358,16 @@ func exploreParallel(build Builder, prop Property, opts Options, maxDepth, maxSt
 // cancellation.
 func (e *parexplorer) chase(id int, core *replayCore, t porTask) {
 	schedule, sleep := t.sched, t.sleep
+	// A panic anywhere along the chain — a buggy algorithm body, property
+	// or provider — must not take down the process: it is converted into a
+	// checker error verdict carrying the schedule prefix being expanded,
+	// and the pool is cancelled. The worker's core is left as-is; the
+	// exploration is over.
+	defer func() {
+		if r := recover(); r != nil {
+			e.fail(fmt.Errorf("check: worker %d panicked expanding schedule prefix %v: %v", id, schedule, r))
+		}
+	}()
 	for {
 		if e.cancel.Load() {
 			return

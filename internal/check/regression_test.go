@@ -8,9 +8,11 @@ package check_test
 // exercises the checker's bug-finding path.
 
 import (
+	"path/filepath"
 	"testing"
 
 	"cfc/internal/check"
+	"cfc/internal/fleet"
 	"cfc/internal/metrics"
 	"cfc/internal/opset"
 	"cfc/internal/sim"
@@ -160,4 +162,54 @@ func TestTreeSplitterSurvivesWhereBrokenDesignsFail(t *testing.T) {
 	// Covered by TestExhaustiveDetectionSafety; this test exists to keep
 	// the three designs side by side when reading the regression file.
 	t.Log("see TestExhaustiveDetectionSafety for the exhaustive pass of the tree design")
+}
+
+// TestFleetRegressions replays every violation artifact the fleet
+// (cmd/cfcfleet) has promoted into testdata/regressions. Each artifact
+// is a minimized decision schedule for a named fleet workload; replaying
+// it through Session.Seek must reproduce the recorded safety violation,
+// forever. A schedule that stops replaying or stops violating means
+// either the sim's replay contract broke or a workload definition
+// drifted — both worth failing loudly over.
+//
+// The corpus deliberately includes an artifact whose schedule carries
+// crash and restart entries (broken/restart-unsafe-mutex), so the
+// crash/recovery half of the schedule-entry encoding is exercised here
+// too, not just plain step entries.
+func TestFleetRegressions(t *testing.T) {
+	paths, err := filepath.Glob(filepath.Join("testdata", "regressions", "*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) == 0 {
+		t.Fatal("no fleet regression artifacts under testdata/regressions — the corpus should never be empty")
+	}
+	sawFault := false
+	for _, path := range paths {
+		t.Run(filepath.Base(path), func(t *testing.T) {
+			a, err := fleet.LoadArtifact(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, e := range a.Schedule {
+				if act, _ := sim.DecodeEntry(e); act != sim.ActStep {
+					sawFault = true
+				}
+			}
+			verr, err := fleet.Replay(a)
+			if err != nil {
+				t.Fatalf("replay failed: %v", err)
+			}
+			if verr == nil {
+				t.Fatalf("artifact no longer violates %s (recorded err: %s)", a.Workload, a.Err)
+			}
+			if verr.Error() != a.Err {
+				t.Fatalf("replay violation drifted:\n  recorded: %s\n  replayed: %s", a.Err, verr)
+			}
+			t.Logf("reproduced: %s", verr)
+		})
+	}
+	if !sawFault {
+		t.Error("no artifact exercises crash/restart schedule entries; keep one crash-bearing artifact in the corpus")
+	}
 }

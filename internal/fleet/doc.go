@@ -1,0 +1,42 @@
+// Package fleet is the randomized fault-injection fleet: it drives large
+// numbers of seeded runs of the whole algorithm portfolio (mutual
+// exclusion, contention detection, naming, and mixed workloads) at
+// process counts far beyond the model checker's reach (n = 16-64),
+// under adversarial regimes the paper's claims are sensitive to — bursty
+// arrival waves, skewed process speeds, alternating quiet/storm
+// contention, and crash/recovery storms (crash mid-critical-section,
+// restart, crash again).
+//
+// Where cmd/cfccheck proves safety exhaustively at small n, the fleet
+// samples the same workload registry (Portfolio) at large n and collects
+// the paper's metrics — per-attempt step and bit-step complexity,
+// contention, fast-path hit rate — as confidence-intervalled estimates
+// (metrics.Estimator). The two tools complement each other and check the
+// identical programs by construction.
+//
+// # Determinism and resumability
+//
+// Every run's scheduler is drawn from RunSeed(seed, scenario, workload,
+// run index), a pure hash, so the fleet is reproducible from its base
+// seed alone, any single run is reproducible in isolation, and an
+// interrupted fleet resumes exactly with Options.StartRun. Statistics
+// accumulate in exact integer estimators, so totals are bit-identical
+// for any worker count.
+//
+// # Graceful degradation
+//
+// A run whose body panics is recovered per run and per worker: the panic
+// is counted, the worker rebuilds its program instance, the scenario is
+// recorded as degraded, and the fleet continues. Wall-clock budgets
+// (Options.Budget) degrade a scenario the same way instead of overrunning.
+//
+// # Violation promotion
+//
+// A run that breaks a safety property carries its decision schedule out
+// of the trace (sim.Trace.Schedule). Promote re-verifies the schedule
+// under a deterministic sim.Session.Seek replay, minimizes it (shortest
+// violating prefix, then greedy entry removal), and emits a JSON
+// regression artifact; artifacts committed under
+// internal/check/testdata/regressions are replayed by the checker's
+// regression test forever.
+package fleet

@@ -1,0 +1,336 @@
+package fleet
+
+import (
+	"fmt"
+	"hash/fnv"
+	"io"
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"cfc/internal/sim"
+)
+
+// Options configures a fleet run.
+type Options struct {
+	// Seed is the fleet's base seed. Every run's scheduler is drawn from
+	// RunSeed(Seed, scenario, workload, run), so the whole fleet — and any
+	// single run of it — is reproducible from Seed alone.
+	Seed int64
+	// N is the number of processes per run.
+	N int
+	// Runs is the number of runs per (scenario, workload) cell.
+	Runs int
+	// StartRun offsets the run indices to [StartRun, StartRun+Runs): a
+	// fleet interrupted after k runs per cell resumes with StartRun=k and
+	// executes exactly the runs the uninterrupted fleet would have.
+	StartRun int
+	// Scenarios names the scenarios to drive; empty means
+	// DefaultScenarios() (every non-broken scenario).
+	Scenarios []string
+	// Workers is the number of concurrent workers per cell; 0 means
+	// GOMAXPROCS. Statistics are merged exactly (integer accumulators),
+	// so results are identical for any worker count.
+	Workers int
+	// MaxSteps bounds scheduled events per run; 0 means 64*N+2048 (room
+	// for contended spinning at n=64 without letting crash-deadlocked
+	// runs spin forever).
+	MaxSteps int
+	// Budget bounds a scenario's wall-clock time; 0 means none. A
+	// scenario stopped by its budget is recorded as degraded (its
+	// statistics cover only the runs that happened, so they are no longer
+	// a deterministic function of Seed) — the fleet moves on to the next
+	// scenario rather than overrunning.
+	Budget time.Duration
+	// Log, if non-nil, receives one progress line per finished cell.
+	Log io.Writer
+}
+
+// ScenarioStatus summarises one scenario of a fleet run.
+type ScenarioStatus struct {
+	Name     string
+	Degraded bool
+	// Reason explains a degradation: "panic" (a run's body panicked;
+	// the panic was recovered and the fleet continued) or "budget" (the
+	// wall-clock budget expired mid-scenario).
+	Reason  string
+	Runs    int64
+	Events  int64
+	Elapsed time.Duration
+}
+
+// Report is the outcome of a fleet run.
+type Report struct {
+	Seed      int64
+	N         int
+	Runs      int // per cell, requested
+	StartRun  int
+	Scenarios []ScenarioStatus
+	Cells     []*CellStats
+	Elapsed   time.Duration
+}
+
+// TotalRuns returns the number of runs executed.
+func (r *Report) TotalRuns() int64 {
+	var t int64
+	for _, c := range r.Cells {
+		t += c.Runs
+	}
+	return t
+}
+
+// TotalEvents returns the number of trace events generated.
+func (r *Report) TotalEvents() int64 {
+	var t int64
+	for _, c := range r.Cells {
+		t += c.Events
+	}
+	return t
+}
+
+// Violations returns the number of safety-violating runs.
+func (r *Report) Violations() int64 {
+	var t int64
+	for _, c := range r.Cells {
+		t += c.Violations
+	}
+	return t
+}
+
+// Degraded reports whether any scenario degraded (panic or budget).
+func (r *Report) Degraded() bool {
+	for _, s := range r.Scenarios {
+		if s.Degraded {
+			return true
+		}
+	}
+	return false
+}
+
+// RunSeed derives the seed of one run as a pure hash of the fleet seed
+// and the run's coordinates. The derivation is part of the fleet's
+// resumability contract: artifacts and resumed fleets depend on it.
+func RunSeed(seed int64, scenario, workload string, run int) int64 {
+	h := fnv.New64a()
+	var b [8]byte
+	put := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			b[i] = byte(v >> (8 * i))
+		}
+		h.Write(b[:])
+	}
+	put(uint64(seed))
+	io.WriteString(h, scenario)
+	h.Write([]byte{0})
+	io.WriteString(h, workload)
+	h.Write([]byte{0})
+	put(uint64(run))
+	return int64(h.Sum64())
+}
+
+// Run drives the scenario matrix: for every named scenario, for every one
+// of its workloads, Options.Runs seeded runs at n processes, in parallel,
+// with per-run metric extraction and per-run panic recovery. It returns
+// an error only for configuration mistakes (unknown scenario, a workload
+// that fails to build); violations, panics and budget overruns are
+// recorded in the report.
+func Run(opts Options) (*Report, error) {
+	if opts.N < 1 {
+		return nil, fmt.Errorf("fleet: n must be positive, got %d", opts.N)
+	}
+	if opts.Runs < 1 {
+		return nil, fmt.Errorf("fleet: runs must be positive, got %d", opts.Runs)
+	}
+	names := opts.Scenarios
+	if len(names) == 0 {
+		names = DefaultScenarios()
+	}
+	scens := make([]Scenario, 0, len(names))
+	for _, name := range names {
+		s, ok := ScenarioByName(name)
+		if !ok {
+			return nil, fmt.Errorf("fleet: unknown scenario %q", name)
+		}
+		scens = append(scens, s)
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	maxSteps := opts.MaxSteps
+	if maxSteps <= 0 {
+		maxSteps = 64*opts.N + 2048
+	}
+
+	rep := &Report{Seed: opts.Seed, N: opts.N, Runs: opts.Runs, StartRun: opts.StartRun}
+	fleetStart := time.Now()
+	for _, scen := range scens {
+		status := ScenarioStatus{Name: scen.Name}
+		scenStart := time.Now()
+		var deadline time.Time
+		if opts.Budget > 0 {
+			deadline = scenStart.Add(opts.Budget)
+		}
+		for _, w := range scen.Workloads(opts.N) {
+			cell, budgetHit, err := runCell(scen, w, opts, workers, maxSteps, deadline)
+			if err != nil {
+				return nil, fmt.Errorf("fleet: scenario %s, workload %s: %w", scen.Name, w.Name, err)
+			}
+			rep.Cells = append(rep.Cells, cell)
+			status.Runs += cell.Runs
+			status.Events += cell.Events
+			if cell.Panics > 0 && !status.Degraded {
+				status.Degraded, status.Reason = true, "panic"
+			}
+			if budgetHit && !status.Degraded {
+				status.Degraded, status.Reason = true, "budget"
+			}
+			if opts.Log != nil {
+				fmt.Fprintf(opts.Log, "fleet: %s/%s: %d runs, %d events, %d violations, %d panics\n",
+					scen.Name, w.Name, cell.Runs, cell.Events, cell.Violations, cell.Panics)
+			}
+		}
+		status.Elapsed = time.Since(scenStart)
+		rep.Scenarios = append(rep.Scenarios, status)
+	}
+	rep.Elapsed = time.Since(fleetStart)
+	return rep, nil
+}
+
+// runCell executes one (scenario, workload) cell: Runs seeded runs split
+// over the workers by striding, each worker owning a private program
+// instance and arena. Per-worker statistics merge exactly, so the cell's
+// numbers are independent of the striding.
+func runCell(scen Scenario, w Workload, opts Options, workers, maxSteps int, deadline time.Time) (*CellStats, bool, error) {
+	thresh, err := soloThresholds(w, opts.N)
+	if err != nil {
+		return nil, false, fmt.Errorf("solo threshold sweep: %w", err)
+	}
+	if workers > opts.Runs {
+		workers = opts.Runs
+	}
+
+	var budgetHit atomic.Bool
+	parts := make([]*CellStats, workers)
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for wid := 0; wid < workers; wid++ {
+		wid := wid
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			parts[wid], errs[wid] = cellWorker(scen, w, opts, maxSteps, thresh, deadline, &budgetHit, wid, workers)
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, false, err
+		}
+	}
+	cell := &CellStats{Scenario: scen.Name, Workload: w.Name, N: opts.N}
+	for _, p := range parts {
+		cell.merge(p)
+	}
+	return cell, budgetHit.Load(), nil
+}
+
+// cellWorker executes the run indices congruent to wid modulo workers.
+func cellWorker(scen Scenario, w Workload, opts Options, maxSteps int, thresh []int64, deadline time.Time, budgetHit *atomic.Bool, wid, workers int) (*CellStats, error) {
+	st := &CellStats{Scenario: scen.Name, Workload: w.Name, N: opts.N}
+	mem, procs, err := w.Build(opts.N)
+	if err != nil {
+		return nil, err
+	}
+	arena := sim.NewArena()
+	obs := newObserver(opts.N)
+
+	for idx := opts.StartRun + wid; idx < opts.StartRun+opts.Runs; idx += workers {
+		if budgetHit.Load() {
+			break
+		}
+		if !deadline.IsZero() && time.Now().After(deadline) {
+			budgetHit.Store(true)
+			break
+		}
+		panicked := oneRun(scen, w, opts, maxSteps, thresh, mem, procs, arena, obs, st, idx)
+		if panicked {
+			// The interrupted run left the instance and arena in an
+			// unknown state (parked coroutines are reclaimed by the GC);
+			// rebuild both before the next run.
+			mem, procs, err = w.Build(opts.N)
+			if err != nil {
+				return nil, fmt.Errorf("rebuild after panic: %w", err)
+			}
+			arena = sim.NewArena()
+		}
+	}
+	return st, nil
+}
+
+// oneRun executes run idx of the cell, recovering a body panic (reported
+// via st and the return value rather than unwinding the fleet).
+func oneRun(scen Scenario, w Workload, opts Options, maxSteps int, thresh []int64, mem *sim.Memory, procs []sim.ProcFunc, arena *sim.Arena, obs *observer, st *CellStats, idx int) (panicked bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			panicked = true
+			st.Runs++
+			st.Panics++
+			if st.FirstPanic == "" || int64(idx) < st.PanicRun {
+				st.FirstPanic = fmt.Sprint(r)
+				st.PanicRun = int64(idx)
+			}
+		}
+	}()
+
+	seed := RunSeed(opts.Seed, scen.Name, w.Name, idx)
+	rng := rand.New(rand.NewSource(seed))
+	sched := scen.Sched(rng, opts.N, maxSteps, w)
+	res, err := sim.Run(sim.Config{Mem: mem, Procs: procs, Sched: sched, MaxSteps: maxSteps, Reuse: arena})
+	if err != nil {
+		// Configuration errors cannot depend on the run index; surface
+		// them as a panic so the cell degrades rather than the fleet dying.
+		panic(fmt.Sprintf("fleet: run config: %v", err))
+	}
+	st.Runs++
+	t := res.Trace
+	if res.Err != nil {
+		st.AccessErr++
+	}
+	if t.Stop == sim.StopMaxSteps {
+		st.Truncated++
+	}
+	obs.observe(t, thresh, st)
+
+	verr := w.Check(t)
+	if verr == nil && res.Err == nil && w.ExpectTermination && t.Stop != sim.StopMaxSteps {
+		if pid, ok := unterminated(t); ok {
+			verr = fmt.Errorf("process %d started but neither terminated nor crashed", pid)
+		}
+	}
+	if verr != nil {
+		st.Violations++
+		if st.First == nil || idx < st.First.Run {
+			st.First = &FoundViolation{
+				Run:      idx,
+				Seed:     seed,
+				Schedule: t.Schedule(),
+				Err:      verr.Error(),
+			}
+		}
+	}
+	return false
+}
+
+// unterminated scans a non-truncated trace for a process that started but
+// neither terminated nor crashed.
+func unterminated(t *sim.Trace) (int, bool) {
+	for pid := 0; pid < t.NumProcs; pid++ {
+		if t.FirstEvent(pid) >= 0 && !t.Done(pid) && !t.Crashed(pid) {
+			return pid, true
+		}
+	}
+	return -1, false
+}

@@ -1,0 +1,223 @@
+package fleet
+
+// Coverage for the fleet's load-bearing contracts: bit-identical
+// determinism at any worker count, resumability from (scenario, run
+// index), graceful degradation on panicking workloads, and the
+// promotion pipeline (replay, minimization, artifact round-trip).
+
+import (
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// smallFleet runs a quick fleet over the given scenarios.
+func smallFleet(t *testing.T, scenarios []string, n, runs, workers, start int) *Report {
+	t.Helper()
+	rep, err := Run(Options{
+		Seed: 99, N: n, Runs: runs, StartRun: start,
+		Scenarios: scenarios, Workers: workers,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+// TestFleetDeterministicAcrossWorkerCounts pins the fleet's central
+// contract: identical Options produce bit-identical statistics at any
+// worker count, because per-run seeds depend only on (seed, scenario,
+// workload, run index) and the estimators are exact integer accumulators
+// merged order-independently.
+func TestFleetDeterministicAcrossWorkerCounts(t *testing.T) {
+	scenarios := []string{"uniform", "crashstorm"}
+	serial := smallFleet(t, scenarios, 5, 40, 1, 0)
+	parallel := smallFleet(t, scenarios, 5, 40, 4, 0)
+
+	if len(serial.Cells) == 0 || len(serial.Cells) != len(parallel.Cells) {
+		t.Fatalf("cell counts differ: %d vs %d", len(serial.Cells), len(parallel.Cells))
+	}
+	for i, a := range serial.Cells {
+		b := parallel.Cells[i]
+		if !reflect.DeepEqual(*a, *b) {
+			t.Errorf("cell %s/%s differs between 1 and 4 workers:\n  %+v\n  %+v", a.Scenario, a.Workload, *a, *b)
+		}
+	}
+	if serial.TotalEvents() == 0 {
+		t.Fatal("fleet ran no events")
+	}
+}
+
+// TestFleetResumable checks StartRun: the second half of a fleet run,
+// started from its offset, reproduces exactly the runs the full fleet
+// executed for those indices.
+func TestFleetResumable(t *testing.T) {
+	full := smallFleet(t, []string{"uniform"}, 4, 40, 2, 0)
+	firstHalf := smallFleet(t, []string{"uniform"}, 4, 20, 2, 0)
+	secondHalf := smallFleet(t, []string{"uniform"}, 4, 20, 2, 20)
+
+	for i, f := range full.Cells {
+		a, b := firstHalf.Cells[i], secondHalf.Cells[i]
+		if got, want := a.Runs+b.Runs, f.Runs; got != want {
+			t.Fatalf("%s: split runs %d, full %d", f.Workload, got, want)
+		}
+		if got, want := a.Events+b.Events, f.Events; got != want {
+			t.Fatalf("%s: split events %d, full %d", f.Workload, got, want)
+		}
+		if got, want := a.Steps.Sum+b.Steps.Sum, f.Steps.Sum; got != want {
+			t.Fatalf("%s: split step sum %d, full %d", f.Workload, got, want)
+		}
+	}
+}
+
+// TestFleetFindsSeededViolationResumably runs the broken scenario, then
+// re-runs just the violating index via StartRun and requires the same
+// violation (run, seed and schedule) — the fleet's reproduce-one-run
+// contract.
+func TestFleetFindsSeededViolationResumably(t *testing.T) {
+	rep := smallFleet(t, []string{"broken"}, 6, 200, 4, 0)
+	var first *FoundViolation
+	for _, c := range rep.Cells {
+		if c.First != nil {
+			first = c.First
+		}
+	}
+	if first == nil {
+		t.Fatal("broken scenario found no violation in 200 runs")
+	}
+
+	again := smallFleet(t, []string{"broken"}, 6, 1, 1, first.Run)
+	var redo *FoundViolation
+	for _, c := range again.Cells {
+		if c.First != nil {
+			redo = c.First
+		}
+	}
+	if redo == nil {
+		t.Fatalf("re-running index %d alone found no violation", first.Run)
+	}
+	if redo.Run != first.Run || redo.Seed != first.Seed || !reflect.DeepEqual(redo.Schedule, first.Schedule) {
+		t.Fatalf("resumed violation differs:\n  full %+v\n  solo %+v", first, redo)
+	}
+}
+
+// TestFleetDegradesOnPanic drives the deliberately panicking workload
+// and requires the scenario to finish degraded — recorded, never fatal.
+func TestFleetDegradesOnPanic(t *testing.T) {
+	rep := smallFleet(t, []string{"panic"}, 6, 50, 2, 0)
+	if !rep.Degraded() {
+		t.Fatal("panic scenario should degrade the fleet")
+	}
+	var st *ScenarioStatus
+	for i := range rep.Scenarios {
+		if rep.Scenarios[i].Name == "panic" {
+			st = &rep.Scenarios[i]
+		}
+	}
+	if st == nil || !st.Degraded || st.Reason != "panic" {
+		t.Fatalf("scenario status = %+v, want degraded with reason panic", st)
+	}
+	var panics int64
+	for _, c := range rep.Cells {
+		panics += c.Panics
+	}
+	if panics == 0 {
+		t.Fatal("no panics recorded in cell stats")
+	}
+}
+
+// TestFleetDegradesOnBudget checks the wall-clock budget path: an
+// impossible budget degrades every scenario instead of erroring.
+func TestFleetDegradesOnBudget(t *testing.T) {
+	rep, err := Run(Options{
+		Seed: 3, N: 4, Runs: 10_000, Scenarios: []string{"uniform"},
+		Workers: 2, Budget: time.Nanosecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Degraded() {
+		t.Fatal("nanosecond budget should degrade the scenario")
+	}
+	if got := rep.Scenarios[0].Reason; got != "budget" {
+		t.Fatalf("degradation reason = %q, want budget", got)
+	}
+}
+
+// TestPromoteMinimizesAndRoundTrips promotes a violation from the
+// broken scenario, checks the minimized schedule still violates under
+// Replay, and round-trips the artifact through disk.
+func TestPromoteMinimizesAndRoundTrips(t *testing.T) {
+	rep := smallFleet(t, []string{"broken"}, 6, 200, 4, 0)
+	var cell *CellStats
+	for _, c := range rep.Cells {
+		if c.First != nil {
+			cell = c
+		}
+	}
+	if cell == nil {
+		t.Fatal("no violation to promote")
+	}
+	a, err := Promote(cell)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Schedule) > len(cell.First.Schedule) {
+		t.Fatalf("minimized schedule grew: %d > %d", len(a.Schedule), len(cell.First.Schedule))
+	}
+	verr, err := Replay(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if verr == nil {
+		t.Fatal("minimized artifact no longer violates")
+	}
+	if verr.Error() != a.Err {
+		t.Fatalf("artifact err %q, replay err %q", a.Err, verr)
+	}
+
+	dir := t.TempDir()
+	path, err := a.WriteArtifact(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Dir(path) != dir {
+		t.Fatalf("artifact written to %s, want under %s", path, dir)
+	}
+	b, err := LoadArtifact(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("artifact round-trip drifted:\n  wrote %+v\n  read  %+v", a, b)
+	}
+}
+
+// TestRunSeedContract pins the derived-seed function: stable across
+// calls (golden value) and sensitive to every input. Changing RunSeed
+// breaks the reproducibility of every recorded (seed, scenario,
+// workload, run) coordinate, including committed regression artifacts'
+// provenance — this test makes that an explicit decision.
+func TestRunSeedContract(t *testing.T) {
+	const golden = int64(5566432449025735299)
+	if got := RunSeed(1, "uniform", "mutex/lamport", 0); got != golden {
+		t.Fatalf("RunSeed(1, uniform, mutex/lamport, 0) = %d, want %d", got, golden)
+	}
+	base := RunSeed(1, "uniform", "mutex/lamport", 0)
+	for name, other := range map[string]int64{
+		"seed":     RunSeed(2, "uniform", "mutex/lamport", 0),
+		"scenario": RunSeed(1, "burst", "mutex/lamport", 0),
+		"workload": RunSeed(1, "uniform", "mutex/tas-lock", 0),
+		"run":      RunSeed(1, "uniform", "mutex/lamport", 1),
+	} {
+		if other == base {
+			t.Errorf("RunSeed insensitive to %s", name)
+		}
+	}
+	// The (scenario, workload) boundary is delimited: moving a byte across
+	// it must change the seed.
+	if RunSeed(1, "ab", "c", 0) == RunSeed(1, "a", "bc", 0) {
+		t.Error("RunSeed does not delimit scenario and workload")
+	}
+}

@@ -1,0 +1,204 @@
+package fleet
+
+import (
+	"cfc/internal/metrics"
+	"cfc/internal/sim"
+)
+
+// CellStats aggregates one (scenario, workload) cell of the fleet matrix.
+// All counters are exact integers (see metrics.Estimator), so per-worker
+// stats merge to bit-identical totals regardless of how the OS interleaved
+// the workers.
+type CellStats struct {
+	Scenario string
+	Workload string
+	N        int
+
+	// Runs executed, total events generated, runs stopped by the step
+	// budget, and runs aborted by an illegal access.
+	Runs      int64
+	Events    int64
+	Truncated int64
+	AccessErr int64
+
+	// Steps and BitSteps estimate the per-attempt shared-access cost (an
+	// attempt is one lock/unlock round or one one-shot task execution; the
+	// paper's step and bit-step complexity). Contention estimates the
+	// per-run maximum number of simultaneously competing processes.
+	// FastPath is a 0/1 estimator: the fraction of attempts completing
+	// within the workload's contention-free (solo) step count.
+	Steps      metrics.Estimator
+	BitSteps   metrics.Estimator
+	Contention metrics.Estimator
+	FastPath   metrics.Estimator
+
+	// Attempts counts completed attempts (crash-aborted ones are not
+	// observed). Crashes and Restarts count injected faults.
+	Attempts int64
+	Crashes  int64
+	Restarts int64
+
+	// Violations counts runs whose trace failed the workload's safety
+	// property (or terminated without every started process finishing,
+	// for ExpectTermination workloads). First is the earliest violating
+	// run, kept for promotion.
+	Violations int64
+	First      *FoundViolation
+
+	// Panics counts runs whose body panicked (recovered per run; the
+	// scenario is then degraded). FirstPanic describes the earliest one,
+	// at run index PanicRun.
+	Panics     int64
+	FirstPanic string
+	PanicRun   int64
+}
+
+// FoundViolation is a safety violation found by the fleet, pinned to the
+// exact run and decision schedule that produced it.
+type FoundViolation struct {
+	Run      int    // run index within the cell
+	Seed     int64  // derived per-run seed
+	Schedule []int  // decision schedule (sim schedule-entry encoding)
+	Err      string // property error
+}
+
+// merge folds o (a worker's partial stats for the same cell) into s,
+// keeping the earliest violation and panic.
+func (s *CellStats) merge(o *CellStats) {
+	s.Runs += o.Runs
+	s.Events += o.Events
+	s.Truncated += o.Truncated
+	s.AccessErr += o.AccessErr
+	s.Steps.Merge(o.Steps)
+	s.BitSteps.Merge(o.BitSteps)
+	s.Contention.Merge(o.Contention)
+	s.FastPath.Merge(o.FastPath)
+	s.Attempts += o.Attempts
+	s.Crashes += o.Crashes
+	s.Restarts += o.Restarts
+	s.Violations += o.Violations
+	if o.First != nil && (s.First == nil || o.First.Run < s.First.Run) {
+		s.First = o.First
+	}
+	if o.Panics > 0 && (s.Panics == 0 || o.PanicRun < s.PanicRun) {
+		s.FirstPanic, s.PanicRun = o.FirstPanic, o.PanicRun
+	}
+	s.Panics += o.Panics
+}
+
+// observer extracts the per-attempt and per-run metrics from one trace in
+// a single pass. It is reused across a worker's runs to stay off the
+// allocator.
+type observer struct {
+	active []bool  // pid -> inside an attempt
+	steps  []int64 // pid -> accesses of the open attempt
+	bits   []int64 // pid -> access bits of the open attempt
+}
+
+func newObserver(n int) *observer {
+	return &observer{
+		active: make([]bool, n),
+		steps:  make([]int64, n),
+		bits:   make([]int64, n),
+	}
+}
+
+// observe scans the trace and folds its metrics into st. thresh[pid] is
+// the pid's contention-free (solo) step count, the fast-path cutoff.
+func (o *observer) observe(t *sim.Trace, thresh []int64, st *CellStats) {
+	for pid := range o.active {
+		o.active[pid] = false
+	}
+	inAttempt := 0
+	maxContention := 0
+
+	open := func(pid int) {
+		if !o.active[pid] {
+			o.active[pid] = true
+			o.steps[pid], o.bits[pid] = 0, 0
+			inAttempt++
+			if inAttempt > maxContention {
+				maxContention = inAttempt
+			}
+		}
+	}
+	abort := func(pid int) {
+		if o.active[pid] {
+			o.active[pid] = false
+			inAttempt--
+		}
+	}
+	finish := func(pid int) {
+		if !o.active[pid] {
+			return
+		}
+		st.Attempts++
+		st.Steps.Observe(o.steps[pid])
+		st.BitSteps.Observe(o.bits[pid])
+		fast := int64(0)
+		if o.steps[pid] <= thresh[pid] {
+			fast = 1
+		}
+		st.FastPath.Observe(fast)
+		o.active[pid] = false
+		inAttempt--
+	}
+
+	for i := range t.Events {
+		e := &t.Events[i]
+		switch e.Kind {
+		case sim.KindAccess:
+			// Mutex bodies open attempts with a PhaseTry mark; one-shot
+			// task bodies open implicitly at their first access.
+			open(e.PID)
+			o.steps[e.PID]++
+			o.bits[e.PID] += int64(e.Width)
+		case sim.KindMark:
+			switch e.Phase {
+			case sim.PhaseTry:
+				open(e.PID)
+			case sim.PhaseRemainder, sim.PhaseDone:
+				finish(e.PID)
+			}
+		case sim.KindCrash:
+			st.Crashes++
+			abort(e.PID)
+		case sim.KindRestart:
+			st.Restarts++
+		}
+	}
+	if maxContention > 0 {
+		st.Contention.Observe(int64(maxContention))
+	}
+	st.Events += int64(len(t.Events))
+}
+
+// soloThresholds measures the contention-free step count of every process
+// of the workload: thresh[pid] is the number of shared accesses pid
+// performs running alone (the paper's contention-free complexity, and the
+// fleet's fast-path cutoff). One build, n solo runs on the inline engine.
+func soloThresholds(w Workload, n int) ([]int64, error) {
+	mem, procs, err := w.Build(n)
+	if err != nil {
+		return nil, err
+	}
+	arena := sim.NewArena()
+	thresh := make([]int64, n)
+	for pid := 0; pid < n; pid++ {
+		res, err := sim.Run(sim.Config{Mem: mem, Procs: procs, Sched: sim.Solo{PID: pid}, Reuse: arena})
+		if err != nil {
+			return nil, err
+		}
+		if res.Err != nil {
+			return nil, res.Err
+		}
+		var steps int64
+		for i := range res.Trace.Events {
+			if e := &res.Trace.Events[i]; e.PID == pid && e.Kind == sim.KindAccess {
+				steps++
+			}
+		}
+		thresh[pid] = steps
+	}
+	return thresh, nil
+}

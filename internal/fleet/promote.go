@@ -1,0 +1,205 @@
+package fleet
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"cfc/internal/sim"
+)
+
+// ArtifactSchema identifies the regression-artifact JSON layout.
+const ArtifactSchema = "cfc-fleet-regression-v1"
+
+// Artifact is a promoted safety violation: everything needed to rebuild
+// the workload and replay the exact decision schedule, deterministically,
+// forever. The checker's regression test replays every artifact committed
+// under its testdata.
+type Artifact struct {
+	Schema   string `json:"schema"`
+	Workload string `json:"workload"`
+	N        int    `json:"n"`
+	// Scenario, Seed and Run record where the fleet found the violation
+	// (Seed is the run's derived seed, RunSeed(fleet seed, Scenario,
+	// Workload, Run)). Informational: replay depends only on Workload, N
+	// and Schedule.
+	Scenario string `json:"scenario,omitempty"`
+	Seed     int64  `json:"seed"`
+	Run      int    `json:"run"`
+	// Schedule is the decision schedule in the sim schedule-entry
+	// encoding (sim.StepEntry / CrashEntry / RestartEntry).
+	Schedule []int `json:"schedule"`
+	// Err is the property error the schedule reproduces.
+	Err string `json:"err"`
+	// Minimized reports that the schedule survived minimization (shortest
+	// violating prefix, then greedy entry removal).
+	Minimized bool `json:"minimized"`
+}
+
+// Promote verifies that the violation found in cell reproduces under a
+// deterministic Session.Seek replay of its schedule, minimizes the
+// schedule, and returns the regression artifact. It fails if the replay
+// does not reproduce a violation (which would mean the workload is not
+// deterministic — worth failing loudly over).
+func Promote(cell *CellStats) (*Artifact, error) {
+	if cell.First == nil {
+		return nil, fmt.Errorf("fleet: cell %s/%s has no violation to promote", cell.Scenario, cell.Workload)
+	}
+	w, ok := ByName(cell.Workload, cell.N)
+	if !ok {
+		return nil, fmt.Errorf("fleet: unknown workload %q", cell.Workload)
+	}
+	v := cell.First
+	mem, procs, err := w.Build(cell.N)
+	if err != nil {
+		return nil, err
+	}
+	s, err := sim.StartSession(sim.Config{Mem: mem, Procs: procs, MaxSteps: len(v.Schedule) + 1})
+	if err != nil {
+		return nil, err
+	}
+	defer s.Close()
+
+	// violates replays a candidate schedule and reports whether it still
+	// fails the property; a Seek error means the candidate is not a legal
+	// schedule of the program (possible after removing an entry another
+	// decision depended on), so the candidate is rejected.
+	violates := func(schedule []int) bool {
+		if err := s.Seek(schedule); err != nil {
+			return false
+		}
+		return w.Check(s.Trace()) != nil
+	}
+
+	if !violates(v.Schedule) {
+		return nil, fmt.Errorf("fleet: %s/%s run %d: violation did not reproduce under Seek replay (nondeterministic workload?)",
+			cell.Scenario, cell.Workload, v.Run)
+	}
+	minimized := minimize(v.Schedule, violates)
+
+	// Re-derive the property error from the minimized schedule (the
+	// original run's error may cite event indices past the minimized
+	// prefix).
+	errStr := v.Err
+	if err := s.Seek(minimized); err == nil {
+		if verr := w.Check(s.Trace()); verr != nil {
+			errStr = verr.Error()
+		}
+	}
+
+	return &Artifact{
+		Schema:    ArtifactSchema,
+		Workload:  cell.Workload,
+		N:         cell.N,
+		Scenario:  cell.Scenario,
+		Seed:      v.Seed,
+		Run:       v.Run,
+		Schedule:  minimized,
+		Err:       errStr,
+		Minimized: len(minimized) < len(v.Schedule),
+	}, nil
+}
+
+// minimize shrinks a violating schedule: first a binary search for the
+// shortest violating prefix (safety properties are monotone on prefixes —
+// extending a run never un-violates it), then a greedy backward pass
+// removing single entries. Each candidate is re-verified by replay;
+// candidates that are no longer legal schedules are simply kept out.
+func minimize(schedule []int, violates func([]int) bool) []int {
+	cur := append([]int(nil), schedule...)
+
+	// Shortest violating prefix by binary search.
+	lo, hi := 1, len(cur)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if violates(cur[:mid]) {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	cur = cur[:hi]
+
+	// Greedy single-entry removal, scanning backward so indices stay
+	// valid as the schedule shrinks.
+	scratch := make([]int, 0, len(cur))
+	for i := len(cur) - 1; i >= 0; i-- {
+		scratch = append(scratch[:0], cur[:i]...)
+		scratch = append(scratch, cur[i+1:]...)
+		if violates(scratch) {
+			cur = append(cur[:0], scratch...)
+		}
+	}
+	return cur
+}
+
+// Replay rebuilds the artifact's workload, replays its schedule with
+// Session.Seek and returns the property error it reproduces (nil means
+// the artifact no longer violates — a fixed bug, or a broken artifact).
+func Replay(a *Artifact) (error, error) {
+	if a.Schema != ArtifactSchema {
+		return nil, fmt.Errorf("fleet: unknown artifact schema %q", a.Schema)
+	}
+	w, ok := ByName(a.Workload, a.N)
+	if !ok {
+		return nil, fmt.Errorf("fleet: unknown workload %q", a.Workload)
+	}
+	mem, procs, err := w.Build(a.N)
+	if err != nil {
+		return nil, err
+	}
+	s, err := sim.StartSession(sim.Config{Mem: mem, Procs: procs, MaxSteps: len(a.Schedule) + 1})
+	if err != nil {
+		return nil, err
+	}
+	defer s.Close()
+	if err := s.Seek(a.Schedule); err != nil {
+		return nil, fmt.Errorf("fleet: artifact schedule does not replay: %w", err)
+	}
+	return w.Check(s.Trace()), nil
+}
+
+// LoadArtifact reads one artifact from a JSON file.
+func LoadArtifact(path string) (*Artifact, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var a Artifact
+	if err := json.Unmarshal(data, &a); err != nil {
+		return nil, fmt.Errorf("fleet: %s: %w", path, err)
+	}
+	return &a, nil
+}
+
+// WriteArtifact writes the artifact as pretty-printed JSON under dir,
+// named after its workload and run, and returns the path.
+func (a *Artifact) WriteArtifact(dir string) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	name := fmt.Sprintf("%s-run%d.json", sanitize(a.Workload), a.Run)
+	path := filepath.Join(dir, name)
+	data, err := json.MarshalIndent(a, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return "", err
+	}
+	return path, nil
+}
+
+func sanitize(s string) string {
+	out := []byte(s)
+	for i, c := range out {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '-', c == '.':
+		default:
+			out[i] = '_'
+		}
+	}
+	return string(out)
+}

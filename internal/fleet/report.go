@@ -1,0 +1,64 @@
+package fleet
+
+import (
+	"fmt"
+
+	"cfc/internal/experiments"
+	"cfc/internal/metrics"
+)
+
+// Tables renders the report as one experiments.Table per scenario, with
+// confidence-intervalled estimates of the paper's metrics per workload.
+func (r *Report) Tables() []*experiments.Table {
+	var tables []*experiments.Table
+	for _, sc := range r.Scenarios {
+		t := &experiments.Table{
+			Title:  fmt.Sprintf("fleet scenario %q (n=%d, seed=%d)", sc.Name, r.N, r.Seed),
+			Header: []string{"workload", "runs", "attempts", "steps/attempt", "bit-steps/attempt", "contention", "fast-path", "trunc", "viol", "panic"},
+		}
+		for _, c := range r.Cells {
+			if c.Scenario != sc.Name {
+				continue
+			}
+			t.Rows = append(t.Rows, []string{
+				c.Workload,
+				fmt.Sprintf("%d", c.Runs),
+				fmt.Sprintf("%d", c.Attempts),
+				ci(&c.Steps),
+				ci(&c.BitSteps),
+				ci(&c.Contention),
+				rate(&c.FastPath),
+				fmt.Sprintf("%d", c.Truncated),
+				fmt.Sprintf("%d", c.Violations),
+				fmt.Sprintf("%d", c.Panics),
+			})
+		}
+		status := "ok"
+		if sc.Degraded {
+			status = "DEGRADED (" + sc.Reason + ")"
+		}
+		t.Notes = append(t.Notes,
+			fmt.Sprintf("status: %s; %d runs, %d events, %.2fs", status, sc.Runs, sc.Events, sc.Elapsed.Seconds()),
+			"steps/bit-steps: mean ± 95% CI per completed attempt; contention: per-run max competing processes",
+			"fast-path: fraction of attempts within the workload's contention-free (solo) step count",
+		)
+		tables = append(tables, t)
+	}
+	return tables
+}
+
+// ci renders an estimator as "mean ± ci".
+func ci(e *metrics.Estimator) string {
+	if e.N == 0 {
+		return "n/a"
+	}
+	return fmt.Sprintf("%.2f ± %.2f", e.Mean(), e.CI95())
+}
+
+// rate renders a 0/1 estimator as a percentage with CI.
+func rate(e *metrics.Estimator) string {
+	if e.N == 0 {
+		return "n/a"
+	}
+	return fmt.Sprintf("%.1f%% ± %.1f", 100*e.Mean(), 100*e.CI95())
+}

@@ -1,0 +1,186 @@
+package fleet
+
+import (
+	"math/rand"
+
+	"cfc/internal/adversary"
+	"cfc/internal/sim"
+)
+
+// Scenario is one row of the fleet's matrix: a fault/arrival regime (a
+// seeded scheduler factory) crossed with the workloads it drives. Every
+// run of a scenario draws its scheduler from a rand.Rand derived purely
+// from (fleet seed, scenario, workload, run index), so any single run —
+// in particular a violating one — is reproducible in isolation.
+type Scenario struct {
+	// Name identifies the scenario ("crashstorm", "burst", ...).
+	Name string
+	// Desc is a one-line description for reports.
+	Desc string
+	// Broken marks harness-validation scenarios driving deliberately
+	// faulty workloads; they are excluded from DefaultScenarios.
+	Broken bool
+	// Workloads returns the workloads the scenario drives at n.
+	Workloads func(n int) []Workload
+	// Sched draws the run's scheduler. The workload is passed so fault
+	// injection can respect per-workload fault models (see stormFor).
+	Sched func(rng *rand.Rand, n, maxSteps int, w Workload) sim.Scheduler
+}
+
+// restartSafe reports whether process pid of workload w may be revived
+// after a crash (crash/recovery), as opposed to crash-stop only.
+//
+// A restart re-runs the process body from scratch against the surviving
+// registers. For the mutex portfolio that is equivalent to the process
+// abandoning its attempt and starting a fresh one — entry codes tolerate
+// arbitrary competing invocations, and a crashed incarnation's abandoned
+// registers look like a competitor that has stopped taking steps, which
+// the asynchronous adversary may produce anyway. One-shot splitter and
+// balancer protocols are different: they budget exactly one pass per
+// process, and a dead incarnation's pass shifts the shared state — e.g. a
+// third pass through a test-and-flip balancer lets two live processes draw
+// the same name. Those workloads get crash-stop faults only, which the
+// paper's model (and their correctness arguments) cover.
+func restartSafe(w Workload, pid int) bool {
+	switch w.Kind {
+	case KindMutex:
+		return true
+	case KindMixed:
+		return pid%2 == 0 // even pids run the mutex body (see MixedWorkloads)
+	default:
+		return false
+	}
+}
+
+// stormFor draws a crash/recovery storm for one run, demoting windows on
+// non-restart-safe processes to crash-stop.
+func stormFor(rng *rand.Rand, n, maxSteps int, w Workload) map[int][]sim.CrashWindow {
+	ws := adversary.StormWindows(rng, n, n/4+1, 2, maxSteps/2)
+	for pid, list := range ws {
+		if restartSafe(w, pid) {
+			continue
+		}
+		list[0].Restart = -1
+		ws[pid] = list[:1]
+	}
+	return ws
+}
+
+// Scenarios returns every scenario, including the Broken
+// harness-validation ones.
+func Scenarios() []Scenario {
+	return []Scenario{
+		{
+			Name:      "uniform",
+			Desc:      "uniformly random interleaving (baseline)",
+			Workloads: Portfolio,
+			Sched: func(rng *rand.Rand, n, maxSteps int, w Workload) sim.Scheduler {
+				return sim.NewRandom(rng.Int63())
+			},
+		},
+		{
+			Name:      "burst",
+			Desc:      "bursty arrival waves: random subsets monopolise the schedule",
+			Workloads: Portfolio,
+			Sched: func(rng *rand.Rand, n, maxSteps int, w Workload) sim.Scheduler {
+				return adversary.NewBurst(rng, n, n/3+1, 2*n)
+			},
+		},
+		{
+			Name:      "skew",
+			Desc:      "geometrically skewed process speeds: a few processes hog the schedule",
+			Workloads: Portfolio,
+			Sched: func(rng *rand.Rand, n, maxSteps int, w Workload) sim.Scheduler {
+				return adversary.NewSkew(rng, n, 0.85)
+			},
+		},
+		{
+			Name:      "waves",
+			Desc:      "alternating quiet (solo fast-path) and storm (full contention) periods",
+			Workloads: Portfolio,
+			Sched: func(rng *rand.Rand, n, maxSteps int, w Workload) sim.Scheduler {
+				return adversary.NewWave(rng, 3*n, 2*n)
+			},
+		},
+		{
+			Name:      "crashstorm",
+			Desc:      "crash/recovery storms over bursty arrivals (crash-stop for one-shot tasks)",
+			Workloads: Portfolio,
+			Sched: func(rng *rand.Rand, n, maxSteps int, w Workload) sim.Scheduler {
+				return &sim.Crasher{
+					Inner:   adversary.NewBurst(rng, n, n/3+1, 2*n),
+					Windows: stormFor(rng, n, maxSteps, w),
+				}
+			},
+		},
+		{
+			Name:      "mixed",
+			Desc:      "mutex and naming processes sharing one memory, bursty arrivals",
+			Workloads: MixedWorkloads,
+			Sched: func(rng *rand.Rand, n, maxSteps int, w Workload) sim.Scheduler {
+				return adversary.NewBurst(rng, n, n/3+1, 2*n)
+			},
+		},
+		{
+			Name:   "broken",
+			Desc:   "deliberately racy mutex (validates violation promotion)",
+			Broken: true,
+			Workloads: func(n int) []Workload {
+				w, _ := ByName("broken/racy-mutex", n)
+				return []Workload{w}
+			},
+			Sched: func(rng *rand.Rand, n, maxSteps int, w Workload) sim.Scheduler {
+				return sim.NewRandom(rng.Int63())
+			},
+		},
+		{
+			Name:   "brokenstorm",
+			Desc:   "restart-unsafe mutex under crash/recovery storms (validates crash/restart entries in promoted schedules)",
+			Broken: true,
+			Workloads: func(n int) []Workload {
+				w, _ := ByName("broken/restart-unsafe-mutex", n)
+				return []Workload{w}
+			},
+			Sched: func(rng *rand.Rand, n, maxSteps int, w Workload) sim.Scheduler {
+				return &sim.Crasher{
+					Inner:   sim.NewRandom(rng.Int63()),
+					Windows: stormFor(rng, n, maxSteps, w),
+				}
+			},
+		},
+		{
+			Name:   "panic",
+			Desc:   "deliberately panicking body (validates degraded-scenario handling)",
+			Broken: true,
+			Workloads: func(n int) []Workload {
+				w, _ := ByName("broken/panic-under-contention", n)
+				return []Workload{w}
+			},
+			Sched: func(rng *rand.Rand, n, maxSteps int, w Workload) sim.Scheduler {
+				return sim.NewRandom(rng.Int63())
+			},
+		},
+	}
+}
+
+// DefaultScenarios names the scenarios a plain fleet run drives: every
+// non-broken one.
+func DefaultScenarios() []string {
+	var names []string
+	for _, s := range Scenarios() {
+		if !s.Broken {
+			names = append(names, s.Name)
+		}
+	}
+	return names
+}
+
+// ScenarioByName finds a scenario (including broken ones) by name.
+func ScenarioByName(name string) (Scenario, bool) {
+	for _, s := range Scenarios() {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Scenario{}, false
+}

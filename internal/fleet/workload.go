@@ -1,0 +1,360 @@
+package fleet
+
+import (
+	"fmt"
+
+	"cfc/internal/contention"
+	"cfc/internal/driver"
+	"cfc/internal/metrics"
+	"cfc/internal/mutex"
+	"cfc/internal/naming"
+	"cfc/internal/opset"
+	"cfc/internal/sim"
+)
+
+// Kind classifies a workload for scheduling and reporting purposes.
+type Kind uint8
+
+const (
+	// KindMutex marks repeated lock/unlock attempts checked for mutual
+	// exclusion.
+	KindMutex Kind = iota + 1
+	// KindTask marks one-shot tasks (contention detection, naming)
+	// checked for their output property.
+	KindTask
+	// KindMixed marks combined workloads (mutex and naming processes
+	// sharing one memory) checked for both properties.
+	KindMixed
+)
+
+// Workload is one named program family of the portfolio: a builder
+// parameterised by process count plus the safety property every trace
+// must satisfy. The same registry backs the model checker's exhaustive
+// portfolio (cmd/cfccheck, small n) and the fleet's randomized storms
+// (cmd/cfcfleet, n = 16-64): both check the identical programs, so a
+// fleet-found violation replays under the checker's session machinery
+// unchanged.
+type Workload struct {
+	// Name identifies the workload ("mutex/lamport", "naming/taf-tree",
+	// "broken/racy-mutex", ...). Names are stable: regression artifacts
+	// reference workloads by name.
+	Name string
+	// Kind classifies the workload.
+	Kind Kind
+	// Broken marks deliberately unsafe workloads used to validate the
+	// harness (violation promotion, regression replay). Never part of
+	// Portfolio.
+	Broken bool
+	// ExpectTermination marks one-shot workloads whose maximal runs must
+	// end with every started process terminated or crashed.
+	ExpectTermination bool
+	// Build constructs a fresh program instance for n processes. It must
+	// be deterministic (see check.Builder, which it satisfies once bound
+	// to an n).
+	Build func(n int) (*sim.Memory, []sim.ProcFunc, error)
+	// Check is the safety property of the workload's traces.
+	Check func(t *sim.Trace) error
+}
+
+// Builder binds the workload to a process count, yielding exactly the
+// check.Builder shape the model checker consumes.
+func (w Workload) Builder(n int) func() (*sim.Memory, []sim.ProcFunc, error) {
+	return func() (*sim.Memory, []sim.ProcFunc, error) { return w.Build(n) }
+}
+
+// mutexWorkload wraps one mutex algorithm as a workload: every process
+// performs one marked lock/unlock round (the builder the checker has
+// always explored, kept identical so state counts stay comparable).
+func mutexWorkload(alg mutex.Algorithm) Workload {
+	return Workload{
+		Name: "mutex/" + alg.Name(),
+		Kind: KindMutex,
+		Build: func(n int) (*sim.Memory, []sim.ProcFunc, error) {
+			mem := sim.NewMemory(alg.Model())
+			inst, err := alg.New(mem, n)
+			if err != nil {
+				return nil, nil, err
+			}
+			procs := make([]sim.ProcFunc, n)
+			for pid := range procs {
+				procs[pid] = driver.MutexBody(inst, 1, 0)
+			}
+			return mem, procs, nil
+		},
+		Check: metrics.CheckMutualExclusion,
+	}
+}
+
+func taskWorkload(name string, kind Kind, expectTerm bool, newInst func(mem *sim.Memory, n int) (driver.TaskRunner, error), model opset.Model, check func(t *sim.Trace) error) Workload {
+	return Workload{
+		Name:              name,
+		Kind:              kind,
+		ExpectTermination: expectTerm,
+		Build: func(n int) (*sim.Memory, []sim.ProcFunc, error) {
+			mem := sim.NewMemory(model)
+			inst, err := newInst(mem, n)
+			if err != nil {
+				return nil, nil, err
+			}
+			procs := make([]sim.ProcFunc, n)
+			for pid := range procs {
+				procs[pid] = driver.TaskBody(inst)
+			}
+			return mem, procs, nil
+		},
+		Check: check,
+	}
+}
+
+// MutexWorkloads returns the mutual-exclusion portfolio for n processes
+// (the two-process-only algorithms appear only at n = 2).
+func MutexWorkloads(n int) []Workload {
+	algs := []mutex.Algorithm{
+		mutex.Lamport{},
+		mutex.PackedLamport{},
+		mutex.TASLock{},
+		mutex.TTASLock{},
+		mutex.Tournament{L: 1},
+		mutex.Tournament{L: 1, Node: mutex.NodeKessels},
+		mutex.Tournament{L: 2},
+	}
+	if n == 2 {
+		algs = append(algs, mutex.Peterson{}, mutex.Kessels{})
+	}
+	out := make([]Workload, 0, len(algs))
+	for _, alg := range algs {
+		out = append(out, mutexWorkload(alg))
+	}
+	return out
+}
+
+// DetectionWorkloads returns the contention-detection portfolio.
+func DetectionWorkloads(n int) []Workload {
+	dets := []contention.Detector{
+		contention.Splitter{},
+		contention.ChunkedSplitter{L: 1},
+		contention.ChunkedSplitter{L: 2},
+	}
+	out := make([]Workload, 0, len(dets))
+	for _, det := range dets {
+		det := det
+		out = append(out, taskWorkload(
+			"detection/"+det.Name(), KindTask, false,
+			func(mem *sim.Memory, n int) (driver.TaskRunner, error) { return det.New(mem, n) },
+			det.Model(),
+			func(t *sim.Trace) error { return metrics.CheckDetection(t, false) },
+		))
+	}
+	return out
+}
+
+// NamingWorkloads returns the naming portfolio.
+func NamingWorkloads(n int) []Workload {
+	algs := []naming.Algorithm{
+		naming.TAFTree{},
+		naming.TASTARTree{},
+		naming.TASScan{},
+		naming.TASBinSearch{},
+	}
+	out := make([]Workload, 0, len(algs))
+	for _, alg := range algs {
+		alg := alg
+		out = append(out, taskWorkload(
+			"naming/"+alg.Name(), KindTask, true,
+			func(mem *sim.Memory, n int) (driver.TaskRunner, error) { return alg.New(mem, n) },
+			alg.Model(),
+			metrics.CheckUniqueOutputs,
+		))
+	}
+	return out
+}
+
+// MixedWorkloads returns combined workloads: even pids run a mutex
+// algorithm, odd pids a naming algorithm, over one shared memory whose
+// model is the union of both requirements. Both safety properties are
+// checked on every trace. These are the fleet's "mixed naming+mutex"
+// scenarios; the checker can explore them too.
+func MixedWorkloads(n int) []Workload {
+	combos := []struct {
+		m mutex.Algorithm
+		a naming.Algorithm
+	}{
+		{mutex.TASLock{}, naming.TASScan{}},
+		{mutex.Lamport{}, naming.TAFTree{}},
+	}
+	out := make([]Workload, 0, len(combos))
+	for _, c := range combos {
+		c := c
+		out = append(out, Workload{
+			Name: fmt.Sprintf("mixed/%s+%s", c.m.Name(), c.a.Name()),
+			Kind: KindMixed,
+			Build: func(n int) (*sim.Memory, []sim.ProcFunc, error) {
+				mem := sim.NewMemory(c.m.Model() | c.a.Model())
+				lock, err := c.m.New(mem, n)
+				if err != nil {
+					return nil, nil, err
+				}
+				task, err := c.a.New(mem, n)
+				if err != nil {
+					return nil, nil, err
+				}
+				procs := make([]sim.ProcFunc, n)
+				for pid := range procs {
+					if pid%2 == 0 {
+						procs[pid] = driver.MutexBody(lock, 1, 0)
+					} else {
+						procs[pid] = driver.TaskBody(task)
+					}
+				}
+				return mem, procs, nil
+			},
+			Check: func(t *sim.Trace) error {
+				if err := metrics.CheckMutualExclusion(t); err != nil {
+					return err
+				}
+				return metrics.CheckUniqueOutputs(t)
+			},
+		})
+	}
+	return out
+}
+
+// Portfolio returns every correct workload for n processes: the programs
+// the fleet storms and the checker proves at small n.
+func Portfolio(n int) []Workload {
+	var out []Workload
+	out = append(out, MutexWorkloads(n)...)
+	out = append(out, DetectionWorkloads(n)...)
+	out = append(out, NamingWorkloads(n)...)
+	out = append(out, MixedWorkloads(n)...)
+	return out
+}
+
+// racyLock is a deliberately broken mutex: the classic check-then-act
+// race (spin while the bit is set, then set it in a separate step). Two
+// processes can both observe 0 and both enter the critical section. It
+// exists to validate the harness end to end: the fleet must find the
+// violation, promote it to a regression schedule, and the schedule must
+// replay in the checker's regression test.
+type racyLock struct {
+	b sim.Reg
+}
+
+func (l racyLock) Lock(p *sim.Proc) {
+	for p.Read(l.b) != 0 {
+	}
+	p.Write(l.b, 1)
+}
+
+func (l racyLock) Unlock(p *sim.Proc) {
+	p.Write(l.b, 0)
+}
+
+// restartUnsafeLock is a deliberately restart-unsafe mutex. Without
+// crashes it is a correct test-and-set lock (the checker proves it at
+// small n): claimed[i] is set only while i holds the lock, so the
+// "recovery shortcut" in Lock never fires. Under crash/recovery it
+// breaks: Unlock releases the lock bit before clearing claimed[i], so a
+// process that crashes between the two writes and restarts takes the
+// shortcut straight into the critical section while another process
+// acquires the freed lock bit — two live processes in the critical
+// section, reachable only through a crash entry followed by a restart
+// entry. It pins the fleet's crash/restart schedule encoding in a
+// committed regression artifact.
+type restartUnsafeLock struct {
+	b       sim.Reg
+	claimed []sim.Reg
+}
+
+func (l restartUnsafeLock) Lock(p *sim.Proc) {
+	if p.Read(l.claimed[p.ID()]) != 0 {
+		return // recovery shortcut: "I must still hold it"
+	}
+	for p.TestAndSet(l.b) != 0 {
+	}
+	p.Write(l.claimed[p.ID()], 1)
+}
+
+func (l restartUnsafeLock) Unlock(p *sim.Proc) {
+	p.Write(l.b, 0) // bug: frees the lock before clearing the claim
+	p.Write(l.claimed[p.ID()], 0)
+}
+
+// FaultyWorkloads returns the deliberately broken workloads (never in
+// Portfolio): a racy mutex for violation-promotion validation, a
+// restart-unsafe mutex whose violations require crash/restart schedule
+// entries, and a panicking body for degraded-scenario validation.
+func FaultyWorkloads(n int) []Workload {
+	racy := Workload{
+		Name:   "broken/racy-mutex",
+		Kind:   KindMutex,
+		Broken: true,
+		Build: func(n int) (*sim.Memory, []sim.ProcFunc, error) {
+			mem := sim.NewMemory(opset.ModelOf(opset.Read, opset.Write0, opset.Write1))
+			l := racyLock{b: mem.Bit("lock")}
+			procs := make([]sim.ProcFunc, n)
+			for pid := range procs {
+				procs[pid] = driver.MutexBody(l, 1, 0)
+			}
+			return mem, procs, nil
+		},
+		Check: metrics.CheckMutualExclusion,
+	}
+	restartUnsafe := Workload{
+		Name:   "broken/restart-unsafe-mutex",
+		Kind:   KindMutex,
+		Broken: true,
+		Build: func(n int) (*sim.Memory, []sim.ProcFunc, error) {
+			mem := sim.NewMemory(opset.ModelOf(opset.Read, opset.Write0, opset.Write1, opset.TestAndSet))
+			l := restartUnsafeLock{b: mem.Bit("lock"), claimed: mem.Bits("claimed", n)}
+			procs := make([]sim.ProcFunc, n)
+			for pid := range procs {
+				procs[pid] = driver.MutexBody(l, 1, 0)
+			}
+			return mem, procs, nil
+		},
+		Check: metrics.CheckMutualExclusion,
+	}
+	panicky := Workload{
+		Name:   "broken/panic-under-contention",
+		Kind:   KindTask,
+		Broken: true,
+		Build: func(n int) (*sim.Memory, []sim.ProcFunc, error) {
+			mem := sim.NewMemory(opset.ModelOf(opset.Read, opset.Write0, opset.Write1))
+			x := mem.Bit("x")
+			procs := make([]sim.ProcFunc, n)
+			for pid := range procs {
+				pid := pid
+				procs[pid] = func(p *sim.Proc) {
+					if pid == 0 {
+						p.Write(x, 1)
+						p.Output(1)
+						return
+					}
+					if p.Read(x) != 0 {
+						panic("fleet: injected panic (deliberate, broken/panic-under-contention)")
+					}
+					p.Output(0)
+				}
+			}
+			return mem, procs, nil
+		},
+		Check: func(t *sim.Trace) error { return nil },
+	}
+	return []Workload{racy, restartUnsafe, panicky}
+}
+
+// ByName finds a workload (portfolio or faulty) by its stable name.
+func ByName(name string, n int) (Workload, bool) {
+	for _, w := range Portfolio(n) {
+		if w.Name == name {
+			return w, true
+		}
+	}
+	for _, w := range FaultyWorkloads(n) {
+		if w.Name == name {
+			return w, true
+		}
+	}
+	return Workload{}, false
+}

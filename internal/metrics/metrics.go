@@ -173,15 +173,19 @@ func MutexAttempts(t *sim.Trace) []Attempt {
 	}
 	nonRem, csExit := 0, 0
 	for s, e := range t.Events {
-		if e.Kind == sim.KindMark || e.Kind == sim.KindCrash {
+		if e.Kind == sim.KindMark || e.Kind == sim.KindCrash || e.Kind == sim.KindRestart {
 			// A crash behaves like termination for the side conditions: a
 			// failed process is treated as permanently in its remainder
 			// region (the paper's contention-free definition says "all
 			// other processes have either decided, or failed, or not
-			// started").
+			// started"). A restart undoes that: the revived body begins in
+			// its remainder region and competes anew.
 			ph := e.Phase
-			if e.Kind == sim.KindCrash {
+			switch e.Kind {
+			case sim.KindCrash:
 				ph = sim.PhaseDone
+			case sim.KindRestart:
+				ph = sim.PhaseRemainder
 			}
 			old := phase[e.PID]
 			oldNR := old != sim.PhaseRemainder && old != sim.PhaseDone
@@ -252,6 +256,13 @@ func MutexAttempts(t *sim.Trace) []Attempt {
 
 	for _, e := range t.Events {
 		switch e.Kind {
+		case sim.KindCrash:
+			// A crash aborts the open attempt: it is reported incomplete,
+			// and a restarted incarnation's next Try opens a fresh one.
+			if b, ok := open[e.PID]; ok {
+				finish(b, e.Seq, false)
+				delete(open, e.PID)
+			}
 		case sim.KindMark:
 			switch e.Phase {
 			case sim.PhaseTry:
@@ -401,6 +412,8 @@ func Tasks(t *sim.Trace) []Task {
 			}
 		case sim.KindCrash:
 			in.crashed = true
+		case sim.KindRestart:
+			in.crashed = false // revived: the execution continues
 		case sim.KindOutput:
 			in.out = e.Out
 			in.hasOut = true

@@ -34,6 +34,17 @@ func CheckMutualExclusion(t *sim.Trace) error {
 	var inCS uint64
 	count := 0
 	for _, e := range t.Events {
+		if e.Kind == sim.KindCrash {
+			// A crashed process is no longer executing its critical
+			// section; without this a crash-in-CS followed by a restart
+			// and a fresh CS entry would flag the process against itself.
+			bit := uint64(1) << uint(e.PID)
+			if inCS&bit != 0 {
+				inCS &^= bit
+				count--
+			}
+			continue
+		}
 		if e.Kind != sim.KindMark {
 			continue
 		}
@@ -70,6 +81,13 @@ func checkMutualExclusionWide(t *sim.Trace) error {
 	inCS := make([]bool, t.NumProcs)
 	count := 0
 	for _, e := range t.Events {
+		if e.Kind == sim.KindCrash {
+			if inCS[e.PID] {
+				inCS[e.PID] = false
+				count--
+			}
+			continue
+		}
 		if e.Kind != sim.KindMark {
 			continue
 		}

@@ -1,0 +1,102 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+)
+
+// Estimator accumulates integer samples of one metric and reports mean
+// and a normal-approximation 95% confidence interval. The fleet runner
+// feeds it per-run observations (bit-steps, contention, fast-path hits)
+// from millions of randomized runs.
+//
+// All accumulation is exact int64 arithmetic — sums and sums of squares —
+// so the result is independent of the order samples are merged in:
+// per-worker estimators combined with Merge give bit-identical estimates
+// no matter how the scheduler interleaved the workers. Floating point
+// only enters in the final Mean/CI reads.
+//
+// The zero value is an empty estimator ready for use.
+type Estimator struct {
+	// N is the number of samples.
+	N int64
+	// Sum and SumSq are the exact sample sum and sum of squares.
+	Sum   int64
+	SumSq int64
+	// Min and Max are the sample extremes (valid when N > 0).
+	Min int64
+	Max int64
+}
+
+// Observe adds one sample.
+func (e *Estimator) Observe(x int64) {
+	if e.N == 0 || x < e.Min {
+		e.Min = x
+	}
+	if e.N == 0 || x > e.Max {
+		e.Max = x
+	}
+	e.N++
+	e.Sum += x
+	e.SumSq += x * x
+}
+
+// Merge folds o into e. Because the accumulators are exact integers,
+// merging is associative and commutative: any merge tree over the same
+// samples yields the same estimator.
+func (e *Estimator) Merge(o Estimator) {
+	if o.N == 0 {
+		return
+	}
+	if e.N == 0 || o.Min < e.Min {
+		e.Min = o.Min
+	}
+	if e.N == 0 || o.Max > e.Max {
+		e.Max = o.Max
+	}
+	e.N += o.N
+	e.Sum += o.Sum
+	e.SumSq += o.SumSq
+}
+
+// Mean returns the sample mean (0 for an empty estimator).
+func (e *Estimator) Mean() float64 {
+	if e.N == 0 {
+		return 0
+	}
+	return float64(e.Sum) / float64(e.N)
+}
+
+// Variance returns the unbiased sample variance (0 with fewer than two
+// samples).
+func (e *Estimator) Variance() float64 {
+	if e.N < 2 {
+		return 0
+	}
+	n := float64(e.N)
+	mean := e.Mean()
+	// Unbiased: (SumSq - n*mean^2) / (n-1), computed from the exact sums.
+	v := (float64(e.SumSq) - n*mean*mean) / (n - 1)
+	if v < 0 {
+		return 0 // rounding guard: variance is nonnegative
+	}
+	return v
+}
+
+// CI95 returns the half-width of the 95% confidence interval of the mean
+// under the normal approximation, 1.96 * stddev / sqrt(N). With millions
+// of fleet samples the approximation error is negligible.
+func (e *Estimator) CI95() float64 {
+	if e.N < 2 {
+		return 0
+	}
+	return 1.96 * math.Sqrt(e.Variance()/float64(e.N))
+}
+
+// String renders "mean ± ci [min, max] (n=N)" for fleet reports.
+func (e *Estimator) String() string {
+	if e.N == 0 {
+		return "n/a (n=0)"
+	}
+	return fmt.Sprintf("%.3f ± %.3f [%d, %d] (n=%d)", e.Mean(), e.CI95(), e.Min, e.Max, e.N)
+}

@@ -29,7 +29,9 @@ import "iter"
 
 // coroTransport drives bodies as same-thread coroutines via iter.Pull.
 type coroTransport struct {
-	coros []coroProc
+	coros  []coroProc
+	bodies []ProcFunc // kept for restart: a revived body is a fresh coroutine
+	arena  *Arena
 }
 
 type coroProc struct {
@@ -51,34 +53,45 @@ func newCoroTransport(bodies []ProcFunc, ar *Arena) *coroTransport {
 	} else {
 		t = &coroTransport{coros: make([]coroProc, n)}
 	}
+	t.bodies = bodies
+	t.arena = ar
 	for i, body := range bodies {
-		c := &t.coros[i]
 		if body == nil {
-			*c = coroProc{}
+			t.coros[i] = coroProc{}
 			continue
 		}
-		var pr *Proc
-		if ar != nil {
-			pr = &ar.procs[i]
-			*pr = Proc{id: i, n: n}
-		} else {
-			pr = &Proc{id: i, n: n}
-		}
-		c.proc = pr
-		c.next, c.stop = iter.Pull(func(yield func(request) bool) {
-			defer func() {
-				if r := recover(); r != nil {
-					if _, ok := r.(unwind); ok {
-						return // killed by the run loop; already accounted
-					}
-					panic(r) // real bug in an algorithm: surface it
-				}
-			}()
-			pr.yield = yield
-			body(pr)
-		})
+		t.initCoro(i)
 	}
 	return t
+}
+
+// initCoro (re)builds the coroutine of process i around a fresh Proc; it
+// serves both initial construction and crash recovery (a restarted body is
+// a brand-new coroutine over the same pid).
+func (t *coroTransport) initCoro(i int) {
+	n := len(t.bodies)
+	body := t.bodies[i]
+	var pr *Proc
+	if t.arena != nil {
+		pr = &t.arena.procs[i]
+		*pr = Proc{id: i, n: n}
+	} else {
+		pr = &Proc{id: i, n: n}
+	}
+	c := &t.coros[i]
+	c.proc = pr
+	c.next, c.stop = iter.Pull(func(yield func(request) bool) {
+		defer func() {
+			if r := recover(); r != nil {
+				if _, ok := r.(unwind); ok {
+					return // killed by the run loop; already accounted
+				}
+				panic(r) // real bug in an algorithm: surface it
+			}
+		}()
+		pr.yield = yield
+		body(pr)
+	})
 }
 
 func (t *coroTransport) start(pid int) (request, bool) {
@@ -96,6 +109,13 @@ func (t *coroTransport) resume(pid int, resp response) (request, bool) {
 // recovers. stop is synchronous, so the body is gone when kill returns.
 func (t *coroTransport) kill(pid int) {
 	t.coros[pid].stop()
+}
+
+// restart rebuilds pid's coroutine (its previous incarnation was stopped
+// by kill) and runs the body to its first request.
+func (t *coroTransport) restart(pid int) (request, bool) {
+	t.initCoro(pid)
+	return t.coros[pid].next()
 }
 
 func (t *coroTransport) finish() {

@@ -11,41 +11,48 @@ import (
 // assumption about the scheduler, so it is the fallback for schedulers the
 // simulator cannot prove deterministic.
 type goroTransport struct {
-	procs []*Proc // nil entries: remainder-region processes
-	wg    sync.WaitGroup
+	procs  []*Proc    // nil entries: remainder-region processes
+	bodies []ProcFunc // kept for restart: a revived body is a fresh goroutine
+	wg     sync.WaitGroup
 }
 
 // newGoroTransport launches one goroutine per non-nil body. Every body
 // runs concurrently up to its first request, which start later absorbs.
 func newGoroTransport(bodies []ProcFunc) *goroTransport {
-	t := &goroTransport{procs: make([]*Proc, len(bodies))}
+	t := &goroTransport{procs: make([]*Proc, len(bodies)), bodies: bodies}
 	for i, body := range bodies {
 		if body == nil {
 			continue
 		}
-		pr := &Proc{
-			id:  i,
-			n:   len(bodies),
-			req: make(chan request),
-			res: make(chan response),
-		}
-		t.procs[i] = pr
-		t.wg.Add(1)
-		go func(pr *Proc, body ProcFunc) {
-			defer t.wg.Done()
-			defer func() {
-				if r := recover(); r != nil {
-					if _, ok := r.(unwind); ok {
-						return // killed by the run loop; already accounted
-					}
-					panic(r) // real bug in an algorithm: surface it
-				}
-			}()
-			body(pr)
-			pr.req <- request{kind: reqDone}
-		}(pr, body)
+		t.launch(i)
 	}
 	return t
+}
+
+// launch (re)starts process i's body on a fresh goroutine behind a fresh
+// channel pair; it serves both initial construction and crash recovery.
+func (t *goroTransport) launch(i int) {
+	pr := &Proc{
+		id:  i,
+		n:   len(t.bodies),
+		req: make(chan request),
+		res: make(chan response),
+	}
+	t.procs[i] = pr
+	t.wg.Add(1)
+	go func(pr *Proc, body ProcFunc) {
+		defer t.wg.Done()
+		defer func() {
+			if r := recover(); r != nil {
+				if _, ok := r.(unwind); ok {
+					return // killed by the run loop; already accounted
+				}
+				panic(r) // real bug in an algorithm: surface it
+			}
+		}()
+		body(pr)
+		pr.req <- request{kind: reqDone}
+	}(pr, t.bodies[i])
 }
 
 func (t *goroTransport) start(pid int) (request, bool) {
@@ -67,6 +74,13 @@ func (t *goroTransport) resume(pid int, resp response) (request, bool) {
 
 func (t *goroTransport) kill(pid int) {
 	t.procs[pid].res <- response{kill: true}
+}
+
+// restart relaunches pid's body (its previous goroutine was killed) and
+// runs it to its first request.
+func (t *goroTransport) restart(pid int) (request, bool) {
+	t.launch(pid)
+	return t.start(pid)
 }
 
 func (t *goroTransport) finish() {

@@ -30,8 +30,12 @@ const (
 	// algorithm).
 	KindOutput
 	// KindCrash records a stopping failure injected by the scheduler: the
-	// process takes no further steps.
+	// process takes no further steps until (and unless) it is restarted.
 	KindCrash
+	// KindRestart records a recovery injected by the scheduler: a crashed
+	// process's body is re-run from the beginning against the surviving
+	// shared memory (its private state is lost, the registers are not).
+	KindRestart
 )
 
 // String returns a short name for the event kind.
@@ -47,6 +51,8 @@ func (k EventKind) String() string {
 		return "output"
 	case KindCrash:
 		return "crash"
+	case KindRestart:
+		return "restart"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}
@@ -153,6 +159,8 @@ func (e Event) String() string {
 		return fmt.Sprintf("#%d p%d output %d", e.Seq, e.PID, e.Out)
 	case KindCrash:
 		return fmt.Sprintf("#%d p%d crash", e.Seq, e.PID)
+	case KindRestart:
+		return fmt.Sprintf("#%d p%d restart", e.Seq, e.PID)
 	default:
 		return fmt.Sprintf("#%d p%d %v", e.Seq, e.PID, e.Kind)
 	}
@@ -274,14 +282,23 @@ func (t *Trace) Outputs() map[int]uint64 {
 	return out
 }
 
-// Crashed reports whether process pid crashed during the run.
+// Crashed reports whether process pid is crashed at the end of the run:
+// it crashed and was not subsequently restarted. For crash-stop runs (no
+// restarts) this is simply "did pid ever crash".
 func (t *Trace) Crashed(pid int) bool {
+	down := false
 	for _, e := range t.Events {
-		if e.Kind == KindCrash && e.PID == pid {
-			return true
+		if e.PID != pid {
+			continue
+		}
+		switch e.Kind {
+		case KindCrash:
+			down = true
+		case KindRestart:
+			down = false
 		}
 	}
-	return false
+	return down
 }
 
 // Atomicity returns the measured atomicity of the run: the largest register

@@ -365,6 +365,13 @@ func setupRun(cfg Config) (*runLoop, *Result, error) {
 		clear(loop.pending)
 		loop.ready = loop.ready[:0]
 	}
+	if cap(loop.crashed) < n {
+		loop.crashed = make([]bool, n)
+	} else {
+		loop.crashed = loop.crashed[:n]
+		clear(loop.crashed)
+	}
+	loop.ncrashed = 0
 	return loop, result, nil
 }
 
@@ -417,6 +424,9 @@ type runLoop struct {
 	ready      []int // sorted pids with a pending event
 	readyStale bool
 
+	crashed  []bool // pid-indexed; true between a crash and a restart
+	ncrashed int
+
 	inlineErr error // access error recorded by the inline engine
 }
 
@@ -431,6 +441,10 @@ type transport interface {
 	resume(pid int, resp response) (req request, ok bool)
 	// kill unwinds pid's body without performing its pending request.
 	kill(pid int)
+	// restart re-runs pid's body from the beginning up to its first
+	// request; the previous body incarnation was already killed. ok is
+	// false if the body terminated without issuing one.
+	restart(pid int) (req request, ok bool)
 	// finish releases engine resources; no body survives it.
 	finish()
 }
@@ -442,7 +456,11 @@ func (l *runLoop) run(t transport) error {
 	defer t.finish()
 	l.absorb(t)
 
-	for l.npending > 0 {
+	// A RestartCapable scheduler keeps the run alive while crashed
+	// processes remain revivable, even with nothing pending; Next is then
+	// called with an empty ready slice (see RestartCapable).
+	rc, _ := l.sched.(RestartCapable)
+	for l.npending > 0 || (l.ncrashed > 0 && rc != nil && rc.CanRestart()) {
 		if l.steps >= l.maxSteps {
 			l.trace.Stop = StopMaxSteps
 			l.unwindAll(t)
@@ -463,9 +481,15 @@ func (l *runLoop) run(t transport) error {
 				l.unwindAll(t)
 				return fmt.Errorf("sim: scheduler crashed non-ready process %d", d.PID)
 			}
-			l.clearPending(d.PID)
-			l.record(Event{PID: d.PID, Kind: KindCrash})
-			t.kill(d.PID)
+			l.crashProc(d.PID, t)
+
+		case ActRestart:
+			if !l.isCrashed(d.PID) {
+				l.trace.Stop = StopError
+				l.unwindAll(t)
+				return fmt.Errorf("sim: scheduler restarted non-crashed process %d", d.PID)
+			}
+			l.restartCrashed(d.PID, t)
 
 		case ActStep:
 			if !l.isPending(d.PID) {
@@ -569,6 +593,40 @@ func (l *runLoop) perform(pid int, req request) (response, error) {
 
 func (l *runLoop) isPending(pid int) bool {
 	return pid >= 0 && pid < len(l.pending) && l.pending[pid].kind != 0
+}
+
+func (l *runLoop) isCrashed(pid int) bool {
+	return pid >= 0 && pid < len(l.crashed) && l.crashed[pid]
+}
+
+// crashProc injects a stopping failure into pid (which the caller has
+// verified is pending): the pending event is discarded, the body is
+// unwound, and the process is marked crashed so a later ActRestart can
+// revive it. Crashes do not consume a scheduling step.
+func (l *runLoop) crashProc(pid int, t transport) {
+	l.clearPending(pid)
+	l.record(Event{PID: pid, Kind: KindCrash})
+	t.kill(pid)
+	l.crashed[pid] = true
+	l.ncrashed++
+}
+
+// restartCrashed revives pid (which the caller has verified is crashed):
+// its body is re-run from the beginning, against the surviving shared
+// memory, up to its first request. A restart consumes a scheduling step —
+// that keeps crash/restart storms bounded by the step budget.
+func (l *runLoop) restartCrashed(pid int, t transport) {
+	l.steps++
+	l.trace.ScheduledSteps = l.steps
+	l.crashed[pid] = false
+	l.ncrashed--
+	l.record(Event{PID: pid, Kind: KindRestart})
+	if req, ok := t.restart(pid); ok {
+		l.setPending(pid, req)
+	} else {
+		l.record(Event{PID: pid, Kind: KindMark, Phase: PhaseDone})
+	}
+	l.readyStale = true
 }
 
 func (l *runLoop) setPending(pid int, req request) {

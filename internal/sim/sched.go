@@ -14,10 +14,16 @@ const (
 	// ActStep schedules the chosen process to perform its pending event.
 	ActStep Action = iota + 1
 	// ActCrash injects a stopping failure into the chosen process; it
-	// takes no further steps (used to exercise wait-freedom).
+	// takes no further steps (used to exercise wait-freedom) unless the
+	// scheduler later revives it with ActRestart.
 	ActCrash
 	// ActStop ends the run; all remaining processes are unwound.
 	ActStop
+	// ActRestart revives the chosen crashed process: its body is re-run
+	// from the beginning against the surviving shared memory. Only a
+	// currently crashed process may be restarted. Restarts model the
+	// crash/recovery failure mode the fault-injection fleet exercises.
+	ActRestart
 )
 
 // Decision is a scheduling decision: an action and, for ActStep and
@@ -36,6 +42,9 @@ func Crash(pid int) Decision { return Decision{Action: ActCrash, PID: pid} }
 // Stop returns a decision ending the run.
 func Stop() Decision { return Decision{Action: ActStop} }
 
+// Restart returns a decision restarting crashed process pid.
+func Restart(pid int) Decision { return Decision{Action: ActRestart, PID: pid} }
+
 // Scheduler chooses, at every scheduling point, which process performs its
 // pending atomic event. It is the adversary of the asynchronous model: no
 // assumption is made about relative speeds, so any scheduler is a legal
@@ -46,6 +55,19 @@ func Stop() Decision { return Decision{Action: ActStop} }
 // modified. step is the number of scheduled events performed so far.
 type Scheduler interface {
 	Next(ready []int, step int) Decision
+}
+
+// RestartCapable marks schedulers that may revive crashed processes with
+// ActRestart. For such a scheduler the run loop keeps the run alive while
+// crashed processes remain and CanRestart reports true, even when no
+// process has a pending event — Next is then called with an empty ready
+// slice, relaxing the usual "ready is never empty" contract, and must
+// return ActRestart or ActStop.
+type RestartCapable interface {
+	Scheduler
+	// CanRestart reports whether the scheduler may yet restart a crashed
+	// process.
+	CanRestart() bool
 }
 
 // DeterministicScheduler marks a scheduler whose decisions are a pure
@@ -163,34 +185,108 @@ func (s *Scripted) Valid() bool { return !s.invalid }
 // Consumed returns how many script entries were used.
 func (s *Scripted) Consumed() int { return s.pos }
 
+// CrashWindow is one crash/recovery cycle of a process under a Crasher:
+// the process crashes at (or after) step Crash, and, if Restart >= 0, is
+// restarted at (or after) step Restart. A negative Restart means the
+// crash is final (crash-stop).
+type CrashWindow struct {
+	Crash   int
+	Restart int
+}
+
 // Crasher wraps another scheduler and injects stopping failures: before
 // step CrashAt[pid] is scheduled, process pid is crashed. Crashes are
 // injected in increasing pid order when several trigger at the same step.
+//
+// Windows extends the one-shot CrashAt map to full crash/recovery storms:
+// Windows[pid] is a sequence of crash/restart cycles applied in order
+// (crash, restart, crash again, ...). A pid may appear in CrashAt or
+// Windows, not both; CrashAt[pid] = s is equivalent to a single final
+// window {Crash: s, Restart: -1}. Restarts are injected in increasing pid
+// order too, and when no process has a pending event the earliest-pid due
+// restart is injected immediately (regardless of its Restart step, which
+// could otherwise never be reached — steps only advance while something
+// runs).
 type Crasher struct {
 	Inner   Scheduler
-	CrashAt map[int]int // pid -> step index at (or after) which it crashes
+	CrashAt map[int]int           // pid -> step index at (or after) which it crashes
+	Windows map[int][]CrashWindow // pid -> crash/recovery cycles, in order
 
 	crashed map[int]bool
+	winpos  map[int]int // pid -> index of the active window in Windows[pid]
+}
+
+// window returns the active crash window of pid, or ok=false when its
+// schedule is exhausted.
+func (c *Crasher) window(pid int) (CrashWindow, bool) {
+	if at, ok := c.CrashAt[pid]; ok {
+		if c.winpos[pid] > 0 {
+			return CrashWindow{}, false
+		}
+		return CrashWindow{Crash: at, Restart: -1}, true
+	}
+	ws := c.Windows[pid]
+	if i := c.winpos[pid]; i < len(ws) {
+		return ws[i], true
+	}
+	return CrashWindow{}, false
+}
+
+func (c *Crasher) init() {
+	if c.crashed == nil {
+		c.crashed = make(map[int]bool, len(c.CrashAt)+len(c.Windows))
+		c.winpos = make(map[int]int, len(c.CrashAt)+len(c.Windows))
+	}
 }
 
 // Next implements Scheduler.
 func (c *Crasher) Next(ready []int, step int) Decision {
-	if c.crashed == nil {
-		c.crashed = make(map[int]bool, len(c.CrashAt))
-	}
-	victim := -1
+	c.init()
 	for _, pid := range ready {
-		at, ok := c.CrashAt[pid]
-		if ok && !c.crashed[pid] && step >= at {
+		w, ok := c.window(pid)
+		if ok && !c.crashed[pid] && step >= w.Crash {
+			c.crashed[pid] = true
+			return Crash(pid)
+		}
+	}
+	// Restarts, in pid order; forced when nothing else can run.
+	victim := -1
+	for pid := range c.crashed {
+		if !c.crashed[pid] {
+			continue
+		}
+		w, ok := c.window(pid)
+		if !ok || w.Restart < 0 {
+			continue
+		}
+		if (step >= w.Restart || len(ready) == 0) && (victim < 0 || pid < victim) {
 			victim = pid
-			break
 		}
 	}
 	if victim >= 0 {
-		c.crashed[victim] = true
-		return Crash(victim)
+		c.crashed[victim] = false
+		c.winpos[victim]++
+		return Restart(victim)
+	}
+	if len(ready) == 0 {
+		return Stop()
 	}
 	return c.Inner.Next(ready, step)
+}
+
+// CanRestart implements RestartCapable: a restart may yet be injected
+// while some crashed process has a window with a non-negative Restart.
+func (c *Crasher) CanRestart() bool {
+	c.init()
+	for pid, down := range c.crashed {
+		if !down {
+			continue
+		}
+		if w, ok := c.window(pid); ok && w.Restart >= 0 {
+			return true
+		}
+	}
+	return false
 }
 
 // Func adapts a plain function to the Scheduler interface.
@@ -246,7 +342,7 @@ var (
 	_ DeterministicScheduler = (*RoundRobin)(nil)
 	_ DeterministicScheduler = (*Random)(nil)
 	_ DeterministicScheduler = (*Scripted)(nil)
-	_ Scheduler              = (*Crasher)(nil)
+	_ RestartCapable         = (*Crasher)(nil)
 	_ Scheduler              = Func(nil)
 	_ DeterministicScheduler = Priority{}
 )

@@ -13,7 +13,37 @@ var (
 	ErrSessionClosed = errors.New("sim: session closed")
 	// ErrMaxSteps reports a Step beyond the session's step budget.
 	ErrMaxSteps = errors.New("sim: step budget exhausted")
+	// ErrNotCrashed reports a Restart of a process that is not crashed.
+	ErrNotCrashed = errors.New("sim: process is not crashed")
 )
+
+// Schedule-entry encoding, shared by Session.Decisions, Seek/replay, the
+// model checker's schedules and Trace.Schedule: entry pid encodes a Step
+// of pid, entry -pid-1 a Crash of pid, and entry restartEntryBase+pid a
+// Restart of pid. Pids are far below restartEntryBase, so the three
+// ranges are disjoint.
+const restartEntryBase = 1 << 30
+
+// StepEntry encodes a Step of pid as a schedule entry.
+func StepEntry(pid int) int { return pid }
+
+// CrashEntry encodes a Crash of pid as a schedule entry.
+func CrashEntry(pid int) int { return -pid - 1 }
+
+// RestartEntry encodes a Restart of pid as a schedule entry.
+func RestartEntry(pid int) int { return restartEntryBase + pid }
+
+// DecodeEntry returns the action and pid a schedule entry encodes.
+func DecodeEntry(e int) (Action, int) {
+	switch {
+	case e < 0:
+		return ActCrash, -e - 1
+	case e >= restartEntryBase:
+		return ActRestart, e - restartEntryBase
+	default:
+		return ActStep, e
+	}
+}
 
 // Session is an incrementally driven run: where Run asks a Scheduler for
 // every decision and plays the run to its end, a session hands the
@@ -101,8 +131,8 @@ func (s *Session) Finished() bool { return s.finished }
 func (s *Session) Err() error { return s.err }
 
 // Decisions returns the session's decision stack: one entry per performed
-// decision, in order, with entry pid for a Step of pid and entry -pid-1
-// for a Crash of pid (the model checker's schedule encoding). The slice
+// decision, in order, in the schedule-entry encoding (StepEntry,
+// CrashEntry, RestartEntry — the model checker's schedules). The slice
 // aliases session state — it is valid until the next Step, Crash,
 // TruncateTo or Seek and must not be modified; copy it to retain it.
 func (s *Session) Decisions() []int { return s.decisions }
@@ -118,8 +148,33 @@ func (s *Session) Depth() int { return len(s.decisions) }
 func (s *Session) Step(pid int) error { return s.apply(pid, false) }
 
 // Crash injects a stopping failure into pid: its pending event is
-// discarded and it takes no further steps.
+// discarded and it takes no further steps unless revived with Restart.
 func (s *Session) Crash(pid int) error { return s.apply(pid, true) }
+
+// Restart revives crashed process pid: its body is re-run from the
+// beginning, against the surviving shared memory, up to its first pending
+// event. It reports ErrNotCrashed if pid is not currently crashed and
+// ErrMaxSteps past the budget (a restart consumes a scheduling step, so
+// crash/restart storms stay bounded).
+func (s *Session) Restart(pid int) error {
+	if s.closed {
+		return ErrSessionClosed
+	}
+	if s.err != nil {
+		return s.err
+	}
+	l := s.loop
+	if !l.isCrashed(pid) {
+		return fmt.Errorf("sim: session: process %d: %w", pid, ErrNotCrashed)
+	}
+	if l.steps >= l.maxSteps {
+		return ErrMaxSteps
+	}
+	l.restartCrashed(pid, s.tr)
+	s.decisions = append(s.decisions, RestartEntry(pid))
+	s.finished = l.npending == 0
+	return nil
+}
 
 func (s *Session) apply(pid int, crash bool) error {
 	if s.closed {
@@ -133,10 +188,8 @@ func (s *Session) apply(pid int, crash bool) error {
 		return fmt.Errorf("sim: session: process %d: %w", pid, ErrNotReady)
 	}
 	if crash {
-		l.clearPending(pid)
-		l.record(Event{PID: pid, Kind: KindCrash})
-		s.tr.kill(pid)
-		s.decisions = append(s.decisions, -pid-1)
+		l.crashProc(pid, s.tr)
+		s.decisions = append(s.decisions, CrashEntry(pid))
 	} else {
 		if l.steps >= l.maxSteps {
 			return ErrMaxSteps
@@ -184,8 +237,8 @@ func (s *Session) TruncateTo(k int) error {
 // longest-common-prefix sharing the model checker's exploration relies
 // on, and it costs only the missing decisions. Otherwise the session
 // rewinds (restart plus replay from the root, see TruncateTo) and then
-// extends. The schedule uses the Decisions encoding: entry pid steps pid,
-// entry -pid-1 crashes pid.
+// extends. The schedule uses the Decisions encoding (StepEntry,
+// CrashEntry, RestartEntry).
 func (s *Session) Seek(schedule []int) error {
 	if !s.closed && s.err == nil {
 		lcp := 0
@@ -264,10 +317,13 @@ func (s *Session) restart() error {
 func (s *Session) replay(schedule []int) error {
 	for _, d := range schedule {
 		var err error
-		if d < 0 {
-			err = s.Crash(-d - 1)
-		} else {
-			err = s.Step(d)
+		switch act, pid := DecodeEntry(d); act {
+		case ActCrash:
+			err = s.Crash(pid)
+		case ActRestart:
+			err = s.Restart(pid)
+		default:
+			err = s.Step(pid)
 		}
 		if err != nil {
 			return err

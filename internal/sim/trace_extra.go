@@ -11,6 +11,45 @@ func (t *Trace) Done(pid int) bool {
 	return false
 }
 
+// Restarts counts the crash recoveries of process pid during the run.
+func (t *Trace) Restarts(pid int) int {
+	n := 0
+	for _, e := range t.Events {
+		if e.PID == pid && e.Kind == KindRestart {
+			n++
+		}
+	}
+	return n
+}
+
+// Schedule reconstructs the decision schedule that produced the trace, in
+// the schedule-entry encoding of Session.Decisions (StepEntry /
+// CrashEntry / RestartEntry). Every event corresponds to one scheduling
+// decision except the termination mark (KindMark with PhaseDone), which
+// the run loop records by itself when a body returns. Replaying the
+// result with Session.Seek over a fresh copy of the same program
+// reproduces the trace exactly; the fleet uses this to promote a
+// violating randomized run into a deterministic regression schedule.
+//
+// The reconstruction assumes no body marks PhaseDone itself (none in this
+// repository does — termination marks come from the run loop).
+func (t *Trace) Schedule() []int {
+	sched := make([]int, 0, len(t.Events))
+	for _, e := range t.Events {
+		switch {
+		case e.Kind == KindCrash:
+			sched = append(sched, CrashEntry(e.PID))
+		case e.Kind == KindRestart:
+			sched = append(sched, RestartEntry(e.PID))
+		case e.Kind == KindMark && e.Phase == PhaseDone:
+			// Recorded by the run loop at body termination, not scheduled.
+		default:
+			sched = append(sched, StepEntry(e.PID))
+		}
+	}
+	return sched
+}
+
 // FirstEvent returns the sequence number of the first event of pid, or -1
 // if it has none.
 func (t *Trace) FirstEvent(pid int) int {

@@ -4,7 +4,7 @@
 # BENCH_2.json, ...).
 #
 # Usage:
-#   scripts/bench.sh [output.json]      # default BENCH_3.json
+#   scripts/bench.sh [output.json]      # default BENCH_4.json
 #   BENCHTIME=2s scripts/bench.sh       # longer benchtime for stabler numbers
 #   BASELINE=BENCH_2.json scripts/bench.sh  # record to diff against
 #
@@ -12,10 +12,12 @@
 # the frozen seed baseline (the goroutine-engine numbers before the
 # direct-execution engine landed), a check_suite section timing the
 # model-checker test suite serially versus with 4 parallel explorer
-# workers (CFC_CHECK_WORKERS), and a por section recording the
+# workers (CFC_CHECK_WORKERS), a por section recording the
 # partial-order-reduction differential (cfccheck -pordiff): per
 # portfolio entry the POR-on and POR-off state counts, wall-clock and
-# reduction ratio, with agreeing verdicts enforced.
+# reduction ratio, with agreeing verdicts enforced — and a fleet section
+# with the fixed-seed smoke fleet's throughput (runs/sec, events/sec
+# from cmd/cfcfleet's FLEET-SUMMARY line).
 #
 # After writing the record it is diffed against the committed baseline
 # record. Wall-clock comparisons are only meaningful on like hardware:
@@ -26,8 +28,8 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT="${1:-BENCH_3.json}"
-BASELINE="${BASELINE:-BENCH_2.json}"
+OUT="${1:-BENCH_4.json}"
+BASELINE="${BASELINE:-BENCH_3.json}"
 BENCHTIME="${BENCHTIME:-500ms}"
 RAW="$(mktemp)"
 PORRAW="$(mktemp)"
@@ -62,6 +64,22 @@ echo "check explorations: serial ${CHECK_SERIAL_MS}ms, workers=4 ${CHECK_PAR_MS}
 # the per-entry lines become the record's por section.
 go run ./cmd/cfccheck -pordiff | tee "$PORRAW"
 
+# Fleet throughput: a fixed-seed randomized fleet over the default
+# scenarios at n=16 (cmd/cfcfleet). The FLEET-SUMMARY line carries
+# runs/sec and simulator events/sec; cfcfleet exits 1 on a violation or
+# degraded scenario, failing the bench run (set -e).
+FLEETRAW="$(mktemp)"
+go run ./cmd/cfcfleet -seed 1 -n 16 -runs 200 | tee "$FLEETRAW"
+FLEET_SUMMARY="$(grep '^FLEET-SUMMARY ' "$FLEETRAW")"
+fleet_val() { # fleet_val key -> value from the FLEET-SUMMARY line
+    awk -v key="$1" '{
+        for (i = 2; i <= NF; i++) {
+            if (index($i, key "=") == 1) { print substr($i, length(key) + 2); exit }
+        }
+    }' <<< "$FLEET_SUMMARY"
+}
+rm -f "$FLEETRAW"
+
 go test -run '^$' -bench 'BenchmarkSim' -benchtime "$BENCHTIME" . | tee "$RAW"
 
 {
@@ -85,6 +103,10 @@ go test -run '^$' -bench 'BenchmarkSim' -benchtime "$BENCHTIME" . | tee "$RAW"
     printf '  "check_suite": {"cpus": %d, "serial_seconds": %.2f, "workers4_seconds": %.2f, "speedup": %.2f},\n' \
         "$CPUS" "$(awk "BEGIN{print $CHECK_SERIAL_MS/1000.0}")" "$(awk "BEGIN{print $CHECK_PAR_MS/1000.0}")" \
         "$(awk "BEGIN{print ($CHECK_PAR_MS > 0) ? $CHECK_SERIAL_MS/$CHECK_PAR_MS : 0}")"
+    # Fleet throughput from the fixed-seed smoke fleet's FLEET-SUMMARY.
+    printf '  "fleet": {"seed": %s, "n": %s, "runs": %s, "events": %s, "runs_per_s": %s, "events_per_s": %s},\n' \
+        "$(fleet_val seed)" "$(fleet_val n)" "$(fleet_val runs)" "$(fleet_val events)" \
+        "$(fleet_val runs_per_s)" "$(fleet_val events_per_s)"
     # POR differential: states and wall-clock with the reduction on and
     # off per portfolio entry, from cfccheck -pordiff.
     awk '

@@ -352,11 +352,14 @@ func BenchmarkSimExhaustiveCheck(b *testing.B) {
 		name    string
 		workers int
 		por     bool
+		dpor    bool
 	}{
-		{"workers=1", 1, false},
-		{"workers=4", 4, false},
-		{"workers=1-por", 1, true},
-		{"workers=4-por", 4, true},
+		{"workers=1", 1, false, false},
+		{"workers=4", 4, false, false},
+		{"workers=1-por", 1, true, false},
+		{"workers=4-por", 4, true, false},
+		{"workers=1-dpor", 1, false, true},
+		{"workers=4-dpor", 4, false, true},
 	}
 	for _, m := range modes {
 		b.Run(m.name, func(b *testing.B) {
@@ -366,6 +369,8 @@ func BenchmarkSimExhaustiveCheck(b *testing.B) {
 					MaxDepth:      80,
 					CollapseSpins: true,
 					POR:           m.por,
+					DPOR:          m.dpor,
+					Symmetry:      m.dpor,
 					Workers:       m.workers,
 				})
 				if err != nil {

@@ -10,24 +10,32 @@
 //	cfccheck -kind mutex          # only mutual exclusion
 //	cfccheck -kind naming -crash  # naming with crash injection
 //	cfccheck -workers 1           # serial exploration
-//	cfccheck -por=false           # unreduced reference exploration
-//	cfccheck -porauto=false       # never fall back to the reference run
-//	cfccheck -pordiff             # POR-on vs POR-off differential gate
+//	cfccheck -dpor=false          # static ample-set POR instead of DPOR
+//	cfccheck -dpor=false -por=false  # unreduced reference exploration
+//	cfccheck -sym=false           # DPOR without symmetry reduction
+//	cfccheck -only splitter       # jobs whose name contains "splitter"
+//	cfccheck -pordiff             # three-way reduction differential gate
 //
 // The job list is the fleet's workload registry (internal/fleet): the
 // same named programs cmd/cfcfleet storms at n = 16-64 are proved here
 // exhaustively at small n, including the mixed mutex+naming workloads.
 //
 // -workers selects the explorer parallelism per job (default: all
-// cores). Completed explorations report identical states, runs and
-// verdicts at any worker count; see check.Options.Workers.
+// cores). Explorations report identical states, runs and verdicts at
+// any worker count; see check.Options.Workers.
 //
-// -por (default on) enables partial-order reduction: commuting pending
-// steps are explored in one order instead of all. -por=false is the
-// exhaustive reference mode. -pordiff runs every job both ways and
-// fails unless the verdicts agree (replaying both witnesses when a
-// violation is found), printing per-job state counts, wall-clock and
-// the reduction ratio — the soundness gate CI runs on the portfolio.
+// -dpor (default on) selects dynamic partial-order reduction
+// (source-DPOR, check/dpor.go) with pid-symmetry canonicalisation of
+// the visited set (-sym=false turns the latter off; it only engages on
+// programs that declare a symmetry group anyway). -dpor=false falls
+// back to the static ample-set POR of earlier revisions, and
+// additionally -por=false to the exhaustive reference mode.
+//
+// -pordiff runs every job three ways — unreduced reference, static
+// POR, and DPOR(+symmetry per -sym) — and fails unless all verdicts
+// agree (replaying every witness when a violation is found), printing
+// one machine-parseable line per job with state counts, wall-clock and
+// reduction ratios — the soundness gate CI runs on the portfolio.
 package main
 
 import (
@@ -62,9 +70,12 @@ func run() int {
 		depth   = flag.Int("depth", 120, "schedule depth bound")
 		states  = flag.Int("states", 1<<19, "state budget")
 		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "parallel explorer workers per job (1 = serial)")
-		por     = flag.Bool("por", true, "partial-order reduction (-por=false = unreduced reference mode)")
-		porauto = flag.Bool("porauto", true, "fall back to the unreduced exploration when the reduction is unprofitable (tas/ttas-style conflict-heavy programs)")
-		pordiff = flag.Bool("pordiff", false, "differential gate: run POR-on AND POR-off, require agreeing verdicts, report reduction ratios")
+		por     = flag.Bool("por", true, "with -dpor=false: static partial-order reduction (-por=false = unreduced reference mode)")
+		porauto = flag.Bool("porauto", true, "with -dpor=false: fall back to the unreduced exploration when the static reduction is unprofitable")
+		dpor    = flag.Bool("dpor", true, "dynamic partial-order reduction (source-DPOR; -dpor=false selects the static -por path)")
+		sym     = flag.Bool("sym", true, "with -dpor: canonicalise the visited set under declared pid symmetry")
+		only    = flag.String("only", "", "only jobs whose name contains this substring")
+		pordiff = flag.Bool("pordiff", false, "three-way differential gate: reference vs static POR vs DPOR, require agreeing verdicts, report reduction ratios")
 	)
 	flag.Parse()
 
@@ -77,9 +88,13 @@ func run() int {
 		if *kind != "" && *kind != kindName {
 			continue
 		}
+		if *only != "" && !strings.Contains(w.Name, *only) {
+			continue
+		}
 		opts := check.Options{
 			MaxDepth: *depth, MaxStates: *states,
 			CollapseSpins: true, POR: *por, PORAuto: *porauto,
+			DPOR: *dpor, Symmetry: *dpor && *sym,
 			Workers: *workers,
 		}
 		if w.Kind == fleet.KindTask {
@@ -92,7 +107,7 @@ func run() int {
 	}
 
 	if *pordiff {
-		return runPORDiff(jobs)
+		return runPORDiff(jobs, *sym)
 	}
 
 	failed := 0
@@ -114,7 +129,17 @@ func run() int {
 			status = "no violation found (truncated)"
 		}
 		extra := ""
-		if j.opts.POR && !res.PORDisabled {
+		if j.opts.DPOR {
+			engine := "DPOR"
+			if res.SymmetryApplied {
+				engine = "DPOR+sym"
+			}
+			status = "no violation (" + engine + ")"
+			if !res.Truncated {
+				status = "proved (" + engine + ")"
+			}
+			extra = fmt.Sprintf("  %6d reduced nodes", res.ReducedNodes)
+		} else if j.opts.POR && !res.PORDisabled {
 			status = "no violation (POR)"
 			if !res.Truncated {
 				status = "proved (POR-reduced)"
@@ -135,60 +160,78 @@ func run() int {
 	return 0
 }
 
-// runPORDiff is the soundness gate: every job explored POR-on and
-// POR-off with otherwise identical options. The two runs must agree on
-// the verdict; when both find a violation, both witness schedules are
-// replayed on fresh program instances and must reproduce it. One
+// runPORDiff is the soundness gate: every job explored three ways with
+// otherwise identical options — unreduced reference, static ample-set
+// POR, and source-DPOR (with symmetry canonicalisation when sym is set
+// and the program declares a group). All runs must agree on the
+// verdict; when a violation is found, every witness schedule is
+// replayed on a fresh program instance and must reproduce it. One
 // machine-parseable line per job (scripts/bench.sh turns them into the
-// BENCH record's por section).
-func runPORDiff(jobs []job) int {
+// BENCH record's por and dpor sections).
+func runPORDiff(jobs []job, sym bool) int {
 	failed := 0
-	var maxRatio float64
+	var maxRatio, maxDPORRatio float64
 	for _, j := range jobs {
-		// The differential compares pure reduced vs pure reference
-		// explorations; PORAuto would silently substitute the reference
-		// on the POR side and make the diff vacuous.
+		// The differential compares pure explorations; PORAuto would
+		// silently substitute the reference on the static side and make
+		// the diff vacuous.
 		refOpts := j.opts
-		refOpts.POR, refOpts.PORAuto = false, false
-		porOpts := j.opts
-		porOpts.POR, porOpts.PORAuto = true, false
+		refOpts.POR, refOpts.PORAuto, refOpts.DPOR, refOpts.Symmetry = false, false, false, false
+		porOpts := refOpts
+		porOpts.POR = true
+		dporOpts := refOpts
+		dporOpts.DPOR, dporOpts.Symmetry = true, sym
 
-		t0 := time.Now()
-		ref, err := check.Explore(j.build, j.prop, refOpts)
-		refMS := time.Since(t0).Milliseconds()
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "%-40s ERROR (reference): %v\n", j.name, err)
-			failed++
+		type leg struct {
+			name string
+			opts check.Options
+			res  check.Result
+			ms   int64
+		}
+		legs := []*leg{
+			{name: "reference", opts: refOpts},
+			{name: "POR", opts: porOpts},
+			{name: "DPOR", opts: dporOpts},
+		}
+		ok := true
+		for _, l := range legs {
+			t0 := time.Now()
+			var err error
+			l.res, err = check.Explore(j.build, j.prop, l.opts)
+			l.ms = time.Since(t0).Milliseconds()
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "%-40s ERROR (%s): %v\n", j.name, l.name, err)
+				failed++
+				ok = false
+				break
+			}
+		}
+		if !ok {
 			continue
 		}
-		t0 = time.Now()
-		por, err := check.Explore(j.build, j.prop, porOpts)
-		porMS := time.Since(t0).Milliseconds()
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "%-40s ERROR (POR): %v\n", j.name, err)
-			failed++
-			continue
-		}
+		ref, por, dpor := legs[0].res, legs[1].res, legs[2].res
 
 		verdict := "agree"
+		anyTrunc := ref.Truncated || por.Truncated || dpor.Truncated
 		switch {
-		case (ref.Violation == nil) != (por.Violation == nil):
-			// A truncated exploration may legitimately miss a violation the
-			// other run reaches: the comparison is vacuous, not unsound.
-			if ref.Truncated || por.Truncated {
+		case (ref.Violation == nil) != (por.Violation == nil) ||
+			(ref.Violation == nil) != (dpor.Violation == nil):
+			// A truncated exploration may legitimately miss a violation
+			// another run reaches: the comparison is vacuous, not unsound.
+			if anyTrunc {
 				verdict = "incomparable-truncated"
-				fmt.Fprintf(os.Stderr, "%-40s WARNING: verdicts differ under truncation (ref truncated=%v, por truncated=%v); raise -depth/-states for a meaningful diff\n",
-					j.name, ref.Truncated, por.Truncated)
+				fmt.Fprintf(os.Stderr, "%-40s WARNING: verdicts differ under truncation (ref=%v por=%v dpor=%v); raise -depth/-states for a meaningful diff\n",
+					j.name, ref.Truncated, por.Truncated, dpor.Truncated)
 			} else {
 				verdict = "DISAGREE"
 				failed++
 			}
 		case ref.Violation != nil:
 			verdict = "agree-violation"
-			for _, w := range []*check.Violation{ref.Violation, por.Violation} {
-				ok, err := replaysToViolation(j.build, j.prop, refOpts, w.Schedule)
+			for _, l := range legs {
+				ok, err := replaysToViolation(j.build, j.prop, l.opts, l.res.Violation.Schedule)
 				if err != nil {
-					fmt.Fprintf(os.Stderr, "%-40s ERROR (witness replay): %v\n", j.name, err)
+					fmt.Fprintf(os.Stderr, "%-40s ERROR (%s witness replay): %v\n", j.name, l.name, err)
 					failed++
 				} else if !ok {
 					verdict = "WITNESS-DEAD"
@@ -196,19 +239,24 @@ func runPORDiff(jobs []job) int {
 				}
 			}
 		}
-		ratio := 0.0
+		ratio, dporRatio := 0.0, 0.0
 		if por.States > 0 {
 			ratio = float64(ref.States) / float64(por.States)
 		}
-		if ratio > maxRatio {
-			maxRatio = ratio
+		if dpor.States > 0 {
+			dporRatio = float64(ref.States) / float64(dpor.States)
 		}
-		fmt.Printf("PORDIFF name=%s verdict=%s por_states=%d ref_states=%d ratio=%.2f por_ms=%d ref_ms=%d reduced_nodes=%d truncated=%v/%v\n",
-			j.name, verdict, por.States, ref.States, ratio, porMS, refMS, por.ReducedNodes, por.Truncated, ref.Truncated)
+		maxRatio = max(maxRatio, ratio)
+		maxDPORRatio = max(maxDPORRatio, dporRatio)
+		fmt.Printf("PORDIFF name=%s verdict=%s por_states=%d ref_states=%d ratio=%.2f por_ms=%d ref_ms=%d reduced_nodes=%d "+
+			"dpor_states=%d dpor_runs=%d dpor_ratio=%.2f dpor_ms=%d dpor_reduced=%d sym=%v truncated=%v/%v/%v\n",
+			j.name, verdict, por.States, ref.States, ratio, legs[1].ms, legs[0].ms, por.ReducedNodes,
+			dpor.States, dpor.Runs, dporRatio, legs[2].ms, dpor.ReducedNodes, dpor.SymmetryApplied,
+			por.Truncated, ref.Truncated, dpor.Truncated)
 	}
-	fmt.Printf("PORDIFF-SUMMARY jobs=%d failed=%d max_ratio=%.2f\n", len(jobs), failed, maxRatio)
+	fmt.Printf("PORDIFF-SUMMARY jobs=%d failed=%d max_ratio=%.2f max_dpor_ratio=%.2f\n", len(jobs), failed, maxRatio, maxDPORRatio)
 	if failed > 0 {
-		fmt.Fprintf(os.Stderr, "cfccheck: POR differential failed on %d job(s)\n", failed)
+		fmt.Fprintf(os.Stderr, "cfccheck: reduction differential failed on %d job(s)\n", failed)
 		return 1
 	}
 	return 0

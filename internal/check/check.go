@@ -87,6 +87,38 @@ type Options struct {
 	// Reduction requires at most 64 processes (sleep sets are pid
 	// bitmasks); wider programs silently fall back to the full provider.
 	POR bool
+	// DPOR enables dynamic partial-order reduction (source-DPOR, see
+	// dpor.go): instead of the static ample-set provider, every node
+	// starts with a single step branch and backtrack points are computed
+	// from the conflicts each executed schedule actually exhibits — a
+	// race between two steps of the path that the execution's own
+	// happens-before relation does not order schedules an alternative
+	// first step at the earlier node. Sleep sets and the (state, sleep)
+	// visited key carry over from POR, and completed explorations are
+	// bit-identical at any Workers count.
+	//
+	// DPOR takes precedence over POR when both are set (cfccheck's
+	// three-way -pordiff gate runs them separately on purpose). The
+	// soundness contract is POR's: properties must not observe the
+	// global order of accesses by different processes; any violation
+	// reported is real and every witness replays. Like POR it requires
+	// at most 64 processes and silently falls back beyond. PORAuto does
+	// not apply to DPOR: the dynamic reduction needs no profitability
+	// fallback, and the known tas/ttas inflation is fixed at the source
+	// by live-normalising the sleep mask in the visited key.
+	DPOR bool
+	// Symmetry canonicalises the visited key under the program's
+	// declared pid-permutation group before lookup, so one
+	// representative per symmetry orbit is expanded (see symmetry.go and
+	// sim/symmetry.go for the declaration surface and the soundness
+	// conditions: uniform bodies up to declared pid encodings, and a
+	// pid-symmetric property — all the metrics properties qualify). It
+	// is honoured by the DPOR engine only, and silently stays off when
+	// the program's Memory declares no symmetry spec, the declared
+	// process count differs from the program's, or more than 6 processes
+	// would make the group too large. Result.SymmetryApplied reports
+	// whether it was active.
+	Symmetry bool
 	// PORAuto tempers the known failure mode of (state, sleep)-keyed
 	// reduction: algorithms whose pending steps almost always conflict
 	// (tas/ttas — every process hammers one test-and-set bit) get no
@@ -156,6 +188,10 @@ type Result struct {
 	// unprofitable for this program; the counts describe the reference
 	// run.
 	PORDisabled bool
+	// SymmetryApplied reports that pid-symmetry canonicalisation was
+	// active: Options.Symmetry was set under DPOR and the program
+	// declared a matching symmetry group.
+	SymmetryApplied bool
 }
 
 // Explore exhaustively explores the interleavings of the program under
@@ -170,6 +206,9 @@ func Explore(build Builder, prop Property, opts Options) (Result, error) {
 	maxStates := opts.MaxStates
 	if maxStates <= 0 {
 		maxStates = 1 << 20
+	}
+	if opts.DPOR {
+		return exploreDPOR(build, prop, opts, maxDepth, maxStates)
 	}
 	if opts.POR && opts.PORAuto {
 		return exploreAuto(build, prop, opts, maxDepth, maxStates)
@@ -303,6 +342,19 @@ func (e *explorer) dfs(schedule []int, sleep uint64) error {
 		// different sleep set explores different branches, so the visited
 		// key must separate them — that keeps expansion a pure function
 		// of the node, and with it the exploration order-independent.
+		//
+		// The mask is first normalised: restricted to the live pids — a
+		// sleep bit of a terminated or crashed process is never consulted
+		// again (dead processes have no pending step to skip and, the
+		// checker never restarting, never revive), so two arrivals
+		// differing only in dead sleep bits expand identically and must
+		// share a key — and then conflicting sleepers are woken
+		// (normalizeSleep), which collapses the per-state key fan-out on
+		// conflict-heavy programs. Together these fix the tas/ttas state
+		// inflation PR 6 papered over with PORAuto: processes finishing
+		// at different points and single-cell conflicts used to strew
+		// distinct sleep masks over otherwise-equal states.
+		sleep = normalizeSleep(&e.core, e.opts.CollapseSpins, e.core.pendingOps(), sleep&pidMask(live))
 		h = mix64(h, sleep)
 	}
 	if _, seen := e.visited[h]; seen {

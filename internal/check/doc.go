@@ -51,10 +51,45 @@
 // story is differential rather than proof-carrying (pending steps
 // cannot reveal a future conflict, so the ample choice is a heuristic
 // persistent-set approximation): any violation found under POR replays
-// to a real one, and cfccheck -pordiff re-checks the whole portfolio
-// POR-on versus POR-off — agreeing verdicts, replaying witnesses — in
-// CI on every push. The unreduced reference run is always available:
-// cfccheck -por=false, or a zero Options.POR at the library level.
+// to a real one, and cfccheck -pordiff re-checks the whole portfolio —
+// reference versus static POR versus DPOR — agreeing verdicts,
+// replaying witnesses — in CI on every push. The unreduced reference
+// run is always available: cfccheck -dpor=false -por=false, or zero
+// Options.POR/DPOR at the library level.
+//
+// # Dynamic partial-order reduction and symmetry
+//
+// Options.DPOR replaces the static provider with source-DPOR (dpor.go):
+// every node starts with a single step branch, and when an executed
+// schedule exhibits a conflict — two dependent accesses by different
+// processes, judged by the same opset oracle under a vector-clock
+// happens-before — a backtrack point is registered at the earliest node
+// that could have reordered it (the initials of the reordered suffix,
+// the source-set refinement). Because backtrack sets are computed from
+// conflicts each run actually exhibits rather than from pending steps,
+// the dynamic reduction needs no footprint guards and no profitability
+// fallback, and the differential fuzz harness (fuzz_test.go) holds it
+// to two-sided verdict agreement with the unreduced reference on
+// adversarial random programs — where the static heuristic is only held
+// to its documented one-sided contract (never inventing a violation).
+//
+// Options.Symmetry canonicalises the DPOR visited key under the
+// program's declared pid-permutation group (symmetry.go,
+// sim/symmetry.go): one representative per orbit is expanded, which
+// compounds with the dynamic reduction to make exhaustive n = 4 proofs
+// of the declaring portfolio entries routine. Declaration carries a
+// soundness obligation — uniform bodies up to the declared pid
+// encodings; algorithms that scan registers in fixed index order
+// (lamport-fast, lamport-packed) fall under the scalarset restriction
+// and must not declare.
+//
+// The DPOR engine is wave-synchronised rather than work-stealing: each
+// tree level is expanded by a parallel pass of pure per-node work, then
+// a serial commit pass makes every order-sensitive decision (visited
+// arbitration, counters, backtrack joins, violation selection) in
+// deterministic task order. Results — including truncated ones and
+// counterexamples — are therefore bit-identical at any Workers count by
+// construction, with no serial re-run.
 //
 // # Serial and parallel exploration
 //

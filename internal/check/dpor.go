@@ -1,0 +1,940 @@
+package check
+
+import (
+	"fmt"
+	"math/bits"
+	"slices"
+	"sync"
+	"sync/atomic"
+
+	"cfc/internal/opset"
+	"cfc/internal/sim"
+)
+
+// This file is the dynamic partial-order reduction engine
+// (Options.DPOR): a source-DPOR-style explorer that computes backtrack
+// sets from the conflicts each executed schedule actually exhibits,
+// instead of the static ample-set guesswork of por.go.
+//
+// # Why dynamic
+//
+// The static provider must decide from a node's *pending* steps alone
+// whether postponing a process is safe, and needs two footprint
+// heuristics to paper over conflicts that are not yet pending. DPOR
+// inverts the burden of proof: every node starts with a single step
+// branch, and whenever an executed step is found to race with an
+// earlier step of the path — dependent per the brute-force-proven
+// opset.Independent oracle, and not already ordered by the
+// happens-before relation the execution itself induces — a backtrack
+// point is added at the earlier step's node, scheduling an alternative
+// first step (an "initial" of the reordered suffix) for exploration
+// there. Reduction then comes from what did NOT conflict, measured, not
+// guessed.
+//
+// # Node engine
+//
+// Exploration is a fork/join tree over dnodes, driven in level-
+// synchronised waves. Each wave is split in two:
+//
+//   - The parallel pass visits every task of the wave (workers pull
+//     from a shared index): replay its schedule (Session.Seek,
+//     shared-prefix fast path), race-check the arriving step against
+//     the path, check the property, and — for nodes that may expand —
+//     compute the visited key, choose the first child batch (the
+//     smallest awake pid whose step progresses under spin collapse, the
+//     cycle proviso of por.go, else every awake pid), and precompute
+//     the compensation ghosts a revisit would need. Nothing in this
+//     pass branches on shared mutable state; its only shared writes are
+//     race-initials masks registered at ancestors, which form a
+//     DEDUPLICATED SET, insensitive to arrival order.
+//
+//   - The commit pass then runs serially over the wave in task order:
+//     visited-set arbitration, counters, child dispatch and join
+//     advancement. Every choice that depends on what was explored
+//     before — above all, which of two same-key nodes is expanded and
+//     which is pruned — is made here, in a deterministic sequence.
+//
+// When a node's outstanding children all complete, the node joins:
+// backtrack masks accumulated by races inside the completed subtrees
+// are resolved (in sorted mask order) into the next child batch; when
+// none remain, the crash wave (never pruned) runs; then the node
+// completes and its parent's join advances.
+//
+// Determinism at any worker count is structural, by induction over
+// waves: the first wave is the root; the parallel pass of a wave
+// computes a pure function of the wave's task list (the mask sets it
+// registers are order-insensitive); and the commit pass consumes those
+// results in a fixed serial order, so the next wave's task list — and
+// every insert into the visited set, which decides revisit pruning — is
+// identical for one worker or many. The earlier work-stealing design
+// had two unfixable races here: two concurrent race additions with
+// different initials masks could schedule different pids depending on
+// arrival order (mask {1,2} then {2} schedules both pids; the reverse
+// schedules only pid 2 — solved by deferring the choice to the join
+// over the sorted mask set), and two in-flight nodes with the same
+// visited key could swap winner and loser, changing which path's
+// ancestors receive the subtree's real backtrack additions and which
+// receive the compensation approximation (solved only by the serial
+// commit pass).
+//
+// # Sleep sets
+//
+// Children carry sleep sets with the por.go semantics: when a node
+// dispatches branch q after branch p, q's subtree starts with p asleep
+// unless p's pending step depends on q's step (filterSleep). Sleeping
+// pids are skipped when choosing batches, and a backtracked pid found
+// asleep is already covered by the sibling that put it to sleep.
+//
+// # Happens-before and races
+//
+// Each decision of the path gets a vector clock: clk[j][q] is the
+// largest per-pid sequence number of a q-step that happens before (or
+// is) step j, where happens-before is the transitive closure of program
+// order and dependence. Step j races with a later step i when they are
+// dependent, of different pids, and j does not happen before i through
+// intermediate steps. For a race (j, i), the reordering candidates are
+// the steps after j that j does not happen before (plus i itself), and
+// the pids that can start that reordered suffix — those whose first
+// candidate step has no happens-before predecessor among the
+// candidates — are its initials (the "source set" refinement: only
+// initials need exploring at j, not every racing pid). Unless an
+// initial is already explored or asleep at j's node, the initials mask
+// is registered there, and the node's next join schedules the smallest
+// enabled pid of each registered mask not covered by then. Initials are
+// always enabled at the ancestor node: the checker never restarts
+// processes, so a pid live at a deeper node was live at every shallower
+// one.
+//
+// Dependence over executed steps mirrors pendingIndependent: same pid —
+// dependent (program order); crashes — independent of everything else
+// (they commute; crash branches are fully expanded anyway); Local —
+// independent; access vs access — the opset oracle; property-visible
+// steps (phase marks and outputs) — mutually dependent, since the
+// safety properties observe their interleaving. The run loop's
+// self-recorded termination mark (KindMark, PhaseDone) consumes no
+// scheduling decision and no property observes it; syncPath skips it.
+//
+// # The stateful-DPOR caveat, and the compensation
+//
+// Classic source-DPOR explores a tree; this engine also prunes visited
+// states (it must — the portfolio's spin loops make the tree infinite
+// under collapse). Pruning a revisit discards the subtree that would
+// have raced its steps against the *current* path, so its backtrack
+// additions to current-path ancestors would be lost. The engine
+// compensates at every visited hit: the hit state's pending steps, and
+// one step per recorded access shape in each live process's history
+// (the same "algorithms revisit their cells" observation behind
+// por.go's histConflicts), are race-checked against the path as if they
+// were about to execute, and their additions applied. This is an
+// approximation, not a proof: a pruned subtree could in principle
+// perform an access shape its history has not shown yet. It is exactly
+// the class of risk the static reduction already carries, and it is
+// fenced the same way — violations under DPOR are always real (only
+// schedules are omitted, never invented), every witness replays, and
+// the three-way cfccheck -pordiff gate re-proves verdict agreement
+// against both the static reduction and the unreduced reference across
+// the whole portfolio, crash variants included, in CI.
+//
+// Symmetry reduction (symmetry.go) composes here: the visited key is
+// canonicalised under the declared pid-permutation group before lookup,
+// so only one representative per orbit is expanded. It changes no
+// schedule the engine executes, only what it prunes.
+
+// dnode is one node of the DPOR exploration tree. Fields after mu are
+// guarded by it; parent/entry/depth/sleep are immutable after creation.
+type dnode struct {
+	parent *dnode
+	entry  int // decision from parent to this node (pid, or -pid-1 crash)
+	depth  int32
+	sleep  uint64
+
+	mu      sync.Mutex
+	pend    []sim.PendingOp // pending steps at expansion (node-owned copy)
+	live    uint64          // enabled pid mask at expansion
+	accum   uint64          // sleep ∪ step pids dispatched so far
+	done    uint64          // step pids dispatched
+	masks   []uint64        // race-initials sets awaiting the next join (deduped)
+	out     int32           // dispatched children not yet completed
+	crashed bool            // crash wave dispatched
+}
+
+// dtask is one unit of the current wave: a created-but-unexpanded node
+// and the schedule reaching it.
+type dtask struct {
+	node  *dnode
+	sched []int
+}
+
+// dcomp is one buffered backtrack addition: computed in the parallel
+// pass, applied by the commit pass only when its node is pruned as a
+// revisit (an expanded node's subtree registers the real thing).
+type dcomp struct {
+	node *dnode
+	mask uint64
+}
+
+// dstage is the parallel pass's result for one task, consumed by the
+// commit pass.
+type dstage struct {
+	t     dtask
+	viol  error  // property violation at this node
+	leaf  bool   // terminal: complete run or depth budget, no expansion
+	run   bool   // a complete run ends here
+	trunc bool   // depth budget hit
+	key   uint64 // canonical visited key (unset for leaf/violation)
+	first uint64 // first-batch pid mask (may be 0: straight to the join)
+	comp  []dcomp
+}
+
+// devent is one decision of a path, in the form race detection needs.
+type devent struct {
+	pid  int32
+	kind uint8
+	vis  bool      // property-visible: phase mark or output
+	acc  opset.Acc // valid for KindAccess
+	seq  int32     // 1-based index among this pid's decisions
+	clk  []int32   // vector clock (len = nprocs), aliases dscratch.clkbuf
+}
+
+// dscratch is one worker's path-analysis scratch: the node chain and
+// decision entries of the schedule currently being chased, with vector
+// clocks reused across the shared prefix of consecutive tasks.
+type dscratch struct {
+	nodes    []*dnode
+	ents     []devent
+	sched    []int
+	clkbuf   []int32
+	clkValid int
+	seqs     []int32
+	races    []int
+	cand     []int
+	ghostClk []int32
+}
+
+func newDScratch(maxDepth, nprocs int) *dscratch {
+	return &dscratch{
+		ents:     make([]devent, maxDepth+1),
+		clkbuf:   make([]int32, (maxDepth+1)*nprocs),
+		seqs:     make([]int32, nprocs),
+		ghostClk: make([]int32, nprocs),
+	}
+}
+
+// dexplorer is the shared state of one DPOR exploration.
+type dexplorer struct {
+	prop      Property
+	opts      Options
+	maxDepth  int
+	maxStates int
+	crashes   bool
+	collapse  bool
+	nprocs    int
+	sym       *symCanon
+
+	visited   *shardedSet
+	runs      int
+	reduced   int
+	truncated bool
+	cancel    atomic.Bool
+
+	mu       sync.Mutex
+	firstErr error
+
+	viol *Violation // written only by the wave driver
+}
+
+// exploreDPOR runs the dynamic partial-order reduction engine. It
+// serves every worker count: Workers <= 1 runs the same wave loop on
+// one worker, and explorations are bit-identical across counts —
+// including which violation is reported and where a budget truncates.
+// Programs wider than 64 processes fall back to the static dispatch
+// (pid bitmasks), mirroring newProvider's guard.
+func exploreDPOR(build Builder, prop Property, opts Options, maxDepth, maxStates int) (Result, error) {
+	workers := opts.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	e := &dexplorer{
+		prop:      prop,
+		opts:      opts,
+		maxDepth:  maxDepth,
+		maxStates: maxStates,
+		crashes:   opts.ExploreCrashes,
+		collapse:  opts.CollapseSpins,
+		visited:   newShardedSet(),
+	}
+	cores := make([]*replayCore, workers)
+	for i := range cores {
+		cores[i] = new(replayCore)
+		if err := cores[i].init(build, maxDepth); err != nil {
+			return Result{}, err
+		}
+	}
+	defer func() {
+		for _, c := range cores {
+			if c != nil {
+				c.close()
+			}
+		}
+	}()
+	e.nprocs = len(cores[0].procs)
+	if e.nprocs > 64 {
+		fb := opts
+		fb.DPOR = false
+		return exploreDispatch(build, prop, fb, maxDepth, maxStates)
+	}
+	if opts.Symmetry {
+		e.sym = newSymCanon(cores[0].mem, e.nprocs)
+	}
+
+	scs := make([]*dscratch, workers)
+	for i := range scs {
+		scs[i] = newDScratch(maxDepth, e.nprocs)
+	}
+	wave := []dtask{{node: &dnode{entry: -1 << 20}, sched: []int{}}}
+	var stages []dstage
+	for len(wave) > 0 {
+		if cap(stages) < len(wave) {
+			stages = make([]dstage, len(wave))
+		}
+		stages = stages[:len(wave)]
+		for i := range stages {
+			stages[i] = dstage{t: wave[i]}
+		}
+		// Parallel pass: workers pull tasks from a shared index. Order
+		// of processing is irrelevant by design (see the file comment).
+		var idx atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < min(workers, len(stages)); w++ {
+			wg.Add(1)
+			go func(id int) {
+				defer wg.Done()
+				for !e.cancel.Load() {
+					i := int(idx.Add(1)) - 1
+					if i >= len(stages) {
+						return
+					}
+					e.prepare(id, cores[id], scs[id], &stages[i])
+				}
+			}(w)
+		}
+		wg.Wait()
+		if e.firstErr != nil {
+			return Result{}, e.firstErr
+		}
+		for i := range stages {
+			st := &stages[i]
+			if st.viol != nil && (e.viol == nil || dfsLess(st.t.sched, e.viol.Schedule)) {
+				e.viol = &Violation{Schedule: append([]int(nil), st.t.sched...), Err: st.viol}
+			}
+		}
+		if e.viol != nil {
+			// Halt at wave granularity: the violating wave is not
+			// committed, so counters and the chosen (schedule-least)
+			// witness are identical at every worker count.
+			break
+		}
+		// Commit pass: serial, in task order.
+		wave = wave[:0]
+		for i := range stages {
+			e.commit(&stages[i], &wave)
+		}
+	}
+
+	res := Result{
+		States:          e.visited.Len(),
+		Runs:            e.runs,
+		Truncated:       e.truncated,
+		ReducedNodes:    e.reduced,
+		SymmetryApplied: e.sym != nil,
+	}
+	res.Violation = e.viol
+	return res, nil
+}
+
+// prepare is the parallel pass for one task: replay, path sync, race
+// analysis of the arriving step, property check, and — for nodes that
+// may expand — the visited key, the first-batch choice and the
+// compensation ghosts a revisit would need. It writes only its own
+// node, the order-insensitive mask sets of its ancestors, and
+// worker-private scratch; every decision against shared exploration
+// state is left to the commit pass.
+func (e *dexplorer) prepare(id int, core *replayCore, sc *dscratch, st *dstage) {
+	defer func() {
+		if r := recover(); r != nil {
+			e.fail(fmt.Errorf("check: worker %d panicked expanding schedule prefix %v: %v", id, st.t.sched, r))
+		}
+	}()
+	t := st.t
+	node := t.node
+	tr, live, err := core.stateAt(t.sched)
+	if err != nil {
+		e.fail(err)
+		return
+	}
+	if err := e.syncPath(sc, tr, t); err != nil {
+		e.fail(err)
+		return
+	}
+	m := len(t.sched)
+	if m > 0 {
+		// Race-check the arriving step against the path — always, even
+		// when the node turns out to be pruned or a leaf: the executed
+		// transition exists either way, and its races are what schedule
+		// the reorderings.
+		e.analyze(sc, m)
+	}
+	if err := e.prop(tr); err != nil {
+		st.viol = err
+		return
+	}
+	if len(live) == 0 {
+		st.run = true
+		if e.opts.ExpectTermination {
+			if pid, ok := unterminated(tr); ok {
+				st.viol = unterminatedErr(pid)
+				return
+			}
+		}
+		st.leaf = true
+		return
+	}
+	if m >= e.maxDepth {
+		st.trunc = true
+		st.leaf = true
+		return
+	}
+	pend := core.pendingOps()
+	if len(pend) != len(live) {
+		e.fail(fmt.Errorf("check: internal error: %d pending ops for %d live processes", len(pend), len(live)))
+		return
+	}
+
+	base := core.stateHash(tr, e.collapse)
+	lm := pidMask(live)
+	// The node's effective sleep set: live pids only, conflicting
+	// sleepers woken (see normalizeSleep in por.go). Both the visited
+	// key and the expansion use it, so expansion stays a pure function
+	// of the key.
+	sleep := normalizeSleep(core, e.collapse, pend, node.sleep&lm)
+	st.key = core.canonicalKey(e.sym, base, sleep)
+	node.pend = append(node.pend[:0], pend...)
+	node.live = lm
+	node.accum = sleep
+	awake := lm &^ sleep
+	if awake != 0 {
+		// First batch: the smallest awake pid whose step progresses
+		// under spin collapse, else every awake pid (the node sits on a
+		// potential cycle and must be expanded in full — see the cycle
+		// proviso in por.go). Which single step starts is otherwise
+		// arbitrary: races schedule whatever else turns out to matter.
+		init := -1
+		for _, po := range pend {
+			if awake&(1<<uint(po.PID)) == 0 {
+				continue
+			}
+			if e.collapse && !core.progresses(po.PID, core.pendingEntry(po)) {
+				continue
+			}
+			init = po.PID
+			break
+		}
+		if init >= 0 {
+			st.first = 1 << uint(init)
+		} else {
+			st.first = awake
+		}
+	}
+	// Whether this node expands or is pruned as a revisit is unknown
+	// until the commit pass; buffer the compensation it would need.
+	e.compensate(core, sc, m, live, &st.comp)
+}
+
+// commit is the serial pass for one task, in wave order: visited-set
+// arbitration, counters, child dispatch and join advancement — every
+// branch on shared exploration state, made in a deterministic sequence.
+func (e *dexplorer) commit(st *dstage, next *[]dtask) {
+	node := st.t.node
+	if st.run {
+		e.runs++
+	}
+	if st.trunc {
+		e.truncated = true
+	}
+	if st.leaf {
+		e.childDone(node.parent, next)
+		return
+	}
+	added, full := e.visited.insert(st.key, e.maxStates)
+	if full {
+		e.truncated = true
+		e.childDone(node.parent, next)
+		return
+	}
+	if !added {
+		for _, ca := range st.comp {
+			registerMask(ca.node, ca.mask)
+		}
+		e.childDone(node.parent, next)
+		return
+	}
+	node.mu.Lock()
+	children := e.dispatchSteps(node, st.first)
+	node.mu.Unlock()
+	if len(children) == 0 {
+		// No awake step: straight to the join (crash wave, then
+		// completion).
+		e.settle(node, next)
+		return
+	}
+	for _, ch := range children {
+		*next = append(*next, dtask{node: ch, sched: childSchedule(st.t.sched, ch.entry)})
+	}
+}
+
+// dispatchSteps creates step children for the pids in mask (ascending),
+// each with its filterSleep-derived sleep set, updating the node's
+// accum/done/out. The node's mutex must be held.
+func (e *dexplorer) dispatchSteps(n *dnode, mask uint64) []*dnode {
+	if mask == 0 {
+		return nil
+	}
+	children := make([]*dnode, 0, bits.OnesCount64(mask))
+	for _, po := range n.pend {
+		bit := uint64(1) << uint(po.PID)
+		if mask&bit == 0 {
+			continue
+		}
+		children = append(children, &dnode{
+			parent: n,
+			entry:  po.PID,
+			depth:  n.depth + 1,
+			sleep:  filterSleep(n.pend, n.accum, po),
+		})
+		n.accum |= bit
+		n.done |= bit
+	}
+	n.out += int32(len(children))
+	return children
+}
+
+// childDone records the completion of one child of n (nil for the
+// root's pseudo-parent) and, when it was the last outstanding one, runs
+// n's join. Called only from the commit pass.
+func (e *dexplorer) childDone(n *dnode, next *[]dtask) {
+	if n == nil {
+		return
+	}
+	n.mu.Lock()
+	n.out--
+	rem := n.out
+	n.mu.Unlock()
+	if rem == 0 {
+		e.settle(n, next)
+	}
+}
+
+// settle is the join loop: with no outstanding children, a node drains
+// its registered race masks as the next batch, then runs the crash
+// wave, then completes and advances its parent's join — iteratively up
+// the tree. Called only from the commit pass; dispatched children go to
+// the next wave.
+func (e *dexplorer) settle(n *dnode, next *[]dtask) {
+	for {
+		n.mu.Lock()
+		if n.out > 0 {
+			n.mu.Unlock()
+			return
+		}
+		// Drain the round's race-initials masks in sorted order (the set
+		// is deterministic, its arrival order is not), picking the
+		// smallest enabled initial of each mask not already covered by a
+		// dispatched, sleeping or just-chosen pid.
+		var fresh uint64
+		if len(n.masks) > 0 {
+			slices.Sort(n.masks)
+			for _, mask := range n.masks {
+				if mask&(n.accum|fresh) != 0 {
+					continue
+				}
+				if add := mask & n.live; add != 0 {
+					fresh |= 1 << uint(bits.TrailingZeros64(add))
+				} else {
+					// Defensive fallback (should be unreachable): schedule
+					// the full expansion rather than risk missing the class.
+					fresh |= n.live &^ n.accum
+				}
+			}
+			n.masks = n.masks[:0]
+		}
+		if fresh != 0 {
+			sched := nodeSchedule(n)
+			children := e.dispatchSteps(n, fresh)
+			n.mu.Unlock()
+			for _, ch := range children {
+				*next = append(*next, dtask{node: ch, sched: childSchedule(sched, ch.entry)})
+			}
+			return
+		}
+		if e.crashes && !n.crashed {
+			n.crashed = true
+			sched := nodeSchedule(n)
+			dispatched := false
+			for mask := n.live; mask != 0; mask &= mask - 1 {
+				pid := bits.TrailingZeros64(mask)
+				if crashedIn(sched, pid) {
+					continue
+				}
+				// A crash commutes with every other process's step: all
+				// steps explored (or asleep) at this node stay asleep in
+				// the crash subtree; the crashed pid's own step is gone.
+				ch := &dnode{
+					parent: n,
+					entry:  -pid - 1,
+					depth:  n.depth + 1,
+					sleep:  n.accum &^ (1 << uint(pid)),
+				}
+				n.out++
+				*next = append(*next, dtask{node: ch, sched: childSchedule(sched, ch.entry)})
+				dispatched = true
+			}
+			if dispatched {
+				n.mu.Unlock()
+				return
+			}
+		}
+		if bits.OnesCount64(n.done) < bits.OnesCount64(n.live) {
+			e.reduced++
+		}
+		p := n.parent
+		n.mu.Unlock()
+		if p == nil {
+			return
+		}
+		p.mu.Lock()
+		p.out--
+		rem := p.out
+		p.mu.Unlock()
+		if rem > 0 {
+			return
+		}
+		n = p
+	}
+}
+
+// nodeSchedule reconstructs the schedule reaching n by walking the
+// parent chain.
+func nodeSchedule(n *dnode) []int {
+	out := make([]int, n.depth)
+	for i := int(n.depth) - 1; i >= 0; i-- {
+		out[i] = n.entry
+		n = n.parent
+	}
+	return out
+}
+
+// syncPath rebuilds the worker's path scratch for the task: the node
+// chain (cheap pointer walk when stolen), the decision entries mapped
+// from the trace's events, and the vector clocks of every entry except
+// the last, reusing clocks over the longest common prefix with the
+// previously chased schedule. The last entry's clock is computed by
+// analyze, which also detects its races.
+func (e *dexplorer) syncPath(sc *dscratch, tr *sim.Trace, t dtask) error {
+	m := len(t.sched)
+	if len(sc.nodes) != m+1 || (m > 0 && sc.nodes[m] != t.node) || (m == 0 && (len(sc.nodes) == 0 || sc.nodes[0] != t.node)) {
+		if cap(sc.nodes) < m+1 {
+			sc.nodes = make([]*dnode, m+1)
+		}
+		sc.nodes = sc.nodes[:m+1]
+		for i, nd := m, t.node; i >= 0; i-- {
+			sc.nodes[i] = nd
+			nd = nd.parent
+		}
+	}
+	common := 0
+	for common < len(sc.sched) && common < m && sc.sched[common] == t.sched[common] {
+		common++
+	}
+	sc.sched = append(sc.sched[:0], t.sched...)
+	if sc.clkValid > common {
+		sc.clkValid = common
+	}
+
+	// Decision entries from the events. Every event consumes one
+	// scheduling decision except the termination mark (KindMark,
+	// PhaseDone), which the run loop records by itself immediately after
+	// the final step of the returning body. It is skipped without making
+	// that step property-visible: no checker property observes
+	// cross-process termination order (mutual exclusion reads the
+	// Try/CS/Exit/Remainder marks, outputs are set-valued, and
+	// ExpectTermination is a predicate on the terminal state), and the
+	// static provider already treats final accesses as plain accesses —
+	// the termination mark is never a pending step.
+	n := e.nprocs
+	for i := range sc.seqs {
+		sc.seqs[i] = 0
+	}
+	idx := 0
+	for _, ev := range tr.Events {
+		if ev.Kind == sim.KindMark && ev.Phase == sim.PhaseDone {
+			continue
+		}
+		if idx >= m {
+			return fmt.Errorf("check: internal error: %d decision events for schedule of %d", idx+1, m)
+		}
+		d := &sc.ents[idx]
+		*d = devent{pid: int32(ev.PID), kind: uint8(ev.Kind), clk: sc.clkbuf[idx*n : (idx+1)*n]}
+		sc.seqs[ev.PID]++
+		d.seq = sc.seqs[ev.PID]
+		switch ev.Kind {
+		case sim.KindAccess:
+			d.acc = opset.Acc{Op: ev.Op, Cell: ev.Cell, Shift: ev.Shift, Width: ev.Width, Arg: ev.Arg}
+		case sim.KindMark, sim.KindOutput:
+			d.vis = true
+		}
+		idx++
+	}
+	if idx != m {
+		return fmt.Errorf("check: internal error: %d decision events for schedule of %d", idx, m)
+	}
+	for j := sc.clkValid; j < m-1; j++ {
+		clockOf(sc, j, nil)
+	}
+	if m > 0 {
+		sc.clkValid = m - 1
+	} else {
+		sc.clkValid = 0
+	}
+	return nil
+}
+
+// clockOf computes the vector clock of entry j from the fully clocked
+// prefix: the join of the previous own entry's clock and every earlier
+// dependent entry's clock, with its own component bumped to its
+// sequence number. When races is non-nil, entries that are dependent
+// but NOT ordered before j by the accumulating happens-before closure —
+// the races — are appended to it (the closure shields: once a
+// dependent entry's clock is joined, everything it dominates is
+// ordered).
+func clockOf(sc *dscratch, j int, races *[]int) {
+	cur := &sc.ents[j]
+	clear(cur.clk)
+	for i := j - 1; i >= 0; i-- {
+		if sc.ents[i].pid == cur.pid {
+			copy(cur.clk, sc.ents[i].clk)
+			break
+		}
+	}
+	for i := 0; i < j; i++ {
+		f := &sc.ents[i]
+		if f.pid == cur.pid || !deventsDependent(f, cur) {
+			continue
+		}
+		if races != nil && f.seq > cur.clk[f.pid] {
+			*races = append(*races, i)
+		}
+		joinClk(cur.clk, f.clk)
+	}
+	cur.clk[cur.pid] = cur.seq
+}
+
+func joinClk(dst, src []int32) {
+	for i, v := range src {
+		if v > dst[i] {
+			dst[i] = v
+		}
+	}
+}
+
+// analyze clocks the path's last entry, detects its races against the
+// prefix and applies the resulting backtrack additions.
+func (e *dexplorer) analyze(sc *dscratch, m int) {
+	cur := &sc.ents[m-1]
+	if cur.kind == uint8(sim.KindCrash) {
+		// Crashes race with nothing; clock for completeness.
+		clockOf(sc, m-1, nil)
+		sc.clkValid = m
+		return
+	}
+	sc.races = sc.races[:0]
+	clockOf(sc, m-1, &sc.races)
+	sc.clkValid = m
+	for _, j := range sc.races {
+		e.addBacktrack(sc, j, m-1, cur, nil)
+	}
+}
+
+// addBacktrack processes one race: entry j of the path versus the later
+// step cur (at path position last, or a hypothetical next step when
+// last == len(path)). It computes the initials of the reordered suffix
+// and registers the mask at node j (or buffers it into sink when
+// non-nil) for the node's next join to resolve.
+func (e *dexplorer) addBacktrack(sc *dscratch, j, last int, cur *devent, sink *[]dcomp) {
+	f := &sc.ents[j]
+	// Candidate suffix: steps after j that f does not happen before,
+	// plus cur. Crash entries are skipped — they commute with everything
+	// and crash branches are never pruned, so reordering one before f
+	// needs no backtrack.
+	sc.cand = sc.cand[:0]
+	for k := j + 1; k < last; k++ {
+		g := &sc.ents[k]
+		if g.kind == uint8(sim.KindCrash) {
+			continue
+		}
+		if g.clk[f.pid] >= f.seq {
+			continue // f happens before g: g cannot move before f
+		}
+		sc.cand = append(sc.cand, k)
+	}
+	var initials uint64
+	for ci, k := range sc.cand {
+		g := &sc.ents[k]
+		if initials&(1<<uint(g.pid)) != 0 {
+			continue // a pid's first candidate step decides; later ones are ordered after it
+		}
+		blocked := false
+		for _, kk := range sc.cand[:ci] {
+			h := &sc.ents[kk]
+			if g.clk[h.pid] >= h.seq {
+				blocked = true // a predecessor inside the suffix: g cannot start it
+				break
+			}
+		}
+		if !blocked {
+			initials |= 1 << uint(g.pid)
+		}
+	}
+	if initials&(1<<uint(cur.pid)) == 0 {
+		blocked := false
+		for _, kk := range sc.cand {
+			h := &sc.ents[kk]
+			if cur.clk[h.pid] >= h.seq {
+				blocked = true
+				break
+			}
+		}
+		if !blocked {
+			initials |= 1 << uint(cur.pid)
+		}
+	}
+	if initials == 0 {
+		return
+	}
+	if sink != nil {
+		*sink = append(*sink, dcomp{node: sc.nodes[j], mask: initials})
+		return
+	}
+	registerMask(sc.nodes[j], initials)
+}
+
+// registerMask records one race-initials set at n for its next join to
+// resolve. Duplicates collapse and the skip test reads only accum,
+// which is constant between a node's dispatches (and a join cannot run
+// while the registering path's child of n is outstanding), so the SET a
+// join drains is insensitive to registration order; the CHOICE of pid
+// is deferred to the join for the same reason (see the determinism
+// notes in the file comment).
+func registerMask(n *dnode, initials uint64) {
+	n.mu.Lock()
+	if initials&n.accum == 0 && !slices.Contains(n.masks, initials) {
+		n.masks = append(n.masks, initials)
+	}
+	n.mu.Unlock()
+}
+
+// compensate approximates the backtrack additions a pruned revisit's
+// subtree would have produced (see the stateful-DPOR caveat in the file
+// comment): the hit state's pending steps, plus one hypothetical step
+// per recorded access of each live process, are race-checked against
+// the current path, the resulting masks buffered into sink (the commit
+// pass applies them only if the node really is pruned). Must run right
+// after stateHash (c.hist, c.vals valid) with the session at the node.
+func (e *dexplorer) compensate(core *replayCore, sc *dscratch, m int, live []int, sink *[]dcomp) {
+	if m == 0 {
+		return
+	}
+	for _, po := range core.pendingOps() {
+		g := devent{pid: int32(po.PID), kind: uint8(po.Kind)}
+		switch po.Kind {
+		case sim.KindAccess:
+			g.acc = opset.Acc{Op: po.Op, Cell: po.Cell, Shift: po.Shift, Width: po.Width, Arg: po.Arg}
+		case sim.KindMark, sim.KindOutput:
+			g.vis = true
+		}
+		e.ghostScan(sc, m, &g, sink)
+	}
+	for _, q := range live {
+		for _, en := range core.hist[q] {
+			if en.kind != uint8(sim.KindAccess) {
+				continue
+			}
+			g := devent{
+				pid:  int32(q),
+				kind: en.kind,
+				acc:  opset.Acc{Op: opset.Op(en.op), Cell: en.cell, Shift: en.shift, Width: en.width, Arg: en.aux},
+			}
+			e.ghostScan(sc, m, &g, sink)
+		}
+	}
+}
+
+// ghostScan race-checks a hypothetical next step of pid g.pid at path
+// position m against the whole path, buffering backtrack additions for
+// its races into sink.
+func (e *dexplorer) ghostScan(sc *dscratch, m int, g *devent, sink *[]dcomp) {
+	g.clk = sc.ghostClk
+	clear(g.clk)
+	for i := m - 1; i >= 0; i-- {
+		if sc.ents[i].pid == g.pid {
+			copy(g.clk, sc.ents[i].clk)
+			break
+		}
+	}
+	g.seq = g.clk[g.pid] + 1
+	sc.races = sc.races[:0]
+	for i := 0; i < m; i++ {
+		f := &sc.ents[i]
+		if f.pid == g.pid || !deventsDependent(f, g) {
+			continue
+		}
+		if f.seq > g.clk[f.pid] {
+			sc.races = append(sc.races, i)
+		}
+		joinClk(g.clk, f.clk)
+	}
+	g.clk[g.pid] = g.seq
+	for _, j := range sc.races {
+		e.addBacktrack(sc, j, m, g, sink)
+	}
+}
+
+// deventsDependent is the dependence relation over executed (or
+// hypothetical) steps; it mirrors pendingIndependent — see the case
+// analysis in por.go.
+func deventsDependent(a, b *devent) bool {
+	if a.pid == b.pid {
+		return true
+	}
+	if a.kind == uint8(sim.KindCrash) || b.kind == uint8(sim.KindCrash) {
+		return false
+	}
+	if a.vis && b.vis {
+		return true
+	}
+	if a.kind == uint8(sim.KindAccess) && b.kind == uint8(sim.KindAccess) {
+		return !opset.Independent(a.acc, b.acc)
+	}
+	return false
+}
+
+// fail records the first internal error and cancels the parallel pass;
+// errors (unlike violations) abort mid-wave, since the exploration's
+// result is discarded anyway.
+func (e *dexplorer) fail(err error) {
+	e.mu.Lock()
+	if e.firstErr == nil {
+		e.firstErr = err
+	}
+	e.mu.Unlock()
+	e.cancel.Store(true)
+}

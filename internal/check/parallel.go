@@ -107,42 +107,45 @@ type porTask struct {
 // thieves steal from the head. A plain mutex suffices — pushes are
 // batched per expanded node and the critical sections are a few
 // instructions, so this is never the bottleneck at realistic worker
-// counts.
-type deque struct {
+// counts. It is generic over the task type so the static-POR explorer
+// (porTask) and the DPOR engine (dtask, see dpor.go) share it.
+type deque[T any] struct {
 	mu    sync.Mutex
-	nodes []porTask
+	nodes []T
 }
 
-func (d *deque) push(batch []porTask) {
+func (d *deque[T]) push(batch []T) {
 	d.mu.Lock()
 	d.nodes = append(d.nodes, batch...)
 	d.mu.Unlock()
 }
 
 // pop takes the most recently pushed node (owner side).
-func (d *deque) pop() (porTask, bool) {
+func (d *deque[T]) pop() (T, bool) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	var zero T
 	n := len(d.nodes)
 	if n == 0 {
-		return porTask{}, false
+		return zero, false
 	}
 	s := d.nodes[n-1]
-	d.nodes[n-1] = porTask{}
+	d.nodes[n-1] = zero
 	d.nodes = d.nodes[:n-1]
 	return s, true
 }
 
 // steal takes the oldest node (thief side): the shallowest frontier entry,
 // which roots the largest remaining subtree.
-func (d *deque) steal() (porTask, bool) {
+func (d *deque[T]) steal() (T, bool) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	var zero T
 	if len(d.nodes) == 0 {
-		return porTask{}, false
+		return zero, false
 	}
 	s := d.nodes[0]
-	d.nodes[0] = porTask{}
+	d.nodes[0] = zero
 	d.nodes = d.nodes[1:]
 	return s, true
 }
@@ -151,8 +154,8 @@ func (d *deque) steal() (porTask, bool) {
 // stealing, idle parking and termination detection. inflight counts
 // queued nodes plus chains being chased; the exploration is complete when
 // it reaches zero.
-type frontier struct {
-	deques   []deque
+type frontier[T any] struct {
+	deques   []deque[T]
 	inflight atomic.Int64
 	stop     atomic.Bool
 
@@ -161,21 +164,21 @@ type frontier struct {
 	waiting int
 }
 
-func newFrontier(workers int) *frontier {
-	f := &frontier{deques: make([]deque, workers)}
+func newFrontier[T any](workers int) *frontier[T] {
+	f := &frontier[T]{deques: make([]deque[T], workers)}
 	f.cond = sync.NewCond(&f.mu)
 	return f
 }
 
 // seed enqueues the root node on worker 0's deque.
-func (f *frontier) seed(root porTask) {
+func (f *frontier[T]) seed(root T) {
 	f.inflight.Store(1)
-	f.deques[0].push([]porTask{root})
+	f.deques[0].push([]T{root})
 }
 
 // push enqueues a batch of sibling nodes on the owner's deque and wakes
 // parked workers.
-func (f *frontier) push(owner int, batch []porTask) {
+func (f *frontier[T]) push(owner int, batch []T) {
 	f.inflight.Add(int64(len(batch)))
 	f.deques[owner].push(batch)
 	f.mu.Lock()
@@ -187,7 +190,7 @@ func (f *frontier) push(owner int, batch []porTask) {
 
 // taskDone retires one node's chain; the last retirement wakes everyone
 // so they can observe completion.
-func (f *frontier) taskDone() {
+func (f *frontier[T]) taskDone() {
 	if f.inflight.Add(-1) == 0 {
 		f.mu.Lock()
 		f.cond.Broadcast()
@@ -197,7 +200,7 @@ func (f *frontier) taskDone() {
 
 // halt cancels the exploration: next returns false everywhere, queued
 // nodes are abandoned.
-func (f *frontier) halt() {
+func (f *frontier[T]) halt() {
 	f.stop.Store(true)
 	f.mu.Lock()
 	f.cond.Broadcast()
@@ -208,11 +211,12 @@ func (f *frontier) halt() {
 // from another worker's head, else it parks until work arrives or the
 // exploration completes or halts. The second return is false when the
 // worker should exit.
-func (f *frontier) next(owner int) (porTask, bool) {
+func (f *frontier[T]) next(owner int) (T, bool) {
+	var zero T
 	n := len(f.deques)
 	for {
 		if f.stop.Load() {
-			return porTask{}, false
+			return zero, false
 		}
 		if s, ok := f.deques[owner].pop(); ok {
 			return s, true
@@ -235,7 +239,7 @@ func (f *frontier) next(owner int) (porTask, bool) {
 		}
 		if f.stop.Load() || f.inflight.Load() == 0 {
 			f.mu.Unlock()
-			return porTask{}, false
+			return zero, false
 		}
 		f.waiting++
 		f.cond.Wait()
@@ -244,7 +248,8 @@ func (f *frontier) next(owner int) (porTask, bool) {
 	}
 }
 
-func (f *frontier) grabAnyLocked(owner int) (porTask, bool) {
+func (f *frontier[T]) grabAnyLocked(owner int) (T, bool) {
+	var zero T
 	n := len(f.deques)
 	for i := 0; i < n; i++ {
 		idx := (owner + i) % n
@@ -256,7 +261,7 @@ func (f *frontier) grabAnyLocked(owner int) (porTask, bool) {
 			return s, true
 		}
 	}
-	return porTask{}, false
+	return zero, false
 }
 
 // parexplorer is the shared state of one parallel exploration.
@@ -269,7 +274,7 @@ type parexplorer struct {
 	por       bool
 
 	visited   *shardedSet
-	fr        *frontier
+	fr        *frontier[porTask]
 	runs      atomic.Int64
 	reduced   atomic.Int64
 	truncated atomic.Bool
@@ -288,7 +293,7 @@ func exploreParallel(build Builder, prop Property, opts Options, maxDepth, maxSt
 		maxDepth:  maxDepth,
 		maxStates: maxStates,
 		visited:   newShardedSet(),
-		fr:        newFrontier(workers),
+		fr:        newFrontier[porTask](workers),
 	}
 
 	// Builder calls are sequential (the Builder contract does not require
@@ -396,7 +401,12 @@ func (e *parexplorer) chase(id int, core *replayCore, t porTask) {
 		}
 		h := core.stateHash(tr, e.opts.CollapseSpins)
 		if e.por {
-			h = mix64(h, sleep) // nodes are (state, sleep set), as in the serial DFS
+			// Nodes are (state, sleep set), as in the serial DFS. The mask
+			// is normalised first — live pids only, conflicting sleepers
+			// woken — see the serial explorer for why that is sound and
+			// what it recovers.
+			sleep = normalizeSleep(core, e.opts.CollapseSpins, core.pendingOps(), sleep&pidMask(live))
+			h = mix64(h, sleep)
 		}
 		added, full := e.visited.insert(h, e.maxStates)
 		if full {

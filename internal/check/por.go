@@ -265,6 +265,68 @@ func filterSleep(pend []sim.PendingOp, mask uint64, po sim.PendingOp) uint64 {
 	return out
 }
 
+// normalizeSleep computes the node's effective sleep set, the one both
+// the visited key and the expansion use. Starting from the inherited
+// mask (already restricted to live pids by the caller), it wakes every
+// sleeping process whose sleep bit no longer buys a worthwhile pruning:
+//
+//   - visible pending steps (marks, outputs): dependent with every
+//     other visible step, so their postponement rarely survives the
+//     next edge anyway;
+//   - steps dependent with another live process's pending step: the
+//     conflict means the orderings are not equivalent and the sleeper
+//     would be woken imminently;
+//   - under spin collapse, steps that do not progress: the step folds
+//     back into the same collapsed state, so skipping it saves almost
+//     nothing.
+//
+// Waking a sleeper is always sound — it only re-explores a permutation
+// an explored sibling already covers. The payoff is a canonical key:
+// on conflict-heavy states (single-cell spin locks) the sleep component
+// collapses toward zero, so one state no longer re-enters the visited
+// set under many different sleep masks, which is what used to inflate
+// tas/ttas explorations past the unreduced reference and made PR 6's
+// PORAuto give up on them. On independence-heavy states nothing wakes
+// and the full reduction is kept. The result is a pure function of the
+// state and the incoming sleep set, so keying and expanding on it
+// preserves the serial/parallel bit-identical guarantee.
+//
+// Must be called with the session at the node, after stateHash for this
+// node (the progresses check reads its hist/vals scratch).
+func normalizeSleep(c *replayCore, collapse bool, pend []sim.PendingOp, sleep uint64) uint64 {
+	out := sleep
+	for i := range pend {
+		bit := uint64(1) << uint(pend[i].PID)
+		if out&bit == 0 {
+			continue
+		}
+		if pend[i].Kind == sim.KindMark || pend[i].Kind == sim.KindOutput {
+			out &^= bit
+			continue
+		}
+		if collapse && !c.progresses(pend[i].PID, c.pendingEntry(pend[i])) {
+			out &^= bit
+			continue
+		}
+		for j := range pend {
+			if j != i && !pendingIndependent(pend[i], pend[j]) {
+				out &^= bit
+				break
+			}
+		}
+	}
+	return out
+}
+
+// pidMask returns the bitmask of the live pids.
+func pidMask(live []int) uint64 {
+	var m uint64
+	for _, p := range live {
+		m |= 1 << uint(p)
+	}
+	return m
+}
+
 // pendingIndependent is the independence relation over pending steps of
 // distinct processes; see the file comment for the case analysis.
 func pendingIndependent(a, b sim.PendingOp) bool {

@@ -31,6 +31,17 @@ type replayCore struct {
 	vals   []uint64
 	status []uint8
 	pend   []sim.PendingOp
+
+	// Symmetry-reduction scratch (see symmetry.go): permuted cell
+	// values, the per-view permutation-behaviour cache, and written-bit
+	// masks — wmask has the bits any process wrote during the run (per
+	// cell), symOwnW the bits one process wrote up to the history entry
+	// being remapped. Both gate exact pid-encoding remaps, which cannot
+	// distinguish an untouched register from a written pid 0 by value.
+	symVals  []uint64
+	symDescs map[uint32]sim.ViewDesc
+	wmask    []uint64
+	symOwnW  []uint64
 }
 
 // init builds the core's private program instance.
@@ -138,6 +149,14 @@ type histEntry struct {
 // hashSeed is an arbitrary odd constant seeding the state digest.
 const hashSeed = 14695981039346656037
 
+// viewMask is the cell-coordinate bit mask of a register view.
+func viewMask(shift, width uint8) uint64 {
+	if width >= 64 {
+		return ^uint64(0)
+	}
+	return ((uint64(1) << width) - 1) << shift
+}
+
 // mix64 folds v into a running hash with one multiply-xorshift round
 // (splitmix64-style). The digest only feeds the explorer's own visited
 // set, so word-at-a-time mixing replaces the byte-at-a-time fnv loop that
@@ -164,6 +183,13 @@ func (c *replayCore) stateHash(t *sim.Trace, collapse bool) uint64 {
 	for pid := range c.hist {
 		c.hist[pid] = c.hist[pid][:0]
 	}
+	ncells := c.mem.NumCells()
+	if cap(c.wmask) < ncells {
+		c.wmask = make([]uint64, ncells)
+	} else {
+		c.wmask = c.wmask[:ncells]
+		clear(c.wmask)
+	}
 	for _, ev := range t.Events {
 		v := histEntry{kind: uint8(ev.Kind)}
 		switch ev.Kind {
@@ -174,6 +200,9 @@ func (c *replayCore) stateHash(t *sim.Trace, collapse bool) uint64 {
 			v.cell = ev.Cell
 			v.ret = ev.Ret
 			v.aux = ev.Arg
+			if ev.Op.Mutates() {
+				c.wmask[ev.Cell] |= viewMask(ev.Shift, ev.Width)
+			}
 		case sim.KindMark:
 			v.aux = uint64(ev.Phase)
 		case sim.KindOutput:

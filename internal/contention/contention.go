@@ -77,10 +77,15 @@ func (Splitter) New(mem *sim.Memory, n int) (Instance, error) {
 	if n < 1 {
 		return nil, fmt.Errorf("contention: splitter needs n >= 1, got %d", n)
 	}
-	return &splitter{
+	s := &splitter{
 		x: mem.Register("x", idBits(n)),
 		y: mem.Bit("y"),
-	}, nil
+	}
+	// All processes run the identical body; the only pid-dependence is the
+	// raw p.ID() written to x, which remaps under a pid permutation.
+	mem.DeclareSymmetric(n)
+	mem.DeclarePidValued(s.x, sim.PidEncExact)
+	return s, nil
 }
 
 type splitter struct {

@@ -198,6 +198,11 @@ func MixedWorkloads(n int) []Workload {
 				if err != nil {
 					return nil, nil, err
 				}
+				// Both component constructors declare pid-symmetry for
+				// their own uniform bodies, but here even pids run the
+				// mutex body and odd pids the naming body, so pids are
+				// NOT interchangeable: withdraw the claim.
+				mem.ClearSymmetry()
 				procs := make([]sim.ProcFunc, n)
 				for pid := range procs {
 					if pid%2 == 0 {

@@ -31,8 +31,14 @@ func (Lamport) New(mem *sim.Memory, n int) (Instance, error) {
 	if n < 1 {
 		return nil, fmt.Errorf("mutex: lamport-fast needs n >= 1, got %d", n)
 	}
-	node := newLamportNode(mem, "", n)
-	return &lamportInstance{node: node}, nil
+	// Deliberately NOT declared symmetric despite the uniform bodies: the
+	// slow path scans b[0..k) in fixed index order, so intermediate states
+	// distinguish absolute slot positions — a pid permutation would have
+	// to reorder a process's await progress, not just relabel it, and the
+	// remapped history of "waiting on b[1]" can coincide with a genuinely
+	// different state that reached b[1] by passing b[0]. See the scalarset
+	// restriction in sim/symmetry.go.
+	return &lamportInstance{node: newLamportNode(mem, "", n)}, nil
 }
 
 // lamportInstance adapts a single Lamport node to the Instance interface,
@@ -135,14 +141,17 @@ func (PackedLamport) New(mem *sim.Memory, n int) (Instance, error) {
 	}
 	w := idWidth(n)
 	word := mem.Register("xy", 2*w)
-	return &packedLamport{
+	pl := &packedLamport{
 		n:    n,
 		w:    w,
 		word: word,
 		x:    mem.Field(word, 0, w),
 		y:    mem.Field(word, w, w),
 		b:    mem.Bits("b", n),
-	}, nil
+	}
+	// NOT declared symmetric, for the same reason as lamport-fast: the
+	// fixed-order scan of b[0..n) makes intermediate states non-symmetric.
+	return pl, nil
 }
 
 type packedLamport struct {

@@ -124,7 +124,15 @@ func (Peterson) New(mem *sim.Memory, n int) (Instance, error) {
 	if n != 2 {
 		return nil, fmt.Errorf("mutex: peterson-2p supports exactly 2 processes, got %d", n)
 	}
-	return &twoProcInstance{node: newPetersonNode(mem, "")}, nil
+	nd := newPetersonNode(mem, "")
+	// The two sides run mirror-image code: flag[side] is a per-pid family
+	// and the turn bit holds the writer's side, i.e. its pid. Kessels is
+	// deliberately NOT declared: its concession targets (XOR = 0 vs 1) are
+	// side-dependent, so swapping pids does not permute its state space.
+	mem.DeclareSymmetric(2)
+	mem.DeclarePidFamily(nd.flag[:])
+	mem.DeclarePidValued(nd.turn, sim.PidEncExact)
+	return &twoProcInstance{node: nd}, nil
 }
 
 // Kessels is Kessels's two-process algorithm as a standalone Algorithm

@@ -28,6 +28,9 @@ func (TASLock) New(mem *sim.Memory, n int) (Instance, error) {
 	if n < 1 {
 		return nil, fmt.Errorf("mutex: tas-lock needs n >= 1, got %d", n)
 	}
+	// Every process runs the identical pid-free body on one shared bit,
+	// so the program is fully pid-symmetric with no encoded pids.
+	mem.DeclareSymmetric(n)
 	return &tasLock{bit: mem.Bit("lock")}, nil
 }
 
@@ -68,6 +71,8 @@ func (TTASLock) New(mem *sim.Memory, n int) (Instance, error) {
 	if n < 1 {
 		return nil, fmt.Errorf("mutex: ttas-lock needs n >= 1, got %d", n)
 	}
+	// Identical pid-free bodies on one shared bit: fully pid-symmetric.
+	mem.DeclareSymmetric(n)
 	return &ttasLock{bit: mem.Bit("lock")}, nil
 }
 

@@ -77,6 +77,9 @@ func (TAFTree) New(mem *sim.Memory, n int) (Instance, error) {
 		return nil, fmt.Errorf("naming: taf-tree needs n >= 1, got %d", n)
 	}
 	size := pow2ceil(n)
+	// Naming algorithms never consult p.ID() — processes are distinguished
+	// only by the schedule — so the program is fully pid-symmetric.
+	mem.DeclareSymmetric(n)
 	// Heap layout: node i has children 2i and 2i+1; nodes 1..size-1;
 	// leaves are nodes size/2 .. size-1.
 	return &tafTree{size: size, node: mem.Bits("node", size)}, nil
@@ -131,6 +134,7 @@ func (TASTARTree) New(mem *sim.Memory, n int) (Instance, error) {
 		return nil, fmt.Errorf("naming: tas-tar-tree needs n >= 1, got %d", n)
 	}
 	size := pow2ceil(n)
+	mem.DeclareSymmetric(n) // pid-free bodies: see TAFTree.New
 	return &tasTarTree{size: size, node: mem.Bits("node", size)}, nil
 }
 
@@ -193,6 +197,7 @@ func (TASScan) New(mem *sim.Memory, n int) (Instance, error) {
 	if n < 1 {
 		return nil, fmt.Errorf("naming: tas-scan needs n >= 1, got %d", n)
 	}
+	mem.DeclareSymmetric(n) // pid-free bodies: see TAFTree.New
 	return &tasScan{n: n, bit: mem.Bits("b", n-1)}, nil
 }
 
@@ -238,6 +243,7 @@ func (TASBinSearch) New(mem *sim.Memory, n int) (Instance, error) {
 	if n < 1 {
 		return nil, fmt.Errorf("naming: tas-binsearch needs n >= 1, got %d", n)
 	}
+	mem.DeclareSymmetric(n) // pid-free bodies: see TAFTree.New
 	return &tasBinSearch{n: n, bit: mem.Bits("b", n-1)}, nil
 }
 

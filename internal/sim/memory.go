@@ -57,6 +57,7 @@ type Memory struct {
 	model opset.Model
 	cells []cellInfo
 	vals  []uint64
+	sym   *SymSpec // declared pid-symmetry group, nil when none (see symmetry.go)
 }
 
 // NewMemory returns an empty memory supporting exactly the operations in

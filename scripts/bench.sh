@@ -4,7 +4,7 @@
 # BENCH_2.json, ...).
 #
 # Usage:
-#   scripts/bench.sh [output.json]      # default BENCH_4.json
+#   scripts/bench.sh [output.json]      # default BENCH_5.json
 #   BENCHTIME=2s scripts/bench.sh       # longer benchtime for stabler numbers
 #   BASELINE=BENCH_2.json scripts/bench.sh  # record to diff against
 #
@@ -12,12 +12,15 @@
 # the frozen seed baseline (the goroutine-engine numbers before the
 # direct-execution engine landed), a check_suite section timing the
 # model-checker test suite serially versus with 4 parallel explorer
-# workers (CFC_CHECK_WORKERS), a por section recording the
-# partial-order-reduction differential (cfccheck -pordiff): per
-# portfolio entry the POR-on and POR-off state counts, wall-clock and
-# reduction ratio, with agreeing verdicts enforced — and a fleet section
-# with the fixed-seed smoke fleet's throughput (runs/sec, events/sec
-# from cmd/cfcfleet's FLEET-SUMMARY line).
+# workers (CFC_CHECK_WORKERS) plus a multicore honesty flag (a speedup
+# measured on one core is coordination overhead, not speedup), por and
+# dpor sections recording the three-way reduction differential
+# (cfccheck -pordiff): per portfolio entry the state counts, wall-clock
+# and reduction ratios of the static ample-set POR and of source-DPOR
+# with symmetry against the unreduced reference, with agreeing verdicts
+# enforced — and a fleet section with the fixed-seed smoke fleet's
+# throughput (runs/sec, events/sec from cmd/cfcfleet's FLEET-SUMMARY
+# line).
 #
 # After writing the record it is diffed against the committed baseline
 # record. Wall-clock comparisons are only meaningful on like hardware:
@@ -28,8 +31,8 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT="${1:-BENCH_4.json}"
-BASELINE="${BASELINE:-BENCH_3.json}"
+OUT="${1:-BENCH_5.json}"
+BASELINE="${BASELINE:-BENCH_4.json}"
 BENCHTIME="${BENCHTIME:-500ms}"
 RAW="$(mktemp)"
 PORRAW="$(mktemp)"
@@ -100,8 +103,12 @@ go test -run '^$' -bench 'BenchmarkSim' -benchtime "$BENCHTIME" . | tee "$RAW"
     # CFC_CHECK_WORKERS in internal/check/parallel_test.go). speedup is
     # serial/workers4; on a single-core host (cpus = 1) it cannot exceed
     # ~1 and records coordination overhead instead.
-    printf '  "check_suite": {"cpus": %d, "serial_seconds": %.2f, "workers4_seconds": %.2f, "speedup": %.2f},\n' \
-        "$CPUS" "$(awk "BEGIN{print $CHECK_SERIAL_MS/1000.0}")" "$(awk "BEGIN{print $CHECK_PAR_MS/1000.0}")" \
+    # multicore is the honesty flag for every time-based ratio in the
+    # record: false means the host had one core, so the speedup and the
+    # parallel dpor_ms numbers measure time-slicing, not parallelism.
+    printf '  "check_suite": {"cpus": %d, "multicore": %s, "serial_seconds": %.2f, "workers4_seconds": %.2f, "speedup": %.2f},\n' \
+        "$CPUS" "$([[ "$CPUS" -gt 1 ]] && echo true || echo false)" \
+        "$(awk "BEGIN{print $CHECK_SERIAL_MS/1000.0}")" "$(awk "BEGIN{print $CHECK_PAR_MS/1000.0}")" \
         "$(awk "BEGIN{print ($CHECK_PAR_MS > 0) ? $CHECK_SERIAL_MS/$CHECK_PAR_MS : 0}")"
     # Fleet throughput from the fixed-seed smoke fleet's FLEET-SUMMARY.
     printf '  "fleet": {"seed": %s, "n": %s, "runs": %s, "events": %s, "runs_per_s": %s, "events_per_s": %s},\n' \
@@ -124,6 +131,26 @@ go test -run '^$' -bench 'BenchmarkSim' -benchtime "$BENCHTIME" . | tee "$RAW"
             val("name"), val("verdict"), val("por_states"), val("ref_states"), val("ratio"), val("por_ms"), val("ref_ms"), val("reduced_nodes")
     }
     /^PORDIFF-SUMMARY / { max = val("max_ratio") }
+    END { printf "\n  ], \"max_ratio\": %s},\n", (max == "" ? "0" : max) }
+    ' "$PORRAW"
+    # DPOR differential: source-DPOR (+symmetry where declared) states,
+    # runs and wall-clock against the same reference, from the dpor_*
+    # keys of the same cfccheck -pordiff lines.
+    awk '
+    function val(key,    i) {
+        for (i = 2; i <= NF; i++) {
+            if (index($i, key "=") == 1) return substr($i, length(key) + 2)
+        }
+        return ""
+    }
+    BEGIN { printf "  \"dpor\": {\"jobs\": [\n"; first = 1 }
+    /^PORDIFF / {
+        if (!first) printf ",\n"
+        first = 0
+        printf "    {\"name\": \"%s\", \"verdict\": \"%s\", \"dpor_states\": %s, \"dpor_runs\": %s, \"ref_states\": %s, \"ratio\": %s, \"dpor_ms\": %s, \"reduced_nodes\": %s, \"sym\": %s}", \
+            val("name"), val("verdict"), val("dpor_states"), val("dpor_runs"), val("ref_states"), val("dpor_ratio"), val("dpor_ms"), val("dpor_reduced"), val("sym")
+    }
+    /^PORDIFF-SUMMARY / { max = val("max_dpor_ratio") }
     END { printf "\n  ], \"max_ratio\": %s},\n", (max == "" ? "0" : max) }
     ' "$PORRAW"
     awk '

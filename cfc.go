@@ -8,7 +8,8 @@
 //   - a deterministic shared-memory simulator in the paper's interleaving
 //     model (registers of any atomicity, the eight single-bit
 //     read-modify-write operations, pluggable adversarial schedulers,
-//     full traces);
+//     full traces — or zero-allocation streaming through event Sinks
+//     with online estimators and safety monitors);
 //   - the step/register x worst-case/contention-free complexity measures,
 //     computed from traces exactly as Sections 2.2 and 3.2 define them;
 //   - the paper's algorithms: Lamport's fast mutual exclusion, the
@@ -93,6 +94,18 @@ type (
 	// CrashWindow is one crash/recovery cycle of Crasher.Windows.
 	CrashWindow = sim.CrashWindow
 	Phase       = sim.Phase
+	// Sink receives a run's events as they happen (see the sim.Sink
+	// contract); RunInfo describes the run to Sink.Begin; StopReason
+	// says why a run ended. TraceSink buffers the default Trace,
+	// StreamSink adapts closures, FanoutSink composes sinks and
+	// DiscardSink drops everything (engine benchmarking).
+	Sink        = sim.Sink
+	RunInfo     = sim.RunInfo
+	StopReason  = sim.StopReason
+	TraceSink   = sim.TraceSink
+	StreamSink  = sim.StreamSink
+	FanoutSink  = sim.FanoutSink
+	DiscardSink = sim.DiscardSink
 )
 
 // Scheduler and phase constants re-exported from package sim.
@@ -191,6 +204,26 @@ type (
 	// MutexOptions and TaskOptions configure the measurement engines.
 	MutexOptions = core.MutexOptions
 	TaskOptions  = core.TaskOptions
+)
+
+// Online (streaming) observation sinks from package metrics: computed
+// per event, so runs need not be buffered as traces at all.
+type (
+	// RunObserver accumulates the per-attempt estimators (steps,
+	// bit-steps, histogram percentiles, contention, fast-path) online.
+	RunObserver = metrics.RunObserver
+	// SafetyMonitor checks the Spec-selected safety properties online,
+	// with verdicts identical to the trace-based Check* functions.
+	SafetyMonitor = metrics.SafetyMonitor
+	// SafetySpec selects the properties a SafetyMonitor checks.
+	SafetySpec = metrics.SafetySpec
+)
+
+// SafetyMonitor property selectors.
+const (
+	SafetyMutex         = metrics.SafetyMutex
+	SafetyUniqueOutputs = metrics.SafetyUniqueOutputs
+	SafetyDetection     = metrics.SafetyDetection
 )
 
 // MutexAttempts extracts the mutual-exclusion attempts from a trace.
@@ -401,6 +434,9 @@ var (
 	ContendedMutexRun   = driver.ContendedMutexRun
 	TaskRun             = driver.TaskRun
 	SoloTaskRun         = driver.SoloTaskRun
+	// RunInto executes a run streaming its events into a Sink, for
+	// sweeps that observe runs online instead of retaining traces.
+	RunInto = driver.RunInto
 )
 
 // Experiments (package experiments).

@@ -20,10 +20,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
 	"cfc/internal/fleet"
+	"cfc/internal/lode"
 )
 
 func main() {
@@ -36,6 +38,8 @@ func main() {
 		workers   = flag.Int("workers", 0, "concurrent workers per cell (0 = GOMAXPROCS)")
 		maxSteps  = flag.Int("maxsteps", 0, "step budget per run (0 = 64*n+2048)")
 		budget    = flag.Duration("budget", 0, "wall-clock budget per scenario (0 = none)")
+		workloads = flag.String("workloads", "", "comma-separated workload name prefixes (default: all; e.g. mutex or mutex/tas)")
+		dataset   = flag.String("dataset", "", "directory for a lode run-record dataset (empty = don't write)")
 		artifacts = flag.String("artifacts", "", "directory for promoted violation artifacts (empty = don't write)")
 		verbose   = flag.Bool("v", false, "log per-cell progress")
 		list      = flag.Bool("list", false, "list scenarios and workloads, then exit")
@@ -74,8 +78,23 @@ func main() {
 			}
 		}
 	}
+	if *workloads != "" {
+		for _, name := range strings.Split(*workloads, ",") {
+			if name = strings.TrimSpace(name); name != "" {
+				opts.Workloads = append(opts.Workloads, name)
+			}
+		}
+	}
 	if *verbose {
 		opts.Log = os.Stderr
+	}
+	if *dataset != "" {
+		w, err := lode.Create(*dataset)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cfcfleet: %v\n", err)
+			os.Exit(2)
+		}
+		opts.Dataset = w
 	}
 
 	startT := time.Now()
@@ -83,6 +102,13 @@ func main() {
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "cfcfleet: %v\n", err)
 		os.Exit(2)
+	}
+	if opts.Dataset != nil {
+		if err := opts.Dataset.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "cfcfleet: close dataset: %v\n", err)
+			os.Exit(2)
+		}
+		fmt.Printf("DATASET dir=%s records=%d\n", *dataset, opts.Dataset.Total())
 	}
 
 	for _, t := range rep.Tables() {
@@ -121,9 +147,12 @@ func main() {
 	}
 
 	elapsed := time.Since(startT).Seconds()
-	fmt.Printf("FLEET-SUMMARY seed=%d n=%d runs=%d events=%d violations=%d degraded=%d elapsed_s=%.3f runs_per_s=%.0f events_per_s=%.0f\n",
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	fmt.Printf("FLEET-SUMMARY seed=%d n=%d runs=%d events=%d violations=%d degraded=%d elapsed_s=%.3f runs_per_s=%.0f events_per_s=%.0f heap_mb=%.1f max_rss_mb=%.1f\n",
 		rep.Seed, rep.N, rep.TotalRuns(), rep.TotalEvents(), rep.Violations(), countDegraded(rep),
-		elapsed, float64(rep.TotalRuns())/elapsed, float64(rep.TotalEvents())/elapsed)
+		elapsed, float64(rep.TotalRuns())/elapsed, float64(rep.TotalEvents())/elapsed,
+		float64(ms.HeapAlloc)/(1<<20), peakRSSMB())
 
 	if rep.Violations() > 0 || rep.Degraded() {
 		os.Exit(1)

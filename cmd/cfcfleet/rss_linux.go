@@ -1,0 +1,16 @@
+//go:build linux
+
+package main
+
+import "syscall"
+
+// peakRSSMB returns the process's peak resident set size in MiB, the
+// bounded-memory evidence a streaming sweep prints in FLEET-SUMMARY.
+// Linux reports ru_maxrss in KiB.
+func peakRSSMB() float64 {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+		return 0
+	}
+	return float64(ru.Maxrss) / 1024
+}

@@ -1,0 +1,6 @@
+//go:build !linux
+
+package main
+
+// peakRSSMB is unavailable off Linux; FLEET-SUMMARY prints 0.
+func peakRSSMB() float64 { return 0 }

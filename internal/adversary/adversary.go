@@ -205,6 +205,10 @@ func SequentialWorstRegisters(mem *sim.Memory, task driver.TaskRunner, n int) (i
 // its entry code. It returns the number of entry-code steps the victim
 // took without entering its critical section; the count grows without
 // bound in dwell.
+//
+// The run's event count is linear in dwell, so the whole observation
+// streams through sinks — an online mutual-exclusion monitor plus an
+// entry-step counter — instead of retaining a dwell-sized trace.
 func StarveVictim(mem *sim.Memory, lock driver.Locker, dwell int) (int, error) {
 	// The victim idles long enough for the holder to be inside its
 	// critical section before starting its own attempt; under round-robin
@@ -218,23 +222,40 @@ func StarveVictim(mem *sim.Memory, lock driver.Locker, dwell int) (int, error) {
 		driver.MutexBody(lock, 1, 0)(p)
 	}
 	procs := []sim.ProcFunc{holder, victim}
-	res, err := sim.Run(sim.Config{Mem: mem, Procs: procs, Sched: &sim.RoundRobin{}})
+	// The victim is the process whose entry code overlapped the holder's
+	// dwell: track the largest entry-step count (accesses between a Try
+	// mark and the matching CS mark) observed for any process.
+	mon := &metrics.SafetyMonitor{Spec: metrics.SafetyMutex}
+	worst := 0
+	var inEntry [2]bool
+	var entrySteps [2]int
+	count := &sim.StreamSink{OnEvent: func(e *sim.Event) {
+		switch e.Kind {
+		case sim.KindAccess:
+			if inEntry[e.PID] {
+				entrySteps[e.PID]++
+			}
+		case sim.KindMark:
+			switch e.Phase {
+			case sim.PhaseTry:
+				inEntry[e.PID] = true
+				entrySteps[e.PID] = 0
+			case sim.PhaseCS:
+				if inEntry[e.PID] {
+					inEntry[e.PID] = false
+					if entrySteps[e.PID] > worst {
+						worst = entrySteps[e.PID]
+					}
+				}
+			}
+		}
+	}}
+	_, err := driver.RunInto(mem, procs, &sim.RoundRobin{}, 0, nil, sim.FanoutSink{mon, count})
 	if err != nil {
 		return 0, err
 	}
-	if res.Err != nil {
-		return 0, res.Err
-	}
-	if err := metrics.CheckMutualExclusion(res.Trace); err != nil {
+	if err := mon.Err(); err != nil {
 		return 0, err
-	}
-	// The victim is the process whose entry code overlapped the holder's
-	// dwell: report the largest entry-step count observed.
-	worst := 0
-	for _, a := range metrics.MutexAttempts(res.Trace) {
-		if a.Entry.Steps > worst {
-			worst = a.Entry.Steps
-		}
 	}
 	return worst, nil
 }

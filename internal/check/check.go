@@ -300,8 +300,11 @@ type explorer struct {
 	visited   map[uint64]struct{}
 	runs      int
 	reduced   int
+	peeked    int // sibling replays skipped by the batch peek
 	truncated bool
 	violation *Violation
+
+	peekHist []histEntry // scratch for peekKey's branch-pid history
 }
 
 func (e *explorer) dfs(schedule []int, sleep uint64) error {
@@ -373,7 +376,43 @@ func (e *explorer) dfs(schedule []int, sleep uint64) error {
 	if reduced {
 		e.reduced++
 	}
-	for _, b := range br {
+
+	// Batch-peek the siblings before descending into any of them: every
+	// child's visited key is a pure function of this node's hashing
+	// scratch (cell values plus per-pid histories, both still valid here)
+	// and the branch's pending step, so the keys of all siblings can be
+	// computed in one pass over the shared parent state. A child whose
+	// key is already visited is skipped without a session Seek — which
+	// for every sibling after the first would replay the whole schedule
+	// prefix from the root. Terminal, violating and depth-truncated
+	// children never enter the visited set (dfs returns before marking),
+	// so the peek can only skip children dfs would prune anyway; the
+	// depth guard keeps the boundary case (child at maxDepth must report
+	// Truncated) on the replay path. Serial non-POR explorer only: under
+	// POR the key mixes in the child's normalised sleep set, which is not
+	// known until the child's own pending steps are.
+	var skip []bool
+	if !e.por && len(schedule)+1 < e.maxDepth {
+		pend := e.core.pendingOps()
+		for i, b := range br {
+			key, ok := e.peekKey(b, live, pend)
+			if !ok {
+				continue
+			}
+			if _, seen := e.visited[key]; seen {
+				if skip == nil {
+					skip = make([]bool, len(br))
+				}
+				skip[i] = true
+				e.peeked++
+			}
+		}
+	}
+
+	for i, b := range br {
+		if skip != nil && skip[i] {
+			continue
+		}
 		if err := e.dfs(append(schedule, b.entry), b.sleep); err != nil {
 			return err
 		}
@@ -382,6 +421,97 @@ func (e *explorer) dfs(schedule []int, sleep uint64) error {
 		}
 	}
 	return nil
+}
+
+// peekKey computes the visited key the child reached via branch b would
+// derive for itself — stateHash over the child's cell values and
+// histories — without replaying the child. It reads the parent node's
+// hashing scratch (c.vals, c.hist — filled by stateHash above, collapsed
+// per the options) and the parent's pending steps; the auto termination
+// mark a completing step would add is excluded from stateHash for
+// exactly this purpose. ok is false when the branch cannot be peeked
+// (scratch misalignment or an unknown entry kind); the caller then
+// replays it normally.
+func (e *explorer) peekKey(b branch, live []int, pend []sim.PendingOp) (key uint64, ok bool) {
+	c := &e.core
+	var en histEntry
+	pid := -1
+	cell := int32(-1)
+	var newVal uint64
+	switch {
+	case b.entry >= 0 && b.entry < len(c.procs):
+		pid = b.entry
+		var po sim.PendingOp
+		found := false
+		for i, q := range live {
+			if q == pid {
+				if i < len(pend) && pend[i].PID == pid {
+					po, found = pend[i], true
+				}
+				break
+			}
+		}
+		if !found {
+			return 0, false
+		}
+		en = c.pendingEntry(po)
+		if po.Kind == sim.KindAccess {
+			mask := po.Acc().Mask()
+			cur := c.vals[po.Cell]
+			next, _, _ := po.Op.Apply((cur&mask)>>po.Shift, po.Arg)
+			cell = po.Cell
+			newVal = cur&^mask | (next<<po.Shift)&mask
+		}
+	case b.entry < 0 && -b.entry-1 < len(c.procs):
+		pid = -b.entry - 1
+		en = histEntry{kind: uint8(sim.KindCrash)}
+	default:
+		return 0, false
+	}
+
+	// The branch process's post-step history, collapse-canonical: by the
+	// online property collapse(H+e) == collapse(collapse(H)+e), appending
+	// to the parent's already-collapsed history and reducing any new
+	// trailing period reproduces what the child's own stateHash computes.
+	hh := append(e.peekHist[:0], c.hist[pid]...)
+	hh = append(hh, en)
+	if e.opts.CollapseSpins {
+		for {
+			reduced := false
+			for p := 1; p <= maxSpinPeriod && 2*p <= len(hh); p++ {
+				if tailRepeats(hh, p) {
+					hh = hh[:len(hh)-p]
+					reduced = true
+					break
+				}
+			}
+			if !reduced {
+				break
+			}
+		}
+	}
+	e.peekHist = hh
+
+	h := uint64(hashSeed)
+	for i, v := range c.vals {
+		if int32(i) == cell {
+			v = newVal
+		}
+		h = mix64(h, v)
+	}
+	for q := range c.hist {
+		s := c.hist[q]
+		if q == pid {
+			s = hh
+		}
+		h = mix64(h, uint64(len(s))<<32|0xabcd)
+		for _, en := range s {
+			h = mix64(h, uint64(en.kind)|uint64(en.op)<<8|uint64(en.shift)<<16|uint64(en.width)<<24|uint64(uint32(en.cell))<<32)
+			h = mix64(h, en.ret)
+			h = mix64(h, en.aux)
+		}
+	}
+	return h, true
 }
 
 // unterminated scans a maximal run for a process that started but neither

@@ -191,6 +191,17 @@ func (c *replayCore) stateHash(t *sim.Trace, collapse bool) uint64 {
 		clear(c.wmask)
 	}
 	for _, ev := range t.Events {
+		if ev.Kind == sim.KindMark && ev.Phase == sim.PhaseDone {
+			// The termination mark is run-loop-generated (no body marks
+			// PhaseDone itself — see Trace.Schedule), recorded in the same
+			// scheduled step as the body's final action. Whether a body has
+			// returned is therefore a deterministic function of the rest of
+			// its history, so dropping the mark from the digest merges no
+			// distinct states — and it lets the serial explorer's sibling
+			// peek (explorer.peekKey) predict a child's key without knowing
+			// whether the scheduled step completes the body.
+			continue
+		}
 		v := histEntry{kind: uint8(ev.Kind)}
 		switch ev.Kind {
 		case sim.KindAccess:

@@ -99,6 +99,24 @@ func ContendedMutexRun(mem *sim.Memory, l Locker, n, rounds, csDwell int, sched 
 	return res.Trace, nil
 }
 
+// RunInto executes the processes under the scheduler streaming every
+// event into sink instead of buffering a trace: the observation
+// (estimators, property monitors, counters — anything satisfying
+// sim.Sink) happens online, so a sweep's memory footprint is independent
+// of run length. maxSteps of 0 means the simulator default; arena may be
+// nil. It returns the run's stop reason; an illegal access surfaces as
+// the error.
+func RunInto(mem *sim.Memory, procs []sim.ProcFunc, sched sim.Scheduler, maxSteps int, arena *sim.Arena, sink sim.Sink) (sim.StopReason, error) {
+	res, err := sim.Run(sim.Config{Mem: mem, Procs: procs, Sched: sched, MaxSteps: maxSteps, Reuse: arena, Sink: sink})
+	if err != nil {
+		return 0, err
+	}
+	if res.Err != nil {
+		return res.Stop, res.Err
+	}
+	return res.Stop, nil
+}
+
 // TaskRunner is a one-shot task instance (contention detector or naming
 // algorithm): Run executes the process's whole protocol, outputting its
 // decision through p.Output, and returns the decision as well.

@@ -1,0 +1,88 @@
+package fleet
+
+import (
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"cfc/internal/lode"
+)
+
+// TestFleetDatasetRecords runs the same small fleet at two worker counts
+// with a dataset attached and checks that the records — including per-run
+// event digests — are identical up to on-disk order, that every run got
+// exactly one record, and that violating runs carry replayable schedules.
+func TestFleetDatasetRecords(t *testing.T) {
+	collect := func(workers int) []lode.Record {
+		dir := filepath.Join(t.TempDir(), "ds")
+		w, err := lode.Create(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := Run(Options{
+			Seed: 7, N: 3, Runs: 10, Workers: workers,
+			Scenarios: []string{"uniform", "broken", "brokenstorm"},
+			Dataset:   w,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+		d, err := lode.Open(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var recs []lode.Record
+		if err := d.Scan(func(r *lode.Record) bool { recs = append(recs, *r); return true }); err != nil {
+			t.Fatal(err)
+		}
+		if int64(len(recs)) != rep.TotalRuns() {
+			t.Fatalf("%d records for %d runs", len(recs), rep.TotalRuns())
+		}
+		if rep.Violations() == 0 {
+			t.Fatal("brokenstorm produced no violations; the schedule check is vacuous")
+		}
+		sort.Slice(recs, func(i, j int) bool {
+			a, b := recs[i], recs[j]
+			if a.Scenario != b.Scenario {
+				return a.Scenario < b.Scenario
+			}
+			if a.Workload != b.Workload {
+				return a.Workload < b.Workload
+			}
+			return a.Run < b.Run
+		})
+		return recs
+	}
+
+	one := collect(1)
+	four := collect(4)
+	if len(one) != len(four) {
+		t.Fatalf("worker count changed record count: %d vs %d", len(one), len(four))
+	}
+	violations := 0
+	for i := range one {
+		a, b := one[i], four[i]
+		if a.Seed != b.Seed || a.Digest != b.Digest || a.Stop != b.Stop || a.Verdict != b.Verdict ||
+			a.Events != b.Events || a.Steps != b.Steps || a.Accesses != b.Accesses {
+			t.Fatalf("record %d differs across worker counts:\n1: %+v\n4: %+v", i, a, b)
+		}
+		if a.Verdict == "violation" {
+			violations++
+			if len(a.Schedule) == 0 || a.Err == "" {
+				t.Fatalf("violation record lacks schedule or error: %+v", a)
+			}
+			if len(a.Schedule) != len(b.Schedule) {
+				t.Fatalf("violation schedules differ across worker counts: %+v vs %+v", a, b)
+			}
+		}
+		if a.Digest == "" || a.Seed == 0 {
+			t.Fatalf("record missing digest or seed: %+v", a)
+		}
+	}
+	if violations == 0 {
+		t.Fatal("no violation records found")
+	}
+}

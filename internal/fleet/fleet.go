@@ -6,10 +6,13 @@ import (
 	"io"
 	"math/rand"
 	"runtime"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"cfc/internal/lode"
+	"cfc/internal/metrics"
 	"cfc/internal/sim"
 )
 
@@ -30,6 +33,12 @@ type Options struct {
 	// Scenarios names the scenarios to drive; empty means
 	// DefaultScenarios() (every non-broken scenario).
 	Scenarios []string
+	// Workloads filters each scenario's workload list: a workload runs if
+	// its name equals, or is prefixed by, any entry ("mutex" selects the
+	// whole mutex family). Empty means every workload. Filtering changes
+	// which cells exist, not the runs within a cell, so a filtered
+	// fleet's cells match the unfiltered fleet's bit for bit.
+	Workloads []string
 	// Workers is the number of concurrent workers per cell; 0 means
 	// GOMAXPROCS. Statistics are merged exactly (integer accumulators),
 	// so results are identical for any worker count.
@@ -46,6 +55,12 @@ type Options struct {
 	Budget time.Duration
 	// Log, if non-nil, receives one progress line per finished cell.
 	Log io.Writer
+	// Dataset, if non-nil, receives one lode.Record per run: its
+	// coordinates, event digest, complexity counters and verdict (plus
+	// the replayable schedule for violations). Records from concurrent
+	// workers interleave nondeterministically on disk but their contents
+	// are a pure function of Seed.
+	Dataset *lode.Writer
 }
 
 // ScenarioStatus summarises one scenario of a fleet run.
@@ -174,6 +189,9 @@ func Run(opts Options) (*Report, error) {
 			deadline = scenStart.Add(opts.Budget)
 		}
 		for _, w := range scen.Workloads(opts.N) {
+			if !workloadSelected(w.Name, opts.Workloads) {
+				continue
+			}
 			cell, budgetHit, err := runCell(scen, w, opts, workers, maxSteps, deadline)
 			if err != nil {
 				return nil, fmt.Errorf("fleet: scenario %s, workload %s: %w", scen.Name, w.Name, err)
@@ -196,7 +214,24 @@ func Run(opts Options) (*Report, error) {
 		rep.Scenarios = append(rep.Scenarios, status)
 	}
 	rep.Elapsed = time.Since(fleetStart)
+	if len(opts.Workloads) > 0 && len(rep.Cells) == 0 {
+		return nil, fmt.Errorf("fleet: no workload matches %v", opts.Workloads)
+	}
 	return rep, nil
+}
+
+// workloadSelected applies the Options.Workloads filter (empty = all;
+// entries match by equality or name prefix).
+func workloadSelected(name string, filters []string) bool {
+	if len(filters) == 0 {
+		return true
+	}
+	for _, f := range filters {
+		if strings.HasPrefix(name, f) {
+			return true
+		}
+	}
+	return false
 }
 
 // runCell executes one (scenario, workload) cell: Runs seeded runs split
@@ -238,6 +273,10 @@ func runCell(scen Scenario, w Workload, opts Options, workers, maxSteps int, dea
 }
 
 // cellWorker executes the run indices congruent to wid modulo workers.
+// Runs stream through a fanout of the worker's metrics observer and
+// safety monitor — no trace is retained, so a worker's footprint is
+// independent of how many runs it executes. Only a violating run is
+// re-executed buffered, to extract its decision schedule for promotion.
 func cellWorker(scen Scenario, w Workload, opts Options, maxSteps int, thresh []int64, deadline time.Time, budgetHit *atomic.Bool, wid, workers int) (*CellStats, error) {
 	st := &CellStats{Scenario: scen.Name, Workload: w.Name, N: opts.N}
 	mem, procs, err := w.Build(opts.N)
@@ -245,7 +284,14 @@ func cellWorker(scen Scenario, w Workload, opts Options, maxSteps int, thresh []
 		return nil, err
 	}
 	arena := sim.NewArena()
-	obs := newObserver(opts.N)
+	obs := &metrics.RunObserver{Thresh: thresh}
+	mon := &metrics.SafetyMonitor{Spec: w.Safety}
+	sink := sim.FanoutSink{obs, mon}
+	var dig *lode.DigestSink
+	if opts.Dataset != nil {
+		dig = &lode.DigestSink{}
+		sink = append(sink, dig)
+	}
 
 	for idx := opts.StartRun + wid; idx < opts.StartRun+opts.Runs; idx += workers {
 		if budgetHit.Load() {
@@ -255,11 +301,13 @@ func cellWorker(scen Scenario, w Workload, opts Options, maxSteps int, thresh []
 			budgetHit.Store(true)
 			break
 		}
-		panicked := oneRun(scen, w, opts, maxSteps, thresh, mem, procs, arena, obs, st, idx)
+		panicked := oneRun(scen, w, opts, maxSteps, mem, procs, arena, sink, mon, dig, st, idx)
 		if panicked {
 			// The interrupted run left the instance and arena in an
 			// unknown state (parked coroutines are reclaimed by the GC);
-			// rebuild both before the next run.
+			// rebuild both before the next run. The observer keeps the
+			// partial run's events — they happened — and resets its
+			// per-run state at the next Begin.
 			mem, procs, err = w.Build(opts.N)
 			if err != nil {
 				return nil, fmt.Errorf("rebuild after panic: %w", err)
@@ -267,12 +315,14 @@ func cellWorker(scen Scenario, w Workload, opts Options, maxSteps int, thresh []
 			arena = sim.NewArena()
 		}
 	}
+	st.drain(obs)
 	return st, nil
 }
 
 // oneRun executes run idx of the cell, recovering a body panic (reported
 // via st and the return value rather than unwinding the fleet).
-func oneRun(scen Scenario, w Workload, opts Options, maxSteps int, thresh []int64, mem *sim.Memory, procs []sim.ProcFunc, arena *sim.Arena, obs *observer, st *CellStats, idx int) (panicked bool) {
+func oneRun(scen Scenario, w Workload, opts Options, maxSteps int, mem *sim.Memory, procs []sim.ProcFunc, arena *sim.Arena, sink sim.Sink, mon *metrics.SafetyMonitor, dig *lode.DigestSink, st *CellStats, idx int) (panicked bool) {
+	seed := RunSeed(opts.Seed, scen.Name, w.Name, idx)
 	defer func() {
 		if r := recover(); r != nil {
 			panicked = true
@@ -282,55 +332,86 @@ func oneRun(scen Scenario, w Workload, opts Options, maxSteps int, thresh []int6
 				st.FirstPanic = fmt.Sprint(r)
 				st.PanicRun = int64(idx)
 			}
+			if dig != nil {
+				// The digest covers the events before the panic; End
+				// never ran, so the stop reason is the panic itself.
+				opts.Dataset.Append(&lode.Record{
+					Seed: seed, Scenario: scen.Name, Workload: w.Name,
+					Run: idx, N: opts.N, Stop: "panic",
+					Events: dig.Events, Accesses: dig.Accesses,
+					Digest: dig.Hex(), Verdict: "panic", Err: fmt.Sprint(r),
+				})
+			}
 		}
 	}()
 
-	seed := RunSeed(opts.Seed, scen.Name, w.Name, idx)
 	rng := rand.New(rand.NewSource(seed))
 	sched := scen.Sched(rng, opts.N, maxSteps, w)
-	res, err := sim.Run(sim.Config{Mem: mem, Procs: procs, Sched: sched, MaxSteps: maxSteps, Reuse: arena})
+	res, err := sim.Run(sim.Config{Mem: mem, Procs: procs, Sched: sched, MaxSteps: maxSteps, Reuse: arena, Sink: sink})
 	if err != nil {
 		// Configuration errors cannot depend on the run index; surface
 		// them as a panic so the cell degrades rather than the fleet dying.
 		panic(fmt.Sprintf("fleet: run config: %v", err))
 	}
 	st.Runs++
-	t := res.Trace
 	if res.Err != nil {
 		st.AccessErr++
 	}
-	if t.Stop == sim.StopMaxSteps {
+	if res.Stop == sim.StopMaxSteps {
 		st.Truncated++
 	}
-	obs.observe(t, thresh, st)
 
-	verr := w.Check(t)
-	if verr == nil && res.Err == nil && w.ExpectTermination && t.Stop != sim.StopMaxSteps {
-		if pid, ok := unterminated(t); ok {
+	verr := mon.Err()
+	if verr == nil && res.Err == nil && w.ExpectTermination && res.Stop != sim.StopMaxSteps {
+		if pid, ok := mon.Unterminated(); ok {
 			verr = fmt.Errorf("process %d started but neither terminated nor crashed", pid)
 		}
 	}
+	var schedule []int
 	if verr != nil {
 		st.Violations++
+		if dig != nil || st.First == nil || idx < st.First.Run {
+			schedule = violationSchedule(scen, w, opts, maxSteps, mem, procs, idx)
+		}
 		if st.First == nil || idx < st.First.Run {
-			st.First = &FoundViolation{
-				Run:      idx,
-				Seed:     seed,
-				Schedule: t.Schedule(),
-				Err:      verr.Error(),
-			}
+			st.First = &FoundViolation{Run: idx, Seed: seed, Schedule: schedule, Err: verr.Error()}
+		}
+	}
+
+	if dig != nil {
+		rec := &lode.Record{
+			Seed: seed, Scenario: scen.Name, Workload: w.Name,
+			Run: idx, N: opts.N, Stop: res.Stop.String(),
+			Events: dig.Events, Steps: dig.Steps, Accesses: dig.Accesses,
+			Digest: dig.Hex(), Verdict: "ok",
+		}
+		switch {
+		case verr != nil:
+			rec.Verdict, rec.Err, rec.Schedule = "violation", verr.Error(), schedule
+		case res.Err != nil:
+			rec.Verdict, rec.Err = "access-error", res.Err.Error()
+		}
+		if err := opts.Dataset.Append(rec); err != nil {
+			// An unwritable dataset degrades the cell like any other
+			// per-run failure (the defer above records it as a panic).
+			panic(fmt.Sprintf("fleet: dataset append: %v", err))
 		}
 	}
 	return false
 }
 
-// unterminated scans a non-truncated trace for a process that started but
-// neither terminated nor crashed.
-func unterminated(t *sim.Trace) (int, bool) {
-	for pid := 0; pid < t.NumProcs; pid++ {
-		if t.FirstEvent(pid) >= 0 && !t.Done(pid) && !t.Crashed(pid) {
-			return pid, true
-		}
+// violationSchedule re-executes a violating run buffered and returns its
+// decision schedule. Violations are rare, so the fleet streams every run
+// and pays for a trace only when promotion actually needs one; the rerun
+// is exact because the run's scheduler is a pure function of its seed and
+// the program is deterministic.
+func violationSchedule(scen Scenario, w Workload, opts Options, maxSteps int, mem *sim.Memory, procs []sim.ProcFunc, idx int) []int {
+	seed := RunSeed(opts.Seed, scen.Name, w.Name, idx)
+	rng := rand.New(rand.NewSource(seed))
+	sched := scen.Sched(rng, opts.N, maxSteps, w)
+	ts := sim.NewTraceSink()
+	if _, err := sim.Run(sim.Config{Mem: mem, Procs: procs, Sched: sched, MaxSteps: maxSteps, Sink: ts}); err != nil {
+		panic(fmt.Sprintf("fleet: violation replay config: %v", err))
 	}
-	return -1, false
+	return ts.Trace().Schedule()
 }

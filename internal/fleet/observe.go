@@ -32,15 +32,20 @@ type CellStats struct {
 	Contention metrics.Estimator
 	FastPath   metrics.Estimator
 
+	// StepsHist is the full per-attempt step-count distribution, the
+	// source of the report's p50/p90/p99 columns (the mean ± CI the
+	// estimators provide says little about tail latency under storms).
+	StepsHist metrics.Hist
+
 	// Attempts counts completed attempts (crash-aborted ones are not
 	// observed). Crashes and Restarts count injected faults.
 	Attempts int64
 	Crashes  int64
 	Restarts int64
 
-	// Violations counts runs whose trace failed the workload's safety
-	// property (or terminated without every started process finishing,
-	// for ExpectTermination workloads). First is the earliest violating
+	// Violations counts runs that failed the workload's safety property
+	// (or terminated without every started process finishing, for
+	// ExpectTermination workloads). First is the earliest violating
 	// run, kept for promotion.
 	Violations int64
 	First      *FoundViolation
@@ -73,6 +78,7 @@ func (s *CellStats) merge(o *CellStats) {
 	s.BitSteps.Merge(o.BitSteps)
 	s.Contention.Merge(o.Contention)
 	s.FastPath.Merge(o.FastPath)
+	s.StepsHist.Merge(&o.StepsHist)
 	s.Attempts += o.Attempts
 	s.Crashes += o.Crashes
 	s.Restarts += o.Restarts
@@ -86,97 +92,25 @@ func (s *CellStats) merge(o *CellStats) {
 	s.Panics += o.Panics
 }
 
-// observer extracts the per-attempt and per-run metrics from one trace in
-// a single pass. It is reused across a worker's runs to stay off the
-// allocator.
-type observer struct {
-	active []bool  // pid -> inside an attempt
-	steps  []int64 // pid -> accesses of the open attempt
-	bits   []int64 // pid -> access bits of the open attempt
-}
-
-func newObserver(n int) *observer {
-	return &observer{
-		active: make([]bool, n),
-		steps:  make([]int64, n),
-		bits:   make([]int64, n),
-	}
-}
-
-// observe scans the trace and folds its metrics into st. thresh[pid] is
-// the pid's contention-free (solo) step count, the fast-path cutoff.
-func (o *observer) observe(t *sim.Trace, thresh []int64, st *CellStats) {
-	for pid := range o.active {
-		o.active[pid] = false
-	}
-	inAttempt := 0
-	maxContention := 0
-
-	open := func(pid int) {
-		if !o.active[pid] {
-			o.active[pid] = true
-			o.steps[pid], o.bits[pid] = 0, 0
-			inAttempt++
-			if inAttempt > maxContention {
-				maxContention = inAttempt
-			}
-		}
-	}
-	abort := func(pid int) {
-		if o.active[pid] {
-			o.active[pid] = false
-			inAttempt--
-		}
-	}
-	finish := func(pid int) {
-		if !o.active[pid] {
-			return
-		}
-		st.Attempts++
-		st.Steps.Observe(o.steps[pid])
-		st.BitSteps.Observe(o.bits[pid])
-		fast := int64(0)
-		if o.steps[pid] <= thresh[pid] {
-			fast = 1
-		}
-		st.FastPath.Observe(fast)
-		o.active[pid] = false
-		inAttempt--
-	}
-
-	for i := range t.Events {
-		e := &t.Events[i]
-		switch e.Kind {
-		case sim.KindAccess:
-			// Mutex bodies open attempts with a PhaseTry mark; one-shot
-			// task bodies open implicitly at their first access.
-			open(e.PID)
-			o.steps[e.PID]++
-			o.bits[e.PID] += int64(e.Width)
-		case sim.KindMark:
-			switch e.Phase {
-			case sim.PhaseTry:
-				open(e.PID)
-			case sim.PhaseRemainder, sim.PhaseDone:
-				finish(e.PID)
-			}
-		case sim.KindCrash:
-			st.Crashes++
-			abort(e.PID)
-		case sim.KindRestart:
-			st.Restarts++
-		}
-	}
-	if maxContention > 0 {
-		st.Contention.Observe(int64(maxContention))
-	}
-	st.Events += int64(len(t.Events))
+// drain folds a worker's observer accumulators into its partial stats.
+// It runs once per worker, after the worker's last run.
+func (s *CellStats) drain(obs *metrics.RunObserver) {
+	s.Events += obs.Events
+	s.Steps.Merge(obs.Steps)
+	s.BitSteps.Merge(obs.BitSteps)
+	s.Contention.Merge(obs.Contention)
+	s.FastPath.Merge(obs.FastPath)
+	s.StepsHist.Merge(&obs.StepsHist)
+	s.Attempts += obs.Attempts
+	s.Crashes += obs.Crashes
+	s.Restarts += obs.Restarts
 }
 
 // soloThresholds measures the contention-free step count of every process
 // of the workload: thresh[pid] is the number of shared accesses pid
 // performs running alone (the paper's contention-free complexity, and the
-// fleet's fast-path cutoff). One build, n solo runs on the inline engine.
+// fleet's fast-path cutoff). One build, n solo runs on the inline engine,
+// streamed through a counting sink — nothing is retained.
 func soloThresholds(w Workload, n int) ([]int64, error) {
 	mem, procs, err := w.Build(n)
 	if err != nil {
@@ -184,19 +118,21 @@ func soloThresholds(w Workload, n int) ([]int64, error) {
 	}
 	arena := sim.NewArena()
 	thresh := make([]int64, n)
-	for pid := 0; pid < n; pid++ {
-		res, err := sim.Run(sim.Config{Mem: mem, Procs: procs, Sched: sim.Solo{PID: pid}, Reuse: arena})
+	var pid int
+	var steps int64
+	sink := &sim.StreamSink{OnEvent: func(e *sim.Event) {
+		if e.PID == pid && e.Kind == sim.KindAccess {
+			steps++
+		}
+	}}
+	for pid = 0; pid < n; pid++ {
+		steps = 0
+		res, err := sim.Run(sim.Config{Mem: mem, Procs: procs, Sched: sim.Solo{PID: pid}, Reuse: arena, Sink: sink})
 		if err != nil {
 			return nil, err
 		}
 		if res.Err != nil {
 			return nil, res.Err
-		}
-		var steps int64
-		for i := range res.Trace.Events {
-			if e := &res.Trace.Events[i]; e.PID == pid && e.Kind == sim.KindAccess {
-				steps++
-			}
 		}
 		thresh[pid] = steps
 	}

@@ -14,7 +14,7 @@ func (r *Report) Tables() []*experiments.Table {
 	for _, sc := range r.Scenarios {
 		t := &experiments.Table{
 			Title:  fmt.Sprintf("fleet scenario %q (n=%d, seed=%d)", sc.Name, r.N, r.Seed),
-			Header: []string{"workload", "runs", "attempts", "steps/attempt", "bit-steps/attempt", "contention", "fast-path", "trunc", "viol", "panic"},
+			Header: []string{"workload", "runs", "attempts", "steps/attempt", "steps p50/p90/p99", "bit-steps/attempt", "contention", "fast-path", "trunc", "viol", "panic"},
 		}
 		for _, c := range r.Cells {
 			if c.Scenario != sc.Name {
@@ -25,6 +25,7 @@ func (r *Report) Tables() []*experiments.Table {
 				fmt.Sprintf("%d", c.Runs),
 				fmt.Sprintf("%d", c.Attempts),
 				ci(&c.Steps),
+				quantiles(&c.StepsHist),
 				ci(&c.BitSteps),
 				ci(&c.Contention),
 				rate(&c.FastPath),
@@ -40,6 +41,7 @@ func (r *Report) Tables() []*experiments.Table {
 		t.Notes = append(t.Notes,
 			fmt.Sprintf("status: %s; %d runs, %d events, %.2fs", status, sc.Runs, sc.Events, sc.Elapsed.Seconds()),
 			"steps/bit-steps: mean ± 95% CI per completed attempt; contention: per-run max competing processes",
+			"steps p50/p90/p99: per-attempt step-count percentiles (exact histogram, tail latency under storms)",
 			"fast-path: fraction of attempts within the workload's contention-free (solo) step count",
 		)
 		tables = append(tables, t)
@@ -53,6 +55,14 @@ func ci(e *metrics.Estimator) string {
 		return "n/a"
 	}
 	return fmt.Sprintf("%.2f ± %.2f", e.Mean(), e.CI95())
+}
+
+// quantiles renders a histogram's median and tail percentiles.
+func quantiles(h *metrics.Hist) string {
+	if h.N == 0 {
+		return "n/a"
+	}
+	return fmt.Sprintf("%d/%d/%d", h.Quantile(0.5), h.Quantile(0.9), h.Quantile(0.99))
 }
 
 // rate renders a 0/1 estimator as a percentage with CI.

@@ -1,0 +1,107 @@
+package fleet
+
+// The portfolio-level sink differential gate: across every workload
+// (correct and broken), every scenario's storm scheduler and both
+// engines, a run streamed through the fleet's observer + safety monitor
+// must be indistinguishable from the same run buffered — identical
+// observer state whether the sink was fed live or from the buffered
+// trace, and a safety verdict identical to the trace-based Check. This
+// is what licenses the fleet to never retain a trace.
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"cfc/internal/metrics"
+	"cfc/internal/sim"
+)
+
+func diffWorkloads(n int) []Workload {
+	out := Portfolio(n)
+	for _, w := range FaultyWorkloads(n) {
+		if w.Name != "broken/panic-under-contention" {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+func TestStreamedRunMatchesBufferedTracePortfolio(t *testing.T) {
+	const n, runsPer = 4, 3
+	scenarios := append(DefaultScenarios(), "brokenstorm")
+	for _, w := range diffWorkloads(n) {
+		mem, procs, err := w.Build(n)
+		if err != nil {
+			t.Fatalf("%s: build: %v", w.Name, err)
+		}
+		maxSteps := 64*n + 2048
+		for _, scenName := range scenarios {
+			scen, ok := ScenarioByName(scenName)
+			if !ok {
+				t.Fatalf("unknown scenario %s", scenName)
+			}
+			for _, engine := range []sim.Engine{sim.EngineGoroutine, sim.EngineDirect} {
+				for idx := 0; idx < runsPer; idx++ {
+					label := w.Name + "/" + scenName + "/" + string(rune('0'+idx))
+					seed := RunSeed(1, scenName, w.Name, idx)
+
+					// Buffered reference run.
+					sched := scen.Sched(rand.New(rand.NewSource(seed)), n, maxSteps, w)
+					res, err := sim.Run(sim.Config{Mem: mem, Procs: procs, Sched: sched,
+						MaxSteps: maxSteps, Engine: engine})
+					if err != nil {
+						t.Fatalf("%s: buffered run: %v", label, err)
+					}
+					tr := res.Trace
+
+					// The same run streamed live through observer+monitor.
+					obsLive := &metrics.RunObserver{}
+					monLive := &metrics.SafetyMonitor{Spec: w.Safety}
+					sched2 := scen.Sched(rand.New(rand.NewSource(seed)), n, maxSteps, w)
+					res2, err := sim.Run(sim.Config{Mem: mem, Procs: procs, Sched: sched2,
+						MaxSteps: maxSteps, Engine: engine, Sink: sim.FanoutSink{obsLive, monLive}})
+					if err != nil {
+						t.Fatalf("%s: streamed run: %v", label, err)
+					}
+					if res2.Stop != tr.Stop {
+						t.Fatalf("%s: stop differs: streamed %v, buffered %v", label, res2.Stop, tr.Stop)
+					}
+
+					// The buffered trace fed into fresh sinks must leave them
+					// in the identical state: stream content ≡ trace content.
+					obsFed := &metrics.RunObserver{}
+					monFed := &metrics.SafetyMonitor{Spec: w.Safety}
+					tr.Feed(obsFed)
+					tr.Feed(monFed)
+					if !reflect.DeepEqual(obsLive, obsFed) {
+						t.Fatalf("%s: observer state differs between live stream and trace feed:\nlive: %+v\nfed:  %+v",
+							label, obsLive, obsFed)
+					}
+
+					// Online verdict ≡ trace-based Check, message included.
+					want := w.Check(tr)
+					for _, mon := range []*metrics.SafetyMonitor{monLive, monFed} {
+						got := mon.Err()
+						if (got == nil) != (want == nil) || (got != nil && got.Error() != want.Error()) {
+							t.Fatalf("%s: verdict differs: online %v, trace %v", label, got, want)
+						}
+						// The liveness view must match the trace scans too.
+						gotPid, gotOpen := mon.Unterminated()
+						wantPid, wantOpen := -1, false
+						for pid := 0; pid < n; pid++ {
+							if tr.FirstEvent(pid) >= 0 && !tr.Done(pid) && !tr.Crashed(pid) {
+								wantPid, wantOpen = pid, true
+								break
+							}
+						}
+						if gotOpen != wantOpen || (wantOpen && gotPid != wantPid) {
+							t.Fatalf("%s: unterminated differs: online (%d,%v), trace (%d,%v)",
+								label, gotPid, gotOpen, wantPid, wantOpen)
+						}
+					}
+				}
+			}
+		}
+	}
+}

@@ -54,6 +54,13 @@ type Workload struct {
 	Build func(n int) (*sim.Memory, []sim.ProcFunc, error)
 	// Check is the safety property of the workload's traces.
 	Check func(t *sim.Trace) error
+	// Safety is the online form of Check: the property bits a
+	// metrics.SafetyMonitor evaluates while a run streams, with verdicts
+	// identical to Check on the buffered trace (gated by
+	// TestStreamedRunMatchesBufferedTracePortfolio). The fleet's streaming path
+	// relies on it; zero means "no online property" (Check must then be
+	// trivially nil-returning, like the panic workload).
+	Safety metrics.SafetySpec
 }
 
 // Builder binds the workload to a process count, yielding exactly the
@@ -81,11 +88,12 @@ func mutexWorkload(alg mutex.Algorithm) Workload {
 			}
 			return mem, procs, nil
 		},
-		Check: metrics.CheckMutualExclusion,
+		Check:  metrics.CheckMutualExclusion,
+		Safety: metrics.SafetyMutex,
 	}
 }
 
-func taskWorkload(name string, kind Kind, expectTerm bool, newInst func(mem *sim.Memory, n int) (driver.TaskRunner, error), model opset.Model, check func(t *sim.Trace) error) Workload {
+func taskWorkload(name string, kind Kind, expectTerm bool, newInst func(mem *sim.Memory, n int) (driver.TaskRunner, error), model opset.Model, check func(t *sim.Trace) error, safety metrics.SafetySpec) Workload {
 	return Workload{
 		Name:              name,
 		Kind:              kind,
@@ -102,7 +110,8 @@ func taskWorkload(name string, kind Kind, expectTerm bool, newInst func(mem *sim
 			}
 			return mem, procs, nil
 		},
-		Check: check,
+		Check:  check,
+		Safety: safety,
 	}
 }
 
@@ -143,6 +152,7 @@ func DetectionWorkloads(n int) []Workload {
 			func(mem *sim.Memory, n int) (driver.TaskRunner, error) { return det.New(mem, n) },
 			det.Model(),
 			func(t *sim.Trace) error { return metrics.CheckDetection(t, false) },
+			metrics.SafetyDetection,
 		))
 	}
 	return out
@@ -164,6 +174,7 @@ func NamingWorkloads(n int) []Workload {
 			func(mem *sim.Memory, n int) (driver.TaskRunner, error) { return alg.New(mem, n) },
 			alg.Model(),
 			metrics.CheckUniqueOutputs,
+			metrics.SafetyUniqueOutputs,
 		))
 	}
 	return out
@@ -219,6 +230,7 @@ func MixedWorkloads(n int) []Workload {
 				}
 				return metrics.CheckUniqueOutputs(t)
 			},
+			Safety: metrics.SafetyMutex | metrics.SafetyUniqueOutputs,
 		})
 	}
 	return out
@@ -303,7 +315,8 @@ func FaultyWorkloads(n int) []Workload {
 			}
 			return mem, procs, nil
 		},
-		Check: metrics.CheckMutualExclusion,
+		Check:  metrics.CheckMutualExclusion,
+		Safety: metrics.SafetyMutex,
 	}
 	restartUnsafe := Workload{
 		Name:   "broken/restart-unsafe-mutex",
@@ -318,7 +331,8 @@ func FaultyWorkloads(n int) []Workload {
 			}
 			return mem, procs, nil
 		},
-		Check: metrics.CheckMutualExclusion,
+		Check:  metrics.CheckMutualExclusion,
+		Safety: metrics.SafetyMutex,
 	}
 	panicky := Workload{
 		Name:   "broken/panic-under-contention",

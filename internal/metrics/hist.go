@@ -1,0 +1,100 @@
+package metrics
+
+import "fmt"
+
+// Hist is a fixed-range integer histogram for percentile estimation over
+// bounded nonnegative samples (per-attempt step counts are bounded by the
+// run's step budget). Counts are exact integers, so — like Estimator —
+// per-worker histograms Merge to bit-identical totals regardless of
+// sample order. Samples at or beyond the bucket range land in Overflow
+// and are treated as the largest value by Quantile, which therefore
+// reports exact percentiles whenever the quantile falls inside the range
+// and a conservative (range-sized) lower bound otherwise.
+//
+// The zero value is empty and grows its bucket array on first use up to
+// HistBuckets; Observe never allocates after that.
+type Hist struct {
+	// Buckets[v] counts samples with value v.
+	Buckets []int64
+	// Overflow counts samples >= len(Buckets) (and negative samples,
+	// which cannot occur for step counts but must not corrupt counts).
+	Overflow int64
+	// N is the total number of samples, including overflow.
+	N int64
+}
+
+// HistBuckets is the bucket range of a Hist: per-attempt step counts
+// beyond it are summarised in the overflow bucket. The fleet's default
+// step budget at n=64 is 64*64+2048 = 6144, so 1<<13 covers every
+// per-attempt count the fleet can produce.
+const HistBuckets = 1 << 13
+
+// Observe adds one sample.
+func (h *Hist) Observe(x int64) {
+	if h.Buckets == nil {
+		h.Buckets = make([]int64, HistBuckets)
+	}
+	h.N++
+	if x < 0 || x >= int64(len(h.Buckets)) {
+		h.Overflow++
+		return
+	}
+	h.Buckets[x]++
+}
+
+// Merge folds o into h. Histograms of different bucket counts merge by
+// spilling o's out-of-range buckets into Overflow.
+func (h *Hist) Merge(o *Hist) {
+	if o.N == 0 {
+		return
+	}
+	if h.Buckets == nil {
+		h.Buckets = make([]int64, HistBuckets)
+	}
+	for v, c := range o.Buckets {
+		if c == 0 {
+			continue
+		}
+		if v < len(h.Buckets) {
+			h.Buckets[v] += c
+		} else {
+			h.Overflow += c
+		}
+	}
+	h.Overflow += o.Overflow
+	h.N += o.N
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) of the samples: the
+// smallest value v such that at least ceil(q*N) samples are <= v.
+// Overflow samples count as len(Buckets). It returns 0 for an empty
+// histogram.
+func (h *Hist) Quantile(q float64) int64 {
+	if h.N == 0 {
+		return 0
+	}
+	rank := int64(q*float64(h.N) + 0.5)
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > h.N {
+		rank = h.N
+	}
+	var seen int64
+	for v, c := range h.Buckets {
+		seen += c
+		if seen >= rank {
+			return int64(v)
+		}
+	}
+	return int64(len(h.Buckets))
+}
+
+// String renders "p50/p90/p99=a/b/c (n=N)" for fleet reports.
+func (h *Hist) String() string {
+	if h.N == 0 {
+		return "n/a (n=0)"
+	}
+	return fmt.Sprintf("p50/p90/p99=%d/%d/%d (n=%d)",
+		h.Quantile(0.50), h.Quantile(0.90), h.Quantile(0.99), h.N)
+}

@@ -1,0 +1,336 @@
+package metrics
+
+import (
+	"fmt"
+
+	"cfc/internal/sim"
+)
+
+// This file is the online (sink-based) face of the package: the same
+// measures and safety properties as metrics.go and safety.go, computed
+// while the run happens instead of from a materialised Trace. A
+// RunObserver or SafetyMonitor attached as (or fanned into) sim.Config.Sink
+// folds every event into O(n) state, so million-run sweeps retain nothing
+// per run and the direct engine's solo fast path stays allocation-free
+// (state arrays are sized once in Begin and reused).
+
+// RunObserver is a sim.Sink accumulating the fleet's per-attempt cost
+// estimators across runs: step and bit-step complexity per attempt, the
+// per-run contention maximum, the fast-path fraction, and fault counters.
+// An attempt opens at a PhaseTry mark (mutex rounds) or implicitly at a
+// process's first access (one-shot tasks), finishes at a PhaseRemainder
+// or PhaseDone mark, and is abandoned — not observed — when the process
+// crashes mid-attempt. This is the exact single-pass logic the fleet's
+// trace observer has always applied; estimators are exact integers, so
+// per-worker observers Merge to bit-identical totals.
+//
+// The observer accumulates across every run it is attached to; read or
+// Merge the estimator fields when the sweep is done. The zero value is
+// ready to use.
+type RunObserver struct {
+	// Steps, BitSteps, Contention and FastPath estimate per-attempt
+	// shared-access cost, per-attempt bit cost, per-run maximum
+	// simultaneous attempts, and the fraction of attempts completing
+	// within Thresh of their pid.
+	Steps      Estimator
+	BitSteps   Estimator
+	Contention Estimator
+	FastPath   Estimator
+	// StepsHist is the per-attempt step-count distribution behind
+	// percentile reporting.
+	StepsHist Hist
+
+	// Attempts counts completed attempts; Crashes and Restarts count
+	// injected faults; Events counts every event observed.
+	Attempts int64
+	Crashes  int64
+	Restarts int64
+	Events   int64
+
+	// Thresh[pid] is pid's contention-free (solo) step count, the
+	// fast-path cutoff. Nil disables the FastPath estimator.
+	Thresh []int64
+
+	active        []bool
+	steps         []int64
+	bits          []int64
+	inAttempt     int
+	maxContention int
+}
+
+// Begin resets the per-run state (cross-run accumulators are kept).
+func (o *RunObserver) Begin(info sim.RunInfo) {
+	n := info.NumProcs
+	if cap(o.active) < n {
+		o.active = make([]bool, n)
+		o.steps = make([]int64, n)
+		o.bits = make([]int64, n)
+	} else {
+		o.active = o.active[:n]
+		o.steps = o.steps[:n]
+		o.bits = o.bits[:n]
+		for pid := range o.active {
+			o.active[pid] = false
+		}
+	}
+	o.inAttempt = 0
+	o.maxContention = 0
+}
+
+func (o *RunObserver) open(pid int) {
+	if !o.active[pid] {
+		o.active[pid] = true
+		o.steps[pid], o.bits[pid] = 0, 0
+		o.inAttempt++
+		if o.inAttempt > o.maxContention {
+			o.maxContention = o.inAttempt
+		}
+	}
+}
+
+func (o *RunObserver) finish(pid int) {
+	if !o.active[pid] {
+		return
+	}
+	o.Attempts++
+	o.Steps.Observe(o.steps[pid])
+	o.StepsHist.Observe(o.steps[pid])
+	o.BitSteps.Observe(o.bits[pid])
+	if o.Thresh != nil {
+		fast := int64(0)
+		if o.steps[pid] <= o.Thresh[pid] {
+			fast = 1
+		}
+		o.FastPath.Observe(fast)
+	}
+	o.active[pid] = false
+	o.inAttempt--
+}
+
+// Event folds one event into the open-attempt state.
+func (o *RunObserver) Event(e *sim.Event) {
+	o.Events++
+	switch e.Kind {
+	case sim.KindAccess:
+		o.open(e.PID)
+		o.steps[e.PID]++
+		o.bits[e.PID] += int64(e.Width)
+	case sim.KindMark:
+		switch e.Phase {
+		case sim.PhaseTry:
+			o.open(e.PID)
+		case sim.PhaseRemainder, sim.PhaseDone:
+			o.finish(e.PID)
+		}
+	case sim.KindCrash:
+		o.Crashes++
+		if o.active[e.PID] {
+			o.active[e.PID] = false
+			o.inAttempt--
+		}
+	case sim.KindRestart:
+		o.Restarts++
+	}
+}
+
+// End closes the run: the contention maximum becomes one sample.
+func (o *RunObserver) End(stop sim.StopReason, scheduledSteps int) {
+	if o.maxContention > 0 {
+		o.Contention.Observe(int64(o.maxContention))
+	}
+}
+
+// SafetySpec selects which safety properties a SafetyMonitor checks; the
+// bits compose (mixed workloads check mutual exclusion and uniqueness).
+type SafetySpec uint8
+
+const (
+	// SafetyMutex checks mutual exclusion (CheckMutualExclusion).
+	SafetyMutex SafetySpec = 1 << iota
+	// SafetyUniqueOutputs checks output uniqueness (CheckUniqueOutputs).
+	SafetyUniqueOutputs
+	// SafetyDetection checks contention detection (CheckDetection with
+	// requireWinner = false).
+	SafetyDetection
+)
+
+// SafetyMonitor is a sim.Sink evaluating the selected safety properties
+// online, event by event, with the identical verdicts and error messages
+// as the trace-based checks in safety.go — a streamed fleet run and a
+// buffered one classify every run the same way. It also tracks per-pid
+// liveness (started / terminated / crashed) for the fleet's
+// expect-termination check.
+//
+// A monitor serves one run at a time and resets in Begin; read Err and
+// Unterminated between runs. The zero value is ready to use.
+type SafetyMonitor struct {
+	// Spec selects the properties to check.
+	Spec SafetySpec
+
+	n   int
+	err error // first violation, in Spec declaration order precedence
+
+	// Mutual exclusion: pids currently inside their critical section.
+	inCS     []bool
+	csCount  int
+	mutexErr error
+
+	// Output uniqueness: fixed buffer with linear scan, map fallback
+	// past 64 outputs (mirroring CheckUniqueOutputs).
+	outs      [64]uint64
+	outPids   [64]int32
+	nOuts     int
+	outsWide  map[uint64]int
+	uniqueErr error
+
+	// Detection: processes that output 1.
+	winners    int
+	winnerPids []int
+
+	// Liveness: started / done / crashed per pid.
+	started []bool
+	done    []bool
+	down    []bool
+}
+
+// Begin resets the monitor for a new run.
+func (m *SafetyMonitor) Begin(info sim.RunInfo) {
+	n := info.NumProcs
+	m.n = n
+	m.err = nil
+	m.mutexErr = nil
+	m.uniqueErr = nil
+	m.csCount = 0
+	m.nOuts = 0
+	m.outsWide = nil
+	m.winners = 0
+	m.winnerPids = m.winnerPids[:0]
+	if cap(m.inCS) < n {
+		m.inCS = make([]bool, n)
+		m.started = make([]bool, n)
+		m.done = make([]bool, n)
+		m.down = make([]bool, n)
+	} else {
+		m.inCS = m.inCS[:n]
+		m.started = m.started[:n]
+		m.done = m.done[:n]
+		m.down = m.down[:n]
+		for i := 0; i < n; i++ {
+			m.inCS[i] = false
+			m.started[i] = false
+			m.done[i] = false
+			m.down[i] = false
+		}
+	}
+}
+
+// Event folds one event into the property state.
+func (m *SafetyMonitor) Event(e *sim.Event) {
+	pid := e.PID
+	m.started[pid] = true
+	switch e.Kind {
+	case sim.KindCrash:
+		m.down[pid] = true
+		if m.inCS[pid] {
+			m.inCS[pid] = false
+			m.csCount--
+		}
+	case sim.KindRestart:
+		m.down[pid] = false
+	case sim.KindMark:
+		if e.Phase == sim.PhaseDone {
+			m.done[pid] = true
+		}
+		if m.Spec&SafetyMutex == 0 {
+			return
+		}
+		switch e.Phase {
+		case sim.PhaseCS:
+			if !m.inCS[pid] {
+				m.inCS[pid] = true
+				m.csCount++
+			}
+			if m.csCount > 1 && m.mutexErr == nil {
+				var holders []int
+				for p := 0; p < m.n; p++ {
+					if m.inCS[p] {
+						holders = append(holders, p)
+					}
+				}
+				m.mutexErr = fmt.Errorf("metrics: mutual exclusion violated at event %d: processes %v in critical section", e.Seq, holders)
+			}
+		case sim.PhaseExit, sim.PhaseRemainder, sim.PhaseTry:
+			if m.inCS[pid] {
+				m.inCS[pid] = false
+				m.csCount--
+			}
+		}
+	case sim.KindOutput:
+		if m.Spec&SafetyUniqueOutputs != 0 {
+			m.observeOutput(pid, e.Out)
+		}
+		if m.Spec&SafetyDetection != 0 && e.Out == 1 {
+			m.winners++
+			m.winnerPids = append(m.winnerPids, pid)
+		}
+	}
+}
+
+func (m *SafetyMonitor) observeOutput(pid int, out uint64) {
+	if m.uniqueErr != nil {
+		return
+	}
+	if m.outsWide != nil {
+		if prev, dup := m.outsWide[out]; dup {
+			m.uniqueErr = fmt.Errorf("metrics: output %d chosen by both process %d and process %d", out, prev, pid)
+			return
+		}
+		m.outsWide[out] = pid
+		return
+	}
+	for i := 0; i < m.nOuts; i++ {
+		if m.outs[i] == out {
+			m.uniqueErr = fmt.Errorf("metrics: output %d chosen by both process %d and process %d", out, m.outPids[i], pid)
+			return
+		}
+	}
+	if m.nOuts == len(m.outs) {
+		// Spill to the map fallback, exactly when the trace-based check
+		// switches to its wide path.
+		m.outsWide = make(map[uint64]int, 2*m.nOuts)
+		for i := 0; i < m.nOuts; i++ {
+			m.outsWide[m.outs[i]] = int(m.outPids[i])
+		}
+		m.observeOutput(pid, out)
+		return
+	}
+	m.outs[m.nOuts] = out
+	m.outPids[m.nOuts] = int32(pid)
+	m.nOuts++
+}
+
+// End finalises the verdict.
+func (m *SafetyMonitor) End(stop sim.StopReason, scheduledSteps int) {
+	m.err = m.mutexErr
+	if m.err == nil && m.uniqueErr != nil {
+		m.err = m.uniqueErr
+	}
+	if m.err == nil && m.Spec&SafetyDetection != 0 && m.winners > 1 {
+		m.err = fmt.Errorf("metrics: contention detection violated: processes %v all output 1", m.winnerPids)
+	}
+}
+
+// Err returns the run's first property violation, or nil. Valid after End
+// (the fleet reads it between runs).
+func (m *SafetyMonitor) Err() error { return m.err }
+
+// Unterminated returns a process that started but neither terminated nor
+// crashed, mirroring the trace scan the expect-termination check uses.
+func (m *SafetyMonitor) Unterminated() (int, bool) {
+	for pid := 0; pid < m.n; pid++ {
+		if m.started[pid] && !m.done[pid] && !m.down[pid] {
+			return pid, true
+		}
+	}
+	return -1, false
+}

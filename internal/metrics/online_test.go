@@ -1,0 +1,130 @@
+package metrics
+
+import (
+	"testing"
+
+	"cfc/internal/opset"
+	"cfc/internal/sim"
+)
+
+// TestMetricsSinksAllocationFree is the metrics half of the tentpole's
+// allocs gate: a solo run on the direct engine streamed through the
+// RunObserver and SafetyMonitor sinks must not allocate — the estimators,
+// histogram and property state are all warm arrays after the first run.
+func TestMetricsSinksAllocationFree(t *testing.T) {
+	mem := sim.NewMemory(opset.RMW)
+	b := mem.Bit("lock")
+	body := func(p *sim.Proc) {
+		p.Mark(sim.PhaseTry)
+		for p.TestAndSet(b) != 0 {
+		}
+		p.Mark(sim.PhaseCS)
+		p.Mark(sim.PhaseExit)
+		p.TestAndReset(b)
+		p.Mark(sim.PhaseRemainder)
+		p.Output(uint64(p.ID()))
+	}
+	procs := []sim.ProcFunc{nil, body, nil}
+
+	obs := &RunObserver{Thresh: []int64{0, 2, 0}}
+	mon := &SafetyMonitor{Spec: SafetyMutex | SafetyUniqueOutputs | SafetyDetection}
+	arena := sim.NewArena()
+	cfg := sim.Config{Mem: mem, Procs: procs, Sched: sim.Solo{PID: 1},
+		Reuse: arena, Sink: sim.FanoutSink{obs, mon}}
+	if _, err := sim.Run(cfg); err != nil { // warm arrays and histogram
+		t.Fatal(err)
+	}
+	for _, sched := range []sim.Scheduler{sim.Solo{PID: 1}, sim.Sequential{}} {
+		cfg.Sched = sched
+		allocs := testing.AllocsPerRun(100, func() {
+			res, err := sim.Run(cfg)
+			if err != nil || res.Err != nil {
+				t.Fatalf("%v / %v", err, res.Err)
+			}
+			if mon.Err() != nil {
+				t.Fatalf("unexpected violation: %v", mon.Err())
+			}
+		})
+		if allocs != 0 {
+			t.Errorf("%T: metrics sinks allocate %.1f times per run, want 0", sched, allocs)
+		}
+	}
+	if obs.Attempts == 0 || obs.Events == 0 {
+		t.Fatalf("observer saw nothing: %+v", obs)
+	}
+}
+
+// TestRunObserverMatchesTraceScan feeds one buffered trace through the
+// observer and checks the aggregate numbers against hand-derived values.
+func TestRunObserverMatchesTraceScan(t *testing.T) {
+	mem := sim.NewMemory(opset.RMW)
+	b := mem.Bit("b")
+	body := func(p *sim.Proc) {
+		p.Mark(sim.PhaseTry)
+		p.TestAndSet(b) // 1 access, 1 bit
+		p.Mark(sim.PhaseRemainder)
+	}
+	res, err := sim.Run(sim.Config{Mem: mem, Procs: []sim.ProcFunc{body, body}, Sched: &sim.RoundRobin{}})
+	if err != nil || res.Err != nil {
+		t.Fatalf("%v / %v", err, res.Err)
+	}
+	obs := &RunObserver{}
+	res.Trace.Feed(obs)
+	if obs.Attempts != 2 || obs.Steps.Sum != 2 || obs.BitSteps.Sum != 2 {
+		t.Fatalf("observer: %+v", obs)
+	}
+	if obs.Contention.N != 1 || obs.Contention.Max != 2 {
+		t.Fatalf("contention: %+v", obs.Contention)
+	}
+	if obs.StepsHist.N != 2 || obs.StepsHist.Quantile(0.5) != 1 {
+		t.Fatalf("hist: %+v", obs.StepsHist)
+	}
+	if int(obs.Events) != len(res.Trace.Events) {
+		t.Fatalf("events = %d, want %d", obs.Events, len(res.Trace.Events))
+	}
+}
+
+func TestHistQuantiles(t *testing.T) {
+	var h Hist
+	for i := int64(1); i <= 100; i++ {
+		h.Observe(i)
+	}
+	if got := h.Quantile(0.5); got != 50 {
+		t.Errorf("p50 = %d, want 50", got)
+	}
+	if got := h.Quantile(0.99); got != 99 {
+		t.Errorf("p99 = %d, want 99", got)
+	}
+	if got := h.Quantile(1); got != 100 {
+		t.Errorf("p100 = %d, want 100", got)
+	}
+	if got := h.Quantile(0); got != 1 {
+		t.Errorf("p0 = %d, want 1", got)
+	}
+
+	// Merge must be exact and order-independent.
+	var a, b Hist
+	for i := int64(0); i < 50; i++ {
+		a.Observe(i * 2)
+		b.Observe(i*2 + 1)
+	}
+	var m1, m2 Hist
+	m1.Merge(&a)
+	m1.Merge(&b)
+	m2.Merge(&b)
+	m2.Merge(&a)
+	if m1.Quantile(0.5) != m2.Quantile(0.5) || m1.N != m2.N {
+		t.Fatalf("merge order changed the histogram")
+	}
+
+	// Overflow samples are conservative upper-range values.
+	var o Hist
+	o.Observe(int64(HistBuckets) + 5)
+	o.Observe(1)
+	if o.Overflow != 1 || o.N != 2 {
+		t.Fatalf("overflow accounting: %+v", o.Overflow)
+	}
+	if got := o.Quantile(1); got != int64(HistBuckets) {
+		t.Errorf("overflow quantile = %d, want %d", got, HistBuckets)
+	}
+}

@@ -14,6 +14,7 @@ package sim
 type Arena struct {
 	loop    runLoop
 	trace   Trace
+	tsink   TraceSink // default buffered sink, wrapping trace
 	result  Result
 	procs   []Proc        // direct-engine process handles, pid-indexed
 	coroT   coroTransport // coroutine-engine scratch

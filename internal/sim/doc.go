@@ -38,7 +38,28 @@
 //
 // Both engines drive the same run-loop core, mutate memory in the same
 // single place and produce identical traces; an engine only changes how
-// control moves between the loop and a body. EngineAuto selects the
+// control moves between the loop and a body. The goroutine engine pools
+// its worker goroutines process-wide, so sweeps of many short runs pay
+// the goroutine start-up cost once per pooled worker, not once per
+// run × process.
+//
+// # Event sinks
+//
+// The run loop does not retain events itself: it delivers each one,
+// through a pointer to a reusable scratch Event, to the run's Sink —
+// Begin once, Event per event in Seq order, End exactly once on every
+// exit path (the precise contract, including the crash/restart events
+// and the Session exception, is documented on the Sink type). The
+// default sink is a TraceSink, which buffers the familiar Trace;
+// StreamSink adapts closures, FanoutSink composes sinks, DiscardSink
+// measures the bare engine, and package metrics provides online
+// estimator and safety-monitor sinks. Because the scratch event is
+// reused, a streaming consumer adds zero allocations per event — on the
+// direct engine's solo fast path the entire run loop allocates nothing
+// — and observation-only sweeps (the fleet, the starvation adversary)
+// run in memory independent of run count and length. Trace.Feed replays
+// a buffered trace through a sink, so trace-based and streaming
+// consumers stay differentially comparable. EngineAuto selects the
 // direct engine whenever the scheduler implements DeterministicScheduler
 // (all built-in schedulers do), and the goroutine engine otherwise. The
 // marker is a promise about the scheduler — decisions are a pure function

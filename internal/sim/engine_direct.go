@@ -131,12 +131,12 @@ func (t *coroTransport) finish() {
 // performed immediately.
 func (l *runLoop) inlineDo(pid int, r request) response {
 	if l.steps >= l.maxSteps {
-		l.trace.Stop = StopMaxSteps
+		l.stop = StopMaxSteps
 		panic(unwind{})
 	}
 	resp, err := l.perform(pid, r)
 	if err != nil {
-		l.trace.Stop = StopError
+		l.stop = StopError
 		l.inlineErr = err
 		panic(unwind{})
 	}
@@ -179,7 +179,7 @@ func (l *runLoop) runInlineSeq() error {
 		}
 		l.record(Event{PID: pid, Kind: KindMark, Phase: PhaseDone})
 	}
-	l.trace.Stop = StopAllDone
+	l.stop = StopAllDone
 	return nil
 }
 
@@ -201,9 +201,9 @@ func (l *runLoop) runInlineSolo(pid int) error {
 		l.record(Event{PID: pid, Kind: KindMark, Phase: PhaseDone})
 	}
 	if others {
-		l.trace.Stop = StopScheduler
+		l.stop = StopScheduler
 	} else {
-		l.trace.Stop = StopAllDone
+		l.stop = StopAllDone
 	}
 	return nil
 }

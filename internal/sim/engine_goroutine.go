@@ -6,17 +6,96 @@ import (
 )
 
 // goroTransport is the original execution engine: each process body runs
-// on its own goroutine and synchronises with the run loop through a pair
+// on a worker goroutine and synchronises with the run loop through a pair
 // of unbuffered channels (two handshakes per scheduled event). It makes no
 // assumption about the scheduler, so it is the fallback for schedulers the
 // simulator cannot prove deterministic.
-type goroTransport struct {
-	procs  []*Proc    // nil entries: remainder-region processes
-	bodies []ProcFunc // kept for restart: a revived body is a fresh goroutine
-	wg     sync.WaitGroup
+//
+// Workers are pooled process-wide: a body's goroutine and channel pair
+// outlive the run that used them and are handed to the next run (or the
+// next restart) instead of being re-created, so a sweep of many short
+// runs pays the goroutine start-up cost O(pool) times, not O(runs·n).
+
+// worker is a pooled body-execution goroutine with its permanently owned
+// channel pair. The unbuffered jobs channel doubles as the idle barrier:
+// handing a worker its next job blocks until it has fully unwound the
+// previous one.
+type worker struct {
+	req  chan request
+	res  chan response
+	jobs chan job
 }
 
-// newGoroTransport launches one goroutine per non-nil body. Every body
+type job struct {
+	pr   *Proc
+	body ProcFunc
+	wg   *sync.WaitGroup // the owning transport's in-flight counter
+}
+
+func (w *worker) loop() {
+	for j := range w.jobs {
+		w.run(j)
+	}
+}
+
+func (w *worker) run(j job) {
+	defer j.wg.Done()
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(unwind); ok {
+				return // killed by the run loop; worker survives, goes idle
+			}
+			panic(r) // real bug in an algorithm: surface it (worker is lost)
+		}
+	}()
+	j.body(j.pr)
+	w.req <- request{kind: reqDone}
+}
+
+// workerPool is the process-wide free list of idle workers. Capped: a
+// burst of wide runs can grow the pool, but at most maxIdleWorkers
+// goroutines linger afterwards; the rest are told to exit.
+var workerPool struct {
+	mu   sync.Mutex
+	idle []*worker
+}
+
+const maxIdleWorkers = 256
+
+func acquireWorker() *worker {
+	workerPool.mu.Lock()
+	if n := len(workerPool.idle); n > 0 {
+		w := workerPool.idle[n-1]
+		workerPool.idle = workerPool.idle[:n-1]
+		workerPool.mu.Unlock()
+		return w
+	}
+	workerPool.mu.Unlock()
+	w := &worker{req: make(chan request), res: make(chan response), jobs: make(chan job)}
+	go w.loop()
+	return w
+}
+
+func releaseWorkers(ws []*worker) {
+	workerPool.mu.Lock()
+	for _, w := range ws {
+		if len(workerPool.idle) < maxIdleWorkers {
+			workerPool.idle = append(workerPool.idle, w)
+		} else {
+			close(w.jobs)
+		}
+	}
+	workerPool.mu.Unlock()
+}
+
+type goroTransport struct {
+	procs   []*Proc    // nil entries: remainder-region processes
+	bodies  []ProcFunc // kept for restart: a revived body is a fresh job
+	workers []*worker  // every worker this run acquired (incl. killed ones)
+	wg      sync.WaitGroup
+}
+
+// newGoroTransport assigns one pooled worker per non-nil body. Every body
 // runs concurrently up to its first request, which start later absorbs.
 func newGoroTransport(bodies []ProcFunc) *goroTransport {
 	t := &goroTransport{procs: make([]*Proc, len(bodies)), bodies: bodies}
@@ -29,30 +108,17 @@ func newGoroTransport(bodies []ProcFunc) *goroTransport {
 	return t
 }
 
-// launch (re)starts process i's body on a fresh goroutine behind a fresh
-// channel pair; it serves both initial construction and crash recovery.
+// launch (re)starts process i's body on a pooled worker; it serves both
+// initial construction and crash recovery. A restarted process gets a
+// fresh worker — its killed predecessor may still be unwinding — and the
+// predecessor rejoins the pool once finish has seen its job complete.
 func (t *goroTransport) launch(i int) {
-	pr := &Proc{
-		id:  i,
-		n:   len(t.bodies),
-		req: make(chan request),
-		res: make(chan response),
-	}
+	w := acquireWorker()
+	t.workers = append(t.workers, w)
+	pr := &Proc{id: i, n: len(t.bodies), req: w.req, res: w.res}
 	t.procs[i] = pr
 	t.wg.Add(1)
-	go func(pr *Proc, body ProcFunc) {
-		defer t.wg.Done()
-		defer func() {
-			if r := recover(); r != nil {
-				if _, ok := r.(unwind); ok {
-					return // killed by the run loop; already accounted
-				}
-				panic(r) // real bug in an algorithm: surface it
-			}
-		}()
-		body(pr)
-		pr.req <- request{kind: reqDone}
-	}(pr, t.bodies[i])
+	w.jobs <- job{pr: pr, body: t.bodies[i], wg: &t.wg}
 }
 
 func (t *goroTransport) start(pid int) (request, bool) {
@@ -76,13 +142,17 @@ func (t *goroTransport) kill(pid int) {
 	t.procs[pid].res <- response{kill: true}
 }
 
-// restart relaunches pid's body (its previous goroutine was killed) and
+// restart relaunches pid's body (its previous worker was killed) and
 // runs it to its first request.
 func (t *goroTransport) restart(pid int) (request, bool) {
 	t.launch(pid)
 	return t.start(pid)
 }
 
+// finish waits for every job of the run to unwind, then returns the
+// run's workers to the pool.
 func (t *goroTransport) finish() {
 	t.wg.Wait()
+	releaseWorkers(t.workers)
+	t.workers = nil
 }

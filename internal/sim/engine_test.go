@@ -284,6 +284,48 @@ func TestSoloFastPathAllocationFree(t *testing.T) {
 	if allocs != 0 {
 		t.Errorf("sequential fast path allocates %.1f times per run, want 0", allocs)
 	}
+
+	// The same runs through a streaming sink must stay allocation-free:
+	// the loop hands the sink one scratch Event by pointer, so neither the
+	// interface call nor the callback boxes anything. (The metrics-sink
+	// variant of this gate lives in internal/fleet, which owns that sink.)
+	events := 0
+	stream := &StreamSink{OnEvent: func(e *Event) {
+		if e.Kind == KindAccess {
+			events++
+		}
+	}}
+	for _, sink := range []Sink{stream, DiscardSink{}} {
+		cfg.Sched = Solo{PID: 1}
+		cfg.Sink = sink
+		if _, err := Run(cfg); err != nil { // warm
+			t.Fatal(err)
+		}
+		allocs = testing.AllocsPerRun(100, func() {
+			res, err := Run(cfg)
+			if err != nil || res.Err != nil {
+				t.Fatalf("%v / %v", err, res.Err)
+			}
+			if res.Trace != nil {
+				t.Fatal("streaming run retained a trace")
+			}
+		})
+		if allocs != 0 {
+			t.Errorf("solo fast path through %T allocates %.1f times per run, want 0", sink, allocs)
+		}
+		cfg.Sched = Sequential{}
+		allocs = testing.AllocsPerRun(100, func() {
+			if res, err := Run(cfg); err != nil || res.Err != nil {
+				t.Fatalf("%v / %v", err, res.Err)
+			}
+		})
+		if allocs != 0 {
+			t.Errorf("sequential fast path through %T allocates %.1f times per run, want 0", sink, allocs)
+		}
+	}
+	if events == 0 {
+		t.Fatal("stream sink observed no accesses")
+	}
 }
 
 // TestArenaReuseAcrossPrograms checks that one arena can serve programs
@@ -346,5 +388,41 @@ func TestEngineSelection(t *testing.T) {
 	}
 	if got := pickEngine(Sequential{}, EngineGoroutine); got != engineGoroutine {
 		t.Errorf("forced goroutine for Sequential = %d", got)
+	}
+}
+
+// TestWorkerPoolReuse pins the goroutine engine's pooling: after the
+// first run has populated the pool, further runs of the same shape
+// re-acquire the same workers instead of creating new ones.
+func TestWorkerPoolReuse(t *testing.T) {
+	poolSize := func() int {
+		workerPool.mu.Lock()
+		defer workerPool.mu.Unlock()
+		return len(workerPool.idle)
+	}
+	workerPool.mu.Lock()
+	workerPool.idle = nil // start from a clean pool
+	workerPool.mu.Unlock()
+
+	mem := NewMemory(opset.RMW)
+	b := mem.Bit("b")
+	body := func(p *Proc) {
+		p.TestAndSet(b)
+		p.TestAndReset(b)
+	}
+	cfg := Config{Mem: mem, Procs: []ProcFunc{body, body, body}, Sched: Sequential{}, Engine: EngineGoroutine}
+	if _, err := Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if got := poolSize(); got != 3 {
+		t.Fatalf("pool holds %d workers after first run, want 3", got)
+	}
+	for i := 0; i < 50; i++ {
+		if _, err := Run(cfg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := poolSize(); got != 3 {
+		t.Fatalf("pool grew to %d workers across identical runs, want 3", got)
 	}
 }

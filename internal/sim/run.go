@@ -58,13 +58,24 @@ type Config struct {
 	// same arena. Replay-heavy callers (the model checker, measurement
 	// sweeps) use one arena across thousands of runs.
 	Reuse *Arena
+	// Sink, if non-nil, receives the run's event stream instead of the
+	// default buffered trace (see the Sink contract in sink.go). With a
+	// streaming or aggregating sink the run retains no events at all —
+	// Result.Trace is then nil (unless Sink is itself a *TraceSink) and
+	// memory stays bounded across any number of runs. Sinks compose with
+	// Reuse: the arena still recycles the run-loop and engine scratch.
+	Sink Sink
 }
 
 // Result is the outcome of a run.
 type Result struct {
-	// Trace is the full event record; always non-nil, possibly partial if
-	// the run was aborted.
+	// Trace is the full event record, possibly partial if the run was
+	// aborted. It is non-nil whenever the run buffered — Config.Sink nil
+	// (the default) or a *TraceSink — and nil for any other sink.
 	Trace *Trace
+	// Stop is why the run ended. It mirrors Trace.Stop and is available
+	// even when a non-buffering Config.Sink leaves Trace nil.
+	Stop StopReason
 	// Err is non-nil if a process performed an illegal access (operation
 	// outside the memory model, width violation). The trace then ends at
 	// the offending access, which is not recorded.
@@ -298,7 +309,13 @@ func Run(cfg Config) (*Result, error) {
 	default:
 		err = loop.run(newGoroTransport(cfg.Procs))
 	}
-	result.Trace = loop.trace
+	loop.sink.End(loop.stop, loop.steps)
+	if loop.buf != nil {
+		result.Trace = loop.buf.tr
+	} else {
+		result.Trace = nil
+	}
+	result.Stop = loop.stop
 	result.Err = err
 	return result, nil
 }
@@ -329,30 +346,42 @@ func setupRun(cfg Config) (*runLoop, *Result, error) {
 	ar := cfg.Reuse
 	var (
 		loop   *runLoop
-		trace  *Trace
 		result *Result
 	)
 	if ar != nil {
 		ar.prepare(n)
-		loop, trace, result = &ar.loop, &ar.trace, &ar.result
+		loop, result = &ar.loop, &ar.result
 	} else {
 		loop = new(runLoop)
-		trace = &Trace{Events: make([]Event, 0, eventsHint(maxSteps, n))}
 		result = new(Result)
 	}
 
-	trace.NumProcs = n
-	trace.Stop = 0
-	trace.ScheduledSteps = 0
-	trace.Events = trace.Events[:0]
-	trace.Cells = fillCells(trace.Cells, mem)
+	// Resolve the sink: an explicit Config.Sink wins; otherwise buffer
+	// into the arena's trace, or a fresh one.
+	loop.buf = nil
+	if cfg.Sink != nil {
+		loop.sink = cfg.Sink
+		if ts, ok := cfg.Sink.(*TraceSink); ok {
+			loop.buf = ts
+		}
+	} else if ar != nil {
+		if ar.tsink.tr == nil {
+			ar.tsink.tr = &ar.trace
+		}
+		loop.buf = &ar.tsink
+		loop.sink = loop.buf
+	} else {
+		loop.buf = &TraceSink{tr: &Trace{Events: make([]Event, 0, eventsHint(maxSteps, n))}}
+		loop.sink = loop.buf
+	}
 
 	loop.mem = mem
-	loop.trace = trace
 	loop.bodies = cfg.Procs
 	loop.sched = sched
 	loop.maxSteps = maxSteps
 	loop.steps = 0
+	loop.seq = 0
+	loop.stop = 0
 	loop.arena = ar
 	loop.inlineErr = nil
 	loop.npending = 0
@@ -372,6 +401,7 @@ func setupRun(cfg Config) (*runLoop, *Result, error) {
 		clear(loop.crashed)
 	}
 	loop.ncrashed = 0
+	loop.sink.Begin(RunInfo{NumProcs: n, MaxSteps: maxSteps, mem: mem})
 	return loop, result, nil
 }
 
@@ -386,25 +416,6 @@ func eventsHint(maxSteps, n int) int {
 	return hint
 }
 
-// fillCells (re)builds the trace's cell metadata from the memory, reusing
-// dst's backing array when it is large enough.
-func fillCells(dst []CellInfo, mem *Memory) []CellInfo {
-	nc := mem.NumCells()
-	if cap(dst) < nc {
-		dst = make([]CellInfo, nc)
-	} else {
-		dst = dst[:nc]
-	}
-	for i := range dst {
-		dst[i] = CellInfo{
-			Name:  mem.cells[i].name,
-			Width: int(mem.cells[i].width),
-			Init:  mem.cells[i].init,
-		}
-	}
-	return dst
-}
-
 // runLoop owns all memory mutation and event recording for one run. The
 // pending table is pid-indexed (kind 0 marks "no pending event") and the
 // sorted ready list is derived from it lazily: it is rebuilt, in place,
@@ -412,11 +423,15 @@ func fillCells(dst []CellInfo, mem *Memory) []CellInfo {
 // scheduling does no list maintenance at all.
 type runLoop struct {
 	mem      *Memory
-	trace    *Trace
+	sink     Sink
+	buf      *TraceSink // non-nil iff the run buffers; buf.tr is the result trace
 	bodies   []ProcFunc
 	sched    Scheduler
 	maxSteps int
 	steps    int
+	seq      int        // events emitted so far (the next Event.Seq)
+	stop     StopReason // why the run ended; mirrored to the sink at End
+	ev       Event      // sink scratch: a loop field, so &l.ev never allocates
 	arena    *Arena
 
 	pending    []request // pid-indexed; kind == 0 means not ready
@@ -462,7 +477,7 @@ func (l *runLoop) run(t transport) error {
 	rc, _ := l.sched.(RestartCapable)
 	for l.npending > 0 || (l.ncrashed > 0 && rc != nil && rc.CanRestart()) {
 		if l.steps >= l.maxSteps {
-			l.trace.Stop = StopMaxSteps
+			l.stop = StopMaxSteps
 			l.unwindAll(t)
 			return nil
 		}
@@ -471,13 +486,13 @@ func (l *runLoop) run(t transport) error {
 		d := l.sched.Next(l.ready, l.steps)
 		switch d.Action {
 		case ActStop:
-			l.trace.Stop = StopScheduler
+			l.stop = StopScheduler
 			l.unwindAll(t)
 			return nil
 
 		case ActCrash:
 			if !l.isPending(d.PID) {
-				l.trace.Stop = StopError
+				l.stop = StopError
 				l.unwindAll(t)
 				return fmt.Errorf("sim: scheduler crashed non-ready process %d", d.PID)
 			}
@@ -485,7 +500,7 @@ func (l *runLoop) run(t transport) error {
 
 		case ActRestart:
 			if !l.isCrashed(d.PID) {
-				l.trace.Stop = StopError
+				l.stop = StopError
 				l.unwindAll(t)
 				return fmt.Errorf("sim: scheduler restarted non-crashed process %d", d.PID)
 			}
@@ -493,12 +508,12 @@ func (l *runLoop) run(t transport) error {
 
 		case ActStep:
 			if !l.isPending(d.PID) {
-				l.trace.Stop = StopError
+				l.stop = StopError
 				l.unwindAll(t)
 				return fmt.Errorf("sim: scheduler picked non-ready process %d", d.PID)
 			}
 			if err := l.stepReady(d.PID, t); err != nil {
-				l.trace.Stop = StopError
+				l.stop = StopError
 				l.readyStale = true
 				t.kill(d.PID)
 				l.unwindAll(t)
@@ -506,12 +521,12 @@ func (l *runLoop) run(t transport) error {
 			}
 
 		default:
-			l.trace.Stop = StopError
+			l.stop = StopError
 			l.unwindAll(t)
 			return fmt.Errorf("sim: scheduler returned invalid action %d", d.Action)
 		}
 	}
-	l.trace.Stop = StopAllDone
+	l.stop = StopAllDone
 	return nil
 }
 
@@ -558,7 +573,6 @@ func (l *runLoop) stepReady(pid int, t transport) error {
 // are recorded, shared by all engines.
 func (l *runLoop) perform(pid int, req request) (response, error) {
 	l.steps++
-	l.trace.ScheduledSteps = l.steps
 	switch req.kind {
 	case reqAccess:
 		ret, hasRet, err := l.mem.apply(req.reg, req.op, req.arg)
@@ -617,7 +631,6 @@ func (l *runLoop) crashProc(pid int, t transport) {
 // that keeps crash/restart storms bounded by the step budget.
 func (l *runLoop) restartCrashed(pid int, t transport) {
 	l.steps++
-	l.trace.ScheduledSteps = l.steps
 	l.crashed[pid] = false
 	l.ncrashed--
 	l.record(Event{PID: pid, Kind: KindRestart})
@@ -670,6 +683,8 @@ func (l *runLoop) unwindAll(t transport) {
 }
 
 func (l *runLoop) record(e Event) {
-	e.Seq = len(l.trace.Events)
-	l.trace.Events = append(l.trace.Events, e)
+	e.Seq = l.seq
+	l.seq++
+	l.ev = e
+	l.sink.Event(&l.ev)
 }

@@ -103,6 +103,9 @@ func StartSession(cfg Config) (*Session, error) {
 	if err != nil {
 		return nil, err
 	}
+	if loop.buf == nil {
+		return nil, fmt.Errorf("sim: sessions require a buffering sink (Config.Sink must be nil or a *TraceSink)")
+	}
 	var s *Session
 	if cfg.Reuse != nil {
 		s = &cfg.Reuse.session
@@ -195,7 +198,7 @@ func (s *Session) apply(pid int, crash bool) error {
 			return ErrMaxSteps
 		}
 		if err := l.stepReady(pid, s.tr); err != nil {
-			l.trace.Stop = StopError
+			l.stop = StopError
 			l.readyStale = true
 			s.err = err
 			s.tr.kill(pid)
@@ -339,14 +342,17 @@ func (s *Session) replay(schedule []int) error {
 // good). The trace is live: later Steps append to it, and with an arena
 // it is recycled by the arena's next run.
 func (s *Session) Trace() *Trace {
-	if s.err == nil {
-		if s.finished {
-			s.loop.trace.Stop = StopAllDone
-		} else {
-			s.loop.trace.Stop = StopScheduler
-		}
+	tr := s.loop.buf.tr
+	switch {
+	case s.err != nil:
+		tr.Stop = StopError
+	case s.finished:
+		tr.Stop = StopAllDone
+	default:
+		tr.Stop = StopScheduler
 	}
-	return s.loop.trace
+	tr.ScheduledSteps = s.loop.steps
+	return tr
 }
 
 // Close unwinds every process still suspended at a pending event. It is

@@ -1,0 +1,188 @@
+package sim
+
+// Sink consumes the event stream of one run as the run loop performs it.
+// Where Trace materialises a run as a slice, a sink observes it: buffered
+// sinks reconstruct the trace, streaming sinks forward events and retain
+// nothing, aggregating sinks fold events into statistics online. Million-
+// run sweeps become memory-bounded because nothing obliges a run to be
+// stored.
+//
+// # Contract
+//
+// For every run the loop calls Begin exactly once, then Event once per
+// recorded event in global order (Event.Seq is consecutive from 0), then
+// End exactly once — on every exit path, including step-budget exhaustion,
+// scheduler stops and illegal accesses. Sessions are the exception: a
+// Session buffers by construction and never calls End (its trace is read
+// through Session.Trace while the run is still extendable).
+//
+// Calls are not reentrant and never concurrent: they happen on the run
+// loop's goroutine, between scheduling decisions. A sink must not call
+// back into the run (no Proc, Session or Run use from inside a callback).
+//
+// The *Event passed to Event is owned by the run loop and is valid only
+// for the duration of the call; a sink must copy the Event value (not the
+// pointer) to retain it. The RunInfo passed to Begin is valid only during
+// Begin; cell metadata read through it must be copied too. This is what
+// keeps the pipeline allocation-free: the loop passes one scratch Event by
+// pointer instead of boxing a fresh value per event.
+type Sink interface {
+	// Begin announces a new run. Sinks reset per-run state here.
+	Begin(info RunInfo)
+	// Event delivers one recorded event. e is valid only during the call.
+	Event(e *Event)
+	// End announces the end of the run: why it stopped and how many
+	// scheduling steps it consumed (accesses, local steps, marks, outputs
+	// and restarts — crashes are free, matching Trace.ScheduledSteps).
+	End(stop StopReason, scheduledSteps int)
+}
+
+// RunInfo describes the run a sink is about to observe. It is valid only
+// during the Begin call that delivered it.
+type RunInfo struct {
+	// NumProcs is the number of processes (pids are 0..NumProcs-1).
+	NumProcs int
+	// MaxSteps is the run's scheduling-step budget (0 when replayed from
+	// a trace, which does not record the budget).
+	MaxSteps int
+
+	// Exactly one of mem (live run) and cells (Trace.Feed) is set.
+	mem   *Memory
+	cells []CellInfo
+}
+
+// NumCells returns the number of shared-memory cells.
+func (ri RunInfo) NumCells() int {
+	if ri.mem != nil {
+		return ri.mem.NumCells()
+	}
+	return len(ri.cells)
+}
+
+// Cell returns the metadata of cell i.
+func (ri RunInfo) Cell(i int) CellInfo {
+	if ri.mem != nil {
+		return CellInfo{
+			Name:  ri.mem.cells[i].name,
+			Width: int(ri.mem.cells[i].width),
+			Init:  ri.mem.cells[i].init,
+		}
+	}
+	return ri.cells[i]
+}
+
+// Feed replays a buffered trace through a sink: Begin, every event in
+// order, End. A sink fed a live run and one fed its buffered trace
+// observe the identical stream (RunInfo.MaxSteps excepted — a trace does
+// not record the budget), which is what lets offline consumers reuse
+// online sink implementations and what the differential gates exploit.
+func (t *Trace) Feed(s Sink) {
+	s.Begin(RunInfo{NumProcs: t.NumProcs, cells: t.Cells})
+	for i := range t.Events {
+		s.Event(&t.Events[i])
+	}
+	s.End(t.Stop, t.ScheduledSteps)
+}
+
+// TraceSink is the buffered sink: it reconstructs the run as a Trace,
+// byte-identical to what Run historically produced. It is the compatibility
+// default — a nil Config.Sink buffers into the arena (Config.Reuse) or a
+// fresh TraceSink, and Result.Trace is its trace.
+type TraceSink struct {
+	tr *Trace
+}
+
+// NewTraceSink returns a buffered sink writing into its own Trace.
+func NewTraceSink() *TraceSink {
+	return &TraceSink{tr: new(Trace)}
+}
+
+// Trace returns the sink's trace: the last finished run (or the run in
+// progress). The trace and its buffers are reused by the next run that
+// begins on this sink.
+func (s *TraceSink) Trace() *Trace { return s.tr }
+
+func (s *TraceSink) Begin(info RunInfo) {
+	tr := s.tr
+	tr.NumProcs = info.NumProcs
+	tr.Stop = 0
+	tr.ScheduledSteps = 0
+	tr.Events = tr.Events[:0]
+	nc := info.NumCells()
+	if cap(tr.Cells) < nc {
+		tr.Cells = make([]CellInfo, nc)
+	} else {
+		tr.Cells = tr.Cells[:nc]
+	}
+	for i := range tr.Cells {
+		tr.Cells[i] = info.Cell(i)
+	}
+}
+
+func (s *TraceSink) Event(e *Event) {
+	s.tr.Events = append(s.tr.Events, *e)
+}
+
+func (s *TraceSink) End(stop StopReason, scheduledSteps int) {
+	s.tr.Stop = stop
+	s.tr.ScheduledSteps = scheduledSteps
+}
+
+// StreamSink forwards the run to per-call callbacks and retains nothing.
+// Nil callbacks are skipped. The callbacks inherit the Sink contract: the
+// *Event is valid only during the call.
+type StreamSink struct {
+	OnBegin func(RunInfo)
+	OnEvent func(*Event)
+	OnEnd   func(stop StopReason, scheduledSteps int)
+}
+
+func (s *StreamSink) Begin(info RunInfo) {
+	if s.OnBegin != nil {
+		s.OnBegin(info)
+	}
+}
+
+func (s *StreamSink) Event(e *Event) {
+	if s.OnEvent != nil {
+		s.OnEvent(e)
+	}
+}
+
+func (s *StreamSink) End(stop StopReason, scheduledSteps int) {
+	if s.OnEnd != nil {
+		s.OnEnd(stop, scheduledSteps)
+	}
+}
+
+// FanoutSink delivers every call to each element in order. Compose it to
+// run independent consumers — say a metrics aggregator and a dataset
+// digest — over one run without re-executing it.
+type FanoutSink []Sink
+
+func (f FanoutSink) Begin(info RunInfo) {
+	for _, s := range f {
+		s.Begin(info)
+	}
+}
+
+func (f FanoutSink) Event(e *Event) {
+	for _, s := range f {
+		s.Event(e)
+	}
+}
+
+func (f FanoutSink) End(stop StopReason, scheduledSteps int) {
+	for _, s := range f {
+		s.End(stop, scheduledSteps)
+	}
+}
+
+// DiscardSink drops the run. Useful for pure warm-up or timing runs where
+// only Result.Stop and Result.Err matter. DiscardSink{} converts to Sink
+// without allocating.
+type DiscardSink struct{}
+
+func (DiscardSink) Begin(RunInfo)       {}
+func (DiscardSink) Event(*Event)        {}
+func (DiscardSink) End(StopReason, int) {}

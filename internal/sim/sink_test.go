@@ -1,0 +1,163 @@
+package sim
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"cfc/internal/opset"
+)
+
+// captureSink records everything a StreamSink observes so tests can
+// compare the stream against a buffered trace.
+type capture struct {
+	numProcs int
+	maxSteps int
+	cells    []CellInfo
+	events   []Event
+	stop     StopReason
+	steps    int
+	ended    int
+}
+
+func (c *capture) sink() *StreamSink {
+	return &StreamSink{
+		OnBegin: func(ri RunInfo) {
+			c.numProcs = ri.NumProcs
+			c.maxSteps = ri.MaxSteps
+			c.cells = c.cells[:0]
+			for i := 0; i < ri.NumCells(); i++ {
+				c.cells = append(c.cells, ri.Cell(i))
+			}
+			c.events = c.events[:0]
+		},
+		OnEvent: func(e *Event) { c.events = append(c.events, *e) },
+		OnEnd: func(stop StopReason, steps int) {
+			c.stop, c.steps = stop, steps
+			c.ended++
+		},
+	}
+}
+
+// TestStreamSinkMatchesBufferedTrace is the sink differential gate at the
+// sim layer: for every scheduler family × generated program × engine, the
+// event stream a StreamSink observes must equal the buffered Trace the
+// default sink reconstructs — same events, cells, stop reason and step
+// count. (The portfolio-level gate lives in internal/fleet.)
+func TestStreamSinkMatchesBufferedTrace(t *testing.T) {
+	for name, mkSched := range diffSchedulers() {
+		for seed := byte(0); seed < 4; seed++ {
+			script := make([]byte, 30)
+			for i := range script {
+				script[i] = byte(i)*37 + seed*11
+			}
+			for _, engine := range []Engine{EngineGoroutine, EngineDirect} {
+				label := fmt.Sprintf("%s/seed=%d/%v", name, seed, engine)
+
+				mem, procs := genProgram(script, 3)
+				want, err := Run(Config{Mem: mem, Procs: procs, Sched: mkSched(), Engine: engine})
+				if err != nil {
+					t.Fatalf("%s: buffered run: %v", label, err)
+				}
+
+				var c capture
+				mem2, procs2 := genProgram(script, 3)
+				got, err := Run(Config{Mem: mem2, Procs: procs2, Sched: mkSched(), Engine: engine, Sink: c.sink()})
+				if err != nil {
+					t.Fatalf("%s: streamed run: %v", label, err)
+				}
+				if got.Trace != nil {
+					t.Fatalf("%s: streaming run retained a trace", label)
+				}
+				if c.ended != 1 {
+					t.Fatalf("%s: End called %d times, want 1", label, c.ended)
+				}
+				if got.Stop != want.Trace.Stop || c.stop != want.Trace.Stop {
+					t.Fatalf("%s: stop mismatch: result=%v sink=%v want=%v", label, got.Stop, c.stop, want.Trace.Stop)
+				}
+				if c.steps != want.Trace.ScheduledSteps {
+					t.Fatalf("%s: steps = %d, want %d", label, c.steps, want.Trace.ScheduledSteps)
+				}
+				if c.numProcs != want.Trace.NumProcs || !reflect.DeepEqual(c.cells, want.Trace.Cells) {
+					t.Fatalf("%s: run info mismatch: procs=%d cells=%v", label, c.numProcs, c.cells)
+				}
+				if len(c.events) != len(want.Trace.Events) || (len(c.events) > 0 && !reflect.DeepEqual(c.events, want.Trace.Events)) {
+					t.Fatalf("%s: streamed events differ from buffered trace:\nstream: %v\ntrace:  %v",
+						label, c.events, want.Trace.Events)
+				}
+			}
+		}
+	}
+}
+
+// TestFanoutAndExplicitTraceSink checks composition: a fanout over an
+// explicit TraceSink plus a counting stream delivers the identical trace
+// to both, and an explicit *TraceSink as Config.Sink populates
+// Result.Trace.
+func TestFanoutAndExplicitTraceSink(t *testing.T) {
+	prog := func() (*Memory, []ProcFunc) {
+		mem := NewMemory(opset.RMW)
+		b := mem.Bit("b")
+		body := func(p *Proc) {
+			p.Mark(PhaseTry)
+			p.TestAndSet(b)
+			p.Output(uint64(p.ID()))
+		}
+		return mem, []ProcFunc{body, body}
+	}
+
+	mem, procs := prog()
+	want, err := Run(Config{Mem: mem, Procs: procs, Sched: &RoundRobin{}})
+	if err != nil || want.Err != nil {
+		t.Fatalf("baseline: %v / %v", err, want.Err)
+	}
+
+	ts := NewTraceSink()
+	events := 0
+	count := &StreamSink{OnEvent: func(*Event) { events++ }}
+	mem2, procs2 := prog()
+	res, err := Run(Config{Mem: mem2, Procs: procs2, Sched: &RoundRobin{},
+		Sink: FanoutSink{ts, count, DiscardSink{}}})
+	if err != nil || res.Err != nil {
+		t.Fatalf("fanout: %v / %v", err, res.Err)
+	}
+	if res.Trace != nil {
+		t.Fatalf("fanout run should not set Result.Trace")
+	}
+	if !reflect.DeepEqual(ts.Trace().Events, want.Trace.Events) || ts.Trace().Stop != want.Trace.Stop {
+		t.Fatalf("fanout TraceSink trace differs:\n%s\nwant:\n%s", ts.Trace(), want.Trace)
+	}
+	if events != len(want.Trace.Events) {
+		t.Fatalf("fanout stream saw %d events, want %d", events, len(want.Trace.Events))
+	}
+
+	mem3, procs3 := prog()
+	ts2 := NewTraceSink()
+	res2, err := Run(Config{Mem: mem3, Procs: procs3, Sched: &RoundRobin{}, Sink: ts2})
+	if err != nil || res2.Err != nil {
+		t.Fatalf("explicit TraceSink: %v / %v", err, res2.Err)
+	}
+	if res2.Trace != ts2.Trace() {
+		t.Fatalf("explicit *TraceSink should populate Result.Trace with its trace")
+	}
+	if !reflect.DeepEqual(res2.Trace.Events, want.Trace.Events) {
+		t.Fatalf("explicit TraceSink trace differs")
+	}
+}
+
+// TestSessionRejectsStreamingSink pins the session restriction: a session's
+// product is its live trace, so only buffering sinks are accepted.
+func TestSessionRejectsStreamingSink(t *testing.T) {
+	mem := NewMemory(opset.RMW)
+	b := mem.Bit("b")
+	body := func(p *Proc) { p.TestAndSet(b) }
+	_, err := StartSession(Config{Mem: mem, Procs: []ProcFunc{body}, Sink: &StreamSink{}})
+	if err == nil {
+		t.Fatal("StartSession accepted a streaming sink")
+	}
+	s, err := StartSession(Config{Mem: mem, Procs: []ProcFunc{body}, Sink: NewTraceSink()})
+	if err != nil {
+		t.Fatalf("StartSession with TraceSink: %v", err)
+	}
+	s.Close()
+}

@@ -4,9 +4,10 @@
 # BENCH_2.json, ...).
 #
 # Usage:
-#   scripts/bench.sh [output.json]      # default BENCH_5.json
+#   scripts/bench.sh [output.json]      # default BENCH_6.json
 #   BENCHTIME=2s scripts/bench.sh       # longer benchtime for stabler numbers
 #   BASELINE=BENCH_2.json scripts/bench.sh  # record to diff against
+#   SINK_RUNS=100000 scripts/bench.sh   # shorter streaming sweep (default 1M)
 #
 # The emitted file carries ns/op, events/op and ns/event per benchmark,
 # the frozen seed baseline (the goroutine-engine numbers before the
@@ -18,9 +19,13 @@
 # (cfccheck -pordiff): per portfolio entry the state counts, wall-clock
 # and reduction ratios of the static ample-set POR and of source-DPOR
 # with symmetry against the unreduced reference, with agreeing verdicts
-# enforced — and a fleet section with the fixed-seed smoke fleet's
+# enforced — a fleet section with the fixed-seed smoke fleet's
 # throughput (runs/sec, events/sec from cmd/cfcfleet's FLEET-SUMMARY
-# line).
+# line), and a sink section measuring the zero-alloc streaming pipeline:
+# a SINK_RUNS-run (default one million) single-cell fleet sweep whose
+# per-run observation happens entirely in event sinks, recording
+# runs/sec, events/sec, final heap and peak RSS — the RSS is the bounded
+# -memory proof, since the sweep retains no traces.
 #
 # After writing the record it is diffed against the committed baseline
 # record. Wall-clock comparisons are only meaningful on like hardware:
@@ -31,9 +36,10 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT="${1:-BENCH_5.json}"
-BASELINE="${BASELINE:-BENCH_4.json}"
+OUT="${1:-BENCH_6.json}"
+BASELINE="${BASELINE:-BENCH_5.json}"
 BENCHTIME="${BENCHTIME:-500ms}"
+SINK_RUNS="${SINK_RUNS:-1000000}"
 RAW="$(mktemp)"
 PORRAW="$(mktemp)"
 OLDTAB="$(mktemp)"
@@ -83,6 +89,23 @@ fleet_val() { # fleet_val key -> value from the FLEET-SUMMARY line
 }
 rm -f "$FLEETRAW"
 
+# Streaming-sink sweep: one fleet cell (uniform × mutex/tas-lock, n=16)
+# for SINK_RUNS runs. Every run streams through the sink pipeline — no
+# trace is retained — so max_rss_mb stays flat no matter how large
+# SINK_RUNS is; it is recorded as the bounded-memory evidence next to
+# the throughput.
+SINKRAW="$(mktemp)"
+go run ./cmd/cfcfleet -seed 1 -n 16 -runs "$SINK_RUNS" -scenarios uniform -workloads mutex/tas-lock | tail -3 | tee "$SINKRAW"
+SINK_SUMMARY="$(grep '^FLEET-SUMMARY ' "$SINKRAW")"
+sink_val() { # sink_val key -> value from the sweep's FLEET-SUMMARY line
+    awk -v key="$1" '{
+        for (i = 2; i <= NF; i++) {
+            if (index($i, key "=") == 1) { print substr($i, length(key) + 2); exit }
+        }
+    }' <<< "$SINK_SUMMARY"
+}
+rm -f "$SINKRAW"
+
 go test -run '^$' -bench 'BenchmarkSim' -benchtime "$BENCHTIME" . | tee "$RAW"
 
 {
@@ -114,6 +137,12 @@ go test -run '^$' -bench 'BenchmarkSim' -benchtime "$BENCHTIME" . | tee "$RAW"
     printf '  "fleet": {"seed": %s, "n": %s, "runs": %s, "events": %s, "runs_per_s": %s, "events_per_s": %s},\n' \
         "$(fleet_val seed)" "$(fleet_val n)" "$(fleet_val runs)" "$(fleet_val events)" \
         "$(fleet_val runs_per_s)" "$(fleet_val events_per_s)"
+    # Streaming-sink sweep: single-cell throughput and memory ceiling of
+    # the zero-alloc sink pipeline (uniform × mutex/tas-lock at n=16).
+    printf '  "sink": {"scenario": "uniform", "workload": "mutex/tas-lock", "n": %s, "runs": %s, "events": %s, "runs_per_s": %s, "events_per_s": %s, "heap_mb": %s, "max_rss_mb": %s},\n' \
+        "$(sink_val n)" "$(sink_val runs)" "$(sink_val events)" \
+        "$(sink_val runs_per_s)" "$(sink_val events_per_s)" \
+        "$(sink_val heap_mb)" "$(sink_val max_rss_mb)"
     # POR differential: states and wall-clock with the reduction on and
     # off per portfolio entry, from cfccheck -pordiff.
     awk '

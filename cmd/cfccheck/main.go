@@ -15,6 +15,9 @@
 //	cfccheck -sym=false           # DPOR without symmetry reduction
 //	cfccheck -only splitter       # jobs whose name contains "splitter"
 //	cfccheck -pordiff             # three-way reduction differential gate
+//	cfccheck -serve :9401         # coordinate the portfolio over the fabric
+//	cfccheck -join host:9401      # join a coordinator as a worker
+//	cfccheck -serve :9401 -shards 2 -dpor=false  # shard explorations too
 //
 // The job list is the fleet's workload registry (internal/fleet): the
 // same named programs cmd/cfcfleet storms at n = 16-64 are proved here
@@ -36,6 +39,16 @@
 // agree (replaying every witness when a violation is found), printing
 // one machine-parseable line per job with state counts, wall-clock and
 // reduction ratios — the soundness gate CI runs on the portfolio.
+//
+// -serve and -join run the same portfolio over the distributed check
+// fabric (internal/fabric): the coordinator owns the job queue, workers
+// pull jobs over TCP, and the merged rows are byte-identical to the
+// single-process output (plus one FABRIC-SUMMARY trailer line). With
+// -shards > 1, jobs not using the DPOR engine are additionally split
+// into frontier subtrees across all connected workers — with default
+// flags every job uses DPOR, so sharding engages together with
+// -dpor=false. Job flags (-n, -kind, -depth, ...) are the coordinator's;
+// workers need none.
 package main
 
 import (
@@ -47,8 +60,8 @@ import (
 	"time"
 
 	"cfc/internal/check"
+	"cfc/internal/fabric"
 	"cfc/internal/fleet"
-	"cfc/internal/sim"
 )
 
 func main() {
@@ -57,6 +70,7 @@ func main() {
 
 type job struct {
 	name  string
+	n     int
 	build check.Builder
 	prop  check.Property
 	opts  check.Options
@@ -76,8 +90,23 @@ func run() int {
 		sym     = flag.Bool("sym", true, "with -dpor: canonicalise the visited set under declared pid symmetry")
 		only    = flag.String("only", "", "only jobs whose name contains this substring")
 		pordiff = flag.Bool("pordiff", false, "three-way differential gate: reference vs static POR vs DPOR, require agreeing verdicts, report reduction ratios")
+
+		serve      = flag.String("serve", "", "coordinate the portfolio over the distributed fabric, listening at this TCP address")
+		join       = flag.String("join", "", "join a fabric coordinator at this TCP address as a worker")
+		shards     = flag.Int("shards", 0, "with -serve: >1 shards non-DPOR jobs as frontier subtrees across the workers")
+		jobtimeout = flag.Duration("jobtimeout", 5*time.Minute, "with -serve: abandon (DEGRADED) a job not completed this long after dispatch (0 = never)")
 	)
 	flag.Parse()
+
+	if *join != "" {
+		// A worker needs no job list: the coordinator names the work and
+		// the shared fleet registry resolves it.
+		if err := fabric.Work(fabric.TCP{}, *join, fleetRegistry, os.Stderr); err != nil {
+			fmt.Fprintf(os.Stderr, "cfccheck: %v\n", err)
+			return 1
+		}
+		return 0
+	}
 
 	// The jobs come from the fleet's workload registry: the model checker
 	// proves at small n exactly the programs the randomized fleet
@@ -103,11 +132,15 @@ func run() int {
 			opts.ExploreCrashes = *crash
 			opts.ExpectTermination = w.ExpectTermination
 		}
-		jobs = append(jobs, job{name: w.Name, build: w.Builder(*n), prop: w.Check, opts: opts})
+		jobs = append(jobs, job{name: w.Name, n: *n, build: w.Builder(*n), prop: w.Check, opts: opts})
 	}
 
 	if *pordiff {
 		return runPORDiff(jobs, *sym)
+	}
+
+	if *serve != "" {
+		return runServe(jobs, *serve, *shards, *jobtimeout)
 	}
 
 	failed := 0
@@ -118,41 +151,106 @@ func run() int {
 			failed++
 			continue
 		}
-		if res.Violation != nil {
-			fmt.Printf("%-40s VIOLATION: %v\n", j.name, res.Violation.Err)
-			fmt.Printf("%-40s   witness: %v\n", "", res.Violation.Schedule)
+		if printResult(j.name, j.opts, res) {
 			failed++
-			continue
 		}
-		status := "proved (exhaustive)"
-		if res.Truncated {
-			status = "no violation found (truncated)"
-		}
-		extra := ""
-		if j.opts.DPOR {
-			engine := "DPOR"
-			if res.SymmetryApplied {
-				engine = "DPOR+sym"
-			}
-			status = "no violation (" + engine + ")"
-			if !res.Truncated {
-				status = "proved (" + engine + ")"
-			}
-			extra = fmt.Sprintf("  %6d reduced nodes", res.ReducedNodes)
-		} else if j.opts.POR && !res.PORDisabled {
-			status = "no violation (POR)"
-			if !res.Truncated {
-				status = "proved (POR-reduced)"
-			}
-			extra = fmt.Sprintf("  %6d reduced nodes", res.ReducedNodes)
-		} else if res.PORDisabled {
-			status = "proved (POR-auto: reference kept)"
-			if res.Truncated {
-				status = "no violation (POR-auto: reference kept)"
-			}
-		}
-		fmt.Printf("%-40s %-32s %7d states %6d runs%s\n", j.name, status, res.States, res.Runs, extra)
 	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "cfccheck: %d job(s) failed\n", failed)
+		return 1
+	}
+	return 0
+}
+
+// printResult prints one job's portfolio row — the format both the
+// single-process path and the fabric coordinator's merged reporting use,
+// so their outputs are diffable byte for byte. It reports whether the
+// row counts as a failure.
+func printResult(name string, opts check.Options, res check.Result) (failed bool) {
+	if res.Violation != nil {
+		fmt.Printf("%-40s VIOLATION: %v\n", name, res.Violation.Err)
+		fmt.Printf("%-40s   witness: %v\n", "", res.Violation.Schedule)
+		return true
+	}
+	status := "proved (exhaustive)"
+	if res.Truncated {
+		status = "no violation found (truncated)"
+	}
+	extra := ""
+	if opts.DPOR {
+		engine := "DPOR"
+		if res.SymmetryApplied {
+			engine = "DPOR+sym"
+		}
+		status = "no violation (" + engine + ")"
+		if !res.Truncated {
+			status = "proved (" + engine + ")"
+		}
+		extra = fmt.Sprintf("  %6d reduced nodes", res.ReducedNodes)
+	} else if opts.POR && !res.PORDisabled {
+		status = "no violation (POR)"
+		if !res.Truncated {
+			status = "proved (POR-reduced)"
+		}
+		extra = fmt.Sprintf("  %6d reduced nodes", res.ReducedNodes)
+	} else if res.PORDisabled {
+		status = "proved (POR-auto: reference kept)"
+		if res.Truncated {
+			status = "no violation (POR-auto: reference kept)"
+		}
+	}
+	fmt.Printf("%-40s %-32s %7d states %6d runs%s\n", name, status, res.States, res.Runs, extra)
+	return false
+}
+
+// fleetRegistry is the fabric's shared job namespace: both the
+// coordinator (for witness re-verification and sharded exploration) and
+// the workers resolve job names through the same fleet registry.
+func fleetRegistry(name string, n int) (check.Builder, check.Property, bool) {
+	w, ok := fleet.ByName(name, n)
+	if !ok {
+		return nil, nil, false
+	}
+	return w.Builder(n), w.Check, true
+}
+
+// runServe coordinates the job list over the distributed fabric and
+// prints the merged rows in portfolio order — byte-identical to the
+// single-process output for completed jobs — plus one FABRIC-SUMMARY
+// line (which scripts strip before diffing, and bench.sh parses).
+func runServe(jobs []job, addr string, shards int, jobTimeout time.Duration) int {
+	fjobs := make([]fabric.Job, len(jobs))
+	for i, j := range jobs {
+		fjobs[i] = fabric.Job{Name: j.name, N: j.n, Opts: j.opts}
+	}
+	results, stats, err := fabric.Coordinate(fabric.TCP{}, addr, fjobs, fleetRegistry,
+		fabric.CoordOptions{Shards: shards, JobTimeout: jobTimeout, Log: os.Stderr})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cfccheck: %v\n", err)
+		return 1
+	}
+	failed := 0
+	for i, r := range results {
+		switch {
+		case r.Err != "":
+			fmt.Fprintf(os.Stderr, "%-40s ERROR: %s\n", jobs[i].name, r.Err)
+			failed++
+		case r.Degraded:
+			fmt.Printf("%-40s DEGRADED: job abandoned after %s timeout\n", jobs[i].name, jobTimeout)
+			failed++
+		default:
+			if printResult(jobs[i].name, jobs[i].opts, r.Res) {
+				failed++
+			}
+		}
+	}
+	wallS := float64(stats.WallMs) / 1000
+	jobsPerS := 0.0
+	if stats.WallMs > 0 {
+		jobsPerS = float64(len(jobs)) / wallS
+	}
+	fmt.Printf("FABRIC-SUMMARY jobs=%d failed=%d workers=%d shards=%d probes=%d wall_ms=%d jobs_per_s=%.2f\n",
+		len(jobs), failed, stats.Workers, shards, stats.Probes, stats.WallMs, jobsPerS)
 	if failed > 0 {
 		fmt.Fprintf(os.Stderr, "cfccheck: %d job(s) failed\n", failed)
 		return 1
@@ -229,7 +327,7 @@ func runPORDiff(jobs []job, sym bool) int {
 		case ref.Violation != nil:
 			verdict = "agree-violation"
 			for _, l := range legs {
-				ok, err := replaysToViolation(j.build, j.prop, l.opts, l.res.Violation.Schedule)
+				ok, err := check.ReplaysToViolation(j.build, j.prop, l.opts, l.res.Violation.Schedule)
 				if err != nil {
 					fmt.Fprintf(os.Stderr, "%-40s ERROR (%s witness replay): %v\n", j.name, l.name, err)
 					failed++
@@ -260,37 +358,4 @@ func runPORDiff(jobs []job, sym bool) int {
 		return 1
 	}
 	return 0
-}
-
-// replaysToViolation replays a witness schedule (Decisions encoding:
-// entry pid steps pid, entry -pid-1 crashes it) through a session on a
-// fresh program instance and reports whether it reproduces a violation:
-// either the property rejects the trace, or — mirroring the explorer's
-// leaf check under Options.ExpectTermination — the replayed run is
-// maximal with a started process that neither terminated nor crashed.
-func replaysToViolation(build check.Builder, prop check.Property, opts check.Options, schedule []int) (bool, error) {
-	mem, procs, err := build()
-	if err != nil {
-		return false, err
-	}
-	sess, err := sim.StartSession(sim.Config{Mem: mem, Procs: procs, MaxSteps: len(schedule) + 1})
-	if err != nil {
-		return false, err
-	}
-	defer sess.Close()
-	if err := sess.Seek(schedule); err != nil {
-		return false, fmt.Errorf("witness schedule does not replay: %w", err)
-	}
-	tr := sess.Trace()
-	if prop(tr) != nil {
-		return true, nil
-	}
-	if opts.ExpectTermination && sess.Finished() {
-		for pid := 0; pid < tr.NumProcs; pid++ {
-			if tr.FirstEvent(pid) >= 0 && !tr.Done(pid) && !tr.Crashed(pid) {
-				return true, nil
-			}
-		}
-	}
-	return false, nil
 }

@@ -11,12 +11,21 @@
 //	cfcfleet -seed 1 -scenarios crashstorm,burst,mixed -n 32 -runs 100000
 //	cfcfleet -scenarios broken -runs 200 -artifacts out/   # promote a violation
 //
+// A dataset written with -dataset can be grepped offline without
+// re-running anything:
+//
+//	cfcfleet -dataset out/ds -grep verdict=violation
+//	cfcfleet -dataset out/ds -grep workload=mutex,scenario=burst
+//	cfcfleet -dataset out/ds -grep digest=00000000deadbeef
+//	cfcfleet -dataset out/ds -grep violations -limit 10
+//
 // The process exits 1 if any safety violation was found or any scenario
 // degraded (panic or budget overrun), so CI can gate on a fixed-seed
 // smoke fleet.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -43,8 +52,18 @@ func main() {
 		artifacts = flag.String("artifacts", "", "directory for promoted violation artifacts (empty = don't write)")
 		verbose   = flag.Bool("v", false, "log per-cell progress")
 		list      = flag.Bool("list", false, "list scenarios and workloads, then exit")
+		grep      = flag.String("grep", "", "query an existing -dataset instead of running: comma-separated verdict=/scenario=/workload=/digest= terms, plus bare 'violations'")
+		limit     = flag.Int("limit", 0, "with -grep, stop after this many matches (0 = all)")
 	)
 	flag.Parse()
+
+	if *grep != "" {
+		if err := runGrep(*dataset, *grep, *limit); err != nil {
+			fmt.Fprintf(os.Stderr, "cfcfleet: %v\n", err)
+			os.Exit(2)
+		}
+		return
+	}
 
 	if *list {
 		fmt.Println("scenarios:")
@@ -157,6 +176,70 @@ func main() {
 	if rep.Violations() > 0 || rep.Degraded() {
 		os.Exit(1)
 	}
+}
+
+// runGrep queries an existing dataset: parse the -grep expression into a
+// lode.Query, stream matching records as JSON lines, and print a final
+// match count to stderr. Exits through the caller; never runs the fleet.
+func runGrep(dir, expr string, limit int) error {
+	if dir == "" {
+		return fmt.Errorf("-grep needs -dataset <dir>")
+	}
+	q, err := parseQuery(expr)
+	if err != nil {
+		return err
+	}
+	d, err := lode.Open(dir)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(os.Stdout)
+	matched := 0
+	if err := d.ScanQuery(q, func(r *lode.Record) bool {
+		if err := enc.Encode(r); err != nil {
+			return false
+		}
+		matched++
+		return limit == 0 || matched < limit
+	}); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "cfcfleet: %d of %d records matched\n", matched, d.Index.Total)
+	return nil
+}
+
+// parseQuery turns "verdict=violation,workload=mutex,violations" into a
+// lode.Query. Terms are comma-separated key=value pairs; the bare term
+// "violations" selects records carrying a replayable schedule.
+func parseQuery(expr string) (lode.Query, error) {
+	var q lode.Query
+	for _, term := range strings.Split(expr, ",") {
+		term = strings.TrimSpace(term)
+		if term == "" {
+			continue
+		}
+		if term == "violations" {
+			q.Violations = true
+			continue
+		}
+		key, val, ok := strings.Cut(term, "=")
+		if !ok || val == "" {
+			return q, fmt.Errorf("bad -grep term %q (want key=value or 'violations')", term)
+		}
+		switch key {
+		case "verdict":
+			q.Verdict = val
+		case "scenario":
+			q.Scenario = val
+		case "workload":
+			q.Workload = val
+		case "digest":
+			q.Digest = val
+		default:
+			return q, fmt.Errorf("unknown -grep key %q (verdict, scenario, workload, digest)", key)
+		}
+	}
+	return q, nil
 }
 
 func countDegraded(rep *fleet.Report) int {

@@ -233,8 +233,9 @@ func exploreAuto(build Builder, prop Property, opts Options, maxDepth, maxStates
 	}
 	// Violations are sound under POR, and a healthy reduction (at least a
 	// quarter of expanded nodes reduced) is kept without paying for the
-	// reference run.
-	if por.Violation != nil || por.ReducedNodes*4 >= por.States {
+	// reference run. The decision and the pick are the exported helpers so
+	// distributed coordinators replicate them bit-for-bit (see shard.go).
+	if PORAutoKeepReduced(por) {
 		return por, nil
 	}
 	ref := opts
@@ -243,11 +244,7 @@ func exploreAuto(build Builder, prop Property, opts Options, maxDepth, maxStates
 	if err != nil {
 		return Result{}, err
 	}
-	if full.Violation != nil || full.States < por.States {
-		full.PORDisabled = true
-		return full, nil
-	}
-	return por, nil
+	return PORAutoPick(por, full), nil
 }
 
 // exploreSerial is the single-goroutine depth-first explorer.

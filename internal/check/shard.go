@@ -1,0 +1,388 @@
+package check
+
+import (
+	"errors"
+	"fmt"
+
+	"cfc/internal/sim"
+)
+
+// This file is the checker's half of the distributed check fabric
+// (internal/fabric): the primitives that let ONE exploration be split
+// into frontier subtrees executed by separate processes, with results
+// bit-identical to the single-process explorers.
+//
+// The split mirrors the in-process work-stealer's unit of work. A
+// frontier node is a serialised decision-stack prefix plus its sleep
+// mask — exactly a porTask, made wire-shaped. A Prober is the worker
+// side: it owns a private program instance and live session (one
+// replayCore) and turns a node into everything the exploration needs to
+// know about it — property verdict, leaf-ness, visited key, branch set —
+// by replaying the schedule with Session.Seek (consecutive probes share
+// their longest common prefix, the same fast path the serial DFS rides).
+// A ShardMaster is the coordinator side: it owns THE visited set, so
+// each reachable state's subtree is dispatched exactly once no matter
+// how many probers feed it or in what order their reports arrive.
+//
+// The division of labour reproduces the serial DFS exactly. dfs() does,
+// per node: replay, property check, leaf/depth handling, state hash
+// (+ sleep normalisation under POR), visited arbitration, branch
+// computation. Probe performs every step of that EXCEPT the visited
+// arbitration — the only step that reads shared state — and the master
+// performs exactly that step. Because the hash is future-deterministic
+// (cell values + observation histories + normalised sleep), a node's
+// probe report is a pure function of the node, so the master's visited
+// closure — and with it States, Runs, Truncated and ReducedNodes — is
+// independent of which prober probed what and when, by the same argument
+// that makes the in-process parallel explorer order-independent. As
+// there, the guarantee is exact for explorations that complete within
+// their budgets; a truncated exploration depends on visit order in any
+// mode. Violations are canonicalised the way exploreParallel does it: a
+// serial rerun at the coordinator reproduces the depth-first-minimal
+// witness (see CanonicalResult).
+//
+// The DPOR engine is deliberately not probeable: its wave-synchronised
+// commit pass is a global serial order over the whole tree level, which
+// is exactly what a coordinator/worker split cannot provide cheaply.
+// Fabric coordinators shard static-POR and reference explorations and
+// ship DPOR configurations as whole-entry jobs instead.
+
+// Node is one frontier subtree root: the decision schedule reaching it
+// (Session.Decisions encoding — entry pid steps that process, entry
+// -pid-1 crashes it) plus the sleep mask it inherited. Nodes travel
+// between processes; both fields are plain wire data.
+type Node struct {
+	Schedule []int  `json:"s"`
+	Sleep    uint64 `json:"sleep,omitempty"`
+}
+
+// Branch is one child decision of an expanded node, in wire shape.
+type Branch struct {
+	Entry int    `json:"e"`
+	Sleep uint64 `json:"sleep,omitempty"`
+}
+
+// ProbeReport is everything an exploration needs to know about one
+// frontier node, computed by a Prober without consulting any shared
+// state. Exactly one of the verdict-ish fields applies, in the serial
+// DFS's own order: a Violation preempts everything (for a Leaf violation
+// — a termination failure on a maximal run — Leaf is also set, matching
+// the serial explorer's run accounting); then Leaf; then DepthTruncated;
+// otherwise Hash/Reduced/Branches describe the expandable node.
+type ProbeReport struct {
+	// Hash is the node's visited key: the state digest, with the
+	// normalised sleep mask mixed in under POR. Zero-valued (and
+	// meaningless) for leaf, violating and depth-truncated nodes.
+	Hash uint64 `json:"hash,omitempty"`
+	// Leaf reports a maximal run (no live process): one completed run.
+	Leaf bool `json:"leaf,omitempty"`
+	// DepthTruncated reports the schedule hit the depth bound.
+	DepthTruncated bool `json:"depthTrunc,omitempty"`
+	// Reduced reports the branch set is a strict subset of the enabled
+	// steps (counts toward Result.ReducedNodes if the node is expanded).
+	Reduced bool `json:"reduced,omitempty"`
+	// Violation is the property failure (or termination failure) at this
+	// node, if any.
+	Violation *Violation `json:"-"`
+	// Branches is the node's child decisions, in serial depth-first
+	// order, with their sleep masks.
+	Branches []Branch `json:"branches,omitempty"`
+}
+
+// Prober executes frontier-node probes for one program: the worker side
+// of a sharded exploration. It is single-goroutine (one replayCore);
+// run several Probers for parallelism. The zero value is not usable —
+// construct with NewProber.
+type Prober struct {
+	core     replayCore
+	prop     Property
+	opts     Options
+	maxDepth int
+	provider enabledProvider
+	por      bool
+}
+
+// NewProber builds a prober's private program instance. The options
+// select the expansion engine exactly as Explore does, except that DPOR
+// is rejected: the wave-synchronised DPOR engine has no per-node
+// expansion a prober could compute independently (see the file comment).
+func NewProber(build Builder, prop Property, opts Options) (*Prober, error) {
+	if opts.DPOR {
+		return nil, errors.New("check: frontier probing does not support the DPOR engine; ship DPOR configurations as whole jobs")
+	}
+	maxDepth := opts.MaxDepth
+	if maxDepth <= 0 {
+		maxDepth = 200
+	}
+	p := &Prober{prop: prop, opts: opts, maxDepth: maxDepth}
+	if err := p.core.init(build, maxDepth); err != nil {
+		return nil, err
+	}
+	p.provider, p.por = newProvider(opts, len(p.core.procs))
+	return p, nil
+}
+
+// Close releases the prober's live session.
+func (p *Prober) Close() { p.core.close() }
+
+// Probe replays the node and reports its verdict, visited key and branch
+// set — the serial DFS's per-node work minus the visited arbitration,
+// which belongs to the ShardMaster. A panic in the algorithm body,
+// property or provider is contained as an error carrying the schedule,
+// mirroring both explorers.
+func (p *Prober) Probe(nd Node) (rep ProbeReport, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("check: panicked probing schedule prefix %v: %v", nd.Schedule, r)
+		}
+	}()
+	tr, live, err := p.core.stateAt(nd.Schedule)
+	if err != nil {
+		return ProbeReport{}, err
+	}
+	if perr := p.prop(tr); perr != nil {
+		rep.Violation = &Violation{Schedule: append([]int(nil), nd.Schedule...), Err: perr}
+		return rep, nil
+	}
+	if len(live) == 0 {
+		rep.Leaf = true
+		if p.opts.ExpectTermination {
+			if pid, ok := unterminated(tr); ok {
+				rep.Violation = &Violation{
+					Schedule: append([]int(nil), nd.Schedule...),
+					Err:      unterminatedErr(pid),
+				}
+			}
+		}
+		return rep, nil
+	}
+	if len(nd.Schedule) >= p.maxDepth {
+		rep.DepthTruncated = true
+		return rep, nil
+	}
+	h := p.core.stateHash(tr, p.opts.CollapseSpins)
+	sleep := nd.Sleep
+	if p.por {
+		// Same key normalisation as both in-process explorers: restrict
+		// the mask to live pids, wake conflicting sleepers, mix into the
+		// digest (see explorer.dfs for the full why).
+		sleep = normalizeSleep(&p.core, p.opts.CollapseSpins, p.core.pendingOps(), sleep&pidMask(live))
+		h = mix64(h, sleep)
+	}
+	rep.Hash = h
+	br, reduced := p.provider.branches(&p.core, live, nd.Schedule, sleep)
+	rep.Reduced = reduced
+	rep.Branches = make([]Branch, len(br))
+	for i, b := range br {
+		rep.Branches[i] = Branch{Entry: b.entry, Sleep: b.sleep}
+	}
+	return rep, nil
+}
+
+// ShardMaster is the coordinator side of a sharded exploration: the one
+// place the visited set lives. Feed it probe reports in any order; hand
+// out the nodes it returns to any prober. It is not concurrency-safe —
+// fabric coordinators drive it from a single event loop, which is also
+// what keeps its decisions deterministic.
+type ShardMaster struct {
+	maxStates int
+	visited   map[uint64]struct{}
+	pending   []Node
+	inflight  int
+	runs      int
+	reduced   int
+	truncated bool
+	violation *Violation
+}
+
+// NewShardMaster starts a sharded exploration positioned at the root
+// node. The options' MaxStates budget is enforced exactly, like the
+// serial explorer's pre-insert check.
+func NewShardMaster(opts Options) *ShardMaster {
+	maxStates := opts.MaxStates
+	if maxStates <= 0 {
+		maxStates = 1 << 20
+	}
+	return &ShardMaster{
+		maxStates: maxStates,
+		visited:   make(map[uint64]struct{}),
+		pending:   []Node{{Schedule: []int{}}},
+	}
+}
+
+// Next hands out up to max pending nodes for probing. Every node handed
+// out must eventually be either Reported or Requeued, or Done never
+// becomes true.
+func (m *ShardMaster) Next(max int) []Node {
+	if max <= 0 || len(m.pending) == 0 {
+		return nil
+	}
+	if max > len(m.pending) {
+		max = len(m.pending)
+	}
+	out := m.pending[:max:max]
+	m.pending = m.pending[max:]
+	m.inflight += len(out)
+	return out
+}
+
+// Report consumes one node's probe report: the visited arbitration the
+// prober could not do. Newly discovered children become pending nodes.
+// After a violation the exploration is cancelled: late reports are
+// swallowed and no new work is produced.
+func (m *ShardMaster) Report(nd Node, rep ProbeReport) {
+	m.inflight--
+	if m.violation != nil {
+		return
+	}
+	if rep.Leaf {
+		m.runs++
+	}
+	if rep.Violation != nil {
+		m.violation = rep.Violation
+		m.pending = nil
+		return
+	}
+	if rep.Leaf {
+		return
+	}
+	if rep.DepthTruncated {
+		m.truncated = true
+		return
+	}
+	if _, seen := m.visited[rep.Hash]; seen {
+		return
+	}
+	if len(m.visited) >= m.maxStates {
+		m.truncated = true
+		return
+	}
+	m.visited[rep.Hash] = struct{}{}
+	if rep.Reduced {
+		m.reduced++
+	}
+	for _, b := range rep.Branches {
+		child := make([]int, len(nd.Schedule)+1)
+		copy(child, nd.Schedule)
+		child[len(nd.Schedule)] = b.Entry
+		m.pending = append(m.pending, Node{Schedule: child, Sleep: b.Sleep})
+	}
+}
+
+// Requeue returns handed-out nodes to the pending queue — the
+// re-delivery path when a prober disappears mid-probe. Probes are pure
+// replays, so re-dispatching them is idempotent by construction.
+func (m *ShardMaster) Requeue(nodes []Node) {
+	m.inflight -= len(nodes)
+	if m.violation != nil {
+		return
+	}
+	m.pending = append(m.pending, nodes...)
+}
+
+// Violated reports that a violation has been found (the exploration is
+// cancelled; outstanding probes may still be reported and are ignored).
+func (m *ShardMaster) Violated() bool { return m.violation != nil }
+
+// Done reports that the exploration is complete: nothing pending,
+// nothing in flight — or a violation ended it early.
+func (m *ShardMaster) Done() bool {
+	return m.violation != nil || (m.inflight == 0 && len(m.pending) == 0)
+}
+
+// Result summarises the exploration so far. On a violation the counters
+// describe the cancelled partial exploration; callers wanting the
+// canonical verdict pass the result through CanonicalResult.
+func (m *ShardMaster) Result() Result {
+	return Result{
+		States:       len(m.visited),
+		Runs:         m.runs,
+		Truncated:    m.truncated,
+		ReducedNodes: m.reduced,
+		Violation:    m.violation,
+	}
+}
+
+// CanonicalResult canonicalises a violating sharded result exactly the
+// way exploreParallel canonicalises a violating parallel one: re-run the
+// serial explorer, which stops at the depth-first-minimal violation, and
+// report its result — so a coordinator's verdict is byte-identical to
+// Workers=1 no matter which shard tripped the property first. Non-
+// violating results pass through unchanged. The fallback mirrors
+// exploreParallel too: if a budget truncates the rerun short of any
+// violation, the sharded witness is kept.
+func CanonicalResult(build Builder, prop Property, opts Options, res Result) (Result, error) {
+	if res.Violation == nil {
+		return res, nil
+	}
+	maxDepth := opts.MaxDepth
+	if maxDepth <= 0 {
+		maxDepth = 200
+	}
+	maxStates := opts.MaxStates
+	if maxStates <= 0 {
+		maxStates = 1 << 20
+	}
+	serial, err := exploreSerial(build, prop, opts, maxDepth, maxStates)
+	if err != nil {
+		return Result{}, err
+	}
+	if serial.Violation == nil {
+		serial.Violation = res.Violation
+	}
+	return serial, nil
+}
+
+// ReplaysToViolation replays a witness schedule (Decisions encoding:
+// entry pid steps pid, entry -pid-1 crashes it) through a session on a
+// fresh program instance and reports whether it reproduces a violation:
+// either the property rejects the trace, or — mirroring the explorers'
+// leaf check under Options.ExpectTermination — the replayed run is
+// maximal with a started process that neither terminated nor crashed.
+// It is the independent re-verification step distributed coordinators
+// (and cfccheck -pordiff) run on every witness that arrives over a wire
+// before trusting it.
+func ReplaysToViolation(build Builder, prop Property, opts Options, schedule []int) (bool, error) {
+	mem, procs, err := build()
+	if err != nil {
+		return false, err
+	}
+	sess, err := sim.StartSession(sim.Config{Mem: mem, Procs: procs, MaxSteps: len(schedule) + 1})
+	if err != nil {
+		return false, err
+	}
+	defer sess.Close()
+	if err := sess.Seek(schedule); err != nil {
+		return false, fmt.Errorf("witness schedule does not replay: %w", err)
+	}
+	tr := sess.Trace()
+	if prop(tr) != nil {
+		return true, nil
+	}
+	if opts.ExpectTermination && sess.Finished() {
+		if _, ok := unterminated(tr); ok {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// PORAutoKeepReduced is the PORAuto decision, shared by exploreAuto and
+// distributed coordinators: a reduced exploration is kept outright when
+// it found a violation (POR verdicts are sound) or when the reduction
+// was healthy — at least a quarter of the expanded nodes reduced.
+func PORAutoKeepReduced(por Result) bool {
+	return por.Violation != nil || por.ReducedNodes*4 >= por.States
+}
+
+// PORAutoPick chooses between the reduced and the reference exploration
+// after both ran, shared by exploreAuto and distributed coordinators:
+// the reference wins when it found a violation or visited fewer states,
+// and is marked PORDisabled.
+func PORAutoPick(por, full Result) Result {
+	if full.Violation != nil || full.States < por.States {
+		full.PORDisabled = true
+		return full
+	}
+	return por
+}

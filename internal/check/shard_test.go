@@ -1,0 +1,207 @@
+package check_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"cfc/internal/check"
+	"cfc/internal/fleet"
+)
+
+// driveSharded runs one exploration through the ShardMaster/Prober split
+// with k probers, deliberately scrambling dispatch and report order with
+// the seeded rng: nodes are handed to probers round-robin in random batch
+// sizes and completed reports are delivered back in random order, so the
+// test exercises the order-independence the fabric coordinator relies on
+// rather than accidentally reproducing depth-first order.
+func driveSharded(t *testing.T, w fleet.Workload, n, k int, opts check.Options, seed int64) check.Result {
+	t.Helper()
+	build := w.Builder(n)
+	probers := make([]*check.Prober, k)
+	for i := range probers {
+		p, err := check.NewProber(build, w.Check, opts)
+		if err != nil {
+			t.Fatalf("NewProber: %v", err)
+		}
+		defer p.Close()
+		probers[i] = p
+	}
+	rng := rand.New(rand.NewSource(seed))
+	m := check.NewShardMaster(opts)
+	type done struct {
+		nd  check.Node
+		rep check.ProbeReport
+	}
+	var backlog []done
+	next := 0
+	for !m.Done() {
+		batch := m.Next(1 + rng.Intn(4))
+		for _, nd := range batch {
+			p := probers[next%k]
+			next++
+			rep, err := p.Probe(nd)
+			if err != nil {
+				t.Fatalf("Probe(%v): %v", nd.Schedule, err)
+			}
+			backlog = append(backlog, done{nd, rep})
+		}
+		if len(backlog) == 0 {
+			t.Fatalf("shard master stuck: not done, nothing pending")
+		}
+		// Deliver a random completed report — not necessarily the oldest.
+		i := rng.Intn(len(backlog))
+		d := backlog[i]
+		backlog[i] = backlog[len(backlog)-1]
+		backlog = backlog[:len(backlog)-1]
+		m.Report(d.nd, d.rep)
+	}
+	res := m.Result()
+	canon, err := check.CanonicalResult(build, w.Check, opts, res)
+	if err != nil {
+		t.Fatalf("CanonicalResult: %v", err)
+	}
+	return canon
+}
+
+func assertResultsEqual(t *testing.T, name string, serial, sharded check.Result) {
+	t.Helper()
+	if serial.States != sharded.States || serial.Runs != sharded.Runs ||
+		serial.Truncated != sharded.Truncated || serial.ReducedNodes != sharded.ReducedNodes {
+		t.Errorf("%s: counters diverge: serial {states %d runs %d trunc %v reduced %d}, sharded {states %d runs %d trunc %v reduced %d}",
+			name, serial.States, serial.Runs, serial.Truncated, serial.ReducedNodes,
+			sharded.States, sharded.Runs, sharded.Truncated, sharded.ReducedNodes)
+	}
+	sv, dv := serial.Violation, sharded.Violation
+	if (sv == nil) != (dv == nil) {
+		t.Errorf("%s: verdicts diverge: serial violation %v, sharded violation %v", name, sv, dv)
+		return
+	}
+	if sv == nil {
+		return
+	}
+	if len(sv.Schedule) != len(dv.Schedule) {
+		t.Errorf("%s: witness length diverges: serial %v, sharded %v", name, sv.Schedule, dv.Schedule)
+		return
+	}
+	for i := range sv.Schedule {
+		if sv.Schedule[i] != dv.Schedule[i] {
+			t.Errorf("%s: witness diverges: serial %v, sharded %v", name, sv.Schedule, dv.Schedule)
+			return
+		}
+	}
+	if sv.Err.Error() != dv.Err.Error() {
+		t.Errorf("%s: violation error diverges: serial %q, sharded %q", name, sv.Err, dv.Err)
+	}
+}
+
+// TestShardedEqualsSerial is the bit-identity contract behind the
+// distributed fabric: any prober count, any dispatch order, any report
+// order — the ShardMaster's closed exploration matches the serial
+// explorer on verdict, States, Runs, Truncated and ReducedNodes, and a
+// violating exploration canonicalises to the identical witness.
+func TestShardedEqualsSerial(t *testing.T) {
+	const n = 2
+	pick := map[string]bool{
+		"mutex/peterson-2p":       true,
+		"mutex/tas-lock":          true,
+		"mutex/lamport-fast":      true,
+		"naming/tas-scan":         true,
+		"mixed/tas-lock+tas-scan": true,
+		"detection/splitter":      true,
+	}
+	var loads []fleet.Workload
+	for _, w := range fleet.Portfolio(n) {
+		if pick[w.Name] {
+			loads = append(loads, w)
+		}
+	}
+	if racy, ok := fleet.ByName("broken/racy-mutex", n); ok {
+		loads = append(loads, racy)
+	} else {
+		t.Fatalf("broken/racy-mutex missing from registry")
+	}
+	if len(loads) < 4 {
+		t.Fatalf("picked only %d workloads; registry names changed?", len(loads))
+	}
+
+	engines := []struct {
+		name string
+		opts check.Options
+	}{
+		{"reference", check.Options{MaxDepth: 60, MaxStates: 1 << 17, CollapseSpins: true}},
+		{"por", check.Options{MaxDepth: 60, MaxStates: 1 << 17, CollapseSpins: true, POR: true}},
+	}
+	for _, w := range loads {
+		for _, eng := range engines {
+			serial, err := check.Explore(w.Builder(n), w.Check, eng.opts)
+			if err != nil {
+				t.Fatalf("%s/%s: serial: %v", w.Name, eng.name, err)
+			}
+			if serial.Truncated {
+				// Truncated explorations are visit-order dependent in every
+				// mode (parallel included); equality is only promised for
+				// closed ones. Keep the budgets big enough that this is dead.
+				t.Fatalf("%s/%s: serial exploration truncated; raise test budgets", w.Name, eng.name)
+			}
+			for _, k := range []int{1, 3} {
+				sharded := driveSharded(t, w, n, k, eng.opts, int64(k)*7919+int64(len(w.Name)))
+				assertResultsEqual(t, w.Name+"/"+eng.name+"/k="+string(rune('0'+k)), serial, sharded)
+			}
+		}
+	}
+}
+
+// TestShardMasterRequeue exercises the worker-loss path: nodes handed out
+// and returned via Requeue (as the coordinator does when a worker
+// disconnects) are re-dispatched and the exploration still closes with
+// the serial result. Probes are pure replays, so re-delivery must be
+// invisible in the outcome.
+func TestShardMasterRequeue(t *testing.T) {
+	const n = 2
+	w, ok := fleet.ByName("mutex/peterson-2p", n)
+	if !ok {
+		t.Fatalf("mutex/peterson-2p missing from registry")
+	}
+	opts := check.Options{MaxDepth: 60, MaxStates: 1 << 17, CollapseSpins: true, POR: true}
+	serial, err := check.Explore(w.Builder(n), w.Check, opts)
+	if err != nil {
+		t.Fatalf("serial: %v", err)
+	}
+
+	p, err := check.NewProber(w.Builder(n), w.Check, opts)
+	if err != nil {
+		t.Fatalf("NewProber: %v", err)
+	}
+	defer p.Close()
+	rng := rand.New(rand.NewSource(42))
+	m := check.NewShardMaster(opts)
+	for !m.Done() {
+		batch := m.Next(1 + rng.Intn(3))
+		// Every third batch is "lost" once and requeued before any probe.
+		if rng.Intn(3) == 0 {
+			m.Requeue(batch)
+			continue
+		}
+		for _, nd := range batch {
+			rep, err := p.Probe(nd)
+			if err != nil {
+				t.Fatalf("Probe: %v", err)
+			}
+			m.Report(nd, rep)
+		}
+	}
+	assertResultsEqual(t, "peterson/requeue", serial, m.Result())
+}
+
+// TestNewProberRejectsDPOR pins the engine boundary: frontier probing and
+// the wave-synchronised DPOR engine are incompatible, and the constructor
+// must say so instead of silently exploring with the wrong reduction.
+func TestNewProberRejectsDPOR(t *testing.T) {
+	w, ok := fleet.ByName("mutex/peterson-2p", 2)
+	if !ok {
+		t.Fatalf("mutex/peterson-2p missing from registry")
+	}
+	if _, err := check.NewProber(w.Builder(2), w.Check, check.Options{DPOR: true}); err == nil {
+		t.Fatalf("NewProber accepted DPOR options")
+	}
+}

@@ -14,6 +14,34 @@ type Locker interface {
 	Unlock(p *sim.Proc)
 }
 
+// RestartCapable is the optional capability an algorithm instance
+// declares when crash/recovery faults — a crashed process revived to
+// re-run its body from scratch against the surviving registers — are
+// within its fault model, as opposed to crash-stop only.
+//
+// Declaring the capability is a statement about the fault model, not a
+// correctness proof: revival must be meaningful for the protocol (a
+// fresh invocation against whatever state the dead incarnation left),
+// which holds for mutex entry codes — a crashed incarnation's abandoned
+// registers look like a competitor that stopped taking steps — and
+// fails for one-shot tasks that budget exactly one pass per process,
+// where a dead incarnation's pass shifts the shared state out of the
+// protocol's reachable set. Whether the algorithm is actually correct
+// under revival is exactly what the fleet's crash/recovery storms then
+// test (broken/restart-unsafe-mutex declares the capability and fails
+// the test, by design). Instances not implementing the interface get
+// crash-stop faults only.
+type RestartCapable interface {
+	RestartSafe() bool
+}
+
+// RestartSafe probes an instance's declared restart capability; absent
+// declaration means crash-stop only.
+func RestartSafe(inst any) bool {
+	rc, ok := inst.(RestartCapable)
+	return ok && rc.RestartSafe()
+}
+
 // MutexBody returns a process body that performs the given number of
 // marked lock/unlock rounds, dwelling csDwell local steps inside the
 // critical section.

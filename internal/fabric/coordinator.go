@@ -1,0 +1,610 @@
+package fabric
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"cfc/internal/check"
+)
+
+// Registry resolves a workload name at a process count to its program
+// and property — the serializable job namespace coordinator and workers
+// must share (cfccheck passes the fleet registry on both sides). The
+// coordinator needs it too: every violation that arrives over the wire
+// is re-verified against a locally built program before it is believed.
+type Registry func(name string, n int) (build check.Builder, prop check.Property, ok bool)
+
+// Job is one portfolio entry to check.
+type Job struct {
+	Name string
+	N    int
+	Opts check.Options
+}
+
+// JobResult is one job's merged outcome, in job-list order.
+type JobResult struct {
+	Job Job
+	// Res is the exploration result — for completed jobs identical to
+	// what the single-process check.Explore returns for Job.Opts.
+	Res check.Result
+	// Err is a fabric- or worker-level failure ("" when the job
+	// completed); Res is meaningless when set.
+	Err string
+	// Degraded reports the job exceeded the coordinator's job timeout
+	// and was abandoned: for a whole-entry job Res is empty, for a
+	// sharded one it holds the partial counters at abandonment.
+	Degraded bool
+	// Sharded reports the job ran as frontier subtrees across workers
+	// rather than as one whole-entry job.
+	Sharded bool
+	// Ms is the job's wall-clock at the worker (whole-entry jobs) or
+	// the coordinator (sharded jobs).
+	Ms int64
+}
+
+// Stats summarises one Coordinate run.
+type Stats struct {
+	// Workers counts distinct worker connections that completed the
+	// hello handshake.
+	Workers int
+	// Probes counts frontier nodes probed across all sharded passes.
+	Probes int
+	// WallMs is the whole run's wall-clock.
+	WallMs int64
+}
+
+// CoordOptions configures a Coordinate run.
+type CoordOptions struct {
+	// Shards > 1 enables frontier sharding: jobs not using the DPOR
+	// engine run as subtree probes across all connected workers instead
+	// of as whole-entry jobs. (DPOR's wave-synchronised commit pass is
+	// inherently single-process; those jobs always travel whole.) The
+	// value is a mode switch, not a count — the sharding fans out to
+	// however many workers are connected.
+	Shards int
+	// JobTimeout abandons a job (DEGRADED) that has not completed this
+	// long after dispatch. Zero means no timeout.
+	JobTimeout time.Duration
+	// Log receives human-oriented progress lines (worker joins/leaves,
+	// requeues); nil discards them.
+	Log io.Writer
+}
+
+// probeBatch is how many frontier nodes travel per probe message, and
+// probeWindow how many probe messages may be outstanding per worker —
+// enough to hide one round-trip behind computation without letting a
+// slow worker hoard frontier the others could drain.
+const (
+	probeBatch  = 48
+	probeWindow = 2
+)
+
+// Coordinate serves the job queue at addr until every job has a result,
+// then disconnects all workers and returns the merged results in
+// job-list order. It is the fabric's single point of truth: visited-set
+// arbitration for sharded jobs, violation re-verification, requeue on
+// worker loss and the timeout clock all live here, on one event loop.
+func Coordinate(tr Transport, addr string, jobs []Job, reg Registry, co CoordOptions) ([]JobResult, Stats, error) {
+	start := time.Now()
+	ln, err := tr.Serve(addr)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	defer ln.Close()
+
+	c := &coord{
+		reg:    reg,
+		co:     co,
+		events: make(chan event, 128),
+		closed: make(chan struct{}),
+		conns:  make(map[*conn]*workerState),
+	}
+	defer close(c.closed)
+	go c.acceptLoop(ln)
+
+	var tick <-chan time.Time
+	if co.JobTimeout > 0 {
+		period := co.JobTimeout / 4
+		if period > 250*time.Millisecond {
+			period = 250 * time.Millisecond
+		}
+		if period < time.Millisecond {
+			period = time.Millisecond
+		}
+		t := time.NewTicker(period)
+		defer t.Stop()
+		tick = t.C
+	}
+
+	// Whole-entry jobs run first, fanned out over the worker pool; then
+	// each sharded job in turn gets the whole pool to itself. Sharding
+	// applies only to non-DPOR jobs, and only when asked for.
+	results := make([]JobResult, len(jobs))
+	var whole, sharded []int
+	for i, j := range jobs {
+		results[i].Job = j
+		if co.Shards > 1 && !j.Opts.DPOR {
+			sharded = append(sharded, i)
+		} else {
+			whole = append(whole, i)
+		}
+	}
+	c.runWhole(jobs, whole, results, tick)
+	for _, i := range sharded {
+		t0 := time.Now()
+		res, errStr, degraded := c.runSharded(jobs[i], tick)
+		results[i].Res = res
+		results[i].Err = errStr
+		results[i].Degraded = degraded
+		results[i].Sharded = true
+		results[i].Ms = time.Since(t0).Milliseconds()
+	}
+	c.shutdown()
+	return results, Stats{Workers: c.workersSeen, Probes: c.probes, WallMs: time.Since(start).Milliseconds()}, nil
+}
+
+// event is one occurrence delivered to the coordinator loop: a new
+// connection, a frame from a worker, or a connection ending (err holds
+// the reader's failure for logging; io.EOF is a clean close).
+type event struct {
+	kind int // evConn, evMsg, evGone
+	c    *conn
+	msg  *Msg
+	err  error
+}
+
+const (
+	evConn = iota
+	evMsg
+	evGone
+)
+
+// workerState is the coordinator's view of one connection.
+type workerState struct {
+	ready bool // hello completed
+	// Whole-entry phase: the dispatched job (index into the job list,
+	// -1 when idle), its message id and its timeout deadline.
+	jobIdx   int
+	jobID    int
+	deadline time.Time
+	// Sharded phase: whether this worker holds the current shard open,
+	// and the frontier nodes riding each outstanding probe message.
+	shardOpen   bool
+	outstanding map[int][]check.Node
+}
+
+type coord struct {
+	reg    Registry
+	co     CoordOptions
+	events chan event
+	closed chan struct{}
+
+	conns       map[*conn]*workerState
+	nextID      int
+	shardSeq    int
+	workersSeen int
+	probes      int
+}
+
+func (c *coord) logf(format string, args ...any) {
+	if c.co.Log != nil {
+		fmt.Fprintf(c.co.Log, "fabric: "+format+"\n", args...)
+	}
+}
+
+func (c *coord) acceptLoop(ln Listener) {
+	for {
+		rwc, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		cn := newConn(rwc, c.events, c.closed)
+		select {
+		case c.events <- event{kind: evConn, c: cn}:
+		case <-c.closed:
+			cn.close()
+			return
+		}
+	}
+}
+
+// admit registers a new connection (not yet ready — it must hello first).
+func (c *coord) admit(cn *conn) {
+	c.conns[cn] = &workerState{jobIdx: -1}
+}
+
+// drop forgets a connection and returns whatever work it held.
+func (c *coord) drop(cn *conn, requeueJob func(idx int), master *check.ShardMaster) {
+	w := c.conns[cn]
+	if w == nil {
+		return
+	}
+	if w.jobIdx >= 0 && requeueJob != nil {
+		requeueJob(w.jobIdx)
+	}
+	if master != nil && len(w.outstanding) > 0 {
+		n := 0
+		for _, nodes := range w.outstanding {
+			master.Requeue(nodes)
+			n += len(nodes)
+		}
+		c.logf("worker lost, %d frontier nodes requeued", n)
+	}
+	delete(c.conns, cn)
+	cn.close()
+}
+
+// hello handles a worker's handshake; a version mismatch drops it.
+func (c *coord) hello(cn *conn, w *workerState, m *Msg) bool {
+	if m.V != ProtoVersion {
+		c.logf("worker speaks protocol %d, want %d; dropping", m.V, ProtoVersion)
+		delete(c.conns, cn)
+		cn.close()
+		return false
+	}
+	w.ready = true
+	c.workersSeen++
+	c.logf("worker connected (%d live)", c.liveWorkers())
+	return true
+}
+
+func (c *coord) liveWorkers() int {
+	n := 0
+	for _, w := range c.conns {
+		if w.ready {
+			n++
+		}
+	}
+	return n
+}
+
+// runWhole fans the whole-entry jobs out over the worker pool until all
+// have results.
+func (c *coord) runWhole(jobs []Job, idxs []int, results []JobResult, tick <-chan time.Time) {
+	if len(idxs) == 0 {
+		return
+	}
+	queue := append([]int(nil), idxs...)
+	done := make(map[int]bool, len(idxs))
+	remaining := len(idxs)
+	requeue := func(idx int) {
+		if !done[idx] {
+			c.logf("requeueing job %s after worker loss", jobs[idx].Name)
+			queue = append(queue, idx)
+		}
+	}
+	finish := func(idx int, r JobResult) {
+		if done[idx] {
+			return
+		}
+		r.Job = jobs[idx]
+		results[idx] = r
+		done[idx] = true
+		remaining--
+	}
+
+	for remaining > 0 {
+		// Dispatch to every idle ready worker.
+		for cn, w := range c.conns {
+			if !w.ready || w.jobIdx >= 0 || len(queue) == 0 {
+				continue
+			}
+			idx := queue[0]
+			queue = queue[1:]
+			c.nextID++
+			w.jobIdx, w.jobID = idx, c.nextID
+			if c.co.JobTimeout > 0 {
+				w.deadline = time.Now().Add(c.co.JobTimeout)
+			}
+			j := jobs[idx]
+			cn.send(&Msg{T: MsgJob, ID: w.jobID, Job: &JobSpec{Name: j.Name, N: j.N, Opts: j.Opts}})
+		}
+
+		select {
+		case ev := <-c.events:
+			switch ev.kind {
+			case evConn:
+				c.admit(ev.c)
+			case evGone:
+				c.drop(ev.c, requeue, nil)
+			case evMsg:
+				w := c.conns[ev.c]
+				if w == nil {
+					break
+				}
+				m := ev.msg
+				switch m.T {
+				case MsgHello:
+					c.hello(ev.c, w, m)
+				case MsgResult, MsgError:
+					if w.jobIdx < 0 || m.ID != w.jobID {
+						break // stale reply for a job already timed out
+					}
+					idx := w.jobIdx
+					w.jobIdx = -1
+					if m.T == MsgError {
+						finish(idx, JobResult{Err: m.Err})
+						break
+					}
+					if m.Res == nil {
+						finish(idx, JobResult{Err: "worker sent result frame without a result"})
+						break
+					}
+					res := m.Res.toCheck()
+					if errStr := c.verifyWitness(jobs[idx], res); errStr != "" {
+						finish(idx, JobResult{Err: errStr})
+						break
+					}
+					finish(idx, JobResult{Res: res, Ms: m.Ms})
+				}
+			}
+		case <-tick:
+			now := time.Now()
+			for _, w := range c.conns {
+				if w.jobIdx >= 0 && !done[w.jobIdx] && now.After(w.deadline) {
+					c.logf("job %s timed out after %s", jobs[w.jobIdx].Name, c.co.JobTimeout)
+					finish(w.jobIdx, JobResult{Degraded: true})
+					// The worker stays marked busy until it replies or
+					// disconnects; its late reply is dropped by the id
+					// check above.
+				}
+			}
+		}
+	}
+}
+
+// verifyWitness re-verifies a violating result's witness by serial
+// replay on a locally built program — the coordinator never repeats a
+// verdict it has not reproduced. Returns a non-empty error string on
+// failure.
+func (c *coord) verifyWitness(j Job, res check.Result) string {
+	if res.Violation == nil {
+		return ""
+	}
+	build, prop, ok := c.reg(j.Name, j.N)
+	if !ok {
+		return fmt.Sprintf("unknown workload %q in local registry", j.Name)
+	}
+	ok, err := check.ReplaysToViolation(build, prop, j.Opts, res.Violation.Schedule)
+	if err != nil {
+		return fmt.Sprintf("witness re-verification: %v", err)
+	}
+	if !ok {
+		return fmt.Sprintf("witness %v did not reproduce the violation on replay", res.Violation.Schedule)
+	}
+	return ""
+}
+
+// runSharded runs one job as frontier subtrees across all workers,
+// including the PORAuto second pass when the options ask for it, and
+// canonicalises any violation by serial rerun — reproducing exactly what
+// the single-process Explore returns for the same options.
+func (c *coord) runSharded(j Job, tick <-chan time.Time) (check.Result, string, bool) {
+	res, errStr, degraded := c.shardPass(j, j.Opts, tick)
+	if errStr != "" || degraded {
+		return res, errStr, degraded
+	}
+	if j.Opts.POR && j.Opts.PORAuto && !check.PORAutoKeepReduced(res) {
+		ref := j.Opts
+		ref.POR, ref.PORAuto = false, false
+		full, errStr, degraded := c.shardPass(j, ref, tick)
+		if errStr != "" || degraded {
+			return full, errStr, degraded
+		}
+		res = check.PORAutoPick(res, full)
+	}
+	return res, "", false
+}
+
+// shardPass drives one sharded exploration of j under opts to closure
+// (or violation, timeout, or unrecoverable error).
+func (c *coord) shardPass(j Job, opts check.Options, tick <-chan time.Time) (check.Result, string, bool) {
+	build, prop, ok := c.reg(j.Name, j.N)
+	if !ok {
+		return check.Result{}, fmt.Sprintf("unknown workload %q in local registry", j.Name), false
+	}
+	c.shardSeq++
+	sid := c.shardSeq
+	spec := &JobSpec{Name: j.Name, N: j.N, Opts: opts}
+	master := check.NewShardMaster(opts)
+	var deadline time.Time
+	if c.co.JobTimeout > 0 {
+		deadline = time.Now().Add(c.co.JobTimeout)
+	}
+
+	open := func(cn *conn, w *workerState) {
+		w.shardOpen = true
+		w.outstanding = make(map[int][]check.Node)
+		cn.send(&Msg{T: MsgShardOpen, Shard: sid, Job: spec})
+	}
+	for cn, w := range c.conns {
+		if w.ready {
+			open(cn, w)
+		}
+	}
+	closeAll := func() {
+		for cn, w := range c.conns {
+			if w.shardOpen {
+				cn.send(&Msg{T: MsgShardClose, Shard: sid})
+				w.shardOpen = false
+				w.outstanding = nil
+			}
+		}
+	}
+
+	for !master.Done() {
+		// Keep every open worker's probe window full.
+		for cn, w := range c.conns {
+			if !w.shardOpen {
+				continue
+			}
+			for len(w.outstanding) < probeWindow {
+				nodes := master.Next(probeBatch)
+				if len(nodes) == 0 {
+					break
+				}
+				c.nextID++
+				w.outstanding[c.nextID] = nodes
+				cn.send(&Msg{T: MsgProbe, ID: c.nextID, Shard: sid, Nodes: nodes})
+			}
+		}
+
+		select {
+		case ev := <-c.events:
+			switch ev.kind {
+			case evConn:
+				c.admit(ev.c)
+			case evGone:
+				c.drop(ev.c, nil, master)
+			case evMsg:
+				w := c.conns[ev.c]
+				if w == nil {
+					break
+				}
+				m := ev.msg
+				switch m.T {
+				case MsgHello:
+					// A worker joining mid-exploration is put to work
+					// immediately.
+					if c.hello(ev.c, w, m) {
+						open(ev.c, w)
+					}
+				case MsgProbed:
+					nodes, ok := w.outstanding[m.ID]
+					if !ok {
+						break // stale reply from a cancelled pass
+					}
+					if len(m.Reports) != len(nodes) {
+						c.logf("worker answered %d nodes with %d reports; dropping it", len(nodes), len(m.Reports))
+						c.drop(ev.c, nil, master)
+						break
+					}
+					delete(w.outstanding, m.ID)
+					c.probes += len(nodes)
+					for i, rep := range m.Reports {
+						master.Report(nodes[i], rep.toCheck())
+					}
+				case MsgError:
+					closeAll()
+					return check.Result{}, fmt.Sprintf("worker error probing %s: %s", j.Name, m.Err), false
+				}
+			}
+		case <-tick:
+			if !deadline.IsZero() && time.Now().After(deadline) {
+				c.logf("sharded job %s timed out after %s", j.Name, c.co.JobTimeout)
+				closeAll()
+				return master.Result(), "", true
+			}
+		}
+	}
+	closeAll()
+
+	res := master.Result()
+	if res.Violation != nil {
+		// Canonicalise exactly as the in-process parallel explorer does:
+		// the serial rerun reproduces the depth-first-minimal witness, so
+		// the verdict is independent of which shard tripped first.
+		canon, err := check.CanonicalResult(build, prop, opts, res)
+		if err != nil {
+			return check.Result{}, fmt.Sprintf("canonical serial rerun: %v", err), false
+		}
+		res = canon
+	}
+	return res, "", false
+}
+
+// shutdown says goodbye to every worker and closes the connections,
+// flushing queued frames first.
+func (c *coord) shutdown() {
+	for cn := range c.conns {
+		cn.send(&Msg{T: MsgBye})
+		cn.closeAfterDrain()
+	}
+	c.conns = map[*conn]*workerState{}
+}
+
+// conn is one worker connection as the coordinator sees it: a reader
+// goroutine turning frames into events, and a writer goroutine draining
+// a buffered queue — so the event loop never blocks on a peer's pace
+// (net.Pipe writes are rendezvous; TCP buffers can fill).
+type conn struct {
+	rwc  io.ReadWriteCloser
+	out  chan *Msg
+	quit chan struct{}
+	once sync.Once
+}
+
+// outQueue bounds a connection's send queue. The coordinator keeps at
+// most probeWindow probe frames plus a handful of control frames in
+// flight per worker, far below this; a full queue therefore indicates a
+// wedged peer, and send's quit branch keeps even that from deadlocking
+// the loop once the connection is dropped.
+const outQueue = 256
+
+func newConn(rwc io.ReadWriteCloser, events chan event, closed chan struct{}) *conn {
+	cn := &conn{rwc: rwc, out: make(chan *Msg, outQueue), quit: make(chan struct{})}
+	go func() { // reader
+		br := bufio.NewReaderSize(rwc, 64<<10)
+		for {
+			var m Msg
+			if err := ReadFrame(br, &m); err != nil {
+				select {
+				case events <- event{kind: evGone, c: cn, err: err}:
+				case <-closed:
+				}
+				return
+			}
+			select {
+			case events <- event{kind: evMsg, c: cn, msg: &m}:
+			case <-closed:
+				return
+			}
+		}
+	}()
+	go func() { // writer
+		for {
+			select {
+			case m := <-cn.out:
+				if m == nil {
+					cn.close()
+					return
+				}
+				if err := WriteFrame(rwc, m); err != nil {
+					cn.close()
+					return
+				}
+			case <-cn.quit:
+				return
+			}
+		}
+	}()
+	return cn
+}
+
+// send queues a frame; it never blocks longer than the connection lives.
+func (cn *conn) send(m *Msg) {
+	select {
+	case cn.out <- m:
+	case <-cn.quit:
+	}
+}
+
+// closeAfterDrain lets the writer flush everything queued so far, then
+// closes the connection (the nil message is the writer's flush-and-stop
+// sentinel).
+func (cn *conn) closeAfterDrain() {
+	select {
+	case cn.out <- nil:
+	case <-cn.quit:
+	}
+}
+
+func (cn *conn) close() {
+	cn.once.Do(func() {
+		close(cn.quit)
+		cn.rwc.Close()
+	})
+}

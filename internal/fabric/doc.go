@@ -1,0 +1,64 @@
+// Package fabric is the distributed check fabric: a coordinator/worker
+// layer that spreads a cfccheck portfolio — and, for large
+// configurations, single explorations — across processes over a
+// pluggable transport, with results bit-identical to the single-process
+// run.
+//
+// # Topology
+//
+// One coordinator (Coordinate) owns the job list and all merged state;
+// any number of workers (Work) connect, pull work and stream results
+// back. Workers are stateless between messages — every job is a pure
+// replay of a deterministic program — so a worker that disconnects
+// mid-job costs nothing but the wasted cycles: the coordinator re-queues
+// its outstanding work and any other worker (or the same one,
+// reconnected) re-executes it with an identical outcome.
+//
+// Work travels at two granularities:
+//
+//   - Whole portfolio entries (JobSpec: workload name, process count,
+//     check.Options). The worker runs check.Explore exactly as the
+//     single-process cfccheck would and returns the Result. Entries
+//     using the DPOR engine always travel this way.
+//
+//   - Frontier subtrees, for sharding one big exploration across
+//     machines. The coordinator runs a check.ShardMaster (the one
+//     visited set); workers hold a check.Prober per open shard and turn
+//     batches of frontier nodes — serialised decision-stack prefixes
+//     plus their sleep masks, executed via Session.Seek — into probe
+//     reports. This splits an exploration exactly the way the
+//     in-process work-stealer splits it across cores, except the
+//     visited-set arbitration stays at the coordinator, which is what
+//     keeps the merged counters exact.
+//
+// # Guarantees
+//
+// At any worker and shard count, portfolio verdicts, States, Runs,
+// Truncated and ReducedNodes equal the single-process run, and a
+// violating entry reports the identical canonical witness: whole-entry
+// results are the deterministic check.Explore output, sharded
+// explorations close the same visited set as the serial explorer (see
+// check/shard.go for the argument), and every violation is re-verified
+// at the coordinator — witnesses by serial replay (check.ReplaysToViolation),
+// sharded detections by a canonical serial rerun (check.CanonicalResult),
+// mirroring the in-process parallel explorer's contract. As in-process,
+// the counter guarantee is exact for explorations that complete within
+// their budgets; truncated counters are visit-order dependent in every
+// mode.
+//
+// Failure handling is by re-execution, never by trust: a disconnected
+// worker's jobs are re-queued; a malformed or oversized frame drops only
+// the offending connection; a job exceeding the coordinator's job
+// timeout is reported DEGRADED instead of wedging the run.
+//
+// # Wire format
+//
+// Frames are 4-byte big-endian length prefixes followed by one JSON
+// object (Msg), at most MaxFrame bytes. JSON keeps the frames
+// inspectable and the uint64 sleep masks and hashes exact (Go decodes
+// integer literals into uint64 without a float round-trip). The
+// Transport interface (Dial/Serve over an opaque address) carries the
+// byte stream: TCP for real deployments, an in-process pipe
+// (NewPipeTransport) for deterministic tests, leaving room for a
+// durable queue later.
+package fabric

@@ -1,0 +1,173 @@
+package fabric
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+
+	"cfc/internal/check"
+)
+
+// ProtoVersion is the wire protocol version; hello frames carry it and
+// the coordinator rejects mismatched workers instead of guessing.
+const ProtoVersion = 1
+
+// MaxFrame bounds a single frame's JSON payload. A frame announcing a
+// larger length is a protocol violation and drops the connection — the
+// guard that keeps a malformed or hostile length prefix from turning
+// into an arbitrary allocation.
+const MaxFrame = 8 << 20
+
+// Message types (Msg.T).
+const (
+	MsgHello      = "hello"       // worker → coordinator: {v}
+	MsgJob        = "job"         // coordinator → worker: {id, job}
+	MsgResult     = "result"      // worker → coordinator: {id, res, ms}
+	MsgShardOpen  = "shard-open"  // coordinator → worker: {shard, job}
+	MsgShardClose = "shard-close" // coordinator → worker: {shard}
+	MsgProbe      = "probe"       // coordinator → worker: {id, shard, nodes}
+	MsgProbed     = "probed"      // worker → coordinator: {id, shard, reports}
+	MsgError      = "error"       // worker → coordinator: {id, err}
+	MsgBye        = "bye"         // coordinator → worker: done, disconnect
+)
+
+// Msg is the single frame envelope; T selects which fields are
+// meaningful (see the message type constants).
+type Msg struct {
+	T       string       `json:"t"`
+	V       int          `json:"v,omitempty"`
+	ID      int          `json:"id,omitempty"`
+	Shard   int          `json:"shard,omitempty"`
+	Job     *JobSpec     `json:"job,omitempty"`
+	Nodes   []check.Node `json:"nodes,omitempty"`
+	Reports []Report     `json:"reports,omitempty"`
+	Res     *WireResult  `json:"res,omitempty"`
+	Ms      int64        `json:"ms,omitempty"`
+	Err     string       `json:"err,omitempty"`
+}
+
+// JobSpec names one unit of work: a workload from the shared registry
+// plus the exploration options. For whole-entry jobs the worker runs
+// check.Explore with exactly these options; for shard-open it builds a
+// check.Prober from them.
+type JobSpec struct {
+	Name string        `json:"name"`
+	N    int           `json:"n"`
+	Opts check.Options `json:"opts"`
+}
+
+// WireViolation is a check.Violation flattened for the wire (error
+// values do not marshal). The string form is only provisional: every
+// violation that crosses the wire is re-verified or canonically
+// re-derived by serial replay at the coordinator before it is reported.
+type WireViolation struct {
+	Schedule []int  `json:"sched"`
+	Err      string `json:"err"`
+}
+
+func toWireViolation(v *check.Violation) *WireViolation {
+	if v == nil {
+		return nil
+	}
+	return &WireViolation{Schedule: v.Schedule, Err: v.Err.Error()}
+}
+
+func (v *WireViolation) toCheck() *check.Violation {
+	if v == nil {
+		return nil
+	}
+	return &check.Violation{Schedule: v.Schedule, Err: errors.New(v.Err)}
+}
+
+// WireResult is a check.Result in wire shape.
+type WireResult struct {
+	States          int            `json:"states"`
+	Runs            int            `json:"runs"`
+	Truncated       bool           `json:"trunc,omitempty"`
+	ReducedNodes    int            `json:"reduced,omitempty"`
+	PORDisabled     bool           `json:"porDisabled,omitempty"`
+	SymmetryApplied bool           `json:"sym,omitempty"`
+	Vio             *WireViolation `json:"vio,omitempty"`
+}
+
+func toWireResult(r check.Result) *WireResult {
+	return &WireResult{
+		States: r.States, Runs: r.Runs, Truncated: r.Truncated,
+		ReducedNodes: r.ReducedNodes, PORDisabled: r.PORDisabled,
+		SymmetryApplied: r.SymmetryApplied, Vio: toWireViolation(r.Violation),
+	}
+}
+
+func (r *WireResult) toCheck() check.Result {
+	return check.Result{
+		States: r.States, Runs: r.Runs, Truncated: r.Truncated,
+		ReducedNodes: r.ReducedNodes, PORDisabled: r.PORDisabled,
+		SymmetryApplied: r.SymmetryApplied, Violation: r.Vio.toCheck(),
+	}
+}
+
+// Report is a check.ProbeReport in wire shape: the embedded report's
+// fields marshal directly (its Violation field is wire-excluded) and the
+// violation travels flattened alongside.
+type Report struct {
+	check.ProbeReport
+	Vio *WireViolation `json:"vio,omitempty"`
+}
+
+func toWireReport(rep check.ProbeReport) Report {
+	w := Report{ProbeReport: rep, Vio: toWireViolation(rep.Violation)}
+	w.ProbeReport.Violation = nil
+	return w
+}
+
+func (r Report) toCheck() check.ProbeReport {
+	rep := r.ProbeReport
+	rep.Violation = r.Vio.toCheck()
+	return rep
+}
+
+// WriteFrame marshals m and writes one length-prefixed frame. The
+// header and payload go out in a single Write so transports see whole
+// frames (the pipe transport's rendezvous writes stay one hand-off per
+// frame).
+func WriteFrame(w io.Writer, m *Msg) error {
+	data, err := json.Marshal(m)
+	if err != nil {
+		return fmt.Errorf("fabric: marshal frame: %w", err)
+	}
+	if len(data) > MaxFrame {
+		return fmt.Errorf("fabric: frame of %d bytes exceeds MaxFrame", len(data))
+	}
+	buf := make([]byte, 4+len(data))
+	binary.BigEndian.PutUint32(buf, uint32(len(data)))
+	copy(buf[4:], data)
+	if _, err := w.Write(buf); err != nil {
+		return fmt.Errorf("fabric: write frame: %w", err)
+	}
+	return nil
+}
+
+// ReadFrame reads one length-prefixed frame into m. A length outside
+// (0, MaxFrame] or a payload that is not valid JSON is a protocol error;
+// callers treat it as fatal for the connection, never for the process.
+func ReadFrame(r io.Reader, m *Msg) error {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n == 0 || n > MaxFrame {
+		return fmt.Errorf("fabric: malformed frame: length %d", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return fmt.Errorf("fabric: truncated frame: %w", err)
+	}
+	*m = Msg{}
+	if err := json.Unmarshal(buf, m); err != nil {
+		return fmt.Errorf("fabric: malformed frame: %w", err)
+	}
+	return nil
+}

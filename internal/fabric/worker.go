@@ -1,0 +1,158 @@
+package fabric
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"time"
+
+	"cfc/internal/check"
+)
+
+// Work connects to the coordinator at addr and serves jobs until the
+// coordinator says bye or the connection closes. The registry must
+// resolve the same names to the same programs as the coordinator's —
+// it is the two sides' only shared vocabulary.
+//
+// The worker is deliberately stateless between messages apart from its
+// open probers: whole-entry jobs run check.Explore on a program built
+// fresh from the registry, and probes replay frontier nodes through the
+// shard's prober. Everything it computes is a pure function of the
+// frames it received, which is what makes coordinator-side requeueing
+// after a worker loss sound.
+func Work(tr Transport, addr string, reg Registry, logw io.Writer) error {
+	logf := func(format string, args ...any) {
+		if logw != nil {
+			fmt.Fprintf(logw, "fabric: "+format+"\n", args...)
+		}
+	}
+	// The coordinator may still be binding when the worker starts (the
+	// smoke script launches all three processes at once), so dialing
+	// retries briefly before giving up.
+	var rwc io.ReadWriteCloser
+	var err error
+	for attempt := 0; ; attempt++ {
+		rwc, err = tr.Dial(addr)
+		if err == nil {
+			break
+		}
+		if attempt >= 50 {
+			return fmt.Errorf("fabric: dial %s: %w", addr, err)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	defer rwc.Close()
+	br := bufio.NewReaderSize(rwc, 64<<10)
+	if err := WriteFrame(rwc, &Msg{T: MsgHello, V: ProtoVersion}); err != nil {
+		return err
+	}
+	logf("joined %s", addr)
+
+	probers := make(map[int]*check.Prober)
+	defer func() {
+		for _, p := range probers {
+			p.Close()
+		}
+	}()
+
+	for {
+		var m Msg
+		if err := ReadFrame(br, &m); err != nil {
+			// A closed connection is the coordinator's normal way of
+			// ending a session that already said (or raced) bye.
+			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) || errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		switch m.T {
+		case MsgBye:
+			logf("coordinator done")
+			return nil
+
+		case MsgJob:
+			if m.Job == nil {
+				return fmt.Errorf("fabric: job frame without a job spec")
+			}
+			build, prop, ok := reg(m.Job.Name, m.Job.N)
+			if !ok {
+				if err := WriteFrame(rwc, &Msg{T: MsgError, ID: m.ID, Err: fmt.Sprintf("unknown workload %q", m.Job.Name)}); err != nil {
+					return err
+				}
+				break
+			}
+			t0 := time.Now()
+			res, err := check.Explore(build, prop, m.Job.Opts)
+			if err != nil {
+				if werr := WriteFrame(rwc, &Msg{T: MsgError, ID: m.ID, Err: err.Error()}); werr != nil {
+					return werr
+				}
+				break
+			}
+			logf("job %s: %d states in %s", m.Job.Name, res.States, time.Since(t0).Round(time.Millisecond))
+			if err := WriteFrame(rwc, &Msg{T: MsgResult, ID: m.ID, Res: toWireResult(res), Ms: time.Since(t0).Milliseconds()}); err != nil {
+				return err
+			}
+
+		case MsgShardOpen:
+			if m.Job == nil {
+				return fmt.Errorf("fabric: shard-open frame without a job spec")
+			}
+			if old := probers[m.Shard]; old != nil {
+				old.Close()
+			}
+			build, prop, ok := reg(m.Job.Name, m.Job.N)
+			if !ok {
+				if err := WriteFrame(rwc, &Msg{T: MsgError, Shard: m.Shard, Err: fmt.Sprintf("unknown workload %q", m.Job.Name)}); err != nil {
+					return err
+				}
+				break
+			}
+			p, err := check.NewProber(build, prop, m.Job.Opts)
+			if err != nil {
+				if werr := WriteFrame(rwc, &Msg{T: MsgError, Shard: m.Shard, Err: err.Error()}); werr != nil {
+					return werr
+				}
+				break
+			}
+			probers[m.Shard] = p
+			logf("shard %d open: %s", m.Shard, m.Job.Name)
+
+		case MsgShardClose:
+			if p := probers[m.Shard]; p != nil {
+				p.Close()
+				delete(probers, m.Shard)
+			}
+
+		case MsgProbe:
+			p := probers[m.Shard]
+			if p == nil {
+				if err := WriteFrame(rwc, &Msg{T: MsgError, ID: m.ID, Err: fmt.Sprintf("probe for unopened shard %d", m.Shard)}); err != nil {
+					return err
+				}
+				break
+			}
+			reports := make([]Report, 0, len(m.Nodes))
+			var perr error
+			for _, nd := range m.Nodes {
+				rep, err := p.Probe(nd)
+				if err != nil {
+					perr = err
+					break
+				}
+				reports = append(reports, toWireReport(rep))
+			}
+			if perr != nil {
+				if err := WriteFrame(rwc, &Msg{T: MsgError, ID: m.ID, Err: perr.Error()}); err != nil {
+					return err
+				}
+				break
+			}
+			if err := WriteFrame(rwc, &Msg{T: MsgProbed, ID: m.ID, Shard: m.Shard, Reports: reports}); err != nil {
+				return err
+			}
+		}
+	}
+}

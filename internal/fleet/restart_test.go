@@ -1,0 +1,98 @@
+package fleet
+
+// Coverage for the restart-safety capability: crashstorm eligibility
+// follows what the algorithm instance declares (driver.RestartCapable),
+// and the declared capabilities reproduce exactly the fault model the
+// old kind-level table encoded — mutex bodies revivable, one-shot tasks
+// crash-stop, mixed workloads revivable on their mutex pids only.
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestRestartCapabilityMapping(t *testing.T) {
+	const n = 4
+	all := append(Portfolio(n), FaultyWorkloads(n)...)
+	if len(all) == 0 {
+		t.Fatal("empty registry")
+	}
+	for _, w := range all {
+		for pid := 0; pid < n; pid++ {
+			var want bool
+			switch {
+			case w.Name == "broken/panic-under-contention":
+				want = false // one-shot task body, no capability declared
+			case strings.HasPrefix(w.Name, "mutex/"), strings.HasPrefix(w.Name, "broken/"):
+				// Every lock instance declares the capability — including
+				// broken/restart-unsafe-mutex, whose restart bug the storms
+				// exist to find.
+				want = true
+			case strings.HasPrefix(w.Name, "mixed/"):
+				want = pid%2 == 0 // even pids run the mutex body
+			default:
+				want = false // detection/, naming/: one pass per process
+			}
+			if got := w.restartSafeFor(pid); got != want {
+				t.Errorf("%s pid %d: restartSafeFor = %v, want %v", w.Name, pid, got, want)
+			}
+		}
+	}
+}
+
+// TestStormForHonoursCapability pins the demotion: storms over a
+// crash-stop-only workload carry no restart entries at all, storms over
+// a restart-capable one keep them, and a mixed workload's storms revive
+// only the mutex pids.
+func TestStormForHonoursCapability(t *testing.T) {
+	const n, maxSteps = 8, 400
+	find := func(name string) Workload {
+		w, ok := ByName(name, n)
+		if !ok {
+			t.Fatalf("%s missing from registry", name)
+		}
+		return w
+	}
+	type expect struct {
+		name    string
+		revives func(pid int) bool
+	}
+	cases := []expect{
+		{"mutex/tas-lock", func(pid int) bool { return true }},
+		{"naming/tas-scan", func(pid int) bool { return false }},
+		{"mixed/tas-lock+tas-scan", func(pid int) bool { return pid%2 == 0 }},
+		{"broken/restart-unsafe-mutex", func(pid int) bool { return true }},
+	}
+	for _, c := range cases {
+		w := find(c.name)
+		sawRestart := false
+		for seed := int64(0); seed < 20; seed++ {
+			rng := rand.New(rand.NewSource(seed))
+			for pid, list := range stormFor(rng, n, maxSteps, w) {
+				if !c.revives(pid) {
+					if len(list) != 1 || list[0].Restart != -1 {
+						t.Fatalf("%s pid %d: crash-stop-only process got restart windows %+v", c.name, pid, list)
+					}
+					continue
+				}
+				for _, win := range list {
+					if win.Restart >= 0 {
+						sawRestart = true
+					}
+				}
+			}
+		}
+		// Workloads with any revivable pid must actually see restarts
+		// across the seeds, or the storm stopped testing recovery.
+		anyRevivable := false
+		for pid := 0; pid < n; pid++ {
+			if c.revives(pid) {
+				anyRevivable = true
+			}
+		}
+		if anyRevivable && !sawRestart {
+			t.Errorf("%s: no restart window in 20 storms", c.name)
+		}
+	}
+}

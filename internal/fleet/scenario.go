@@ -27,37 +27,18 @@ type Scenario struct {
 	Sched func(rng *rand.Rand, n, maxSteps int, w Workload) sim.Scheduler
 }
 
-// restartSafe reports whether process pid of workload w may be revived
-// after a crash (crash/recovery), as opposed to crash-stop only.
-//
-// A restart re-runs the process body from scratch against the surviving
-// registers. For the mutex portfolio that is equivalent to the process
-// abandoning its attempt and starting a fresh one — entry codes tolerate
-// arbitrary competing invocations, and a crashed incarnation's abandoned
-// registers look like a competitor that has stopped taking steps, which
-// the asynchronous adversary may produce anyway. One-shot splitter and
-// balancer protocols are different: they budget exactly one pass per
-// process, and a dead incarnation's pass shifts the shared state — e.g. a
-// third pass through a test-and-flip balancer lets two live processes draw
-// the same name. Those workloads get crash-stop faults only, which the
-// paper's model (and their correctness arguments) cover.
-func restartSafe(w Workload, pid int) bool {
-	switch w.Kind {
-	case KindMutex:
-		return true
-	case KindMixed:
-		return pid%2 == 0 // even pids run the mutex body (see MixedWorkloads)
-	default:
-		return false
-	}
-}
-
 // stormFor draws a crash/recovery storm for one run, demoting windows on
-// non-restart-safe processes to crash-stop.
+// processes whose algorithm does not declare the restart capability to
+// crash-stop. Eligibility follows Workload.RestartSafe — the capability
+// the algorithm instance itself declares (driver.RestartCapable) — not
+// the workload's registry bucket: a mixed workload revives only the pids
+// running its mutex body, and one-shot splitter and balancer protocols,
+// which budget exactly one pass per process, get crash-stop faults only
+// (the model the paper's correctness arguments cover).
 func stormFor(rng *rand.Rand, n, maxSteps int, w Workload) map[int][]sim.CrashWindow {
 	ws := adversary.StormWindows(rng, n, n/4+1, 2, maxSteps/2)
 	for pid, list := range ws {
-		if restartSafe(w, pid) {
+		if w.restartSafeFor(pid) {
 			continue
 		}
 		list[0].Restart = -1

@@ -61,6 +61,32 @@ type Workload struct {
 	// relies on it; zero means "no online property" (Check must then be
 	// trivially nil-returning, like the panic workload).
 	Safety metrics.SafetySpec
+	// RestartSafe reports whether process pid may be revived after a
+	// crash (crash/recovery), as opposed to crash-stop only. It follows
+	// the algorithm instance's declared capability
+	// (driver.RestartCapable), probed when the workload is constructed —
+	// not the workload's registry bucket — so e.g. a mixed workload
+	// reports per-pid according to which body the pid runs. Nil means
+	// crash-stop only for every process.
+	RestartSafe func(pid int) bool
+}
+
+// restartSafeFor evaluates the workload's restart capability for pid,
+// with nil meaning crash-stop only.
+func (w Workload) restartSafeFor(pid int) bool {
+	return w.RestartSafe != nil && w.RestartSafe(pid)
+}
+
+// probeRestartSafe constructs a throwaway instance of a mutex algorithm
+// to read its declared restart capability. The instance only declares
+// registers in a scratch memory; nothing runs.
+func probeRestartSafe(alg mutex.Algorithm, n int) bool {
+	mem := sim.NewMemory(alg.Model())
+	inst, err := alg.New(mem, n)
+	if err != nil {
+		return false
+	}
+	return driver.RestartSafe(inst)
 }
 
 // Builder binds the workload to a process count, yielding exactly the
@@ -73,9 +99,14 @@ func (w Workload) Builder(n int) func() (*sim.Memory, []sim.ProcFunc, error) {
 // performs one marked lock/unlock round (the builder the checker has
 // always explored, kept identical so state counts stay comparable).
 func mutexWorkload(alg mutex.Algorithm) Workload {
+	// The restart capability is a property of the algorithm instance
+	// type, identical at every n; probe it once at the smallest
+	// configuration every algorithm supports.
+	safe := probeRestartSafe(alg, 2)
 	return Workload{
-		Name: "mutex/" + alg.Name(),
-		Kind: KindMutex,
+		Name:        "mutex/" + alg.Name(),
+		Kind:        KindMutex,
+		RestartSafe: func(pid int) bool { return safe },
 		Build: func(n int) (*sim.Memory, []sim.ProcFunc, error) {
 			mem := sim.NewMemory(alg.Model())
 			inst, err := alg.New(mem, n)
@@ -196,9 +227,14 @@ func MixedWorkloads(n int) []Workload {
 	out := make([]Workload, 0, len(combos))
 	for _, c := range combos {
 		c := c
+		// Even pids run the mutex body: they inherit the lock instance's
+		// restart capability. Odd pids run the one-shot naming body,
+		// which is crash-stop only.
+		lockSafe := probeRestartSafe(c.m, 2)
 		out = append(out, Workload{
-			Name: fmt.Sprintf("mixed/%s+%s", c.m.Name(), c.a.Name()),
-			Kind: KindMixed,
+			Name:        fmt.Sprintf("mixed/%s+%s", c.m.Name(), c.a.Name()),
+			Kind:        KindMixed,
+			RestartSafe: func(pid int) bool { return pid%2 == 0 && lockSafe },
 			Build: func(n int) (*sim.Memory, []sim.ProcFunc, error) {
 				mem := sim.NewMemory(c.m.Model() | c.a.Model())
 				lock, err := c.m.New(mem, n)
@@ -267,6 +303,10 @@ func (l racyLock) Unlock(p *sim.Proc) {
 	p.Write(l.b, 0)
 }
 
+// RestartSafe declares crash/recovery faults admissible, like the
+// correct mutex entries (see driver.RestartCapable).
+func (l racyLock) RestartSafe() bool { return true }
+
 // restartUnsafeLock is a deliberately restart-unsafe mutex. Without
 // crashes it is a correct test-and-set lock (the checker proves it at
 // small n): claimed[i] is set only while i holds the lock, so the
@@ -297,15 +337,23 @@ func (l restartUnsafeLock) Unlock(p *sim.Proc) {
 	p.Write(l.claimed[p.ID()], 0)
 }
 
+// RestartSafe declares crash/recovery faults admissible. Deliberately
+// true despite the name: the capability states that revival is within
+// the algorithm's fault model (the body re-runs meaningfully), not that
+// the algorithm survives it — this workload exists precisely so the
+// fleet's storms revive its processes and find the restart bug.
+func (l restartUnsafeLock) RestartSafe() bool { return true }
+
 // FaultyWorkloads returns the deliberately broken workloads (never in
 // Portfolio): a racy mutex for violation-promotion validation, a
 // restart-unsafe mutex whose violations require crash/restart schedule
 // entries, and a panicking body for degraded-scenario validation.
 func FaultyWorkloads(n int) []Workload {
 	racy := Workload{
-		Name:   "broken/racy-mutex",
-		Kind:   KindMutex,
-		Broken: true,
+		Name:        "broken/racy-mutex",
+		Kind:        KindMutex,
+		Broken:      true,
+		RestartSafe: func(pid int) bool { return driver.RestartSafe(racyLock{}) },
 		Build: func(n int) (*sim.Memory, []sim.ProcFunc, error) {
 			mem := sim.NewMemory(opset.ModelOf(opset.Read, opset.Write0, opset.Write1))
 			l := racyLock{b: mem.Bit("lock")}
@@ -319,9 +367,10 @@ func FaultyWorkloads(n int) []Workload {
 		Safety: metrics.SafetyMutex,
 	}
 	restartUnsafe := Workload{
-		Name:   "broken/restart-unsafe-mutex",
-		Kind:   KindMutex,
-		Broken: true,
+		Name:        "broken/restart-unsafe-mutex",
+		Kind:        KindMutex,
+		Broken:      true,
+		RestartSafe: func(pid int) bool { return driver.RestartSafe(restartUnsafeLock{}) },
 		Build: func(n int) (*sim.Memory, []sim.ProcFunc, error) {
 			mem := sim.NewMemory(opset.ModelOf(opset.Read, opset.Write0, opset.Write1, opset.TestAndSet))
 			l := restartUnsafeLock{b: mem.Bit("lock"), claimed: mem.Bits("claimed", n)}

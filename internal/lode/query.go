@@ -1,0 +1,66 @@
+package lode
+
+import "strings"
+
+// Query is a conjunctive filter over run records: zero-valued fields
+// match everything, set fields must all hold. Scenario and Workload
+// match by prefix (the same convention cfcfleet's -workloads flag uses,
+// so "mutex" selects every mutex workload and "mutex/tas-lock" exactly
+// one); Verdict and Digest match exactly.
+type Query struct {
+	// Verdict selects records with this exact verdict ("ok",
+	// "violation", "access-error", "panic").
+	Verdict string
+	// Scenario selects records whose scenario has this prefix.
+	Scenario string
+	// Workload selects records whose workload name has this prefix.
+	Workload string
+	// Digest selects records with this exact 16-hex event-stream digest
+	// — the handle for "find every run that took this same execution".
+	Digest string
+	// Violations selects records carrying a replayable schedule
+	// (violation and access-error records), regardless of verdict
+	// string. Combine with Scenario/Workload to pull a cell's
+	// counterexamples out of a million-run dataset.
+	Violations bool
+}
+
+// Match reports whether the record satisfies every set field.
+func (q Query) Match(r *Record) bool {
+	if q.Verdict != "" && r.Verdict != q.Verdict {
+		return false
+	}
+	if q.Scenario != "" && !strings.HasPrefix(r.Scenario, q.Scenario) {
+		return false
+	}
+	if q.Workload != "" && !strings.HasPrefix(r.Workload, q.Workload) {
+		return false
+	}
+	if q.Digest != "" && r.Digest != q.Digest {
+		return false
+	}
+	if q.Violations && len(r.Schedule) == 0 {
+		return false
+	}
+	return true
+}
+
+// ScanQuery streams every record matching q, in segment order, to fn
+// until fn returns false or the records run out. Like Scan, one record
+// is resident at a time; non-matching records are filtered before fn
+// sees them.
+func (d *Dataset) ScanQuery(q Query, fn func(*Record) bool) error {
+	return d.Scan(func(r *Record) bool {
+		if !q.Match(r) {
+			return true
+		}
+		return fn(r)
+	})
+}
+
+// Count scans the dataset and returns how many records match q.
+func (d *Dataset) Count(q Query) (int64, error) {
+	var k int64
+	err := d.ScanQuery(q, func(*Record) bool { k++; return true })
+	return k, err
+}

@@ -1,0 +1,107 @@
+package lode
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// queryFixture writes a small dataset spanning several scenarios,
+// workloads and verdicts and reopens it for reading.
+func queryFixture(t *testing.T) *Dataset {
+	t.Helper()
+	dir := filepath.Join(t.TempDir(), "ds")
+	w, err := Create(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := []Record{
+		{Seed: 1, Scenario: "uniform", Workload: "mutex/tas-lock", Run: 0, Verdict: "ok", Digest: "aaaaaaaaaaaaaaaa"},
+		{Seed: 2, Scenario: "uniform", Workload: "mutex/ttas-lock", Run: 1, Verdict: "ok", Digest: "bbbbbbbbbbbbbbbb"},
+		{Seed: 3, Scenario: "burst", Workload: "naming/tas-scan", Run: 0, Verdict: "ok", Digest: "aaaaaaaaaaaaaaaa"},
+		{Seed: 4, Scenario: "broken", Workload: "broken/racy-mutex", Run: 2, Verdict: "violation",
+			Err: "mutual exclusion violated", Digest: "cccccccccccccccc", Schedule: []int{0, 1, 0, 1}},
+		{Seed: 5, Scenario: "crashstorm", Workload: "mutex/tas-lock", Run: 3, Verdict: "panic", Digest: "dddddddddddddddd"},
+		{Seed: 6, Scenario: "burst", Workload: "mutex/tas-lock", Run: 4, Verdict: "access-error",
+			Err: "illegal access", Digest: "eeeeeeeeeeeeeeee", Schedule: []int{1, 0}},
+	}
+	for i := range recs {
+		if err := w.Append(&recs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	d, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestScanQueryFilters(t *testing.T) {
+	d := queryFixture(t)
+	seeds := func(q Query) []int64 {
+		var got []int64
+		if err := d.ScanQuery(q, func(r *Record) bool {
+			got = append(got, r.Seed)
+			return true
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return got
+	}
+	cases := []struct {
+		name string
+		q    Query
+		want []int64
+	}{
+		{"all", Query{}, []int64{1, 2, 3, 4, 5, 6}},
+		{"verdict", Query{Verdict: "violation"}, []int64{4}},
+		{"scenario prefix", Query{Scenario: "burst"}, []int64{3, 6}},
+		{"workload prefix", Query{Workload: "mutex"}, []int64{1, 2, 5, 6}},
+		{"workload exact", Query{Workload: "mutex/tas-lock"}, []int64{1, 5, 6}},
+		{"digest", Query{Digest: "aaaaaaaaaaaaaaaa"}, []int64{1, 3}},
+		{"violations: any replayable schedule", Query{Violations: true}, []int64{4, 6}},
+		{"conjunction", Query{Scenario: "burst", Workload: "mutex", Violations: true}, []int64{6}},
+		{"no match", Query{Verdict: "ok", Digest: "cccccccccccccccc"}, nil},
+	}
+	for _, c := range cases {
+		got := seeds(c.q)
+		if len(got) != len(c.want) {
+			t.Errorf("%s: seeds = %v, want %v", c.name, got, c.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("%s: seeds = %v, want %v", c.name, got, c.want)
+				break
+			}
+		}
+	}
+}
+
+func TestScanQueryEarlyStop(t *testing.T) {
+	d := queryFixture(t)
+	calls := 0
+	if err := d.ScanQuery(Query{Workload: "mutex"}, func(r *Record) bool {
+		calls++
+		return false
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 1 {
+		t.Fatalf("fn called %d times after returning false, want 1", calls)
+	}
+}
+
+func TestCount(t *testing.T) {
+	d := queryFixture(t)
+	k, err := d.Count(Query{Workload: "mutex"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k != 4 {
+		t.Fatalf("Count = %d, want 4", k)
+	}
+}

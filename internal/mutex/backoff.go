@@ -112,6 +112,10 @@ func (l *backoffTTAS) Unlock(p *sim.Proc) {
 	p.Write(l.bit, 0)
 }
 
+// RestartSafe declares crash/recovery faults admissible (see
+// driver.RestartCapable).
+func (l *backoffTTAS) RestartSafe() bool { return true }
+
 // BackoffLamport is Lamport's fast algorithm with backoff on its two
 // contention-detection points (the y != 0 and x != i branches), following
 // the Section 4 observation that fast contention-free algorithms plus
@@ -181,6 +185,10 @@ func (l *backoffLamport) Lock(p *sim.Proc) {
 func (l *backoffLamport) Unlock(p *sim.Proc) {
 	l.node.unlock(p, p.ID()+1)
 }
+
+// RestartSafe declares crash/recovery faults admissible (see
+// driver.RestartCapable).
+func (l *backoffLamport) RestartSafe() bool { return true }
 
 var (
 	_ Algorithm = BackoffTTAS{}

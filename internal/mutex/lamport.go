@@ -53,6 +53,11 @@ func (li *lamportInstance) Lock(p *sim.Proc) { li.node.lock(p, p.ID()+1) }
 // Unlock implements Instance.
 func (li *lamportInstance) Unlock(p *sim.Proc) { li.node.unlock(p, p.ID()+1) }
 
+// RestartSafe declares crash/recovery faults admissible: a revived
+// process's fresh attempt contends like any competitor against the dead
+// incarnation's abandoned registers (see driver.RestartCapable).
+func (li *lamportInstance) RestartSafe() bool { return true }
+
 // lamportNode is one copy of Lamport's fast algorithm arbitrating among k
 // slots with identifiers 1..k. It is used directly by the Lamport
 // algorithm (k = n) and as the node of the Theorem 3 tournament
@@ -206,6 +211,10 @@ func (pl *packedLamport) Unlock(p *sim.Proc) {
 	p.Write(pl.y, 0)
 	p.Write(pl.b[p.ID()], 0)
 }
+
+// RestartSafe declares crash/recovery faults admissible (see
+// driver.RestartCapable).
+func (pl *packedLamport) RestartSafe() bool { return true }
 
 var (
 	_ Algorithm = Lamport{}

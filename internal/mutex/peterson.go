@@ -163,6 +163,10 @@ type twoProcInstance struct {
 func (ti *twoProcInstance) Lock(p *sim.Proc)   { ti.node.lock(p, p.ID()) }
 func (ti *twoProcInstance) Unlock(p *sim.Proc) { ti.node.unlock(p, p.ID()) }
 
+// RestartSafe declares crash/recovery faults admissible (see
+// driver.RestartCapable).
+func (ti *twoProcInstance) RestartSafe() bool { return true }
+
 var (
 	_ Algorithm   = Peterson{}
 	_ Algorithm   = Kessels{}

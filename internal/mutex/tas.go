@@ -49,6 +49,10 @@ func (l *tasLock) Unlock(p *sim.Proc) {
 	p.Write(l.bit, 0)
 }
 
+// RestartSafe declares crash/recovery faults admissible (see
+// driver.RestartCapable).
+func (l *tasLock) RestartSafe() bool { return true }
+
 // TTASLock is the test-and-test-and-set variant: it spins on reads and
 // attempts the mutating test-and-set only after observing the lock free.
 // Contention-free complexity is 3 steps (read, test-and-set, write-0) on
@@ -95,6 +99,10 @@ func (l *ttasLock) Lock(p *sim.Proc) {
 func (l *ttasLock) Unlock(p *sim.Proc) {
 	p.Write(l.bit, 0)
 }
+
+// RestartSafe declares crash/recovery faults admissible (see
+// driver.RestartCapable).
+func (l *ttasLock) RestartSafe() bool { return true }
 
 var (
 	_ Algorithm = TASLock{}

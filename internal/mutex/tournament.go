@@ -208,4 +208,8 @@ func (ti *tournamentInstance) Unlock(p *sim.Proc) {
 	}
 }
 
+// RestartSafe declares crash/recovery faults admissible (see
+// driver.RestartCapable).
+func (ti *tournamentInstance) RestartSafe() bool { return true }
+
 var _ Algorithm = Tournament{}

@@ -4,10 +4,11 @@
 # BENCH_2.json, ...).
 #
 # Usage:
-#   scripts/bench.sh [output.json]      # default BENCH_6.json
+#   scripts/bench.sh [output.json]      # default BENCH_7.json
 #   BENCHTIME=2s scripts/bench.sh       # longer benchtime for stabler numbers
 #   BASELINE=BENCH_2.json scripts/bench.sh  # record to diff against
 #   SINK_RUNS=100000 scripts/bench.sh   # shorter streaming sweep (default 1M)
+#   FABRIC_PORT=35001 scripts/bench.sh  # loopback port for the fabric section
 #
 # The emitted file carries ns/op, events/op and ns/event per benchmark,
 # the frozen seed baseline (the goroutine-engine numbers before the
@@ -21,7 +22,11 @@
 # with symmetry against the unreduced reference, with agreeing verdicts
 # enforced — a fleet section with the fixed-seed smoke fleet's
 # throughput (runs/sec, events/sec from cmd/cfcfleet's FLEET-SUMMARY
-# line), and a sink section measuring the zero-alloc streaming pipeline:
+# line), a fabric section timing the default n=2 portfolio single-process
+# versus a coordinator plus two local worker processes over loopback TCP
+# (jobs/sec and wall-clock from cfccheck -serve's FABRIC-SUMMARY line,
+# with the outputs diffed for equality first), and a sink section
+# measuring the zero-alloc streaming pipeline:
 # a SINK_RUNS-run (default one million) single-cell fleet sweep whose
 # per-run observation happens entirely in event sinks, recording
 # runs/sec, events/sec, final heap and peak RSS — the RSS is the bounded
@@ -36,10 +41,11 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT="${1:-BENCH_6.json}"
-BASELINE="${BASELINE:-BENCH_5.json}"
+OUT="${1:-BENCH_7.json}"
+BASELINE="${BASELINE:-BENCH_6.json}"
 BENCHTIME="${BENCHTIME:-500ms}"
 SINK_RUNS="${SINK_RUNS:-1000000}"
+FABRIC_PORT="${FABRIC_PORT:-34871}"
 RAW="$(mktemp)"
 PORRAW="$(mktemp)"
 OLDTAB="$(mktemp)"
@@ -106,6 +112,40 @@ sink_val() { # sink_val key -> value from the sweep's FLEET-SUMMARY line
 }
 rm -f "$SINKRAW"
 
+# Distributed fabric: the default n=2 portfolio run single-process, then
+# by a coordinator plus two local worker processes over loopback TCP.
+# The outputs must be identical modulo the FABRIC-SUMMARY line (the same
+# gate scripts/fabric_smoke.sh enforces in CI), and the record carries
+# both wall-clocks plus the coordinator's jobs/sec. On a single-core
+# host the three processes time-slice one cpu, so the distributed
+# wall-clock measures coordination overhead, not speedup — the record's
+# multicore flag (check_suite section) qualifies this number too.
+FABDIR="$(mktemp -d)"
+go build -o "$FABDIR/cfccheck" ./cmd/cfccheck
+t0=$(now_ms)
+"$FABDIR/cfccheck" -n 2 > "$FABDIR/single.txt"
+t1=$(now_ms)
+FABRIC_SINGLE_MS=$((t1 - t0))
+"$FABDIR/cfccheck" -n 2 -serve "127.0.0.1:$FABRIC_PORT" > "$FABDIR/fabric.txt" &
+FABCOORD=$!
+"$FABDIR/cfccheck" -join "127.0.0.1:$FABRIC_PORT" 2>/dev/null &
+"$FABDIR/cfccheck" -join "127.0.0.1:$FABRIC_PORT" 2>/dev/null &
+wait "$FABCOORD"
+wait
+diff <(grep -v '^FABRIC-SUMMARY' "$FABDIR/fabric.txt") "$FABDIR/single.txt" \
+    || { echo "fabric output differs from single-process run" >&2; exit 1; }
+FABRIC_SUMMARY="$(grep '^FABRIC-SUMMARY ' "$FABDIR/fabric.txt")"
+fabric_val() { # fabric_val key -> value from the FABRIC-SUMMARY line
+    awk -v key="$1" '{
+        for (i = 2; i <= NF; i++) {
+            if (index($i, key "=") == 1) { print substr($i, length(key) + 2); exit }
+        }
+    }' <<< "$FABRIC_SUMMARY"
+}
+echo "$FABRIC_SUMMARY"
+echo "fabric portfolio: single-process ${FABRIC_SINGLE_MS}ms, coordinator+2 workers $(fabric_val wall_ms)ms (cpus: ${CPUS})"
+rm -rf "$FABDIR"
+
 go test -run '^$' -bench 'BenchmarkSim' -benchtime "$BENCHTIME" . | tee "$RAW"
 
 {
@@ -137,6 +177,14 @@ go test -run '^$' -bench 'BenchmarkSim' -benchtime "$BENCHTIME" . | tee "$RAW"
     printf '  "fleet": {"seed": %s, "n": %s, "runs": %s, "events": %s, "runs_per_s": %s, "events_per_s": %s},\n' \
         "$(fleet_val seed)" "$(fleet_val n)" "$(fleet_val runs)" "$(fleet_val events)" \
         "$(fleet_val runs_per_s)" "$(fleet_val events_per_s)"
+    # Distributed fabric: the n=2 portfolio single-process vs a
+    # coordinator plus two local loopback-TCP workers, outputs verified
+    # identical before timing. Like every wall-clock ratio in the
+    # record, the speedup is only meaningful when multicore is true.
+    printf '  "fabric": {"workers": %s, "shards": %s, "jobs": %s, "probes": %s, "single_ms": %d, "fabric_wall_ms": %s, "jobs_per_s": %s, "speedup": %.2f},\n' \
+        "$(fabric_val workers)" "$(fabric_val shards)" "$(fabric_val jobs)" "$(fabric_val probes)" \
+        "$FABRIC_SINGLE_MS" "$(fabric_val wall_ms)" "$(fabric_val jobs_per_s)" \
+        "$(awk "BEGIN{w=$(fabric_val wall_ms); print (w > 0) ? $FABRIC_SINGLE_MS/w : 0}")"
     # Streaming-sink sweep: single-cell throughput and memory ceiling of
     # the zero-alloc sink pipeline (uniform × mutex/tas-lock at n=16).
     printf '  "sink": {"scenario": "uniform", "workload": "mutex/tas-lock", "n": %s, "runs": %s, "events": %s, "runs_per_s": %s, "events_per_s": %s, "heap_mb": %s, "max_rss_mb": %s},\n' \

@@ -17,7 +17,7 @@
 //	cfccheck -pordiff             # three-way reduction differential gate
 //	cfccheck -serve :9401         # coordinate the portfolio over the fabric
 //	cfccheck -join host:9401      # join a coordinator as a worker
-//	cfccheck -serve :9401 -shards 2 -dpor=false  # shard explorations too
+//	cfccheck -serve :9401 -shards 2              # shard explorations too
 //
 // The job list is the fleet's workload registry (internal/fleet): the
 // same named programs cmd/cfcfleet storms at n = 16-64 are proved here
@@ -44,11 +44,14 @@
 // fabric (internal/fabric): the coordinator owns the job queue, workers
 // pull jobs over TCP, and the merged rows are byte-identical to the
 // single-process output (plus one FABRIC-SUMMARY trailer line). With
-// -shards > 1, jobs not using the DPOR engine are additionally split
-// into frontier subtrees across all connected workers — with default
-// flags every job uses DPOR, so sharding engages together with
-// -dpor=false. Job flags (-n, -kind, -depth, ...) are the coordinator's;
-// workers need none.
+// -shards > 1 every job is split across all connected workers: non-DPOR
+// jobs as prefix-local frontier probes (descent chains riding each
+// worker's live replay session), DPOR jobs as distributed expansion
+// waves whose serial commit stays at the coordinator. The summary line
+// reports the locality counters (events_replayed/events_saved — the
+// saved column is replay work a root-replaying prober would have done).
+// Job flags (-n, -kind, -depth, ...) are the coordinator's; workers
+// need none.
 package main
 
 import (
@@ -78,22 +81,23 @@ type job struct {
 
 func run() int {
 	var (
-		n       = flag.Int("n", 2, "process count")
-		kind    = flag.String("kind", "", "what to check: mutex, detection, naming, mixed (empty = all)")
-		crash   = flag.Bool("crash", false, "inject crashes (naming and detection)")
-		depth   = flag.Int("depth", 120, "schedule depth bound")
-		states  = flag.Int("states", 1<<19, "state budget")
-		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "parallel explorer workers per job (1 = serial)")
-		por     = flag.Bool("por", true, "with -dpor=false: static partial-order reduction (-por=false = unreduced reference mode)")
-		porauto = flag.Bool("porauto", true, "with -dpor=false: fall back to the unreduced exploration when the static reduction is unprofitable")
-		dpor    = flag.Bool("dpor", true, "dynamic partial-order reduction (source-DPOR; -dpor=false selects the static -por path)")
-		sym     = flag.Bool("sym", true, "with -dpor: canonicalise the visited set under declared pid symmetry")
-		only    = flag.String("only", "", "only jobs whose name contains this substring")
-		pordiff = flag.Bool("pordiff", false, "three-way differential gate: reference vs static POR vs DPOR, require agreeing verdicts, report reduction ratios")
+		n        = flag.Int("n", 2, "process count")
+		kind     = flag.String("kind", "", "what to check: mutex, detection, naming, mixed (empty = all)")
+		crash    = flag.Bool("crash", false, "inject crashes (naming and detection)")
+		depth    = flag.Int("depth", 120, "schedule depth bound")
+		states   = flag.Int("states", 1<<19, "state budget")
+		workers  = flag.Int("workers", runtime.GOMAXPROCS(0), "parallel explorer workers per job (1 = serial)")
+		collapse = flag.Bool("collapse", true, "collapse pure spin-wait cycles into one state (-collapse=false explores the raw transition graph)")
+		por      = flag.Bool("por", true, "with -dpor=false: static partial-order reduction (-por=false = unreduced reference mode)")
+		porauto  = flag.Bool("porauto", true, "with -dpor=false: fall back to the unreduced exploration when the static reduction is unprofitable")
+		dpor     = flag.Bool("dpor", true, "dynamic partial-order reduction (source-DPOR; -dpor=false selects the static -por path)")
+		sym      = flag.Bool("sym", true, "with -dpor: canonicalise the visited set under declared pid symmetry")
+		only     = flag.String("only", "", "only jobs whose name contains this substring")
+		pordiff  = flag.Bool("pordiff", false, "three-way differential gate: reference vs static POR vs DPOR, require agreeing verdicts, report reduction ratios")
 
 		serve      = flag.String("serve", "", "coordinate the portfolio over the distributed fabric, listening at this TCP address")
 		join       = flag.String("join", "", "join a fabric coordinator at this TCP address as a worker")
-		shards     = flag.Int("shards", 0, "with -serve: >1 shards non-DPOR jobs as frontier subtrees across the workers")
+		shards     = flag.Int("shards", 0, "with -serve: >1 shards every job across the workers (frontier subtrees; DPOR jobs as expansion waves)")
 		jobtimeout = flag.Duration("jobtimeout", 5*time.Minute, "with -serve: abandon (DEGRADED) a job not completed this long after dispatch (0 = never)")
 	)
 	flag.Parse()
@@ -122,7 +126,7 @@ func run() int {
 		}
 		opts := check.Options{
 			MaxDepth: *depth, MaxStates: *states,
-			CollapseSpins: true, POR: *por, PORAuto: *porauto,
+			CollapseSpins: *collapse, POR: *por, PORAuto: *porauto,
 			DPOR: *dpor, Symmetry: *dpor && *sym,
 			Workers: *workers,
 		}
@@ -249,8 +253,18 @@ func runServe(jobs []job, addr string, shards int, jobTimeout time.Duration) int
 	if stats.WallMs > 0 {
 		jobsPerS = float64(len(jobs)) / wallS
 	}
-	fmt.Printf("FABRIC-SUMMARY jobs=%d failed=%d workers=%d shards=%d probes=%d wall_ms=%d jobs_per_s=%.2f\n",
-		len(jobs), failed, stats.Workers, shards, stats.Probes, stats.WallMs, jobsPerS)
+	// events_saved counts replay work the probers' live sessions skipped;
+	// a root-replaying prober (no persistent session) would have executed
+	// events_replayed+events_saved events, so locality_ratio is the
+	// prefix-locality win of this run.
+	locality := 1.0
+	if stats.EventsReplayed > 0 {
+		locality = float64(stats.EventsReplayed+stats.EventsSaved) / float64(stats.EventsReplayed)
+	}
+	fmt.Printf("FABRIC-SUMMARY jobs=%d failed=%d workers=%d shards=%d probes=%d wave_tasks=%d "+
+		"events_replayed=%d events_saved=%d locality_ratio=%.2f wall_ms=%d jobs_per_s=%.2f\n",
+		len(jobs), failed, stats.Workers, shards, stats.Probes, stats.WaveTasks,
+		stats.EventsReplayed, stats.EventsSaved, locality, stats.WallMs, jobsPerS)
 	if failed > 0 {
 		fmt.Fprintf(os.Stderr, "cfccheck: %d job(s) failed\n", failed)
 		return 1

@@ -19,6 +19,16 @@
 //	cfcfleet -dataset out/ds -grep digest=00000000deadbeef
 //	cfcfleet -dataset out/ds -grep violations -limit 10
 //
+// Two datasets — typically the same sweep before and after a change —
+// can be compared by execution digest, reporting executions only one
+// side reached and digests whose verdicts flipped:
+//
+//	cfcfleet -diff out/before out/after
+//	cfcfleet -diff -limit 20 out/before out/after
+//
+// -diff exits 1 when the sweeps drifted (any one-sided digest or flip),
+// so CI can pin that a refactor left the explored space untouched.
+//
 // The process exits 1 if any safety violation was found or any scenario
 // degraded (panic or budget overrun), so CI can gate on a fixed-seed
 // smoke fleet.
@@ -30,6 +40,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"sort"
 	"strings"
 	"time"
 
@@ -53,7 +64,8 @@ func main() {
 		verbose   = flag.Bool("v", false, "log per-cell progress")
 		list      = flag.Bool("list", false, "list scenarios and workloads, then exit")
 		grep      = flag.String("grep", "", "query an existing -dataset instead of running: comma-separated verdict=/scenario=/workload=/digest= terms, plus bare 'violations'")
-		limit     = flag.Int("limit", 0, "with -grep, stop after this many matches (0 = all)")
+		diff      = flag.Bool("diff", false, "compare two datasets (the two positional args) by execution digest instead of running")
+		limit     = flag.Int("limit", 0, "with -grep or -diff, cap the printed matches per category (0 = all)")
 	)
 	flag.Parse()
 
@@ -61,6 +73,18 @@ func main() {
 		if err := runGrep(*dataset, *grep, *limit); err != nil {
 			fmt.Fprintf(os.Stderr, "cfcfleet: %v\n", err)
 			os.Exit(2)
+		}
+		return
+	}
+
+	if *diff {
+		drifted, err := runDiff(flag.Arg(0), flag.Arg(1), *limit)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cfcfleet: %v\n", err)
+			os.Exit(2)
+		}
+		if drifted {
+			os.Exit(1)
 		}
 		return
 	}
@@ -206,6 +230,112 @@ func runGrep(dir, expr string, limit int) error {
 	}
 	fmt.Fprintf(os.Stderr, "cfcfleet: %d of %d records matched\n", matched, d.Index.Total)
 	return nil
+}
+
+// diffSide is one dataset's view of an execution digest: where it was
+// first seen and with what verdict, plus how many records carried it
+// (re-runs of the same schedule collapse onto one digest).
+type diffSide struct {
+	verdict  string
+	scenario string
+	workload string
+	seed     int64
+	run      int
+	count    int
+	seenInB  bool
+}
+
+// runDiff compares two datasets by execution digest — the stable key for
+// "the fleet reached this interleaving" — and reports drift in both
+// directions plus verdict flips (same execution, different verdict:
+// either a checker change or broken determinism). Exit status is the
+// caller's job; the bool return says whether any drift was found.
+func runDiff(dirA, dirB string, limit int) (bool, error) {
+	if dirA == "" || dirB == "" {
+		return false, fmt.Errorf("-diff needs two dataset directories: cfcfleet -diff <a> <b>")
+	}
+	a, err := lode.Open(dirA)
+	if err != nil {
+		return false, fmt.Errorf("open %s: %w", dirA, err)
+	}
+	b, err := lode.Open(dirB)
+	if err != nil {
+		return false, fmt.Errorf("open %s: %w", dirB, err)
+	}
+
+	sideA := make(map[string]*diffSide)
+	if err := a.ScanQuery(lode.Query{}, func(r *lode.Record) bool {
+		if s, ok := sideA[r.Digest]; ok {
+			s.count++
+		} else {
+			sideA[r.Digest] = &diffSide{
+				verdict: r.Verdict, scenario: r.Scenario, workload: r.Workload,
+				seed: r.Seed, run: r.Run, count: 1,
+			}
+		}
+		return true
+	}); err != nil {
+		return false, err
+	}
+
+	var onlyB, flips int
+	bDigests := make(map[string]bool)
+	printed := map[string]int{}
+	emit := func(kind, format string, args ...any) {
+		printed[kind]++
+		if limit == 0 || printed[kind] <= limit {
+			fmt.Printf(format, args...)
+		}
+	}
+	if err := b.ScanQuery(lode.Query{}, func(r *lode.Record) bool {
+		first := !bDigests[r.Digest]
+		bDigests[r.Digest] = true
+		s, ok := sideA[r.Digest]
+		if !ok {
+			if first {
+				onlyB++
+				emit("only-b", "DIFF only-in-b digest=%s scenario=%s workload=%s seed=%d run=%d verdict=%s\n",
+					r.Digest, r.Scenario, r.Workload, r.Seed, r.Run, r.Verdict)
+			}
+			return true
+		}
+		if !s.seenInB {
+			s.seenInB = true
+			if r.Verdict != s.verdict {
+				flips++
+				emit("flip", "DIFF verdict-flip digest=%s scenario=%s workload=%s a=%s b=%s\n",
+					r.Digest, r.Scenario, r.Workload, s.verdict, r.Verdict)
+			}
+		}
+		return true
+	}); err != nil {
+		return false, err
+	}
+
+	onlyA := 0
+	var missing []string
+	for d, s := range sideA {
+		if !s.seenInB {
+			onlyA++
+			missing = append(missing, d)
+		}
+	}
+	sort.Strings(missing)
+	for _, d := range missing {
+		s := sideA[d]
+		emit("only-a", "DIFF only-in-a digest=%s scenario=%s workload=%s seed=%d run=%d verdict=%s\n",
+			d, s.scenario, s.workload, s.seed, s.run, s.verdict)
+	}
+	for kind, n := range printed {
+		if limit > 0 && n > limit {
+			fmt.Fprintf(os.Stderr, "cfcfleet: %s: %d more lines suppressed by -limit\n", kind, n-limit)
+		}
+	}
+
+	drift := onlyA + onlyB + flips
+	fmt.Printf("DIFF-SUMMARY a=%s b=%s a_records=%d b_records=%d a_digests=%d b_digests=%d only_a=%d only_b=%d flips=%d\n",
+		dirA, dirB, a.Index.Total, b.Index.Total, len(sideA), len(bDigests), onlyA, onlyB, flips)
+	return drift > 0, nil
 }
 
 // parseQuery turns "verdict=violation,workload=mutex,violations" into a

@@ -36,23 +36,29 @@ import (
 // Exploration is a fork/join tree over dnodes, driven in level-
 // synchronised waves. Each wave is split in two:
 //
-//   - The parallel pass visits every task of the wave (workers pull
-//     from a shared index): replay its schedule (Session.Seek,
-//     shared-prefix fast path), race-check the arriving step against
-//     the path, check the property, and — for nodes that may expand —
-//     compute the visited key, choose the first child batch (the
-//     smallest awake pid whose step progresses under spin collapse, the
-//     cycle proviso of por.go, else every awake pid), and precompute
-//     the compensation ghosts a revisit would need. Nothing in this
-//     pass branches on shared mutable state; its only shared writes are
-//     race-initials masks registered at ancestors, which form a
-//     DEDUPLICATED SET, insensitive to arrival order.
+//   - The stage pass visits every task of the wave (in-process workers
+//     pull from a shared index; the fabric fans the same pass out to
+//     WaveProbers in other processes — see wave.go): replay its schedule
+//     (Session.Seek, shared-prefix fast path), race-check the arriving
+//     step against the path, check the property, and — for nodes that
+//     may expand — compute the visited key, choose the first child batch
+//     (the smallest awake pid whose step progresses under spin collapse,
+//     the cycle proviso of por.go, else every awake pid), and precompute
+//     the compensation ghosts a revisit would need. The pass is PURE: a
+//     task's WaveReport is a function of its schedule and inherited
+//     sleep mask alone. Race-initials masks for ancestors come back as
+//     (depth, mask) pairs instead of being written anywhere.
 //
-//   - The commit pass then runs serially over the wave in task order:
-//     visited-set arbitration, counters, child dispatch and join
-//     advancement. Every choice that depends on what was explored
-//     before — above all, which of two same-key nodes is expanded and
-//     which is pruned — is made here, in a deterministic sequence.
+//   - The commit pass then runs serially over the wave: first every
+//     report's masks are registered at the ancestor nodes (they form a
+//     deduplicated set, insensitive to arrival order — registering them
+//     all before any commit reproduces the old in-pass writes exactly),
+//     then the schedule-least violation of the wave is chosen if any,
+//     then each task commits in task order: visited-set arbitration,
+//     counters, child dispatch and join advancement. Every choice that
+//     depends on what was explored before — above all, which of two
+//     same-key nodes is expanded and which is pruned — is made here, in
+//     a deterministic sequence.
 //
 // When a node's outstanding children all complete, the node joins:
 // backtrack masks accumulated by races inside the completed subtrees
@@ -60,12 +66,12 @@ import (
 // none remain, the crash wave (never pruned) runs; then the node
 // completes and its parent's join advances.
 //
-// Determinism at any worker count is structural, by induction over
-// waves: the first wave is the root; the parallel pass of a wave
-// computes a pure function of the wave's task list (the mask sets it
-// registers are order-insensitive); and the commit pass consumes those
-// results in a fixed serial order, so the next wave's task list — and
-// every insert into the visited set, which decides revisit pruning — is
+// Determinism at any worker count — in-process goroutines or fabric
+// workers alike — is structural, by induction over waves: the first
+// wave is the root; the stage pass of a wave computes a pure function
+// of the wave's task list; and the commit pass consumes those results
+// in a fixed serial order, so the next wave's task list — and every
+// insert into the visited set, which decides revisit pruning — is
 // identical for one worker or many. The earlier work-stealing design
 // had two unfixable races here: two concurrent race additions with
 // different initials masks could schedule different pids depending on
@@ -140,15 +146,16 @@ import (
 // so only one representative per orbit is expanded. It changes no
 // schedule the engine executes, only what it prunes.
 
-// dnode is one node of the DPOR exploration tree. Fields after mu are
-// guarded by it; parent/entry/depth/sleep are immutable after creation.
+// dnode is one node of the DPOR exploration tree. Since the stage pass
+// became pure (reports carry masks instead of writing them), every field
+// is either immutable after creation (parent/entry/depth/sleep) or
+// mutated only by the serial commit pass — no lock needed.
 type dnode struct {
 	parent *dnode
 	entry  int // decision from parent to this node (pid, or -pid-1 crash)
 	depth  int32
 	sleep  uint64
 
-	mu      sync.Mutex
 	pend    []sim.PendingOp // pending steps at expansion (node-owned copy)
 	live    uint64          // enabled pid mask at expansion
 	accum   uint64          // sleep ∪ step pids dispatched so far
@@ -165,25 +172,14 @@ type dtask struct {
 	sched []int
 }
 
-// dcomp is one buffered backtrack addition: computed in the parallel
-// pass, applied by the commit pass only when its node is pruned as a
-// revisit (an expanded node's subtree registers the real thing).
-type dcomp struct {
-	node *dnode
-	mask uint64
-}
-
-// dstage is the parallel pass's result for one task, consumed by the
-// commit pass.
+// dstage is the stage pass's result for one task, consumed by the
+// commit pass: the wire-shaped report plus the original violation error
+// (in-process stages keep the real error value; wire-fed stages carry a
+// reconstructed one — same message either way).
 type dstage struct {
-	t     dtask
-	viol  error  // property violation at this node
-	leaf  bool   // terminal: complete run or depth budget, no expansion
-	run   bool   // a complete run ends here
-	trunc bool   // depth budget hit
-	key   uint64 // canonical visited key (unset for leaf/violation)
-	first uint64 // first-batch pid mask (may be 0: straight to the join)
-	comp  []dcomp
+	t    dtask
+	rep  WaveReport
+	verr error
 }
 
 // devent is one decision of a path, in the form race detection needs.
@@ -196,11 +192,10 @@ type devent struct {
 	clk  []int32   // vector clock (len = nprocs), aliases dscratch.clkbuf
 }
 
-// dscratch is one worker's path-analysis scratch: the node chain and
-// decision entries of the schedule currently being chased, with vector
-// clocks reused across the shared prefix of consecutive tasks.
+// dscratch is one worker's path-analysis scratch: the decision entries
+// of the schedule currently being chased, with vector clocks reused
+// across the shared prefix of consecutive tasks.
 type dscratch struct {
-	nodes    []*dnode
 	ents     []devent
 	sched    []int
 	clkbuf   []int32
@@ -220,16 +215,27 @@ func newDScratch(maxDepth, nprocs int) *dscratch {
 	}
 }
 
-// dexplorer is the shared state of one DPOR exploration.
+// dconfig is the stage pass's configuration: everything a task's
+// WaveReport is a function of, besides the task itself. It is shared by
+// the in-process engine (dexplorer embeds it) and the fabric's
+// WaveProber, which is what makes distributed waves bit-identical by
+// construction — both run the same stage code with the same config.
+type dconfig struct {
+	prop     Property
+	opts     Options
+	maxDepth int
+	collapse bool
+	nprocs   int
+	sym      *symCanon
+}
+
+// dexplorer is the shared state of one DPOR exploration: the dconfig
+// the stage pass needs plus the serial commit state. WaveMaster wraps
+// one of these without any replay cores — commit never replays.
 type dexplorer struct {
-	prop      Property
-	opts      Options
-	maxDepth  int
+	dconfig
 	maxStates int
 	crashes   bool
-	collapse  bool
-	nprocs    int
-	sym       *symCanon
 
 	visited   *shardedSet
 	runs      int
@@ -240,7 +246,27 @@ type dexplorer struct {
 	mu       sync.Mutex
 	firstErr error
 
-	viol *Violation // written only by the wave driver
+	viol *Violation // written only by advance
+	wave []dtask    // current wave, in task order
+}
+
+// newDExplorer builds the engine positioned at the root wave. The
+// symmetry canon comes from the caller (nil when not applied).
+func newDExplorer(prop Property, opts Options, maxDepth, maxStates, nprocs int, sym *symCanon) *dexplorer {
+	return &dexplorer{
+		dconfig: dconfig{
+			prop:     prop,
+			opts:     opts,
+			maxDepth: maxDepth,
+			collapse: opts.CollapseSpins,
+			nprocs:   nprocs,
+			sym:      sym,
+		},
+		maxStates: maxStates,
+		crashes:   opts.ExploreCrashes,
+		visited:   newShardedSet(),
+		wave:      []dtask{{node: &dnode{entry: -1 << 20}, sched: []int{}}},
+	}
 }
 
 // exploreDPOR runs the dynamic partial-order reduction engine. It
@@ -253,15 +279,6 @@ func exploreDPOR(build Builder, prop Property, opts Options, maxDepth, maxStates
 	workers := opts.Workers
 	if workers < 1 {
 		workers = 1
-	}
-	e := &dexplorer{
-		prop:      prop,
-		opts:      opts,
-		maxDepth:  maxDepth,
-		maxStates: maxStates,
-		crashes:   opts.ExploreCrashes,
-		collapse:  opts.CollapseSpins,
-		visited:   newShardedSet(),
 	}
 	cores := make([]*replayCore, workers)
 	for i := range cores {
@@ -277,32 +294,33 @@ func exploreDPOR(build Builder, prop Property, opts Options, maxDepth, maxStates
 			}
 		}
 	}()
-	e.nprocs = len(cores[0].procs)
-	if e.nprocs > 64 {
+	nprocs := len(cores[0].procs)
+	if nprocs > 64 {
 		fb := opts
 		fb.DPOR = false
 		return exploreDispatch(build, prop, fb, maxDepth, maxStates)
 	}
+	var sym *symCanon
 	if opts.Symmetry {
-		e.sym = newSymCanon(cores[0].mem, e.nprocs)
+		sym = newSymCanon(cores[0].mem, nprocs)
 	}
+	e := newDExplorer(prop, opts, maxDepth, maxStates, nprocs, sym)
 
 	scs := make([]*dscratch, workers)
 	for i := range scs {
-		scs[i] = newDScratch(maxDepth, e.nprocs)
+		scs[i] = newDScratch(maxDepth, nprocs)
 	}
-	wave := []dtask{{node: &dnode{entry: -1 << 20}, sched: []int{}}}
 	var stages []dstage
-	for len(wave) > 0 {
-		if cap(stages) < len(wave) {
-			stages = make([]dstage, len(wave))
+	for len(e.wave) > 0 {
+		if cap(stages) < len(e.wave) {
+			stages = make([]dstage, len(e.wave))
 		}
-		stages = stages[:len(wave)]
+		stages = stages[:len(e.wave)]
 		for i := range stages {
-			stages[i] = dstage{t: wave[i]}
+			stages[i] = dstage{t: e.wave[i]}
 		}
-		// Parallel pass: workers pull tasks from a shared index. Order
-		// of processing is irrelevant by design (see the file comment).
+		// Stage pass: workers pull tasks from a shared index. Order of
+		// processing is irrelevant by design (see the file comment).
 		var idx atomic.Int64
 		var wg sync.WaitGroup
 		for w := 0; w < min(workers, len(stages)); w++ {
@@ -314,7 +332,7 @@ func exploreDPOR(build Builder, prop Property, opts Options, maxDepth, maxStates
 					if i >= len(stages) {
 						return
 					}
-					e.prepare(id, cores[id], scs[id], &stages[i])
+					e.runStage(id, cores[id], scs[id], &stages[i])
 				}
 			}(w)
 		}
@@ -322,105 +340,88 @@ func exploreDPOR(build Builder, prop Property, opts Options, maxDepth, maxStates
 		if e.firstErr != nil {
 			return Result{}, e.firstErr
 		}
-		for i := range stages {
-			st := &stages[i]
-			if st.viol != nil && (e.viol == nil || dfsLess(st.t.sched, e.viol.Schedule)) {
-				e.viol = &Violation{Schedule: append([]int(nil), st.t.sched...), Err: st.viol}
-			}
-		}
-		if e.viol != nil {
-			// Halt at wave granularity: the violating wave is not
-			// committed, so counters and the chosen (schedule-least)
-			// witness are identical at every worker count.
-			break
-		}
-		// Commit pass: serial, in task order.
-		wave = wave[:0]
-		for i := range stages {
-			e.commit(&stages[i], &wave)
-		}
+		e.advance(stages)
 	}
-
-	res := Result{
-		States:          e.visited.Len(),
-		Runs:            e.runs,
-		Truncated:       e.truncated,
-		ReducedNodes:    e.reduced,
-		SymmetryApplied: e.sym != nil,
-	}
-	res.Violation = e.viol
-	return res, nil
+	return e.result(), nil
 }
 
-// prepare is the parallel pass for one task: replay, path sync, race
-// analysis of the arriving step, property check, and — for nodes that
-// may expand — the visited key, the first-batch choice and the
-// compensation ghosts a revisit would need. It writes only its own
-// node, the order-insensitive mask sets of its ancestors, and
-// worker-private scratch; every decision against shared exploration
-// state is left to the commit pass.
-func (e *dexplorer) prepare(id int, core *replayCore, sc *dscratch, st *dstage) {
+// runStage computes one task's stage in-process, containing panics as
+// checker errors like both explorers do.
+func (e *dexplorer) runStage(id int, core *replayCore, sc *dscratch, st *dstage) {
 	defer func() {
 		if r := recover(); r != nil {
 			e.fail(fmt.Errorf("check: worker %d panicked expanding schedule prefix %v: %v", id, st.t.sched, r))
 		}
 	}()
-	t := st.t
-	node := t.node
-	tr, live, err := core.stateAt(t.sched)
+	verr, err := e.dconfig.stage(core, sc, st.t.sched, st.t.node.sleep, &st.rep)
 	if err != nil {
 		e.fail(err)
 		return
 	}
-	if err := e.syncPath(sc, tr, t); err != nil {
-		e.fail(err)
-		return
+	if verr != nil {
+		st.rep.HasViol = true
+		st.verr = verr
 	}
-	m := len(t.sched)
+}
+
+// stage is the pure pass for one task: replay, path sync, race analysis
+// of the arriving step, property check, and — for nodes that may expand
+// — the visited key, the first-batch choice and the compensation ghosts
+// a revisit would need. The report is a pure function of (sched,
+// nodeSleep) under this config; backtrack masks come back as
+// (depth, mask) pairs for the commit pass to register. A returned
+// violErr is the property (or termination) violation at this node; err
+// is an internal failure.
+func (cfg *dconfig) stage(core *replayCore, sc *dscratch, sched []int, nodeSleep uint64, rep *WaveReport) (violErr, err error) {
+	tr, live, err := core.stateAt(sched)
+	if err != nil {
+		return nil, err
+	}
+	if err := cfg.syncPath(sc, tr, sched); err != nil {
+		return nil, err
+	}
+	m := len(sched)
 	if m > 0 {
 		// Race-check the arriving step against the path — always, even
 		// when the node turns out to be pruned or a leaf: the executed
 		// transition exists either way, and its races are what schedule
 		// the reorderings.
-		e.analyze(sc, m)
+		cfg.analyze(sc, m, &rep.Masks)
 	}
-	if err := e.prop(tr); err != nil {
-		st.viol = err
-		return
+	if perr := cfg.prop(tr); perr != nil {
+		return perr, nil
 	}
 	if len(live) == 0 {
-		st.run = true
-		if e.opts.ExpectTermination {
+		rep.Run = true
+		if cfg.opts.ExpectTermination {
 			if pid, ok := unterminated(tr); ok {
-				st.viol = unterminatedErr(pid)
-				return
+				return unterminatedErr(pid), nil
 			}
 		}
-		st.leaf = true
-		return
+		rep.Leaf = true
+		return nil, nil
 	}
-	if m >= e.maxDepth {
-		st.trunc = true
-		st.leaf = true
-		return
+	if m >= cfg.maxDepth {
+		rep.Trunc = true
+		rep.Leaf = true
+		return nil, nil
 	}
 	pend := core.pendingOps()
 	if len(pend) != len(live) {
-		e.fail(fmt.Errorf("check: internal error: %d pending ops for %d live processes", len(pend), len(live)))
-		return
+		return nil, fmt.Errorf("check: internal error: %d pending ops for %d live processes", len(pend), len(live))
 	}
 
-	base := core.stateHash(tr, e.collapse)
+	base := core.stateHash(tr, cfg.collapse)
 	lm := pidMask(live)
 	// The node's effective sleep set: live pids only, conflicting
 	// sleepers woken (see normalizeSleep in por.go). Both the visited
 	// key and the expansion use it, so expansion stays a pure function
 	// of the key.
-	sleep := normalizeSleep(core, e.collapse, pend, node.sleep&lm)
-	st.key = core.canonicalKey(e.sym, base, sleep)
-	node.pend = append(node.pend[:0], pend...)
-	node.live = lm
-	node.accum = sleep
+	sleep := normalizeSleep(core, cfg.collapse, pend, nodeSleep&lm)
+	rep.Key = core.canonicalKey(cfg.sym, base, sleep)
+	rep.Pend = append([]sim.PendingOp(nil), pend...)
+	rep.Live = lm
+	rep.Sleep = sleep
 	awake := lm &^ sleep
 	if awake != 0 {
 		// First batch: the smallest awake pid whose step progresses
@@ -433,54 +434,111 @@ func (e *dexplorer) prepare(id int, core *replayCore, sc *dscratch, st *dstage) 
 			if awake&(1<<uint(po.PID)) == 0 {
 				continue
 			}
-			if e.collapse && !core.progresses(po.PID, core.pendingEntry(po)) {
+			if cfg.collapse && !core.progresses(po.PID, core.pendingEntry(po)) {
 				continue
 			}
 			init = po.PID
 			break
 		}
 		if init >= 0 {
-			st.first = 1 << uint(init)
+			rep.First = 1 << uint(init)
 		} else {
-			st.first = awake
+			rep.First = awake
 		}
 	}
 	// Whether this node expands or is pruned as a revisit is unknown
 	// until the commit pass; buffer the compensation it would need.
-	e.compensate(core, sc, m, live, &st.comp)
+	cfg.compensate(core, sc, m, live, &rep.Comp)
+	return nil, nil
 }
 
-// commit is the serial pass for one task, in wave order: visited-set
-// arbitration, counters, child dispatch and join advancement — every
-// branch on shared exploration state, made in a deterministic sequence.
-func (e *dexplorer) commit(st *dstage, next *[]dtask) {
+// advance consumes one wave's stage results serially: mask
+// registration, violation selection, then per-task commits in task
+// order, installing the next wave. On a violation the wave is NOT
+// committed — counters and the chosen (schedule-least) witness are
+// identical at every worker count and every distribution.
+func (e *dexplorer) advance(stages []dstage) {
+	// Register every report's backtrack masks first — the same "all
+	// registrations precede all commits" order the stage pass's direct
+	// writes used to produce. The mask sets are deduplicated, so this is
+	// insensitive to the order within the pass.
+	for i := range stages {
+		st := &stages[i]
+		for _, dm := range st.rep.Masks {
+			registerMask(ancestorAt(st.t.node, dm.Depth), dm.Mask)
+		}
+	}
+	for i := range stages {
+		st := &stages[i]
+		if st.rep.HasViol && (e.viol == nil || dfsLess(st.t.sched, e.viol.Schedule)) {
+			e.viol = &Violation{Schedule: append([]int(nil), st.t.sched...), Err: st.verr}
+		}
+	}
+	if e.viol != nil {
+		e.wave = e.wave[:0]
+		return
+	}
+	next := e.wave[:0]
+	for i := range stages {
+		e.commitStage(&stages[i], &next)
+	}
+	e.wave = next
+}
+
+// result summarises the exploration.
+func (e *dexplorer) result() Result {
+	return Result{
+		States:          e.visited.Len(),
+		Runs:            e.runs,
+		Truncated:       e.truncated,
+		ReducedNodes:    e.reduced,
+		SymmetryApplied: e.sym != nil,
+		Violation:       e.viol,
+	}
+}
+
+// ancestorAt walks n's parent chain up to the node at the given depth —
+// the node a (depth, mask) pair registers at.
+func ancestorAt(n *dnode, depth int) *dnode {
+	for int(n.depth) > depth {
+		n = n.parent
+	}
+	return n
+}
+
+// commitStage is the serial commit for one task, in wave order:
+// visited-set arbitration, counters, child dispatch and join
+// advancement — every branch on shared exploration state, made in a
+// deterministic sequence.
+func (e *dexplorer) commitStage(st *dstage, next *[]dtask) {
 	node := st.t.node
-	if st.run {
+	if st.rep.Run {
 		e.runs++
 	}
-	if st.trunc {
+	if st.rep.Trunc {
 		e.truncated = true
 	}
-	if st.leaf {
+	if st.rep.Leaf {
 		e.childDone(node.parent, next)
 		return
 	}
-	added, full := e.visited.insert(st.key, e.maxStates)
+	added, full := e.visited.insert(st.rep.Key, e.maxStates)
 	if full {
 		e.truncated = true
 		e.childDone(node.parent, next)
 		return
 	}
 	if !added {
-		for _, ca := range st.comp {
-			registerMask(ca.node, ca.mask)
+		for _, dm := range st.rep.Comp {
+			registerMask(ancestorAt(node, dm.Depth), dm.Mask)
 		}
 		e.childDone(node.parent, next)
 		return
 	}
-	node.mu.Lock()
-	children := e.dispatchSteps(node, st.first)
-	node.mu.Unlock()
+	node.pend = append(node.pend[:0], st.rep.Pend...)
+	node.live = st.rep.Live
+	node.accum = st.rep.Sleep
+	children := e.dispatchSteps(node, st.rep.First)
 	if len(children) == 0 {
 		// No awake step: straight to the join (crash wave, then
 		// completion).
@@ -494,7 +552,7 @@ func (e *dexplorer) commit(st *dstage, next *[]dtask) {
 
 // dispatchSteps creates step children for the pids in mask (ascending),
 // each with its filterSleep-derived sleep set, updating the node's
-// accum/done/out. The node's mutex must be held.
+// accum/done/out. Commit pass only.
 func (e *dexplorer) dispatchSteps(n *dnode, mask uint64) []*dnode {
 	if mask == 0 {
 		return nil
@@ -520,16 +578,13 @@ func (e *dexplorer) dispatchSteps(n *dnode, mask uint64) []*dnode {
 
 // childDone records the completion of one child of n (nil for the
 // root's pseudo-parent) and, when it was the last outstanding one, runs
-// n's join. Called only from the commit pass.
+// n's join. Commit pass only.
 func (e *dexplorer) childDone(n *dnode, next *[]dtask) {
 	if n == nil {
 		return
 	}
-	n.mu.Lock()
 	n.out--
-	rem := n.out
-	n.mu.Unlock()
-	if rem == 0 {
+	if n.out == 0 {
 		e.settle(n, next)
 	}
 }
@@ -537,13 +592,10 @@ func (e *dexplorer) childDone(n *dnode, next *[]dtask) {
 // settle is the join loop: with no outstanding children, a node drains
 // its registered race masks as the next batch, then runs the crash
 // wave, then completes and advances its parent's join — iteratively up
-// the tree. Called only from the commit pass; dispatched children go to
-// the next wave.
+// the tree. Commit pass only; dispatched children go to the next wave.
 func (e *dexplorer) settle(n *dnode, next *[]dtask) {
 	for {
-		n.mu.Lock()
 		if n.out > 0 {
-			n.mu.Unlock()
 			return
 		}
 		// Drain the round's race-initials masks in sorted order (the set
@@ -570,7 +622,6 @@ func (e *dexplorer) settle(n *dnode, next *[]dtask) {
 		if fresh != 0 {
 			sched := nodeSchedule(n)
 			children := e.dispatchSteps(n, fresh)
-			n.mu.Unlock()
 			for _, ch := range children {
 				*next = append(*next, dtask{node: ch, sched: childSchedule(sched, ch.entry)})
 			}
@@ -599,7 +650,6 @@ func (e *dexplorer) settle(n *dnode, next *[]dtask) {
 				dispatched = true
 			}
 			if dispatched {
-				n.mu.Unlock()
 				return
 			}
 		}
@@ -607,15 +657,11 @@ func (e *dexplorer) settle(n *dnode, next *[]dtask) {
 			e.reduced++
 		}
 		p := n.parent
-		n.mu.Unlock()
 		if p == nil {
 			return
 		}
-		p.mu.Lock()
 		p.out--
-		rem := p.out
-		p.mu.Unlock()
-		if rem > 0 {
+		if p.out > 0 {
 			return
 		}
 		n = p
@@ -633,29 +679,18 @@ func nodeSchedule(n *dnode) []int {
 	return out
 }
 
-// syncPath rebuilds the worker's path scratch for the task: the node
-// chain (cheap pointer walk when stolen), the decision entries mapped
-// from the trace's events, and the vector clocks of every entry except
-// the last, reusing clocks over the longest common prefix with the
-// previously chased schedule. The last entry's clock is computed by
-// analyze, which also detects its races.
-func (e *dexplorer) syncPath(sc *dscratch, tr *sim.Trace, t dtask) error {
-	m := len(t.sched)
-	if len(sc.nodes) != m+1 || (m > 0 && sc.nodes[m] != t.node) || (m == 0 && (len(sc.nodes) == 0 || sc.nodes[0] != t.node)) {
-		if cap(sc.nodes) < m+1 {
-			sc.nodes = make([]*dnode, m+1)
-		}
-		sc.nodes = sc.nodes[:m+1]
-		for i, nd := m, t.node; i >= 0; i-- {
-			sc.nodes[i] = nd
-			nd = nd.parent
-		}
-	}
+// syncPath rebuilds the worker's path scratch for the task: the
+// decision entries mapped from the trace's events, and the vector
+// clocks of every entry except the last, reusing clocks over the
+// longest common prefix with the previously chased schedule. The last
+// entry's clock is computed by analyze, which also detects its races.
+func (cfg *dconfig) syncPath(sc *dscratch, tr *sim.Trace, sched []int) error {
+	m := len(sched)
 	common := 0
-	for common < len(sc.sched) && common < m && sc.sched[common] == t.sched[common] {
+	for common < len(sc.sched) && common < m && sc.sched[common] == sched[common] {
 		common++
 	}
-	sc.sched = append(sc.sched[:0], t.sched...)
+	sc.sched = append(sc.sched[:0], sched...)
 	if sc.clkValid > common {
 		sc.clkValid = common
 	}
@@ -670,7 +705,7 @@ func (e *dexplorer) syncPath(sc *dscratch, tr *sim.Trace, t dtask) error {
 	// ExpectTermination is a predicate on the terminal state), and the
 	// static provider already treats final accesses as plain accesses —
 	// the termination mark is never a pending step.
-	n := e.nprocs
+	n := cfg.nprocs
 	for i := range sc.seqs {
 		sc.seqs[i] = 0
 	}
@@ -747,8 +782,8 @@ func joinClk(dst, src []int32) {
 }
 
 // analyze clocks the path's last entry, detects its races against the
-// prefix and applies the resulting backtrack additions.
-func (e *dexplorer) analyze(sc *dscratch, m int) {
+// prefix and buffers the resulting backtrack additions into sink.
+func (cfg *dconfig) analyze(sc *dscratch, m int, sink *[]DepthMask) {
 	cur := &sc.ents[m-1]
 	if cur.kind == uint8(sim.KindCrash) {
 		// Crashes race with nothing; clock for completeness.
@@ -760,16 +795,16 @@ func (e *dexplorer) analyze(sc *dscratch, m int) {
 	clockOf(sc, m-1, &sc.races)
 	sc.clkValid = m
 	for _, j := range sc.races {
-		e.addBacktrack(sc, j, m-1, cur, nil)
+		cfg.addBacktrack(sc, j, m-1, cur, sink)
 	}
 }
 
 // addBacktrack processes one race: entry j of the path versus the later
 // step cur (at path position last, or a hypothetical next step when
 // last == len(path)). It computes the initials of the reordered suffix
-// and registers the mask at node j (or buffers it into sink when
-// non-nil) for the node's next join to resolve.
-func (e *dexplorer) addBacktrack(sc *dscratch, j, last int, cur *devent, sink *[]dcomp) {
+// and buffers the (depth, mask) pair into sink for the commit pass to
+// register at node j.
+func (cfg *dconfig) addBacktrack(sc *dscratch, j, last int, cur *devent, sink *[]DepthMask) {
 	f := &sc.ents[j]
 	// Candidate suffix: steps after j that f does not happen before,
 	// plus cur. Crash entries are skipped — they commute with everything
@@ -820,11 +855,7 @@ func (e *dexplorer) addBacktrack(sc *dscratch, j, last int, cur *devent, sink *[
 	if initials == 0 {
 		return
 	}
-	if sink != nil {
-		*sink = append(*sink, dcomp{node: sc.nodes[j], mask: initials})
-		return
-	}
-	registerMask(sc.nodes[j], initials)
+	*sink = append(*sink, DepthMask{Depth: j, Mask: initials})
 }
 
 // registerMask records one race-initials set at n for its next join to
@@ -833,13 +864,11 @@ func (e *dexplorer) addBacktrack(sc *dscratch, j, last int, cur *devent, sink *[
 // while the registering path's child of n is outstanding), so the SET a
 // join drains is insensitive to registration order; the CHOICE of pid
 // is deferred to the join for the same reason (see the determinism
-// notes in the file comment).
+// notes in the file comment). Commit pass only.
 func registerMask(n *dnode, initials uint64) {
-	n.mu.Lock()
 	if initials&n.accum == 0 && !slices.Contains(n.masks, initials) {
 		n.masks = append(n.masks, initials)
 	}
-	n.mu.Unlock()
 }
 
 // compensate approximates the backtrack additions a pruned revisit's
@@ -849,7 +878,7 @@ func registerMask(n *dnode, initials uint64) {
 // the current path, the resulting masks buffered into sink (the commit
 // pass applies them only if the node really is pruned). Must run right
 // after stateHash (c.hist, c.vals valid) with the session at the node.
-func (e *dexplorer) compensate(core *replayCore, sc *dscratch, m int, live []int, sink *[]dcomp) {
+func (cfg *dconfig) compensate(core *replayCore, sc *dscratch, m int, live []int, sink *[]DepthMask) {
 	if m == 0 {
 		return
 	}
@@ -861,7 +890,7 @@ func (e *dexplorer) compensate(core *replayCore, sc *dscratch, m int, live []int
 		case sim.KindMark, sim.KindOutput:
 			g.vis = true
 		}
-		e.ghostScan(sc, m, &g, sink)
+		cfg.ghostScan(sc, m, &g, sink)
 	}
 	for _, q := range live {
 		for _, en := range core.hist[q] {
@@ -873,7 +902,7 @@ func (e *dexplorer) compensate(core *replayCore, sc *dscratch, m int, live []int
 				kind: en.kind,
 				acc:  opset.Acc{Op: opset.Op(en.op), Cell: en.cell, Shift: en.shift, Width: en.width, Arg: en.aux},
 			}
-			e.ghostScan(sc, m, &g, sink)
+			cfg.ghostScan(sc, m, &g, sink)
 		}
 	}
 }
@@ -881,7 +910,7 @@ func (e *dexplorer) compensate(core *replayCore, sc *dscratch, m int, live []int
 // ghostScan race-checks a hypothetical next step of pid g.pid at path
 // position m against the whole path, buffering backtrack additions for
 // its races into sink.
-func (e *dexplorer) ghostScan(sc *dscratch, m int, g *devent, sink *[]dcomp) {
+func (cfg *dconfig) ghostScan(sc *dscratch, m int, g *devent, sink *[]DepthMask) {
 	g.clk = sc.ghostClk
 	clear(g.clk)
 	for i := m - 1; i >= 0; i-- {
@@ -904,7 +933,7 @@ func (e *dexplorer) ghostScan(sc *dscratch, m int, g *devent, sink *[]dcomp) {
 	}
 	g.clk[g.pid] = g.seq
 	for _, j := range sc.races {
-		e.addBacktrack(sc, j, m, g, sink)
+		cfg.addBacktrack(sc, j, m, g, sink)
 	}
 }
 
@@ -927,7 +956,7 @@ func deventsDependent(a, b *devent) bool {
 	return false
 }
 
-// fail records the first internal error and cancels the parallel pass;
+// fail records the first internal error and cancels the stage pass;
 // errors (unlike violations) abort mid-wave, since the exploration's
 // result is discarded anyway.
 func (e *dexplorer) fail(err error) {

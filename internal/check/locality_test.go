@@ -1,0 +1,283 @@
+package check_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"cfc/internal/check"
+	"cfc/internal/fleet"
+)
+
+// driveLocal runs one exploration through a ShardMaster with k probers
+// the way the fabric coordinator does when everything is healthy: each
+// owner drains its own deque (affinity respected), batches stay in the
+// master's DFS-sorted order, reports return in order. Returns the raw
+// (uncanonicalised) result plus the probers' pooled stats.
+func driveLocal(t *testing.T, w fleet.Workload, n, k int, opts check.Options) (check.Result, check.ProbeStats) {
+	t.Helper()
+	build := w.Builder(n)
+	probers := make([]*check.Prober, k+1)
+	for i := 1; i <= k; i++ {
+		p, err := check.NewProber(build, w.Check, opts)
+		if err != nil {
+			t.Fatalf("NewProber: %v", err)
+		}
+		defer p.Close()
+		probers[i] = p
+	}
+	m := check.NewShardMaster(opts)
+	for !m.Done() {
+		progressed := false
+		for o := 1; o <= k; o++ {
+			batch := m.Next(o, 8)
+			for _, nd := range batch {
+				chain, err := probers[o].Probe(nd)
+				if err != nil {
+					t.Fatalf("Probe(%v): %v", nd.Schedule, err)
+				}
+				m.Report(o, nd, chain)
+			}
+			progressed = progressed || len(batch) > 0
+		}
+		if !progressed && !m.Done() {
+			t.Fatalf("shard master stuck: not done, nothing pending")
+		}
+	}
+	var pooled check.ProbeStats
+	for i := 1; i <= k; i++ {
+		s := probers[i].Stats()
+		pooled.Probes += s.Probes
+		pooled.Replayed += s.Replayed
+		pooled.Saved += s.Saved
+		pooled.Deduped += s.Deduped
+	}
+	return m.Result(), pooled
+}
+
+// TestProberSessionLocality is the perf contract behind prefix-local
+// scheduling, measured in event counts (so it holds on any hardware):
+// probing through a persistent prober whose descents ride the live
+// session must replay far fewer events than the root-replay baseline,
+// which is exactly Replayed+Saved — every event a prober without a live
+// session would have re-executed. The achievable ratio is a property of
+// the exploration tree (it converges to total-path-weight over
+// leaf-path-weight, the optimum for restart-only replay): bushy closed
+// trees sit above 2x, and the deep chain-heavy configuration BENCH_8
+// records must clear the 3x acceptance bar. Crash entries ride along to
+// pin the session's crash-revival path under reuse, and the violation
+// case pins descent cancellation.
+func TestProberSessionLocality(t *testing.T) {
+	cases := []struct {
+		load     string
+		opts     check.Options
+		minRatio float64
+		equality bool // truncated explorations are visit-order dependent
+	}{
+		{"mutex/peterson-2p", check.Options{MaxDepth: 60, MaxStates: 1 << 17, CollapseSpins: true, POR: true}, 2, true},
+		{"broken/racy-mutex", check.Options{MaxDepth: 40, MaxStates: 1 << 17, CollapseSpins: true}, 0, true},
+		{"mutex/tas-lock", check.Options{MaxDepth: 24, MaxStates: 1 << 17, CollapseSpins: true, ExploreCrashes: true}, 0, true},
+		{"mutex/lamport-fast", check.Options{MaxDepth: 60, MaxStates: 1 << 21, POR: true}, 3, false},
+	}
+	for _, tc := range cases {
+		w, ok := fleet.ByName(tc.load, 2)
+		if !ok {
+			t.Fatalf("%s missing from registry", tc.load)
+		}
+		res, stats := driveLocal(t, w, 2, 1, tc.opts)
+		if tc.equality {
+			serial, err := check.Explore(w.Builder(2), w.Check, tc.opts)
+			if err != nil {
+				t.Fatalf("%s: serial: %v", tc.load, err)
+			}
+			canon, err := check.CanonicalResult(w.Builder(2), w.Check, tc.opts, res)
+			if err != nil {
+				t.Fatalf("%s: CanonicalResult: %v", tc.load, err)
+			}
+			assertResultsEqual(t, tc.load+"/local", serial, canon)
+		}
+		baseline := stats.Replayed + stats.Saved
+		if stats.Replayed == 0 || stats.Saved == 0 {
+			t.Errorf("%s: locality counters flat: replayed %d, saved %d", tc.load, stats.Replayed, stats.Saved)
+			continue
+		}
+		if ratio := float64(baseline) / float64(stats.Replayed); ratio < tc.minRatio {
+			t.Errorf("%s: locality win %.2fx below the %.1fx bar: replayed %d of a %d-event baseline",
+				tc.load, ratio, tc.minRatio, stats.Replayed, baseline)
+		}
+		if stats.Deduped == 0 && tc.load == "mutex/peterson-2p" {
+			t.Errorf("%s: advisory dedup cache never fired", tc.load)
+		}
+	}
+}
+
+// TestShardMasterStealOnIdle pins the steal half of affinity scheduling:
+// owner 1 grabs a batch and stalls (never reports), and owner 2 — whose
+// own deque is empty — must still be able to drain the exploration by
+// stealing, first from the unowned pool, then from descendants it
+// reports itself. The stalled batch is finally requeued (the worker-loss
+// path) and finished by owner 2; the result still matches serial.
+func TestShardMasterStealOnIdle(t *testing.T) {
+	w, ok := fleet.ByName("mutex/peterson-2p", 2)
+	if !ok {
+		t.Fatalf("mutex/peterson-2p missing from registry")
+	}
+	opts := check.Options{MaxDepth: 60, MaxStates: 1 << 17, CollapseSpins: true, POR: true}
+	serial, err := check.Explore(w.Builder(2), w.Check, opts)
+	if err != nil {
+		t.Fatalf("serial: %v", err)
+	}
+
+	p, err := check.NewProber(w.Builder(2), w.Check, opts)
+	if err != nil {
+		t.Fatalf("NewProber: %v", err)
+	}
+	defer p.Close()
+	m := check.NewShardMaster(opts)
+
+	// Owner 1 takes the root and goes quiet.
+	stalled := m.Next(1, 1)
+	if len(stalled) != 1 {
+		t.Fatalf("owner 1 got %d nodes, want the root", len(stalled))
+	}
+	if m.Done() {
+		t.Fatalf("master done with a batch in flight")
+	}
+	// Owner 2 can make no progress until the stall resolves (the root is
+	// the only node), so Next must return empty rather than hand the same
+	// node out twice.
+	if batch := m.Next(2, 8); len(batch) != 0 {
+		t.Fatalf("owner 2 stole an in-flight node: %v", batch)
+	}
+	// The coordinator gives up on owner 1 and requeues — owner 2 now
+	// drains the whole exploration alone via pool steals + own deque.
+	m.Requeue(stalled)
+	steals := 0
+	for !m.Done() {
+		batch := m.Next(2, 8)
+		if len(batch) == 0 {
+			t.Fatalf("shard master stuck with owner 2 idle")
+		}
+		steals++
+		for _, nd := range batch {
+			chain, err := p.Probe(nd)
+			if err != nil {
+				t.Fatalf("Probe: %v", err)
+			}
+			m.Report(2, nd, chain)
+		}
+	}
+	if steals == 0 {
+		t.Fatalf("owner 2 never got work")
+	}
+	canon, err := check.CanonicalResult(w.Builder(2), w.Check, opts, m.Result())
+	if err != nil {
+		t.Fatalf("CanonicalResult: %v", err)
+	}
+	assertResultsEqual(t, "peterson/steal", serial, canon)
+}
+
+// TestBatchOrderScrambledEqualsSorted is the advisory-ness gate for the
+// whole locality layer: the affinity-respecting driver (sorted batches,
+// in-order reports, warm sessions) and the scrambling driver (random
+// owners, random batch sizes, random report order — driveSharded) must
+// produce byte-identical canonical results. Locality may only ever
+// change speed.
+func TestBatchOrderScrambledEqualsSorted(t *testing.T) {
+	opts := check.Options{MaxDepth: 60, MaxStates: 1 << 17, CollapseSpins: true, POR: true}
+	for _, name := range []string{"mutex/peterson-2p", "broken/racy-mutex"} {
+		w, ok := fleet.ByName(name, 2)
+		if !ok {
+			t.Fatalf("%s missing from registry", name)
+		}
+		res, _ := driveLocal(t, w, 2, 2, opts)
+		sorted, err := check.CanonicalResult(w.Builder(2), w.Check, opts, res)
+		if err != nil {
+			t.Fatalf("CanonicalResult: %v", err)
+		}
+		scrambled := driveSharded(t, w, 2, 2, opts, 271828)
+		assertResultsEqual(t, name+"/scrambled-vs-sorted", sorted, scrambled)
+	}
+}
+
+// driveWaves runs one DPOR exploration through the WaveMaster/WaveProber
+// split with k probers, chunking every wave round-robin with the seeded
+// rng so chunk boundaries fall everywhere across waves. Reports are
+// reassembled into task order exactly as the fabric coordinator does.
+func driveWaves(t *testing.T, w fleet.Workload, n, k int, opts check.Options, seed int64) (check.Result, check.ProbeStats) {
+	t.Helper()
+	build := w.Builder(n)
+	m, err := check.NewWaveMaster(build, w.Check, opts)
+	if err != nil {
+		t.Fatalf("NewWaveMaster: %v", err)
+	}
+	probers := make([]*check.WaveProber, k)
+	for i := range probers {
+		p, err := check.NewWaveProber(build, w.Check, opts)
+		if err != nil {
+			t.Fatalf("NewWaveProber: %v", err)
+		}
+		defer p.Close()
+		probers[i] = p
+	}
+	rng := rand.New(rand.NewSource(seed))
+	for !m.Done() {
+		wave := m.Wave()
+		reports := make([]check.WaveReport, len(wave))
+		for lo := 0; lo < len(wave); {
+			hi := min(lo+1+rng.Intn(5), len(wave))
+			p := probers[rng.Intn(k)]
+			for i := lo; i < hi; i++ {
+				rep, err := p.ProbeWave(wave[i])
+				if err != nil {
+					t.Fatalf("ProbeWave(%v): %v", wave[i].Schedule, err)
+				}
+				reports[i] = rep
+			}
+			lo = hi
+		}
+		if err := m.Commit(reports); err != nil {
+			t.Fatalf("Commit: %v", err)
+		}
+	}
+	var pooled check.ProbeStats
+	for _, p := range probers {
+		s := p.Stats()
+		pooled.Probes += s.Probes
+		pooled.Replayed += s.Replayed
+		pooled.Saved += s.Saved
+	}
+	return m.Result(), pooled
+}
+
+// TestWaveSplitEqualsExplore is the distributed-DPOR determinism gate at
+// the engine level: the WaveMaster/WaveProber split — any prober count,
+// any chunking — reports byte-identical results to the in-process DPOR
+// engine, including witnesses, with and without symmetry. (No replay-
+// saving assertion here: a wave is an antichain, so extend-only sessions
+// replay every task from the root — the frontier probers' descent chains
+// have no BSP counterpart.)
+func TestWaveSplitEqualsExplore(t *testing.T) {
+	loads := []string{"mutex/peterson-2p", "naming/tas-scan", "broken/racy-mutex", "mixed/tas-lock+tas-scan"}
+	base := check.Options{MaxDepth: 60, MaxStates: 1 << 17, CollapseSpins: true, DPOR: true}
+	sym := base
+	sym.Symmetry = true
+	for _, name := range loads {
+		w, ok := fleet.ByName(name, 2)
+		if !ok {
+			t.Fatalf("%s missing from registry", name)
+		}
+		for _, opts := range []check.Options{base, sym} {
+			serial, err := check.Explore(w.Builder(2), w.Check, opts)
+			if err != nil {
+				t.Fatalf("%s: serial: %v", name, err)
+			}
+			for _, k := range []int{1, 3} {
+				res, stats := driveWaves(t, w, 2, k, opts, int64(k)*6151+int64(len(name)))
+				assertResultsEqual(t, name+"/waves", serial, res)
+				if stats.Probes == 0 {
+					t.Errorf("%s k=%d: wave probers expanded nothing", name, k)
+				}
+			}
+		}
+	}
+}

@@ -75,6 +75,27 @@ const (
 // the root otherwise — and returns the trace plus the set of processes
 // that are still live (can be scheduled). The trace aliases the session:
 // it is valid only until the session advances or is replaced.
+// seekCost reports how many events positioning the live session at
+// schedule would replay: the schedule minus the session's depth when the
+// session's decision stack is a prefix of the target (Session.Seek then
+// extends in place), the whole schedule otherwise. Pure accounting —
+// stateAt does the actual work.
+func (c *replayCore) seekCost(schedule []int) int {
+	if c.sess == nil || c.sess.Err() != nil {
+		return len(schedule)
+	}
+	dec := c.sess.Decisions()
+	if len(dec) > len(schedule) {
+		return len(schedule)
+	}
+	for i, d := range dec {
+		if schedule[i] != d {
+			return len(schedule)
+		}
+	}
+	return len(schedule) - len(dec)
+}
+
 func (c *replayCore) stateAt(schedule []int) (*sim.Trace, []int, error) {
 	if c.sess == nil {
 		sess, err := sim.StartSession(sim.Config{

@@ -3,6 +3,7 @@ package check
 import (
 	"errors"
 	"fmt"
+	"slices"
 
 	"cfc/internal/sim"
 )
@@ -41,19 +42,72 @@ import (
 // serial rerun at the coordinator reproduces the depth-first-minimal
 // witness (see CanonicalResult).
 //
-// The DPOR engine is deliberately not probeable: its wave-synchronised
-// commit pass is a global serial order over the whole tree level, which
-// is exactly what a coordinator/worker split cannot provide cheaply.
-// Fabric coordinators shard static-POR and reference explorations and
-// ship DPOR configurations as whole-entry jobs instead.
+// # Locality
+//
+// Everything above is order-independent, which frees the master to pick
+// dispatch orders purely for speed. The frontier is kept as one deque
+// per OWNER (a small integer the coordinator assigns per worker): a
+// node's children land on the deque of the owner that probed it, so each
+// worker keeps descending its own subtree, and Next pops a worker's own
+// deque from the tail — deepest first, then sorts the batch into DFS
+// order — so consecutive probes extend the prober's live session by one
+// decision instead of rebuilding it from the root. An idle owner steals
+// from the head of the fullest other deque (shallowest nodes: whole
+// subtrees change owner, and their descendants follow via the routing
+// rule), so a slow worker delays nothing and a dead worker's deque
+// drains. Owner 0 is the unowned pool: the root starts there, and
+// Requeue returns a lost worker's nodes there. All of it is advisory —
+// the scrambled-order tests deliberately destroy the locality and must
+// get byte-identical results.
+//
+// Deque order alone cannot deliver the replay win, though, because a
+// frontier is an antichain: no pending node extends another, so an
+// extend-only session (bodies cannot run backwards — Session.Seek
+// rebuilds from the root on any divergence) replays every probe in a
+// batch from scratch no matter how the batch is sorted. The locality
+// win comes from DESCENT: having probed an expandable node, the prober
+// immediately probes its first branch — a one-decision extension of the
+// live session, costing one replayed event instead of a root replay —
+// and keeps descending first branches until it hits a leaf, a
+// violation, the depth bound or its dedup cache. Probe therefore
+// returns a CHAIN of reports, one per descended node. The master
+// consumes the chain in order, arbitrating each link against the
+// visited set exactly as if it had dispatched the node itself: it
+// reconstructs every link's schedule from its own copy of the parent
+// and the reported first branch (a report can never inject a node the
+// master didn't derive), enqueues the non-first branches to the owner's
+// deque, and stops consuming at the first link that loses arbitration —
+// the remainder of the chain describes a subtree the exploration
+// prunes. Under POR most nodes have singleton ample sets, so one
+// dispatched node rides the live session down an entire chain: the
+// serial DFS's own replay profile, recovered over the wire.
+//
+// The Prober doubles down on the same bet with an advisory dedup cache:
+// it remembers the visited keys it has already reported this job and
+// answers a repeat with a Dup report (no branch set) instead of
+// re-expanding, which also ends a descent. The master's visited set
+// stays authoritative — a Dup whose key the master has NOT seen
+// (possible when reports cross between connections, or after a worker
+// loss) is re-dispatched with Node.Full set, which makes the prober
+// bypass its cache, so no subtree can be lost to a stale cache in any
+// delivery order. Each such re-dispatch arbitrates at least one new
+// state, so the loop terminates.
+//
+// The DPOR engine has its own split along the same lines — a wave's
+// parallel pure pass fans out to WaveProbers while the serial commit
+// stays at the WaveMaster; see wave.go.
 
 // Node is one frontier subtree root: the decision schedule reaching it
 // (Session.Decisions encoding — entry pid steps that process, entry
 // -pid-1 crashes it) plus the sleep mask it inherited. Nodes travel
-// between processes; both fields are plain wire data.
+// between processes; all fields are plain wire data.
 type Node struct {
 	Schedule []int  `json:"s"`
 	Sleep    uint64 `json:"sleep,omitempty"`
+	// Full forces a full probe report even when the prober's advisory
+	// dedup cache holds the node's key — the master's re-dispatch path
+	// for a Dup report it cannot arbitrate.
+	Full bool `json:"f,omitempty"`
 }
 
 // Branch is one child decision of an expanded node, in wire shape.
@@ -68,7 +122,7 @@ type Branch struct {
 // DFS's own order: a Violation preempts everything (for a Leaf violation
 // — a termination failure on a maximal run — Leaf is also set, matching
 // the serial explorer's run accounting); then Leaf; then DepthTruncated;
-// otherwise Hash/Reduced/Branches describe the expandable node.
+// then Dup; otherwise Hash/Reduced/Branches describe the expandable node.
 type ProbeReport struct {
 	// Hash is the node's visited key: the state digest, with the
 	// normalised sleep mask mixed in under POR. Zero-valued (and
@@ -78,6 +132,10 @@ type ProbeReport struct {
 	Leaf bool `json:"leaf,omitempty"`
 	// DepthTruncated reports the schedule hit the depth bound.
 	DepthTruncated bool `json:"depthTrunc,omitempty"`
+	// Dup reports the prober already sent a full report for Hash this
+	// job and elided the branch set. Advisory: if the master's visited
+	// set disagrees, it re-dispatches the node with Full set.
+	Dup bool `json:"dup,omitempty"`
 	// Reduced reports the branch set is a strict subset of the enabled
 	// steps (counts toward Result.ReducedNodes if the node is expanded).
 	Reduced bool `json:"reduced,omitempty"`
@@ -87,6 +145,23 @@ type ProbeReport struct {
 	// Branches is the node's child decisions, in serial depth-first
 	// order, with their sleep masks.
 	Branches []Branch `json:"branches,omitempty"`
+}
+
+// ProbeStats counts a prober's replay work. A PR 9-style prober with no
+// live-session reuse would have executed Replayed+Saved events; the
+// ratio of that sum to Replayed is the prefix-locality win.
+type ProbeStats struct {
+	// Probes is the number of nodes probed.
+	Probes int64
+	// Replayed is the number of schedule events actually re-executed.
+	Replayed int64
+	// Saved is the number of schedule events skipped because the live
+	// session's decision stack was already a prefix of the target
+	// (Session.Seek's in-place extension).
+	Saved int64
+	// Deduped is the number of reports elided by the advisory dedup
+	// cache (ProbeReport.Dup).
+	Deduped int64
 }
 
 // Prober executes frontier-node probes for one program: the worker side
@@ -100,21 +175,23 @@ type Prober struct {
 	maxDepth int
 	provider enabledProvider
 	por      bool
+	seen     map[uint64]struct{}
+	stats    ProbeStats
 }
 
 // NewProber builds a prober's private program instance. The options
 // select the expansion engine exactly as Explore does, except that DPOR
-// is rejected: the wave-synchronised DPOR engine has no per-node
-// expansion a prober could compute independently (see the file comment).
+// is rejected: the wave-synchronised DPOR engine expands whole tree
+// levels, not single frontier nodes — use a WaveProber (wave.go).
 func NewProber(build Builder, prop Property, opts Options) (*Prober, error) {
 	if opts.DPOR {
-		return nil, errors.New("check: frontier probing does not support the DPOR engine; ship DPOR configurations as whole jobs")
+		return nil, errors.New("check: frontier probing does not support the DPOR engine; use a WaveProber for wave distribution")
 	}
 	maxDepth := opts.MaxDepth
 	if maxDepth <= 0 {
 		maxDepth = 200
 	}
-	p := &Prober{prop: prop, opts: opts, maxDepth: maxDepth}
+	p := &Prober{prop: prop, opts: opts, maxDepth: maxDepth, seen: make(map[uint64]struct{})}
 	if err := p.core.init(build, maxDepth); err != nil {
 		return nil, err
 	}
@@ -125,17 +202,52 @@ func NewProber(build Builder, prop Property, opts Options) (*Prober, error) {
 // Close releases the prober's live session.
 func (p *Prober) Close() { p.core.close() }
 
-// Probe replays the node and reports its verdict, visited key and branch
-// set — the serial DFS's per-node work minus the visited arbitration,
-// which belongs to the ShardMaster. A panic in the algorithm body,
-// property or provider is contained as an error carrying the schedule,
-// mirroring both explorers.
-func (p *Prober) Probe(nd Node) (rep ProbeReport, err error) {
+// Stats returns the prober's cumulative replay accounting. Workers ship
+// per-batch deltas of these counters back to the coordinator.
+func (p *Prober) Stats() ProbeStats { return p.stats }
+
+// Probe replays the node and reports its descent: the node's own report
+// followed by one report per first-branch descendant, each probed as a
+// one-decision extension of the live session (see the file comment).
+// The chain ends at the first terminal link — leaf, violation, depth
+// truncation, or a dedup-cache hit. Every link is the serial DFS's
+// per-node work minus the visited arbitration, which belongs to the
+// ShardMaster. A panic in the algorithm body, property or provider is
+// contained as an error carrying the schedule, mirroring both explorers.
+func (p *Prober) Probe(nd Node) ([]ProbeReport, error) {
+	chain := make([]ProbeReport, 0, 8)
+	cur := nd
+	for {
+		rep, err := p.probeOne(cur)
+		if err != nil {
+			return nil, err
+		}
+		chain = append(chain, rep)
+		if rep.Violation != nil || rep.Leaf || rep.DepthTruncated || rep.Dup || len(rep.Branches) == 0 {
+			return chain, nil
+		}
+		b := rep.Branches[0]
+		sched := make([]int, len(cur.Schedule)+1)
+		copy(sched, cur.Schedule)
+		sched[len(cur.Schedule)] = b.Entry
+		// Full only bypasses the cache for the dispatched node itself;
+		// descendants dedup normally.
+		cur = Node{Schedule: sched, Sleep: b.Sleep}
+	}
+}
+
+// probeOne is one link of a descent: verdict, visited key and branch set
+// for a single node.
+func (p *Prober) probeOne(nd Node) (rep ProbeReport, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = fmt.Errorf("check: panicked probing schedule prefix %v: %v", nd.Schedule, r)
 		}
 	}()
+	p.stats.Probes++
+	cost := p.core.seekCost(nd.Schedule)
+	p.stats.Replayed += int64(cost)
+	p.stats.Saved += int64(len(nd.Schedule) - cost)
 	tr, live, err := p.core.stateAt(nd.Schedule)
 	if err != nil {
 		return ProbeReport{}, err
@@ -170,6 +282,12 @@ func (p *Prober) Probe(nd Node) (rep ProbeReport, err error) {
 		h = mix64(h, sleep)
 	}
 	rep.Hash = h
+	if _, dup := p.seen[h]; dup && !nd.Full {
+		p.stats.Deduped++
+		rep.Dup = true
+		return rep, nil
+	}
+	p.seen[h] = struct{}{}
 	br, reduced := p.provider.branches(&p.core, live, nd.Schedule, sleep)
 	rep.Reduced = reduced
 	rep.Branches = make([]Branch, len(br))
@@ -181,13 +299,16 @@ func (p *Prober) Probe(nd Node) (rep ProbeReport, err error) {
 
 // ShardMaster is the coordinator side of a sharded exploration: the one
 // place the visited set lives. Feed it probe reports in any order; hand
-// out the nodes it returns to any prober. It is not concurrency-safe —
-// fabric coordinators drive it from a single event loop, which is also
+// out the nodes it returns to any prober — owners only steer locality
+// (see the file comment), never correctness. It is not concurrency-safe
+// — fabric coordinators drive it from a single event loop, which is also
 // what keeps its decisions deterministic.
 type ShardMaster struct {
 	maxStates int
 	visited   map[uint64]struct{}
-	pending   []Node
+	deques    map[int][]Node // per-owner frontier; owner 0 is the unowned pool
+	order     []int          // deque keys, first-seen order (0 first): the victim scan order
+	npending  int
 	inflight  int
 	runs      int
 	reduced   int
@@ -196,88 +317,205 @@ type ShardMaster struct {
 }
 
 // NewShardMaster starts a sharded exploration positioned at the root
-// node. The options' MaxStates budget is enforced exactly, like the
-// serial explorer's pre-insert check.
+// node (in the unowned pool). The options' MaxStates budget is enforced
+// exactly, like the serial explorer's pre-insert check.
 func NewShardMaster(opts Options) *ShardMaster {
 	maxStates := opts.MaxStates
 	if maxStates <= 0 {
 		maxStates = 1 << 20
 	}
-	return &ShardMaster{
+	m := &ShardMaster{
 		maxStates: maxStates,
 		visited:   make(map[uint64]struct{}),
-		pending:   []Node{{Schedule: []int{}}},
+		deques:    make(map[int][]Node),
+		order:     []int{0},
 	}
+	m.deques[0] = []Node{{Schedule: []int{}}}
+	m.npending = 1
+	return m
 }
 
-// Next hands out up to max pending nodes for probing. Every node handed
-// out must eventually be either Reported or Requeued, or Done never
-// becomes true.
-func (m *ShardMaster) Next(max int) []Node {
-	if max <= 0 || len(m.pending) == 0 {
+// enqueue appends a node to owner's deque, creating it on first use.
+func (m *ShardMaster) enqueue(owner int, nd Node) {
+	if _, ok := m.deques[owner]; !ok {
+		m.order = append(m.order, owner)
+	}
+	m.deques[owner] = append(m.deques[owner], nd)
+	m.npending++
+}
+
+// victim picks the deque an idle owner steals from: the unowned pool
+// when non-empty (orphans first), else the largest other deque, earliest
+// owner on ties. Returns -1 when there is nothing to steal.
+func (m *ShardMaster) victim(owner int) int {
+	if owner != 0 && len(m.deques[0]) > 0 {
+		return 0
+	}
+	best, bestLen := -1, 0
+	for _, o := range m.order {
+		if o == owner {
+			continue
+		}
+		if l := len(m.deques[o]); l > bestLen {
+			best, bestLen = o, l
+		}
+	}
+	return best
+}
+
+// Next hands out up to max pending nodes for owner to probe: the tail of
+// its own deque first (deepest — the DFS continuation of the subtree it
+// has been probing), then steals of the shallowest nodes of the fullest
+// other deque. The batch is sorted into DFS order by decision-stack
+// prefix before shipping, so the prober's live session walks it with
+// maximal prefix sharing. Every node handed out must eventually be
+// either Reported or Requeued, or Done never becomes true.
+func (m *ShardMaster) Next(owner, max int) []Node {
+	if max <= 0 || m.npending == 0 || m.violation != nil {
 		return nil
 	}
-	if max > len(m.pending) {
-		max = len(m.pending)
+	if _, ok := m.deques[owner]; !ok {
+		m.order = append(m.order, owner)
+		m.deques[owner] = nil
 	}
-	out := m.pending[:max:max]
-	m.pending = m.pending[max:]
+	out := make([]Node, 0, min(max, m.npending))
+	own := m.deques[owner]
+	for len(out) < max && len(own) > 0 {
+		out = append(out, own[len(own)-1])
+		own = own[:len(own)-1]
+	}
+	m.deques[owner] = own
+	for len(out) < max {
+		v := m.victim(owner)
+		if v < 0 {
+			break
+		}
+		vd := m.deques[v]
+		take := min(max-len(out), len(vd))
+		out = append(out, vd[:take]...)
+		m.deques[v] = vd[take:]
+	}
+	slices.SortFunc(out, func(a, b Node) int { return compareSched(a.Schedule, b.Schedule) })
+	m.npending -= len(out)
 	m.inflight += len(out)
 	return out
 }
 
-// Report consumes one node's probe report: the visited arbitration the
-// prober could not do. Newly discovered children become pending nodes.
-// After a violation the exploration is cancelled: late reports are
-// swallowed and no new work is produced.
-func (m *ShardMaster) Report(nd Node, rep ProbeReport) {
+// compareSched orders two decision stacks in serial depth-first order:
+// lexicographic over per-node branch ranks (entryKey), prefixes first.
+func compareSched(a, b []int) int {
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if a[i] != b[i] {
+			if entryKey(a[i]) < entryKey(b[i]) {
+				return -1
+			}
+			return 1
+		}
+	}
+	switch {
+	case len(a) < len(b):
+		return -1
+	case len(a) > len(b):
+		return 1
+	}
+	return 0
+}
+
+// Report consumes one dispatched node's descent chain from the given
+// owner: the visited arbitration the prober could not do, link by link.
+// Each link's node is reconstructed here from the master's own copy of
+// the dispatched node and the reported first branches, so a report can
+// only ever describe nodes the master derives itself. Newly discovered
+// children join the reporting owner's deque — the affinity rule that
+// keeps a subtree's probes on the session that already holds its prefix.
+// Consumption stops at the first link that loses its arbitration (the
+// rest of the chain is a pruned subtree) and after a violation the
+// exploration is cancelled: late reports are swallowed and no new work
+// is produced.
+func (m *ShardMaster) Report(owner int, nd Node, descent []ProbeReport) {
 	m.inflight--
 	if m.violation != nil {
 		return
 	}
-	if rep.Leaf {
-		m.runs++
-	}
-	if rep.Violation != nil {
-		m.violation = rep.Violation
-		m.pending = nil
-		return
-	}
-	if rep.Leaf {
-		return
-	}
-	if rep.DepthTruncated {
-		m.truncated = true
-		return
-	}
-	if _, seen := m.visited[rep.Hash]; seen {
-		return
-	}
-	if len(m.visited) >= m.maxStates {
-		m.truncated = true
-		return
-	}
-	m.visited[rep.Hash] = struct{}{}
-	if rep.Reduced {
-		m.reduced++
-	}
-	for _, b := range rep.Branches {
-		child := make([]int, len(nd.Schedule)+1)
-		copy(child, nd.Schedule)
-		child[len(nd.Schedule)] = b.Entry
-		m.pending = append(m.pending, Node{Schedule: child, Sleep: b.Sleep})
+	cur := nd
+	for i, rep := range descent {
+		if rep.Leaf {
+			m.runs++
+		}
+		if rep.Violation != nil {
+			m.violation = rep.Violation
+			m.deques = make(map[int][]Node)
+			m.npending = 0
+			return
+		}
+		if rep.Leaf {
+			return
+		}
+		if rep.DepthTruncated {
+			m.truncated = true
+			return
+		}
+		if rep.Dup {
+			// The prober already shipped a full report for this key. If
+			// this master has arbitrated it (or the budget is spent), the
+			// branches would have been discarded anyway; otherwise the
+			// cache was stale — reports crossed between connections, or
+			// the caching worker was lost — and the node is re-dispatched
+			// uncacheable.
+			if _, seen := m.visited[rep.Hash]; seen {
+				return
+			}
+			if len(m.visited) >= m.maxStates {
+				m.truncated = true
+				return
+			}
+			cur.Full = true
+			m.enqueue(owner, cur)
+			return
+		}
+		if _, seen := m.visited[rep.Hash]; seen {
+			return
+		}
+		if len(m.visited) >= m.maxStates {
+			m.truncated = true
+			return
+		}
+		m.visited[rep.Hash] = struct{}{}
+		if rep.Reduced {
+			m.reduced++
+		}
+		descends := i+1 < len(descent) && len(rep.Branches) > 0
+		for bi, b := range rep.Branches {
+			if descends && bi == 0 {
+				continue // the next link covers the first branch
+			}
+			child := make([]int, len(cur.Schedule)+1)
+			copy(child, cur.Schedule)
+			child[len(cur.Schedule)] = b.Entry
+			m.enqueue(owner, Node{Schedule: child, Sleep: b.Sleep})
+		}
+		if !descends {
+			return
+		}
+		b := rep.Branches[0]
+		sched := make([]int, len(cur.Schedule)+1)
+		copy(sched, cur.Schedule)
+		sched[len(cur.Schedule)] = b.Entry
+		cur = Node{Schedule: sched, Sleep: b.Sleep}
 	}
 }
 
-// Requeue returns handed-out nodes to the pending queue — the
-// re-delivery path when a prober disappears mid-probe. Probes are pure
-// replays, so re-dispatching them is idempotent by construction.
+// Requeue returns handed-out nodes to the unowned pool — the re-delivery
+// path when a prober disappears mid-probe. Probes are pure replays, so
+// re-dispatching them is idempotent by construction.
 func (m *ShardMaster) Requeue(nodes []Node) {
 	m.inflight -= len(nodes)
 	if m.violation != nil {
 		return
 	}
-	m.pending = append(m.pending, nodes...)
+	for _, nd := range nodes {
+		m.enqueue(0, nd)
+	}
 }
 
 // Violated reports that a violation has been found (the exploration is
@@ -287,7 +525,7 @@ func (m *ShardMaster) Violated() bool { return m.violation != nil }
 // Done reports that the exploration is complete: nothing pending,
 // nothing in flight — or a violation ended it early.
 func (m *ShardMaster) Done() bool {
-	return m.violation != nil || (m.inflight == 0 && len(m.pending) == 0)
+	return m.violation != nil || (m.inflight == 0 && m.npending == 0)
 }
 
 // Result summarises the exploration so far. On a violation the counters

@@ -29,31 +29,33 @@ func driveSharded(t *testing.T, w fleet.Workload, n, k int, opts check.Options, 
 	rng := rand.New(rand.NewSource(seed))
 	m := check.NewShardMaster(opts)
 	type done struct {
-		nd  check.Node
-		rep check.ProbeReport
+		nd    check.Node
+		chain []check.ProbeReport
 	}
 	var backlog []done
 	next := 0
 	for !m.Done() {
-		batch := m.Next(1 + rng.Intn(4))
+		// Random owner ids too: affinity routing must be advisory only.
+		batch := m.Next(1+rng.Intn(k), 1+rng.Intn(4))
 		for _, nd := range batch {
 			p := probers[next%k]
 			next++
-			rep, err := p.Probe(nd)
+			chain, err := p.Probe(nd)
 			if err != nil {
 				t.Fatalf("Probe(%v): %v", nd.Schedule, err)
 			}
-			backlog = append(backlog, done{nd, rep})
+			backlog = append(backlog, done{nd, chain})
 		}
 		if len(backlog) == 0 {
 			t.Fatalf("shard master stuck: not done, nothing pending")
 		}
-		// Deliver a random completed report — not necessarily the oldest.
+		// Deliver a random completed report — not necessarily the oldest,
+		// and attributed to a random owner.
 		i := rng.Intn(len(backlog))
 		d := backlog[i]
 		backlog[i] = backlog[len(backlog)-1]
 		backlog = backlog[:len(backlog)-1]
-		m.Report(d.nd, d.rep)
+		m.Report(1+rng.Intn(k), d.nd, d.chain)
 	}
 	res := m.Result()
 	canon, err := check.CanonicalResult(build, w.Check, opts, res)
@@ -176,18 +178,18 @@ func TestShardMasterRequeue(t *testing.T) {
 	rng := rand.New(rand.NewSource(42))
 	m := check.NewShardMaster(opts)
 	for !m.Done() {
-		batch := m.Next(1 + rng.Intn(3))
+		batch := m.Next(1, 1+rng.Intn(3))
 		// Every third batch is "lost" once and requeued before any probe.
 		if rng.Intn(3) == 0 {
 			m.Requeue(batch)
 			continue
 		}
 		for _, nd := range batch {
-			rep, err := p.Probe(nd)
+			chain, err := p.Probe(nd)
 			if err != nil {
 				t.Fatalf("Probe: %v", err)
 			}
-			m.Report(nd, rep)
+			m.Report(1, nd, chain)
 		}
 	}
 	assertResultsEqual(t, "peterson/requeue", serial, m.Result())

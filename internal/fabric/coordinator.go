@@ -52,18 +52,27 @@ type Stats struct {
 	Workers int
 	// Probes counts frontier nodes probed across all sharded passes.
 	Probes int
+	// WaveTasks counts DPOR wave tasks expanded across all distributed
+	// waves.
+	WaveTasks int
+	// EventsReplayed and EventsSaved sum the workers' replay accounting
+	// (check.ProbeStats): events actually re-executed positioning live
+	// sessions, and events skipped by prefix reuse. A root-replaying
+	// fabric would have executed Replayed+Saved.
+	EventsReplayed int64
+	EventsSaved    int64
 	// WallMs is the whole run's wall-clock.
 	WallMs int64
 }
 
 // CoordOptions configures a Coordinate run.
 type CoordOptions struct {
-	// Shards > 1 enables frontier sharding: jobs not using the DPOR
-	// engine run as subtree probes across all connected workers instead
-	// of as whole-entry jobs. (DPOR's wave-synchronised commit pass is
-	// inherently single-process; those jobs always travel whole.) The
-	// value is a mode switch, not a count — the sharding fans out to
-	// however many workers are connected.
+	// Shards > 1 enables state-space distribution: non-DPOR jobs run as
+	// frontier subtree probes across all connected workers, and DPOR
+	// jobs distribute each exploration wave's pure expansion pass while
+	// the serial commit stays here (see check.WaveMaster). The value is
+	// a mode switch, not a count — the sharding fans out to however many
+	// workers are connected.
 	Shards int
 	// JobTimeout abandons a job (DEGRADED) that has not completed this
 	// long after dispatch. Zero means no timeout.
@@ -120,13 +129,13 @@ func Coordinate(tr Transport, addr string, jobs []Job, reg Registry, co CoordOpt
 	}
 
 	// Whole-entry jobs run first, fanned out over the worker pool; then
-	// each sharded job in turn gets the whole pool to itself. Sharding
-	// applies only to non-DPOR jobs, and only when asked for.
+	// each sharded job in turn gets the whole pool to itself — as
+	// frontier probes (non-DPOR) or distributed waves (DPOR).
 	results := make([]JobResult, len(jobs))
 	var whole, sharded []int
 	for i, j := range jobs {
 		results[i].Job = j
-		if co.Shards > 1 && !j.Opts.DPOR {
+		if co.Shards > 1 {
 			sharded = append(sharded, i)
 		} else {
 			whole = append(whole, i)
@@ -143,7 +152,11 @@ func Coordinate(tr Transport, addr string, jobs []Job, reg Registry, co CoordOpt
 		results[i].Ms = time.Since(t0).Milliseconds()
 	}
 	c.shutdown()
-	return results, Stats{Workers: c.workersSeen, Probes: c.probes, WallMs: time.Since(start).Milliseconds()}, nil
+	return results, Stats{
+		Workers: c.workersSeen, Probes: c.probes, WaveTasks: c.waveTasks,
+		EventsReplayed: c.evReplayed, EventsSaved: c.evSaved,
+		WallMs: time.Since(start).Milliseconds(),
+	}, nil
 }
 
 // event is one occurrence delivered to the coordinator loop: a new
@@ -165,15 +178,21 @@ const (
 // workerState is the coordinator's view of one connection.
 type workerState struct {
 	ready bool // hello completed
+	// slot is the worker's ShardMaster owner id (1-based; assigned at
+	// hello, never reused) — the affinity key that routes a subtree's
+	// descendants back to the prober holding its prefix.
+	slot int
 	// Whole-entry phase: the dispatched job (index into the job list,
 	// -1 when idle), its message id and its timeout deadline.
 	jobIdx   int
 	jobID    int
 	deadline time.Time
 	// Sharded phase: whether this worker holds the current shard open,
-	// and the frontier nodes riding each outstanding probe message.
+	// the frontier nodes riding each outstanding probe message, and the
+	// wave-task ranges [lo, hi) riding each outstanding wave message.
 	shardOpen   bool
 	outstanding map[int][]check.Node
+	chunks      map[int][2]int
 }
 
 type coord struct {
@@ -187,6 +206,9 @@ type coord struct {
 	shardSeq    int
 	workersSeen int
 	probes      int
+	waveTasks   int
+	evReplayed  int64
+	evSaved     int64
 }
 
 func (c *coord) logf(format string, args ...any) {
@@ -247,6 +269,7 @@ func (c *coord) hello(cn *conn, w *workerState, m *Msg) bool {
 	}
 	w.ready = true
 	c.workersSeen++
+	w.slot = c.workersSeen
 	c.logf("worker connected (%d live)", c.liveWorkers())
 	return true
 }
@@ -378,11 +401,15 @@ func (c *coord) verifyWitness(j Job, res check.Result) string {
 	return ""
 }
 
-// runSharded runs one job as frontier subtrees across all workers,
-// including the PORAuto second pass when the options ask for it, and
-// canonicalises any violation by serial rerun — reproducing exactly what
-// the single-process Explore returns for the same options.
+// runSharded distributes one job's state-space exploration across all
+// workers: DPOR jobs as waves (runWaves), everything else as frontier
+// subtrees — including the PORAuto second pass when the options ask for
+// it, with any violation canonicalised by serial rerun — reproducing
+// exactly what the single-process Explore returns for the same options.
 func (c *coord) runSharded(j Job, tick <-chan time.Time) (check.Result, string, bool) {
+	if j.Opts.DPOR {
+		return c.runWaves(j, tick)
+	}
 	res, errStr, degraded := c.shardPass(j, j.Opts, tick)
 	if errStr != "" || degraded {
 		return res, errStr, degraded
@@ -436,19 +463,22 @@ func (c *coord) shardPass(j Job, opts check.Options, tick <-chan time.Time) (che
 	}
 
 	for !master.Done() {
-		// Keep every open worker's probe window full.
+		// Keep every open worker's probe window full. Next pops the
+		// worker's own subtree deque first (stealing when idle) and sorts
+		// the batch into DFS order, so consecutive probes extend the
+		// worker's live session instead of replaying from the root.
 		for cn, w := range c.conns {
 			if !w.shardOpen {
 				continue
 			}
 			for len(w.outstanding) < probeWindow {
-				nodes := master.Next(probeBatch)
+				nodes := master.Next(w.slot, probeBatch)
 				if len(nodes) == 0 {
 					break
 				}
 				c.nextID++
 				w.outstanding[c.nextID] = nodes
-				cn.send(&Msg{T: MsgProbe, ID: c.nextID, Shard: sid, Nodes: nodes})
+				cn.send(&Msg{T: MsgProbe, ID: c.nextID, Shard: sid, Nodes: encodeNodes(nodes)})
 			}
 		}
 
@@ -484,8 +514,14 @@ func (c *coord) shardPass(j Job, opts check.Options, tick <-chan time.Time) (che
 					}
 					delete(w.outstanding, m.ID)
 					c.probes += len(nodes)
-					for i, rep := range m.Reports {
-						master.Report(nodes[i], rep.toCheck())
+					c.evReplayed += m.Replayed
+					c.evSaved += m.Saved
+					for i, wire := range m.Reports {
+						chain := make([]check.ProbeReport, len(wire))
+						for j, rep := range wire {
+							chain[j] = rep.toCheck()
+						}
+						master.Report(w.slot, nodes[i], chain)
 					}
 				case MsgError:
 					closeAll()
@@ -512,6 +548,151 @@ func (c *coord) shardPass(j Job, opts check.Options, tick <-chan time.Time) (che
 			return check.Result{}, fmt.Sprintf("canonical serial rerun: %v", err), false
 		}
 		res = canon
+	}
+	return res, "", false
+}
+
+// runWaves runs one DPOR job as distributed waves: the WaveMaster (node
+// tree, visited set, serial commit pass) stays here, and each wave's
+// pure expansion pass fans out over the connected workers in contiguous
+// chunks — contiguous tasks are DFS siblings sharing schedule prefixes,
+// so a chunk rides a worker's live session the same way a sorted probe
+// batch does. Each wave is a barrier: all reports come home (requeued
+// from lost workers as needed — they are pure), then the commit runs,
+// so the result is byte-identical to the in-process engine at any
+// worker count by construction. Witnesses are still re-verified by
+// replay before they are believed.
+func (c *coord) runWaves(j Job, tick <-chan time.Time) (check.Result, string, bool) {
+	build, prop, ok := c.reg(j.Name, j.N)
+	if !ok {
+		return check.Result{}, fmt.Sprintf("unknown workload %q in local registry", j.Name), false
+	}
+	master, err := check.NewWaveMaster(build, prop, j.Opts)
+	if err != nil {
+		return check.Result{}, err.Error(), false
+	}
+	c.shardSeq++
+	sid := c.shardSeq
+	spec := &JobSpec{Name: j.Name, N: j.N, Opts: j.Opts}
+	var deadline time.Time
+	if c.co.JobTimeout > 0 {
+		deadline = time.Now().Add(c.co.JobTimeout)
+	}
+
+	open := func(cn *conn, w *workerState) {
+		w.shardOpen = true
+		w.chunks = make(map[int][2]int)
+		cn.send(&Msg{T: MsgShardOpen, Shard: sid, Job: spec})
+	}
+	for cn, w := range c.conns {
+		if w.ready {
+			open(cn, w)
+		}
+	}
+	closeAll := func() {
+		for cn, w := range c.conns {
+			if w.shardOpen {
+				cn.send(&Msg{T: MsgShardClose, Shard: sid})
+				w.shardOpen = false
+				w.chunks = nil
+			}
+		}
+	}
+
+	for !master.Done() {
+		wave := master.Wave()
+		reports := make([]check.WaveReport, len(wave))
+		remaining := len(wave)
+		var pend [][2]int
+		for lo := 0; lo < len(wave); lo += probeBatch {
+			pend = append(pend, [2]int{lo, min(lo+probeBatch, len(wave))})
+		}
+		for remaining > 0 {
+			// Keep every open worker's chunk window full.
+			for cn, w := range c.conns {
+				if !w.shardOpen {
+					continue
+				}
+				for len(w.chunks) < probeWindow && len(pend) > 0 {
+					ck := pend[0]
+					pend = pend[1:]
+					c.nextID++
+					w.chunks[c.nextID] = ck
+					cn.send(&Msg{T: MsgWave, ID: c.nextID, Shard: sid, Nodes: encodeNodes(wave[ck[0]:ck[1]])})
+				}
+			}
+
+			select {
+			case ev := <-c.events:
+				switch ev.kind {
+				case evConn:
+					c.admit(ev.c)
+				case evGone:
+					if w := c.conns[ev.c]; w != nil && len(w.chunks) > 0 {
+						n := 0
+						for _, ck := range w.chunks {
+							pend = append(pend, ck)
+							n += ck[1] - ck[0]
+						}
+						c.logf("worker lost, %d wave tasks requeued", n)
+					}
+					c.drop(ev.c, nil, nil)
+				case evMsg:
+					w := c.conns[ev.c]
+					if w == nil {
+						break
+					}
+					m := ev.msg
+					switch m.T {
+					case MsgHello:
+						// A worker joining mid-exploration helps with the
+						// next chunks immediately.
+						if c.hello(ev.c, w, m) {
+							open(ev.c, w)
+						}
+					case MsgWaved:
+						ck, ok := w.chunks[m.ID]
+						if !ok {
+							break // stale reply from a cancelled pass
+						}
+						if len(m.WReports) != ck[1]-ck[0] {
+							c.logf("worker answered %d wave tasks with %d reports; dropping it", ck[1]-ck[0], len(m.WReports))
+							for _, rq := range w.chunks {
+								pend = append(pend, rq)
+							}
+							w.chunks = nil
+							c.drop(ev.c, nil, nil)
+							break
+						}
+						delete(w.chunks, m.ID)
+						copy(reports[ck[0]:ck[1]], m.WReports)
+						remaining -= ck[1] - ck[0]
+						c.waveTasks += ck[1] - ck[0]
+						c.evReplayed += m.Replayed
+						c.evSaved += m.Saved
+					case MsgError:
+						closeAll()
+						return check.Result{}, fmt.Sprintf("worker error expanding %s: %s", j.Name, m.Err), false
+					}
+				}
+			case <-tick:
+				if !deadline.IsZero() && time.Now().After(deadline) {
+					c.logf("sharded job %s timed out after %s", j.Name, c.co.JobTimeout)
+					closeAll()
+					return master.Result(), "", true
+				}
+			}
+		}
+		if err := master.Commit(reports); err != nil {
+			closeAll()
+			return check.Result{}, err.Error(), false
+		}
+	}
+	closeAll()
+
+	res := master.Result()
+	if errStr := c.verifyWitness(j, res); errStr != "" {
+		return check.Result{}, errStr, false
 	}
 	return res, "", false
 }

@@ -14,14 +14,14 @@
 // its outstanding work and any other worker (or the same one,
 // reconnected) re-executes it with an identical outcome.
 //
-// Work travels at two granularities:
+// Work travels at three granularities:
 //
 //   - Whole portfolio entries (JobSpec: workload name, process count,
 //     check.Options). The worker runs check.Explore exactly as the
-//     single-process cfccheck would and returns the Result. Entries
-//     using the DPOR engine always travel this way.
+//     single-process cfccheck would and returns the Result. This is the
+//     path when sharding is off (Shards <= 1).
 //
-//   - Frontier subtrees, for sharding one big exploration across
+//   - Frontier subtrees, for sharding one DFS exploration across
 //     machines. The coordinator runs a check.ShardMaster (the one
 //     visited set); workers hold a check.Prober per open shard and turn
 //     batches of frontier nodes — serialised decision-stack prefixes
@@ -30,6 +30,50 @@
 //     in-process work-stealer splits it across cores, except the
 //     visited-set arbitration stays at the coordinator, which is what
 //     keeps the merged counters exact.
+//
+//   - DPOR waves. The wave-synchronised DPOR engine is not
+//     frontier-shardable (sleep sets flow between siblings), so sharded
+//     DPOR jobs run as a BSP split instead: a check.WaveMaster at the
+//     coordinator owns the node tree, visited set and the serial commit
+//     pass, and each wave's pure expansion tasks fan out to workers
+//     (check.WaveProber) in contiguous chunks. Waves are barriers;
+//     reports are reassembled into task order before commit, which makes
+//     the result bit-identical at any worker count by induction over
+//     waves.
+//
+// # Locality
+//
+// Frontier scheduling is prefix-local so that worker probers — whose
+// sim sessions can extend but never rewind (any divergence is a restart
+// and full replay from the root) — mostly extend:
+//
+//   - Affinity: a node's children are routed to the deque of the worker
+//     that reported them, and each owner's batch is drained deepest-
+//     first in DFS order, so consecutive nodes share long schedule
+//     prefixes with the session the owner already holds.
+//
+//   - Descent chains: after probing an expandable node a prober
+//     immediately probes its first branch — a one-decision session
+//     extension — and repeats until a leaf, violation, truncation or
+//     dedup hit, returning the whole chain in one reply. The master
+//     replays the chain link by link against the authoritative visited
+//     set, reconstructing each link's node from its own parent copy (a
+//     report can never inject an underived node) and stopping at the
+//     first arbitration loss; non-first branches are enqueued to the
+//     owner's deque.
+//
+//   - Steal-on-idle: affinity is advisory. A worker with an empty deque
+//     steals from the unowned pool, then from other owners, so a
+//     stalled or lost worker never wedges the exploration.
+//
+// A worker's advisory dedup cache of reported state digests
+// short-circuits probes of states it already reported; the
+// coordinator's visited set stays authoritative, and a dedup reply the
+// master cannot arbitrate is re-dispatched with the cache bypassed
+// (Node.Full), which always makes progress. Probe replies carry
+// replayed/saved event deltas; cfccheck surfaces them in FABRIC-SUMMARY
+// as the locality ratio (baseline events over replayed events, where
+// the baseline is what root-replay-per-node would have executed).
 //
 // # Guarantees
 //
@@ -51,7 +95,7 @@
 // the offending connection; a job exceeding the coordinator's job
 // timeout is reported DEGRADED instead of wedging the run.
 //
-// # Wire format
+// # Wire format (protocol v2)
 //
 // Frames are 4-byte big-endian length prefixes followed by one JSON
 // object (Msg), at most MaxFrame bytes. JSON keeps the frames
@@ -61,4 +105,21 @@
 // byte stream: TCP for real deployments, an in-process pipe
 // (NewPipeTransport) for deterministic tests, leaving room for a
 // durable queue later.
+//
+// Protocol v2 adds, relative to v1:
+//
+//   - probe/wave node batches are delta-encoded (WireNode): each node
+//     ships the length of the schedule prefix it shares with the
+//     batch's first node plus its own tail, which collapses the long
+//     shared prefixes DFS-sorted batches are built from;
+//
+//   - probe replies carry one descent chain ([]Report) per dispatched
+//     node instead of a single report, plus replayed/saved event
+//     deltas;
+//
+//   - wave/waved frames (MsgWave, MsgWaved) carry DPOR wave chunks and
+//     their task-ordered reports for the BSP split.
+//
+// Hello frames carry ProtoVersion; a version mismatch is rejected at
+// handshake, so v1 workers never see v2 frames.
 package fabric

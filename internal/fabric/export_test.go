@@ -1,0 +1,8 @@
+package fabric
+
+// Test-only handles to the batch codec; the wire format is a contract
+// worth pinning even though the functions are package-private.
+var (
+	EncodeNodesForTest = encodeNodes
+	DecodeNodesForTest = decodeNodes
+)

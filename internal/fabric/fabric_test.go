@@ -23,10 +23,11 @@ func fleetRegistry(name string, n int) (check.Builder, check.Property, bool) {
 }
 
 // testJobs is a portfolio slice exercising every job shape: a DPOR entry
-// (always travels whole), static-POR entries (shardable), a PORAuto
-// entry whose reduction is unprofitable (tas hammers one bit, so the
-// coordinator must run the two-pass fallback), and a broken workload
-// whose violation exercises witness canonicalisation and re-verification.
+// (sharded runs distribute its waves), static-POR entries (sharded runs
+// probe their frontiers), a PORAuto entry whose reduction is
+// unprofitable (tas hammers one bit, so the coordinator must run the
+// two-pass fallback), and a broken workload whose violation exercises
+// witness canonicalisation and re-verification.
 func testJobs() []fabric.Job {
 	base := check.Options{MaxDepth: 60, MaxStates: 1 << 17, CollapseSpins: true}
 	por := base
@@ -138,10 +139,13 @@ func TestWholeJobsEqualSingleProcess(t *testing.T) {
 	}
 }
 
-// TestShardedJobsEqualSingleProcess is the contract at the frontier
+// TestShardedJobsEqualSingleProcess is the contract at the fine
 // granularity: with sharding on, non-DPOR jobs run as subtree probes
-// across the workers — including the PORAuto two-pass and violation
-// canonicalisation — and still report exactly the single-process result.
+// and DPOR jobs as distributed waves across the workers — including the
+// PORAuto two-pass and violation canonicalisation — and still report
+// exactly the single-process result. The locality counters must show
+// the prefix machinery actually engaged: events saved by live-session
+// reuse on both prober kinds.
 func TestShardedJobsEqualSingleProcess(t *testing.T) {
 	jobs := testJobs()
 	want := singleProcess(t, jobs)
@@ -149,14 +153,19 @@ func TestShardedJobsEqualSingleProcess(t *testing.T) {
 	if stats.Probes == 0 {
 		t.Errorf("sharded run probed no frontier nodes")
 	}
+	if stats.WaveTasks == 0 {
+		t.Errorf("sharded run expanded no wave tasks; DPOR job did not distribute")
+	}
+	if stats.EventsReplayed == 0 || stats.EventsSaved == 0 {
+		t.Errorf("locality counters flat: replayed %d, saved %d", stats.EventsReplayed, stats.EventsSaved)
+	}
 	for i, r := range results {
 		if r.Err != "" {
 			t.Errorf("%s: %s", r.Job.Name, r.Err)
 			continue
 		}
-		wantSharded := !r.Job.Opts.DPOR
-		if r.Sharded != wantSharded {
-			t.Errorf("%s: sharded=%v, want %v", r.Job.Name, r.Sharded, wantSharded)
+		if !r.Sharded {
+			t.Errorf("%s: sharded=%v, want true", r.Job.Name, r.Sharded)
 		}
 		assertEqual(t, r.Job.Name, want[i], r.Res)
 	}
@@ -219,13 +228,13 @@ func TestWorkerDisconnectRequeues(t *testing.T) {
 		}()
 
 		// The flaky worker handshakes, accepts its first piece of work —
-		// a whole-entry job, or (sharded phase) a probe batch — and
-		// drops the connection without answering.
+		// a whole-entry job, or (sharded phase) a probe batch or wave
+		// chunk — and drops the connection without answering.
 		flaky := dialRaw(t, pt, "coord")
 		flaky.hello()
 		for {
 			m := flaky.read()
-			if m.T == fabric.MsgJob || m.T == fabric.MsgProbe {
+			if m.T == fabric.MsgJob || m.T == fabric.MsgProbe || m.T == fabric.MsgWave {
 				break
 			}
 		}

@@ -12,7 +12,10 @@ import (
 
 // ProtoVersion is the wire protocol version; hello frames carry it and
 // the coordinator rejects mismatched workers instead of guessing.
-const ProtoVersion = 1
+// Version 2 added DPOR wave distribution (the wave/waved frames),
+// delta-encoded node batches, descent-chain probe replies and the
+// replayed/saved event counters on probe replies.
+const ProtoVersion = 2
 
 // MaxFrame bounds a single frame's JSON payload. A frame announcing a
 // larger length is a protocol violation and drops the connection — the
@@ -28,7 +31,9 @@ const (
 	MsgShardOpen  = "shard-open"  // coordinator → worker: {shard, job}
 	MsgShardClose = "shard-close" // coordinator → worker: {shard}
 	MsgProbe      = "probe"       // coordinator → worker: {id, shard, nodes}
-	MsgProbed     = "probed"      // worker → coordinator: {id, shard, reports}
+	MsgProbed     = "probed"      // worker → coordinator: {id, shard, reports, rp, sv}
+	MsgWave       = "wave"        // coordinator → worker: {id, shard, nodes}
+	MsgWaved      = "waved"       // worker → coordinator: {id, shard, wreports, rp, sv}
 	MsgError      = "error"       // worker → coordinator: {id, err}
 	MsgBye        = "bye"         // coordinator → worker: done, disconnect
 )
@@ -36,16 +41,79 @@ const (
 // Msg is the single frame envelope; T selects which fields are
 // meaningful (see the message type constants).
 type Msg struct {
-	T       string       `json:"t"`
-	V       int          `json:"v,omitempty"`
-	ID      int          `json:"id,omitempty"`
-	Shard   int          `json:"shard,omitempty"`
-	Job     *JobSpec     `json:"job,omitempty"`
-	Nodes   []check.Node `json:"nodes,omitempty"`
-	Reports []Report     `json:"reports,omitempty"`
-	Res     *WireResult  `json:"res,omitempty"`
-	Ms      int64        `json:"ms,omitempty"`
-	Err     string       `json:"err,omitempty"`
+	T        string             `json:"t"`
+	V        int                `json:"v,omitempty"`
+	ID       int                `json:"id,omitempty"`
+	Shard    int                `json:"shard,omitempty"`
+	Job      *JobSpec           `json:"job,omitempty"`
+	Nodes    []WireNode         `json:"nodes,omitempty"`
+	// Reports carries one descent chain per probed node of the batch,
+	// aligned with the probe frame's Nodes.
+	Reports  [][]Report         `json:"reports,omitempty"`
+	WReports []check.WaveReport `json:"wreports,omitempty"`
+	Res      *WireResult        `json:"res,omitempty"`
+	Ms       int64              `json:"ms,omitempty"`
+	// Replayed and Saved are the probing prober's event-count deltas for
+	// this reply (see check.ProbeStats).
+	Replayed int64  `json:"rp,omitempty"`
+	Saved    int64  `json:"sv,omitempty"`
+	Err      string `json:"err,omitempty"`
+}
+
+// WireNode is one frontier node (or wave task) delta-encoded against
+// the FIRST node of its batch: P leading schedule entries are shared
+// with the first node's schedule, S is the remaining tail. The first
+// node of a batch always ships whole (P = 0). Batches ship in DFS
+// order sorted by decision-stack prefix, so sibling runs deep in the
+// tree collapse to a few tail entries each — the frame-size half of the
+// prefix-locality story (the replay half is the prober's live session).
+type WireNode struct {
+	P     int    `json:"p,omitempty"`
+	S     []int  `json:"s,omitempty"`
+	Sleep uint64 `json:"sleep,omitempty"`
+	Full  bool   `json:"f,omitempty"`
+}
+
+// encodeNodes delta-encodes a batch for the wire.
+func encodeNodes(nodes []check.Node) []WireNode {
+	if len(nodes) == 0 {
+		return nil
+	}
+	out := make([]WireNode, len(nodes))
+	first := nodes[0].Schedule
+	out[0] = WireNode{S: first, Sleep: nodes[0].Sleep, Full: nodes[0].Full}
+	for i, nd := range nodes[1:] {
+		p := 0
+		for p < len(first) && p < len(nd.Schedule) && first[p] == nd.Schedule[p] {
+			p++
+		}
+		out[i+1] = WireNode{P: p, S: nd.Schedule[p:], Sleep: nd.Sleep, Full: nd.Full}
+	}
+	return out
+}
+
+// decodeNodes reverses encodeNodes. A prefix length the first node
+// cannot supply is a protocol error.
+func decodeNodes(w []WireNode) ([]check.Node, error) {
+	if len(w) == 0 {
+		return nil, nil
+	}
+	if w[0].P != 0 {
+		return nil, fmt.Errorf("fabric: malformed node batch: first node claims a %d-entry prefix", w[0].P)
+	}
+	first := w[0].S
+	out := make([]check.Node, len(w))
+	out[0] = check.Node{Schedule: first, Sleep: w[0].Sleep, Full: w[0].Full}
+	for i, n := range w[1:] {
+		if n.P < 0 || n.P > len(first) {
+			return nil, fmt.Errorf("fabric: malformed node batch: prefix %d exceeds first schedule of %d", n.P, len(first))
+		}
+		s := make([]int, n.P+len(n.S))
+		copy(s, first[:n.P])
+		copy(s[n.P:], n.S)
+		out[i+1] = check.Node{Schedule: s, Sleep: n.Sleep, Full: n.Full}
+	}
+	return out, nil
 }
 
 // JobSpec names one unit of work: a workload from the shared registry

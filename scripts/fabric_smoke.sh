@@ -3,12 +3,15 @@
 # fabric over real loopback TCP: a coordinator plus two worker processes
 # must produce byte-identical portfolio output to a single-process run.
 #
-# Two passes:
+# Three passes:
 #   1. whole-job sharding  — the default n=2 portfolio (DPOR engines and
 #      all), fanned out one portfolio entry per job;
 #   2. subtree sharding    — the non-DPOR portfolio (-dpor=false) with
 #      -shards 2, so every job's DFS frontier is split across both
-#      workers and the coordinator arbitrates the visited set.
+#      workers and the coordinator arbitrates the visited set;
+#   3. wave sharding       — the full portfolio with -shards 2, putting
+#      the DPOR entries on the distributed wave path (pure expansion at
+#      the workers, serial commit at the coordinator).
 #
 # In both passes the comparison strips only the FABRIC-SUMMARY line (it
 # carries wall-clock and worker counts that have no single-process
@@ -55,13 +58,31 @@ run_pass() { # run_pass <label> <extra flags...>
 run_pass "whole jobs, 2 workers"
 
 # Pass 2: frontier-subtree sharding. DPOR's wave synchronization is not
-# frontier-shardable (the coordinator ships DPOR entries whole), so the
-# sharded pass runs the portfolio with -dpor=false to put every job on
-# the sharded path; a sanity grep asserts probes actually flowed.
+# frontier-shardable, so this pass runs the portfolio with -dpor=false
+# to put every job on the frontier path; sanity greps assert probes
+# actually flowed and that the prefix-local scheduling saved replay
+# events (events_saved counts what root-replay-per-node would have
+# re-executed through the workers' live sessions).
 run_pass "subtree sharding (-shards 2), 2 workers" -dpor=false -shards 2
 PROBES="$(grep -o 'probes=[0-9]*' "$BIN/fabric.txt" | cut -d= -f2)"
 if [[ -z "$PROBES" || "$PROBES" -eq 0 ]]; then
     echo "FAIL: sharded pass reported probes=$PROBES — subtree sharding never engaged" >&2
     exit 1
 fi
-echo "fabric smoke passed (sharded pass exchanged $PROBES probes)"
+SAVED="$(grep -o 'events_saved=[0-9]*' "$BIN/fabric.txt" | cut -d= -f2)"
+if [[ -z "$SAVED" || "$SAVED" -eq 0 ]]; then
+    echo "FAIL: sharded pass reported events_saved=$SAVED — locality scheduling never saved a replay" >&2
+    exit 1
+fi
+
+# Pass 3: wave sharding. The full portfolio (DPOR engines included) with
+# -shards 2 routes DPOR jobs through the distributed wave engine; the
+# byte-diff above proves the BSP split is invisible in the output, and a
+# sanity grep asserts wave tasks actually crossed the wire.
+run_pass "wave sharding (-shards 2, DPOR included), 2 workers" -shards 2
+WAVES="$(grep -o 'wave_tasks=[0-9]*' "$BIN/fabric.txt" | cut -d= -f2)"
+if [[ -z "$WAVES" || "$WAVES" -eq 0 ]]; then
+    echo "FAIL: wave pass reported wave_tasks=$WAVES — DPOR wave distribution never engaged" >&2
+    exit 1
+fi
+echo "fabric smoke passed (frontier pass: $PROBES probes, $SAVED events saved; wave pass: $WAVES wave tasks)"
